@@ -1,0 +1,70 @@
+// Shared scaffolding for the experiment benches: each binary prints its
+// experiment tables (the reproduction of a paper figure) and then runs the
+// registered google-benchmark cases on the underlying kernels.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "control/c2d.hpp"
+#include "control/delay_compensation.hpp"
+#include "control/lqr.hpp"
+#include "plants/dc_servo.hpp"
+#include "latency/latency.hpp"
+#include "translate/cosim.hpp"
+
+namespace ecsim::bench {
+
+/// Standard workload: LQR state feedback on the Cervin DC servo
+/// G(s) = 1000/(s(s+1)) at Ts = 10 ms, unit position step over 1 s.
+inline translate::LoopSpec servo_loop(double ts = 0.01, double t_end = 1.0) {
+  control::StateSpace servo = plants::dc_servo();
+  servo.c = math::Matrix::identity(2);
+  servo.d = math::Matrix::zeros(2, 1);
+  const control::StateSpace servo_d = control::c2d(servo, ts);
+  const control::LqrResult lqr = control::dlqr(
+      servo_d, math::Matrix::diag({100.0, 0.01}), math::Matrix{{1e-3}});
+  control::StateSpace pos = servo_d;
+  pos.c = math::Matrix{{1.0, 0.0}};
+  pos.d = math::Matrix{{0.0}};
+  const double nbar = control::reference_gain(pos, lqr.k);
+
+  translate::LoopSpec spec;
+  spec.plant = servo;
+  spec.controller = control::state_feedback_controller(lqr.k, nbar, ts);
+  spec.ts = ts;
+  spec.t_end = t_end;
+  spec.ref = 1.0;
+  spec.input = translate::ControllerInput::kStateRef;
+  return spec;
+}
+
+/// Format a performance metric, collapsing diverged (unstable-loop) values
+/// to a readable marker instead of astronomical numbers.
+inline std::string metric(double v, const char* fmt = "%10.5f",
+                          double unstable_above = 1e3) {
+  char buf[64];
+  if (!(v < unstable_above)) return "  unstable";
+  std::snprintf(buf, sizeof buf, fmt, v);
+  return std::string(buf);
+}
+
+/// Header banner for the experiment output.
+inline void banner(const char* exp_id, const char* paper_anchor,
+                   const char* description) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n%s\n", exp_id, paper_anchor, description);
+  std::printf("================================================================\n\n");
+}
+
+/// Print the table, then hand over to google-benchmark.
+inline int run_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace ecsim::bench

@@ -1,0 +1,101 @@
+// EXP-F1 (paper Fig. 1, eqs. 1-2): characterize the sampling latency
+// Ls_j(k) = I_j(k) - kTs and actuation latency La_j(k) = O_j(k) - kTs of a
+// distributed implementation, per period k, for several architectures.
+// Expected shape: nonzero latencies, constant under the WCET schedule,
+// La >= Ls, both < Ts.
+#include "bench_common.hpp"
+#include "latency/latency.hpp"
+
+using namespace ecsim;
+
+namespace {
+
+void print_case(const char* name, const translate::CosimOutcome& out,
+                double ts) {
+  std::printf("-- %s (makespan %.4f ms, Ts %.1f ms) --\n", name,
+              1e3 * out.makespan, 1e3 * ts);
+  std::printf("%4s %14s %14s\n", "k", "Ls(k) [ms]", "La(k) [ms]");
+  const std::size_t n =
+      std::min<std::size_t>(8, out.sense_latency.latencies.size());
+  for (std::size_t k = 0; k < n; ++k) {
+    std::printf("%4zu %14.4f %14.4f\n", k,
+                1e3 * out.sense_latency.latencies[k],
+                1e3 * out.act_latency.latencies[k]);
+  }
+  std::printf("mean %14.4f %14.4f   (jitter p2p: %.4f / %.4f ms)\n\n",
+              1e3 * out.sense_latency.summary.mean,
+              1e3 * out.act_latency.summary.mean,
+              1e3 * out.sense_latency.jitter, 1e3 * out.act_latency.jitter);
+}
+
+void experiment() {
+  bench::banner("EXP-F1", "Fig. 1 / Section 2 (eqs. 1-2)",
+                "Sampling and actuation latencies of SynDEx implementations "
+                "of the DC-servo loop, per period k.");
+  const translate::LoopSpec spec = bench::servo_loop();
+
+  {
+    translate::DistributedSpec dist;
+    dist.arch = aaa::ArchitectureGraph::bus_architecture(1, 1.0);
+    dist.wcet_sense = 2e-4;
+    dist.wcet_ctrl = 1e-3;
+    dist.wcet_act = 2e-4;
+    print_case("single processor", translate::run_distributed_loop(spec, dist),
+               spec.ts);
+  }
+  {
+    translate::DistributedSpec dist;
+    dist.arch = aaa::ArchitectureGraph::bus_architecture(2, 2e4, 2e-4);
+    dist.wcet_sense = 2e-4;
+    dist.wcet_ctrl = 3e-3;
+    dist.wcet_act = 2e-4;
+    dist.bind_sense = "P0";
+    dist.bind_ctrl = "P1";
+    dist.bind_act = "P0";
+    print_case("2 processors + bus (controller remote)",
+               translate::run_distributed_loop(spec, dist), spec.ts);
+  }
+  {
+    translate::DistributedSpec dist;
+    dist.arch = aaa::ArchitectureGraph::bus_architecture(2, 2e4, 2e-4);
+    dist.wcet_sense = 2e-4;
+    dist.wcet_ctrl = 3e-3;
+    dist.wcet_act = 2e-4;
+    dist.bind_sense = "P0";
+    dist.bind_ctrl = "P1";
+    dist.bind_act = "P0";
+    dist.god.bcet_fraction = 0.4;  // execution-time variation => jitter
+    print_case("same, with actual execution times in [0.4,1.0]*WCET",
+               translate::run_distributed_loop(spec, dist), spec.ts);
+  }
+}
+
+void BM_LatencyExtraction(benchmark::State& state) {
+  const translate::LoopSpec spec = bench::servo_loop(0.01, 2.0);
+  translate::DistributedSpec dist;
+  dist.arch = aaa::ArchitectureGraph::bus_architecture(2, 2e4, 2e-4);
+  const translate::CosimOutcome out = translate::run_distributed_loop(spec, dist);
+  for (auto _ : state) {
+    auto s = latency::analyze_instants("act", out.act_latency.instants, spec.ts);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_LatencyExtraction);
+
+void BM_DistributedCosimFig1(benchmark::State& state) {
+  const translate::LoopSpec spec = bench::servo_loop(0.01, 0.5);
+  translate::DistributedSpec dist;
+  dist.arch = aaa::ArchitectureGraph::bus_architecture(2, 2e4, 2e-4);
+  for (auto _ : state) {
+    auto out = translate::run_distributed_loop(spec, dist);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_DistributedCosimFig1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  experiment();
+  return bench::run_benchmarks(argc, argv);
+}

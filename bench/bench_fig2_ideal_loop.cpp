@@ -1,0 +1,57 @@
+// EXP-F2 (paper Fig. 2): the ideal stroboscopic simulation — plant and
+// controller interconnected through S/H blocks all activated by the same
+// periodic clock. Establishes the reference performance that later
+// experiments degrade. Expected shape: designed performance achieved;
+// latencies identically zero (I(k) = O(k) = kTs).
+#include "bench_common.hpp"
+
+using namespace ecsim;
+
+namespace {
+
+void experiment() {
+  bench::banner("EXP-F2", "Fig. 2 / Section 3.1",
+                "Ideal (stroboscopic-model) closed loop of the DC servo: the "
+                "control engineer's reference simulation.");
+  std::printf("%8s %10s %10s %12s %12s %12s %12s\n", "Ts [ms]", "IAE", "ISE",
+              "overshoot%", "settle [s]", "Ls mean", "La mean");
+  for (const double ts : {0.002, 0.005, 0.01, 0.02, 0.04}) {
+    const translate::CosimOutcome out =
+        translate::run_ideal_loop(bench::servo_loop(ts));
+    std::printf("%8.1f %10.5f %10.5f %12.2f %12.4f %12.2e %12.2e\n", 1e3 * ts,
+                out.iae, out.ise, out.step.overshoot_pct,
+                out.step.settling_time, out.sense_latency.summary.mean,
+                out.act_latency.summary.mean);
+  }
+  std::printf("\nLatencies are exactly zero: sampling, control and actuation "
+              "all happen at kTs (the stroboscopic hypothesis).\n\n");
+}
+
+void BM_IdealLoop(benchmark::State& state) {
+  const translate::LoopSpec spec =
+      bench::servo_loop(0.01, static_cast<double>(state.range(0)) / 10.0);
+  for (auto _ : state) {
+    auto out = translate::run_ideal_loop(spec);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_IdealLoop)->Arg(5)->Arg(10)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_LqrDesign(benchmark::State& state) {
+  control::StateSpace servo = plants::dc_servo();
+  const control::StateSpace servo_d = control::c2d(servo, 0.01);
+  for (auto _ : state) {
+    auto r = control::dlqr(servo_d, math::Matrix::diag({100.0, 0.01}),
+                           math::Matrix{{1e-3}});
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_LqrDesign);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  experiment();
+  return bench::run_benchmarks(argc, argv);
+}

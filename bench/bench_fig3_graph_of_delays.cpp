@@ -1,0 +1,107 @@
+// EXP-F3 (paper Fig. 3): plant + controller + graph of delays. The central
+// experiment of the methodology: the same control design simulated (a) under
+// the stroboscopic model and (b) driven by the temporal model of its SynDEx
+// implementation, sweeping architecture speed. Expected shape: performance
+// degrades monotonically as the implementation slows down; the degradation
+// is visible purely in co-simulation.
+#include "bench_common.hpp"
+#include "translate/graph_of_delays.hpp"
+
+using namespace ecsim;
+
+namespace {
+
+void experiment() {
+  bench::banner("EXP-F3", "Fig. 3 / Section 3.2",
+                "Implementation-in-the-loop co-simulation vs the ideal "
+                "design, sweeping bus latency and controller WCET.");
+  const translate::LoopSpec spec = bench::servo_loop();
+  const translate::CosimOutcome ideal = translate::run_ideal_loop(spec);
+  std::printf("ideal reference: IAE=%.5f overshoot=%.2f%% settle=%.4fs\n\n",
+              ideal.iae, ideal.step.overshoot_pct, ideal.step.settling_time);
+
+  std::printf("%-26s %10s %10s %10s %12s %12s\n", "architecture",
+              "La mean[ms]", "IAE", "IAE/ideal", "overshoot%", "settle [s]");
+  struct Case {
+    const char* name;
+    double bus_latency;
+    double wcet_ctrl;
+  };
+  const Case cases[] = {
+      {"fast bus, light ctrl", 1e-4, 5e-4},
+      {"fast bus, heavy ctrl", 1e-4, 3e-3},
+      {"slow bus, light ctrl", 1e-3, 5e-4},
+      {"slow bus, heavy ctrl", 1e-3, 3e-3},
+      {"very slow bus, heavy", 2e-3, 4e-3},
+  };
+  for (const Case& c : cases) {
+    translate::DistributedSpec dist;
+    dist.arch = aaa::ArchitectureGraph::bus_architecture(2, 2e4, c.bus_latency);
+    dist.wcet_sense = 2e-4;
+    dist.wcet_ctrl = c.wcet_ctrl;
+    dist.wcet_act = 2e-4;
+    dist.bind_sense = "P0";
+    dist.bind_ctrl = "P1";
+    dist.bind_act = "P0";
+    const translate::CosimOutcome out =
+        translate::run_distributed_loop(spec, dist);
+    std::printf("%-26s %10.3f %s %s %s %12.4f\n", c.name,
+                1e3 * out.act_latency.summary.mean,
+                bench::metric(out.iae).c_str(),
+                bench::metric(out.iae / ideal.iae, "%10.3f").c_str(),
+                bench::metric(out.step.overshoot_pct, "%12.2f").c_str(),
+                out.step.settling_time);
+  }
+  std::printf("\nExecution-time variation (bcet fraction sweep, slow bus + "
+              "heavy ctrl):\n");
+  std::printf("%12s %14s %10s\n", "bcet/wcet", "La jitter [ms]", "IAE");
+  for (const double f : {1.0, 0.7, 0.4, 0.1}) {
+    translate::DistributedSpec dist;
+    dist.arch = aaa::ArchitectureGraph::bus_architecture(2, 2e4, 1e-3);
+    dist.wcet_sense = 2e-4;
+    dist.wcet_ctrl = 3e-3;
+    dist.wcet_act = 2e-4;
+    dist.bind_sense = "P0";
+    dist.bind_ctrl = "P1";
+    dist.bind_act = "P0";
+    dist.god.bcet_fraction = f;
+    const translate::CosimOutcome out =
+        translate::run_distributed_loop(spec, dist);
+    std::printf("%12.1f %14.4f %s\n", f, 1e3 * out.act_latency.jitter,
+                bench::metric(out.iae).c_str());
+  }
+  std::printf("\n");
+}
+
+void BM_BuildGraphOfDelays(benchmark::State& state) {
+  const translate::LoopSpec spec = bench::servo_loop();
+  translate::DistributedSpec dist;
+  dist.arch = aaa::ArchitectureGraph::bus_architecture(2, 2e4, 1e-4);
+  const aaa::AlgorithmGraph alg = translate::make_loop_algorithm(spec, dist);
+  const aaa::Schedule sched = aaa::adequate(alg, dist.arch);
+  for (auto _ : state) {
+    sim::Model m;
+    auto god = translate::build_graph_of_delays(m, alg, dist.arch, sched, {});
+    benchmark::DoNotOptimize(god);
+  }
+}
+BENCHMARK(BM_BuildGraphOfDelays);
+
+void BM_CosimImplementationAware(benchmark::State& state) {
+  const translate::LoopSpec spec = bench::servo_loop(0.01, 0.5);
+  translate::DistributedSpec dist;
+  dist.arch = aaa::ArchitectureGraph::bus_architecture(2, 2e4, 1e-3);
+  dist.wcet_ctrl = 3e-3;
+  for (auto _ : state) {
+    auto out = translate::run_distributed_loop(spec, dist);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_CosimImplementationAware)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  experiment();
+  return bench::run_benchmarks(argc, argv);
+}

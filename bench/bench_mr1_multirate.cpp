@@ -1,0 +1,191 @@
+// EXP-MR1 (extension: SynDEx's multiperiodic repetitions): cascade control
+// of the DC servo — a fast velocity loop every base period (2 ms) and a slow
+// position supervisor every 4th period — expanded over the hyperperiod and
+// co-simulated on architectures of decreasing speed. The experiment shows
+// (a) the hyperperiod schedule honours every instance's release, and (b) the
+// slow outer loop's set-point latency compounds with the inner loop's
+// actuation latency in a way single-rate analysis cannot capture.
+#include "aaa/multirate.hpp"
+#include "bench_common.hpp"
+#include "blocks/continuous.hpp"
+#include "blocks/discrete.hpp"
+#include "blocks/math_blocks.hpp"
+#include "blocks/probe.hpp"
+#include "blocks/sample_hold.hpp"
+#include "blocks/sources.hpp"
+#include "sim/simulator.hpp"
+#include "translate/graph_of_delays.hpp"
+
+using namespace ecsim;
+
+namespace {
+
+constexpr double kBase = 0.002;  // inner-loop period (2 ms)
+
+aaa::MultirateSpec cascade_spec(double wcet_scale) {
+  aaa::MultirateSpec spec;
+  spec.name = "cascade";
+  spec.base_period = kBase;
+  const std::size_t sense = spec.add_op(
+      {"sense", aaa::OpKind::kSensor, {{"cpu", 1e-4 * wcet_scale}}, 1, "P0"});
+  const std::size_t inner = spec.add_op(
+      {"inner", aaa::OpKind::kCompute, {{"cpu", 3e-4 * wcet_scale}}, 1, {}});
+  // Supervisor pinned to the second ECU: set-points cross the bus.
+  const std::size_t outer = spec.add_op(
+      {"outer", aaa::OpKind::kCompute, {{"cpu", 9e-4 * wcet_scale}}, 4, "P1"});
+  const std::size_t act = spec.add_op(
+      {"act", aaa::OpKind::kActuator, {{"cpu", 1e-4 * wcet_scale}}, 1, "P0"});
+  spec.add_dep(sense, inner, 8.0);
+  spec.add_dep(sense, outer, 8.0);
+  spec.add_dep(outer, inner, 4.0);
+  spec.add_dep(inner, act, 4.0);
+  return spec;
+}
+
+struct CascadeResult {
+  double iae = 0.0;
+  double settle = 0.0;
+  double act_latency_mean = 0.0;
+  double makespan = 0.0;
+};
+
+CascadeResult run_cascade(const aaa::ArchitectureGraph& arch,
+                          double wcet_scale) {
+  const aaa::AlgorithmGraph alg = expand_hyperperiod(cascade_spec(wcet_scale));
+  const aaa::Schedule sched = aaa::adequate(alg, arch);
+  sched.validate(alg, arch);
+
+  // Scicos-style diagram: servo plant, one sampler for [pos, vel], the slow
+  // position controller producing v_ref, the fast velocity controller
+  // producing u, ZOH actuator.
+  sim::Model m;
+  control::StateSpace servo = plants::dc_servo();
+  auto& plant = m.add<blocks::StateSpaceCont>(
+      "plant", servo.a, servo.b, math::Matrix::identity(2),
+      math::Matrix::zeros(2, 1));
+  auto& ref = m.add<blocks::Step>("ref", 0.0, 1.0, 0.0);
+  auto& sense = m.add<blocks::SampleHold>("sense", 2);
+  auto& xr = m.add<blocks::Mux>("xr", std::vector<std::size_t>{2, 1});
+  // outer: v_ref = Kp (r - pos)
+  const double kp = 5.0;
+  auto& outer = m.add<blocks::StateSpaceDisc>(
+      "outer", math::Matrix::zeros(0, 0), math::Matrix::zeros(0, 3),
+      math::Matrix::zeros(1, 0), math::Matrix{{-kp, 0.0, kp}});
+  // inner: u = Kv (v_ref - vel)
+  const double kv = 0.02;
+  auto& xv = m.add<blocks::Mux>("xv", std::vector<std::size_t>{2, 1});
+  auto& inner = m.add<blocks::StateSpaceDisc>(
+      "inner", math::Matrix::zeros(0, 0), math::Matrix::zeros(0, 3),
+      math::Matrix::zeros(1, 0), math::Matrix{{0.0, -kv, kv}});
+  auto& act = m.add<blocks::SampleHold>("act", 1);
+  auto& ysel = m.add<blocks::Gain>("ysel", math::Matrix{{1.0, 0.0}});
+  auto& probe_y = m.add<blocks::Probe>("probe_y", 1, 1e-3);
+  m.connect(plant, 0, sense, 0);
+  m.connect(sense, 0, xr, 0);
+  m.connect(ref, 0, xr, 1);
+  m.connect(xr, 0, outer, 0);
+  m.connect(sense, 0, xv, 0);
+  m.connect(outer, 0, xv, 1);
+  m.connect(xv, 0, inner, 0);
+  m.connect(inner, 0, act, 0);
+  m.connect(act, 0, plant, 0);
+  m.connect(plant, 0, ysel, 0);
+  m.connect(ysel, 0, probe_y, 0);
+
+  // Splice the hyperperiod graph of delays; every instance completion event
+  // activates the corresponding block.
+  const translate::GraphOfDelays god =
+      translate::build_graph_of_delays(m, alg, arch, sched, {});
+  for (aaa::OpId op = 0; op < alg.num_operations(); ++op) {
+    const std::string& name = alg.op(op).name;
+    if (name.starts_with("sense@")) {
+      translate::wire_completion(m, god, op, sense, sense.event_in());
+    } else if (name.starts_with("outer@")) {
+      translate::wire_completion(m, god, op, outer, outer.event_in());
+    } else if (name.starts_with("inner@")) {
+      translate::wire_completion(m, god, op, inner, inner.event_in());
+    } else if (name.starts_with("act@")) {
+      translate::wire_completion(m, god, op, act, act.event_in());
+    }
+  }
+
+  sim::SimOptions opts;
+  opts.end_time = 2.0;
+  opts.integrator.max_step = 2e-4;
+  sim::Simulator s(m, opts);
+  const sim::Trace& trace = s.run();
+
+  CascadeResult res;
+  const auto y = trace.series(m.index_of(probe_y));
+  res.iae = control::iae(y, 1.0);
+  res.settle = control::step_info(y, 1.0).settling_time;
+  const auto act_lat = latency::analyze_block_activations(
+      trace, "act", kBase, "actuation");
+  res.act_latency_mean = act_lat.summary.mean;
+  res.makespan = sched.makespan();
+  return res;
+}
+
+void experiment() {
+  bench::banner("EXP-MR1", "(extension: multiperiodic repetitions)",
+                "Cascade control (2 ms velocity loop + 8 ms position loop) "
+                "expanded over the hyperperiod and co-simulated on slower "
+                "and slower architectures.");
+  std::printf("%-28s %12s %14s %10s %12s\n", "architecture", "makespan[ms]",
+              "La mean [ms]", "IAE", "settle [s]");
+  struct Case {
+    const char* name;
+    double wcet_scale;
+    double bus_latency;
+  };
+  const Case cases[] = {
+      {"quasi-ideal (x0.01)", 0.01, 1e-6},
+      {"nominal 2-proc", 1.0, 5e-5},
+      {"slow cpu (x1.8)", 1.8, 5e-5},
+      {"slow cpu + slow bus", 1.8, 2e-4},
+      {"overloaded (x3)", 3.0, 4e-4},
+  };
+  for (const Case& c : cases) {
+    auto arch = aaa::ArchitectureGraph::bus_architecture(2, 1e5, c.bus_latency);
+    try {
+      const CascadeResult r = run_cascade(arch, c.wcet_scale);
+      std::printf("%-28s %12.3f %14.3f %s %12.4f\n", c.name, 1e3 * r.makespan,
+                  1e3 * r.act_latency_mean, bench::metric(r.iae).c_str(),
+                  r.settle);
+    } catch (const std::runtime_error&) {
+      // The adequation result violates makespan <= hyperperiod: the
+      // methodology rejects this implementation before any simulation.
+      std::printf("%-28s %12s %14s %10s %12s\n", c.name, "over-period",
+                  "-", "rejected", "-");
+    }
+  }
+  std::printf("\nThe hyperperiod schedule interleaves the slow supervisor with "
+              "four fast iterations. For this (robustly tuned) cascade the "
+              "compound latency cost is measurable but small — a stability "
+              "margin the co-simulation turns from hope into a number.\n\n");
+}
+
+void BM_HyperperiodExpansion(benchmark::State& state) {
+  const aaa::MultirateSpec spec = cascade_spec(1.0);
+  for (auto _ : state) {
+    auto alg = expand_hyperperiod(spec);
+    benchmark::DoNotOptimize(alg);
+  }
+}
+BENCHMARK(BM_HyperperiodExpansion);
+
+void BM_CascadeCosim(benchmark::State& state) {
+  const auto arch = aaa::ArchitectureGraph::bus_architecture(2, 1e5, 5e-5);
+  for (auto _ : state) {
+    auto r = run_cascade(arch, 1.0);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_CascadeCosim)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  experiment();
+  return bench::run_benchmarks(argc, argv);
+}

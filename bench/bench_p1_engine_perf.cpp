@@ -1,0 +1,126 @@
+// EXP-P1 (supporting): throughput of the hybrid simulation engine — event
+// dispatch rate, ODE integration cost, and scaling with model size. Not a
+// paper figure; establishes that the co-simulation methodology is cheap
+// enough to sit inside a design loop.
+#include <chrono>
+
+#include "bench_common.hpp"
+#include "blocks/continuous.hpp"
+#include "blocks/discrete.hpp"
+#include "blocks/event_blocks.hpp"
+#include "blocks/math_blocks.hpp"
+#include "blocks/sources.hpp"
+#include "sim/simulator.hpp"
+
+using namespace ecsim;
+
+namespace {
+
+void experiment() {
+  bench::banner("EXP-P1", "(engine throughput, supporting)",
+                "Hybrid engine scaling: events/s and continuous states "
+                "integrated, vs model size.");
+  std::printf("%12s %12s %14s %16s\n", "chains", "events", "wall time [ms]",
+              "events/second");
+  for (const std::size_t chains : {1u, 10u, 50u, 200u}) {
+    sim::Model m;
+    auto& clk = m.add<blocks::Clock>("clk", 1e-3);
+    for (std::size_t c = 0; c < chains; ++c) {
+      auto& d1 = m.add<blocks::EventDelay>("d1_" + std::to_string(c), 1e-4);
+      auto& d2 = m.add<blocks::EventDelay>("d2_" + std::to_string(c), 2e-4);
+      auto& n = m.add<blocks::EventCounter>("n_" + std::to_string(c));
+      m.connect_event(clk, 0, d1, d1.event_in());
+      m.connect_event(d1, d1.event_out(), d2, d2.event_in());
+      m.connect_event(d2, d2.event_out(), n, 0);
+    }
+    sim::Simulator s(m, sim::SimOptions{.end_time = 1.0});
+    const auto t0 = std::chrono::steady_clock::now();
+    s.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    std::printf("%12zu %12zu %14.2f %16.0f\n", chains, s.events_dispatched(),
+                ms, 1e3 * static_cast<double>(s.events_dispatched()) / ms);
+  }
+  std::printf("\n");
+}
+
+void BM_EventDispatch(benchmark::State& state) {
+  const auto chains = static_cast<std::size_t>(state.range(0));
+  sim::Model m;
+  auto& clk = m.add<blocks::Clock>("clk", 1e-3);
+  for (std::size_t c = 0; c < chains; ++c) {
+    auto& d = m.add<blocks::EventDelay>("d" + std::to_string(c), 1e-4);
+    m.connect_event(clk, 0, d, d.event_in());
+  }
+  sim::Simulator s(m, sim::SimOptions{.end_time = 1.0});
+  for (auto _ : state) {
+    s.run();
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(s.events_dispatched() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EventDispatch)->Arg(1)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OdeIntegration(benchmark::State& state) {
+  const auto order = static_cast<std::size_t>(state.range(0));
+  // Stable random-ish tridiagonal system.
+  math::Matrix a(order, order);
+  for (std::size_t i = 0; i < order; ++i) {
+    a(i, i) = -2.0;
+    if (i > 0) a(i, i - 1) = 0.5;
+    if (i + 1 < order) a(i, i + 1) = 0.5;
+  }
+  math::Matrix b = math::Matrix::ones(order, 1);
+  math::Matrix c = math::Matrix::ones(1, order);
+  sim::Model m;
+  auto& u = m.add<blocks::Sine>("u", 1.0, 5.0);
+  auto& plant = m.add<blocks::StateSpaceCont>("p", a, b, c,
+                                              math::Matrix::zeros(1, 1));
+  m.connect(u, 0, plant, 0);
+  sim::SimOptions opts;
+  opts.end_time = 0.1;
+  opts.integrator.max_step = 1e-4;
+  sim::Simulator s(m, opts);
+  for (auto _ : state) {
+    s.run();
+    benchmark::DoNotOptimize(s.output_value(plant, 0));
+  }
+  state.SetComplexityN(static_cast<int64_t>(order));
+}
+BENCHMARK(BM_OdeIntegration)->Arg(2)->Arg(8)->Arg(32)->Complexity()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CombinationalRefresh(benchmark::State& state) {
+  // Long feedthrough chain: stresses topological evaluation.
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  sim::Model m;
+  auto& src = m.add<blocks::Sine>("src", 1.0, 1.0);
+  const sim::Block* prev = &src;
+  for (std::size_t i = 0; i < depth; ++i) {
+    auto& g = m.add<blocks::Gain>("g" + std::to_string(i), 1.0001);
+    m.connect(*prev, 0, g, 0);
+    prev = &g;
+  }
+  auto& x = m.add<blocks::Integrator>("x", 0.0);
+  m.connect(*prev, 0, x, 0);
+  sim::SimOptions opts;
+  opts.end_time = 0.01;
+  opts.integrator.max_step = 1e-5;
+  sim::Simulator s(m, opts);
+  for (auto _ : state) {
+    s.run();
+    benchmark::DoNotOptimize(s.output_value(x, 0));
+  }
+}
+BENCHMARK(BM_CombinationalRefresh)->Arg(8)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  experiment();
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,76 @@
+// Output-feedback over a network: only the servo position is measurable and
+// the measurement is noisy, so the controller is an observer-based
+// compensator (steady-state Kalman filter + LQR, assembled by
+// observer_tracking_compensator). The loop is then deployed on a 2-processor
+// architecture and co-simulated with its graph of delays — showing that the
+// methodology applies unchanged to dynamic output-feedback controllers, not
+// just static state feedback.
+#include <cstdio>
+
+#include "control/c2d.hpp"
+#include "control/kalman.hpp"
+#include "control/lqr.hpp"
+#include "plants/dc_servo.hpp"
+#include "translate/cosim.hpp"
+
+using namespace ecsim;
+
+int main() {
+  const double ts = 0.01;
+
+  // Plant: DC servo with only the position measurable.
+  control::StateSpace servo = plants::dc_servo();  // C = [1 0] already
+  const control::StateSpace servo_d = control::c2d(servo, ts);
+
+  // LQR on the full state + steady-state Kalman observer from position.
+  const control::LqrResult lqr = control::dlqr(
+      servo_d, math::Matrix::diag({100.0, 0.01}), math::Matrix{{1e-3}});
+  const control::KalmanResult kal =
+      control::dkalman(servo_d.a, servo_d.c, math::Matrix::diag({1e-4, 1.0}),
+                       math::Matrix{{1e-6}});
+  const double nbar = control::reference_gain(servo_d, lqr.k);
+  const control::StateSpace compensator =
+      control::observer_tracking_compensator(servo_d, lqr.k, kal.l, nbar);
+
+  translate::LoopSpec spec;
+  spec.plant = servo;
+  spec.controller = compensator;
+  spec.ts = ts;
+  spec.t_end = 2.0;
+  spec.ref = 1.0;
+  spec.input = translate::ControllerInput::kOutputRef;  // [y; r]
+  spec.measurement_noise_std = 0.002;                   // noisy encoder
+
+  const translate::CosimOutcome ideal = translate::run_ideal_loop(spec);
+
+  translate::DistributedSpec dist;
+  dist.arch = aaa::ArchitectureGraph::bus_architecture(2, 4e4, 3e-4);
+  dist.wcet_sense = 2e-4;
+  dist.wcet_ctrl = 2e-3;  // observer update is the heavy part
+  dist.wcet_act = 2e-4;
+  dist.bind_sense = "P0";
+  dist.bind_act = "P0";
+  dist.bind_ctrl = "P1";
+  const translate::CosimOutcome impl =
+      translate::run_distributed_loop(spec, dist);
+
+  std::printf("== observer-based output feedback over a network ==\n\n");
+  std::printf("%s\n", impl.schedule_text.c_str());
+  std::printf("%-28s %12s %14s\n", "metric", "ideal", "implementation");
+  std::printf("%-28s %12.5f %14.5f\n", "IAE", ideal.iae, impl.iae);
+  std::printf("%-28s %12.2f %14.2f\n", "overshoot [%]",
+              ideal.step.overshoot_pct, impl.step.overshoot_pct);
+  std::printf("%-28s %12.4f %14.4f\n", "settling [s]",
+              ideal.step.settling_time, impl.step.settling_time);
+  std::printf("%-28s %12.3f %14.3f\n", "La mean [ms]",
+              1e3 * ideal.act_latency.summary.mean,
+              1e3 * impl.act_latency.summary.mean);
+  std::printf("%-28s %12.3f %14.3f\n", "u RMS", control::rms(ideal.u),
+              control::rms(impl.u));
+  std::printf("\nThe observer keeps filtering the noisy measurement; the "
+              "co-simulation additionally exposes the %.1f ms network-induced "
+              "actuation latency and its %.1f%% IAE cost.\n",
+              1e3 * impl.act_latency.summary.mean,
+              100.0 * (impl.iae - ideal.iae) / ideal.iae);
+  return 0;
+}

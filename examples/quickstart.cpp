@@ -1,0 +1,76 @@
+// Quickstart: the paper's methodology in ~60 lines.
+//
+// 1. A control engineer designs an LQR position controller for the DC servo
+//    G(s) = 1000/(s(s+1)) assuming the stroboscopic model (Fig. 2).
+// 2. The implementation is a 2-processor architecture with a shared bus; the
+//    AAA adequation schedules sense/ctrl/act and the schedule's temporal
+//    behaviour is translated into a graph of delays (Fig. 3).
+// 3. Both simulations run; the co-simulation reveals the latency-induced
+//    performance degradation before any code touches hardware.
+#include <cstdio>
+
+#include "control/c2d.hpp"
+#include "control/delay_compensation.hpp"
+#include "control/lqr.hpp"
+#include "latency/latency.hpp"
+#include "plants/dc_servo.hpp"
+#include "translate/cosim.hpp"
+
+using namespace ecsim;
+
+int main() {
+  // -- Control design (Scicos side) ----------------------------------------
+  const double ts = 0.01;
+  control::StateSpace servo = plants::dc_servo();  // 1000/(s(s+1))
+  servo.c = math::Matrix::identity(2);             // full state measurable
+  servo.d = math::Matrix::zeros(2, 1);
+  const control::StateSpace servo_d = control::c2d(servo, ts);
+  const control::LqrResult lqr = control::dlqr(
+      servo_d, math::Matrix::diag({100.0, 0.01}), math::Matrix{{1e-3}});
+  control::StateSpace pos = servo_d;
+  pos.c = math::Matrix{{1.0, 0.0}};
+  pos.d = math::Matrix{{0.0}};
+  const double nbar = control::reference_gain(pos, lqr.k);
+
+  translate::LoopSpec spec;
+  spec.plant = servo;
+  spec.controller = control::state_feedback_controller(lqr.k, nbar, ts);
+  spec.ts = ts;
+  spec.t_end = 1.0;
+  spec.ref = 1.0;
+  spec.input = translate::ControllerInput::kStateRef;
+
+  // -- Ideal (stroboscopic) simulation: what the designer believes ---------
+  const translate::CosimOutcome ideal = translate::run_ideal_loop(spec);
+
+  // -- Implementation-aware co-simulation (SynDEx -> graph of delays) ------
+  translate::DistributedSpec dist;
+  dist.arch = aaa::ArchitectureGraph::bus_architecture(2, 2e4, 2e-4);
+  dist.wcet_sense = 3e-4;
+  dist.wcet_ctrl = 3e-3;   // heavy control law
+  dist.wcet_act = 3e-4;
+  dist.bind_sense = "P0";  // I/O wired to P0
+  dist.bind_act = "P0";
+  dist.bind_ctrl = "P1";   // computation offloaded across the bus
+  const translate::CosimOutcome impl = translate::run_distributed_loop(spec, dist);
+
+  std::printf("== quickstart: DC servo LQR, ideal vs implementation ==\n\n");
+  std::printf("%s\n", impl.schedule_text.c_str());
+  std::printf("%-28s %12s %12s\n", "metric", "ideal", "implementation");
+  std::printf("%-28s %12.5f %12.5f\n", "IAE", ideal.iae, impl.iae);
+  std::printf("%-28s %12.5f %12.5f\n", "ISE", ideal.ise, impl.ise);
+  std::printf("%-28s %12.2f %12.2f\n", "overshoot [%]",
+              ideal.step.overshoot_pct, impl.step.overshoot_pct);
+  std::printf("%-28s %12.4f %12.4f\n", "settling time [s]",
+              ideal.step.settling_time, impl.step.settling_time);
+  std::printf("%-28s %12.6f %12.6f\n", "mean sampling latency [s]",
+              ideal.sense_latency.summary.mean, impl.sense_latency.summary.mean);
+  std::printf("%-28s %12.6f %12.6f\n", "mean actuation latency [s]",
+              ideal.act_latency.summary.mean, impl.act_latency.summary.mean);
+  std::printf("\nLatency table of the implementation (eqs. 1-2):\n%s\n",
+              latency::to_table(impl.act_latency, 5).c_str());
+  std::printf("The co-simulation exposed a %.1f%% IAE degradation without any "
+              "hardware in the loop.\n",
+              100.0 * (impl.iae - ideal.iae) / ideal.iae);
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Automotive co-design study on the quarter-car active suspension (the
+// application domain of the paper's ref [4]): LQR force control of body
+// motion, deployed on two ECUs connected by a slow CAN-like bus.
+//
+// The design cycle the methodology shortens:
+//   round 1: design assuming the stroboscopic model -> co-simulation reveals
+//            the actuation latency degrades comfort (body IAE);
+//   round 2: redesign with the delay-augmented LQR -> co-simulation shows
+//            the performance is substantially recovered.
+// Everything happens in simulation; no hardware iterations.
+#include <cstdio>
+
+#include "control/c2d.hpp"
+#include "control/delay_compensation.hpp"
+#include "control/lqr.hpp"
+#include "plants/quarter_car.hpp"
+#include "translate/cosim.hpp"
+
+using namespace ecsim;
+
+namespace {
+
+// Single-input (actuator force) view of the quarter car with full state
+// output for the sampler; road disturbance is dropped for the step study.
+control::StateSpace suspension_plant() {
+  control::StateSpace qc = plants::quarter_car();
+  control::StateSpace sys;
+  sys.a = qc.a;
+  sys.b = qc.b.block(0, 0, 4, 1);
+  sys.c = math::Matrix::identity(4);
+  sys.d = math::Matrix::zeros(4, 1);
+  return sys;
+}
+
+translate::DistributedSpec two_ecu_architecture() {
+  translate::DistributedSpec dist;
+  // 40 kunit/s bus with 0.5 ms framing overhead: the 32-unit state vector
+  // takes ~1.3 ms per transfer — a CAN-class link.
+  dist.arch = aaa::ArchitectureGraph::bus_architecture(2, 4e4, 5e-4);
+  dist.wcet_sense = 5e-4;
+  dist.wcet_ctrl = 2.5e-3;
+  dist.wcet_act = 5e-4;
+  dist.size_y = 32.0;
+  dist.size_u = 8.0;
+  dist.bind_sense = "P0";
+  dist.bind_act = "P0";
+  dist.bind_ctrl = "P1";
+  return dist;
+}
+
+}  // namespace
+
+int main() {
+  const double ts = 0.01;
+  const control::StateSpace plant = suspension_plant();
+  // High-bandwidth comfort objective: tight body-position control makes the
+  // loop genuinely sensitive to the actuation latency of the implementation.
+  const math::Matrix q = math::Matrix::diag({1e6, 1e2, 1.0, 1.0});
+  const math::Matrix r{{1e-8}};
+
+  // Round 1: naive design (stroboscopic assumption).
+  const control::StateSpace plant_d = control::c2d(plant, ts);
+  const control::LqrResult naive = control::dlqr(plant_d, q, r);
+  control::StateSpace body = plant_d;
+  body.c = math::Matrix{{1.0, 0.0, 0.0, 0.0}};
+  body.d = math::Matrix{{0.0}};
+  const double nbar = control::reference_gain(body, naive.k);
+
+  translate::LoopSpec spec;
+  spec.plant = plant;
+  spec.controller = control::state_feedback_controller(naive.k, nbar, ts);
+  spec.ts = ts;
+  spec.t_end = 3.0;
+  spec.ref = 0.05;  // 5 cm body set-point change
+  spec.input = translate::ControllerInput::kStateRef;
+  spec.output_index = 0;
+
+  const translate::CosimOutcome ideal = translate::run_ideal_loop(spec);
+  const translate::DistributedSpec dist = two_ecu_architecture();
+  const translate::CosimOutcome round1 = translate::run_distributed_loop(spec, dist);
+
+  // Round 2: delay-aware redesign using the measured actuation latency.
+  const double tau = round1.act_latency.summary.mean;
+  const control::DelayLqrResult aware = control::dlqr_with_input_delay(
+      [&] {
+        control::StateSpace s = plant;
+        s.c = math::Matrix{{1.0, 0.0, 0.0, 0.0}};
+        s.d = math::Matrix{{0.0}};
+        return s;
+      }(),
+      ts, tau, control::augment_q(q, 1), r);
+  translate::LoopSpec spec2 = spec;
+  spec2.controller =
+      control::delayed_feedback_controller(aware.k, aware.nbar, ts);
+  const translate::CosimOutcome round2 =
+      translate::run_distributed_loop(spec2, dist);
+
+  std::printf("== quarter-car active suspension on 2 ECUs ==\n\n");
+  std::printf("%s\n", round1.schedule_text.c_str());
+  std::printf("measured actuation latency: mean=%.4fs (%.1f%% of Ts)\n\n", tau,
+              100.0 * tau / ts);
+  std::printf("%-22s %12s %14s %16s\n", "metric", "ideal", "naive on ECUs",
+              "delay-aware");
+  std::printf("%-22s %12.5f %14.5f %16.5f\n", "IAE (body pos)", ideal.iae,
+              round1.iae, round2.iae);
+  std::printf("%-22s %12.2f %14.2f %16.2f\n", "overshoot [%]",
+              ideal.step.overshoot_pct, round1.step.overshoot_pct,
+              round2.step.overshoot_pct);
+  std::printf("%-22s %12.3f %14.3f %16.3f\n", "settling [s]",
+              ideal.step.settling_time, round1.step.settling_time,
+              round2.step.settling_time);
+  const double lost = round1.iae - ideal.iae;
+  const double recovered = round1.iae - round2.iae;
+  if (lost > 0.0) {
+    std::printf("\ndelay-aware redesign recovered %.0f%% of the IAE lost to "
+                "the implementation.\n",
+                100.0 * recovered / lost);
+  }
+  return 0;
+}

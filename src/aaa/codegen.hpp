@@ -1,0 +1,55 @@
+// Generation of distributed real-time executives from a schedule — the
+// final stage of the AAA flow ("automatically generate the corresponding
+// code", §1). For each processor: the statically ordered sequence of
+// compute / send / receive instructions; for each medium: the ordered
+// sequence of transfers. The synchronization structure (which instruction
+// waits on which) is explicit, so the executive VM can run it and the
+// deadlock-freedom claim can be checked rather than assumed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "aaa/schedule.hpp"
+
+namespace ecsim::aaa {
+
+enum class InstrKind {
+  kCompute,  // run an operation (sensors wait for the period tick first)
+  kSend,     // make data available to a medium transfer (signal semaphore)
+  kRecv,     // wait for a medium transfer to complete (wait semaphore)
+};
+
+struct Instr {
+  InstrKind kind = InstrKind::kCompute;
+  OpId op = kNone;             // kCompute: which operation
+  std::size_t comm = kNone;    // kSend/kRecv: index into Schedule::comms()
+  std::string label;
+};
+
+/// Statically ordered program for one processor.
+struct ExecutiveProgram {
+  ProcId proc = 0;
+  std::vector<Instr> instrs;
+};
+
+/// The communicator sequence of one medium: transfer i waits for its
+/// sender-side kSend, then occupies the medium, then releases the
+/// receiver-side kRecv.
+struct CommunicatorProgram {
+  MediumId medium = 0;
+  std::vector<std::size_t> comms;  // indices into Schedule::comms(), in order
+};
+
+struct GeneratedCode {
+  std::vector<ExecutiveProgram> programs;        // one per processor
+  std::vector<CommunicatorProgram> communicators;  // one per medium
+  std::string source;  // C-like rendering of the executives
+};
+
+/// Generate executives from a validated schedule.
+GeneratedCode generate_executives(const AlgorithmGraph& alg,
+                                  const ArchitectureGraph& arch,
+                                  const Schedule& sched);
+
+}  // namespace ecsim::aaa

@@ -1,0 +1,78 @@
+#include "aaa/multirate.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace ecsim::aaa {
+
+std::size_t MultirateSpec::add_op(MultirateOp op) {
+  if (op.rate_divisor == 0) {
+    throw std::invalid_argument("MultirateSpec: rate_divisor must be >= 1");
+  }
+  ops.push_back(std::move(op));
+  return ops.size() - 1;
+}
+
+void MultirateSpec::add_dep(std::size_t from, std::size_t to, double size) {
+  if (from >= ops.size() || to >= ops.size()) {
+    throw std::out_of_range("MultirateSpec::add_dep: index out of range");
+  }
+  if (from == to) throw std::invalid_argument("MultirateSpec: self-loop");
+  deps.push_back(MultirateDep{from, to, size});
+}
+
+std::size_t MultirateSpec::hyperperiod_factor() const {
+  std::size_t l = 1;
+  for (const MultirateOp& op : ops) l = std::lcm(l, op.rate_divisor);
+  return l;
+}
+
+std::string instance_name(const std::string& op, std::size_t k) {
+  return op + "@" + std::to_string(k);
+}
+
+AlgorithmGraph expand_hyperperiod(const MultirateSpec& spec) {
+  if (spec.ops.empty()) {
+    throw std::invalid_argument("expand_hyperperiod: no operations");
+  }
+  if (spec.base_period <= 0.0) {
+    throw std::invalid_argument("expand_hyperperiod: base_period must be > 0");
+  }
+  const std::size_t lcm = spec.hyperperiod_factor();
+  const Time hyper = spec.base_period * static_cast<Time>(lcm);
+  AlgorithmGraph alg(spec.name + "-hyper", hyper);
+
+  // Instance ids: instance_ids[op][k].
+  std::vector<std::vector<OpId>> instance_ids(spec.ops.size());
+  for (std::size_t oi = 0; oi < spec.ops.size(); ++oi) {
+    const MultirateOp& mop = spec.ops[oi];
+    const std::size_t count = lcm / mop.rate_divisor;
+    for (std::size_t k = 0; k < count; ++k) {
+      Operation op;
+      op.name = instance_name(mop.name, k);
+      op.kind = mop.kind;
+      op.wcet = mop.wcet;
+      op.bound_processor = mop.bound_processor;
+      op.release = static_cast<Time>(k * mop.rate_divisor) * spec.base_period;
+      instance_ids[oi].push_back(alg.add_operation(std::move(op)));
+    }
+  }
+
+  // Sample-and-hold rate conversion: consumer instance j (release
+  // j * d_c * base) reads the latest producer instance i with
+  // i * d_p <= j * d_c, i.e. i = floor(j * d_c / d_p), clamped to the
+  // producer's instance count.
+  for (const MultirateDep& dep : spec.deps) {
+    const std::size_t d_p = spec.ops[dep.from].rate_divisor;
+    const std::size_t d_c = spec.ops[dep.to].rate_divisor;
+    const auto& producers = instance_ids[dep.from];
+    const auto& consumers = instance_ids[dep.to];
+    for (std::size_t j = 0; j < consumers.size(); ++j) {
+      const std::size_t i = std::min(j * d_c / d_p, producers.size() - 1);
+      alg.add_dependency(producers[i], consumers[j], dep.size);
+    }
+  }
+  return alg;
+}
+
+}  // namespace ecsim::aaa

@@ -1,0 +1,55 @@
+// Multirate (multiperiodic) workloads — SynDEx's repetition feature: each
+// operation runs every `rate_divisor`-th base period. The expansion
+// instantiates one hyperperiod (base period x lcm of divisors) as a flat
+// AlgorithmGraph: instance k of an operation with divisor d releases at
+// k * d * base_period, and a consumer instance reads the most recent
+// producer instance released at or before its own release (the
+// sample-and-hold semantics of multirate control loops). The flat graph
+// feeds the unchanged adequation / codegen / VM / graph-of-delays pipeline.
+#pragma once
+
+#include <vector>
+
+#include "aaa/algorithm_graph.hpp"
+
+namespace ecsim::aaa {
+
+struct MultirateOp {
+  std::string name;
+  OpKind kind = OpKind::kCompute;
+  std::map<std::string, Time> wcet;
+  /// Runs every `rate_divisor`-th base period (1 = every period).
+  std::size_t rate_divisor = 1;
+  std::optional<std::string> bound_processor;
+};
+
+struct MultirateDep {
+  std::size_t from = 0;  // indices into MultirateSpec::ops
+  std::size_t to = 0;
+  double size = 1.0;
+};
+
+struct MultirateSpec {
+  std::string name = "multirate";
+  Time base_period = 0.0;
+  std::vector<MultirateOp> ops;
+  std::vector<MultirateDep> deps;
+
+  std::size_t add_op(MultirateOp op);
+  void add_dep(std::size_t from, std::size_t to, double size = 1.0);
+
+  /// lcm of all rate divisors — the hyperperiod is base_period * this.
+  std::size_t hyperperiod_factor() const;
+};
+
+/// Instance naming: "<op>@<k>" for divisor > 1 or multiple instances;
+/// operations that run every period keep instance suffixes too, so lookups
+/// are uniform: instance_name("ctrl", 3) == "ctrl@3".
+std::string instance_name(const std::string& op, std::size_t k);
+
+/// Expand one hyperperiod into a flat AlgorithmGraph (period = hyperperiod).
+/// Throws std::invalid_argument on empty spec, zero divisors or zero base
+/// period.
+AlgorithmGraph expand_hyperperiod(const MultirateSpec& spec);
+
+}  // namespace ecsim::aaa

@@ -1,0 +1,132 @@
+#include "blocks/continuous.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ecsim::blocks {
+
+Integrator::Integrator(std::string name, std::vector<double> x0)
+    : Block(std::move(name)), x0_(std::move(x0)) {
+  if (x0_.empty()) throw std::invalid_argument("Integrator: empty state");
+  add_input(x0_.size());
+  add_output(x0_.size());
+  set_continuous_state_size(x0_.size());
+}
+
+void Integrator::initialize(Context& ctx) {
+  auto x = ctx.state_mut();
+  std::copy(x0_.begin(), x0_.end(), x.begin());
+  compute_outputs(ctx);
+}
+
+void Integrator::compute_outputs(Context& ctx) {
+  auto x = ctx.state();
+  auto y = ctx.output(0);
+  std::copy(x.begin(), x.end(), y.begin());
+}
+
+void Integrator::derivatives(Context& ctx, std::span<double> dx) {
+  auto u = ctx.input(0);
+  std::copy(u.begin(), u.end(), dx.begin());
+}
+
+namespace {
+bool any_nonzero(const math::Matrix& m) {
+  return m.max_abs() > 0.0;
+}
+}  // namespace
+
+StateSpaceCont::StateSpaceCont(std::string name, math::Matrix a, math::Matrix b,
+                               math::Matrix c, math::Matrix d,
+                               std::vector<double> x0)
+    : Block(std::move(name)),
+      a_(std::move(a)),
+      b_(std::move(b)),
+      c_(std::move(c)),
+      d_(std::move(d)),
+      x0_(std::move(x0)) {
+  const std::size_t n = a_.rows();
+  if (!a_.is_square() || b_.rows() != n || c_.cols() != n ||
+      d_.rows() != c_.rows() || d_.cols() != b_.cols()) {
+    throw std::invalid_argument("StateSpaceCont: inconsistent matrix shapes");
+  }
+  if (x0_.empty()) x0_.assign(n, 0.0);
+  if (x0_.size() != n) {
+    throw std::invalid_argument("StateSpaceCont: x0 size mismatch");
+  }
+  add_input(b_.cols());
+  add_output(c_.rows());
+  set_continuous_state_size(n);
+  has_feedthrough_ = any_nonzero(d_);
+}
+
+void StateSpaceCont::initialize(Context& ctx) {
+  auto x = ctx.state_mut();
+  std::copy(x0_.begin(), x0_.end(), x.begin());
+  compute_outputs(ctx);
+}
+
+void StateSpaceCont::compute_outputs(Context& ctx) {
+  auto x = ctx.state();
+  auto u = ctx.input(0);
+  auto y = ctx.output(0);
+  for (std::size_t r = 0; r < c_.rows(); ++r) {
+    double s = 0.0;
+    for (std::size_t k = 0; k < c_.cols(); ++k) s += c_(r, k) * x[k];
+    for (std::size_t k = 0; k < d_.cols(); ++k) s += d_(r, k) * u[k];
+    y[r] = s;
+  }
+}
+
+void StateSpaceCont::derivatives(Context& ctx, std::span<double> dx) {
+  auto x = ctx.state();
+  auto u = ctx.input(0);
+  for (std::size_t r = 0; r < a_.rows(); ++r) {
+    double s = 0.0;
+    for (std::size_t k = 0; k < a_.cols(); ++k) s += a_(r, k) * x[k];
+    for (std::size_t k = 0; k < b_.cols(); ++k) s += b_(r, k) * u[k];
+    dx[r] = s;
+  }
+}
+
+TransferFunction::Canon TransferFunction::realize(
+    const std::vector<double>& num, const std::vector<double>& den) {
+  if (den.empty() || den.front() == 0.0) {
+    throw std::invalid_argument("TransferFunction: bad denominator");
+  }
+  if (num.size() > den.size()) {
+    throw std::invalid_argument("TransferFunction: improper (deg num > deg den)");
+  }
+  const std::size_t n = den.size() - 1;  // system order
+  using math::Matrix;
+  // Normalize so den is monic.
+  std::vector<double> a_coef(den.begin() + 1, den.end());
+  for (double& v : a_coef) v /= den.front();
+  // Zero-pad numerator to length n+1 and normalize.
+  std::vector<double> b_coef(den.size(), 0.0);
+  std::copy(num.begin(), num.end(),
+            b_coef.begin() + static_cast<long>(den.size() - num.size()));
+  for (double& v : b_coef) v /= den.front();
+
+  Canon f{Matrix(n, n), Matrix(n, 1), Matrix(1, n), Matrix{{b_coef[0]}}};
+  if (n == 0) return f;
+  for (std::size_t i = 0; i + 1 < n; ++i) f.a(i, i + 1) = 1.0;
+  for (std::size_t i = 0; i < n; ++i) f.a(n - 1, i) = -a_coef[n - 1 - i];
+  f.b(n - 1, 0) = 1.0;
+  // c_i = b_{n-i} - a_{n-i} * b_0 (strictly proper part).
+  for (std::size_t i = 0; i < n; ++i) {
+    f.c(0, i) = b_coef[n - i] - a_coef[n - 1 - i] * b_coef[0];
+  }
+  return f;
+}
+
+TransferFunction::TransferFunction(std::string name, Canon f)
+    : StateSpaceCont(std::move(name), std::move(f.a), std::move(f.b),
+                     std::move(f.c), std::move(f.d)) {}
+
+TransferFunction::TransferFunction(std::string name,
+                                   const std::vector<double>& num,
+                                   const std::vector<double>& den)
+    : TransferFunction(std::move(name), realize(num, den)) {}
+
+}  // namespace ecsim::blocks

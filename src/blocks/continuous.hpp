@@ -1,0 +1,66 @@
+// Continuous-time dynamic blocks (the plant side of the co-simulation).
+#pragma once
+
+#include "mathlib/matrix.hpp"
+#include "sim/block.hpp"
+
+namespace ecsim::blocks {
+
+using sim::Block;
+using sim::Context;
+
+/// Vector integrator: dx/dt = u, y = x.
+class Integrator : public Block {
+ public:
+  Integrator(std::string name, std::vector<double> x0);
+  Integrator(std::string name, double x0 = 0.0)
+      : Integrator(std::move(name), std::vector<double>{x0}) {}
+
+  void initialize(Context& ctx) override;
+  void compute_outputs(Context& ctx) override;
+  void derivatives(Context& ctx, std::span<double> dx) override;
+
+ private:
+  std::vector<double> x0_;
+};
+
+/// Continuous LTI system: dx/dt = A x + B u, y = C x + D u.
+class StateSpaceCont : public Block {
+ public:
+  StateSpaceCont(std::string name, math::Matrix a, math::Matrix b,
+                 math::Matrix c, math::Matrix d, std::vector<double> x0 = {});
+
+  void initialize(Context& ctx) override;
+  void compute_outputs(Context& ctx) override;
+  void derivatives(Context& ctx, std::span<double> dx) override;
+  bool input_feedthrough(std::size_t) const override { return has_feedthrough_; }
+
+  const math::Matrix& a() const { return a_; }
+  const math::Matrix& b() const { return b_; }
+  const math::Matrix& c() const { return c_; }
+  const math::Matrix& d() const { return d_; }
+
+ private:
+  math::Matrix a_, b_, c_, d_;
+  std::vector<double> x0_;
+  bool has_feedthrough_ = false;
+};
+
+/// SISO transfer function num(s)/den(s), realized in controllable canonical
+/// form. deg(num) <= deg(den); den leading coefficient must be nonzero.
+/// Coefficients are ordered highest power first, e.g. {1, 0, 3} = s^2 + 3.
+class TransferFunction : public StateSpaceCont {
+ public:
+  TransferFunction(std::string name, const std::vector<double>& num,
+                   const std::vector<double>& den);
+
+ private:
+  struct Canon {
+    math::Matrix a, b, c, d;
+  };
+  static Canon realize(const std::vector<double>& num,
+                       const std::vector<double>& den);
+  TransferFunction(std::string name, Canon f);
+};
+
+}  // namespace ecsim::blocks

@@ -1,0 +1,126 @@
+#include "blocks/discrete.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ecsim::blocks {
+
+StateSpaceDisc::StateSpaceDisc(std::string name, math::Matrix a, math::Matrix b,
+                               math::Matrix c, math::Matrix d,
+                               std::vector<double> x0)
+    : Block(std::move(name)),
+      a_(std::move(a)),
+      b_(std::move(b)),
+      c_(std::move(c)),
+      d_(std::move(d)),
+      x0_(std::move(x0)) {
+  const std::size_t n = a_.rows();
+  if (!a_.is_square() || b_.rows() != n || c_.cols() != n ||
+      d_.rows() != c_.rows() || d_.cols() != b_.cols()) {
+    throw std::invalid_argument("StateSpaceDisc: inconsistent matrix shapes");
+  }
+  if (x0_.empty()) x0_.assign(n, 0.0);
+  if (x0_.size() != n) throw std::invalid_argument("StateSpaceDisc: x0 size");
+  add_input(b_.cols());
+  add_output(c_.rows());
+  add_event_input();
+  add_event_output();  // done
+}
+
+void StateSpaceDisc::initialize(Context& ctx) {
+  x_ = x0_;
+  auto y = ctx.output(0);
+  std::fill(y.begin(), y.end(), 0.0);
+}
+
+void StateSpaceDisc::on_event(Context& ctx, std::size_t) {
+  auto u = ctx.input(0);
+  auto y = ctx.output(0);
+  for (std::size_t r = 0; r < c_.rows(); ++r) {
+    double s = 0.0;
+    for (std::size_t k = 0; k < c_.cols(); ++k) s += c_(r, k) * x_[k];
+    for (std::size_t k = 0; k < d_.cols(); ++k) s += d_(r, k) * u[k];
+    y[r] = s;
+  }
+  std::vector<double> next(x_.size(), 0.0);
+  for (std::size_t r = 0; r < a_.rows(); ++r) {
+    double s = 0.0;
+    for (std::size_t k = 0; k < a_.cols(); ++k) s += a_(r, k) * x_[k];
+    for (std::size_t k = 0; k < b_.cols(); ++k) s += b_(r, k) * u[k];
+    next[r] = s;
+  }
+  x_ = std::move(next);
+  ctx.emit(0, 0.0);
+}
+
+PidDiscrete::PidDiscrete(std::string name, Params p)
+    : Block(std::move(name)), p_(p) {
+  if (p_.ts <= 0.0) throw std::invalid_argument("PidDiscrete: ts must be > 0");
+  if (p_.u_max < p_.u_min) throw std::invalid_argument("PidDiscrete: bad clamp");
+  add_input(1);
+  add_output(1);
+  add_event_input();
+  add_event_output();  // done
+}
+
+void PidDiscrete::initialize(Context& ctx) {
+  integral_ = 0.0;
+  deriv_ = 0.0;
+  prev_error_ = 0.0;
+  ctx.set_out1(0, 0.0);
+}
+
+void PidDiscrete::on_event(Context& ctx, std::size_t) {
+  const double e = ctx.in1(0);
+  deriv_ = (p_.kd * p_.n * (e - prev_error_) + deriv_) / (1.0 + p_.n * p_.ts);
+  double u = p_.kp * e + integral_ + deriv_;
+  const double u_clamped = std::clamp(u, p_.u_min, p_.u_max);
+  // Conditional integration anti-windup: only integrate when not saturated
+  // in the direction of the error.
+  const bool saturating =
+      (u > u_clamped && e > 0.0) || (u < u_clamped && e < 0.0);
+  if (!saturating) integral_ += p_.ki * p_.ts * e;
+  prev_error_ = e;
+  ctx.set_out1(0, u_clamped);
+  ctx.emit(0, 0.0);
+}
+
+UnitDelay::UnitDelay(std::string name, std::vector<double> init)
+    : Block(std::move(name)), init_(std::move(init)) {
+  if (init_.empty()) throw std::invalid_argument("UnitDelay: empty init");
+  add_input(init_.size());
+  add_output(init_.size());
+  add_event_input();
+  add_event_output();  // done
+}
+
+void UnitDelay::initialize(Context& ctx) {
+  stored_ = init_;
+  auto y = ctx.output(0);
+  std::copy(stored_.begin(), stored_.end(), y.begin());
+}
+
+void UnitDelay::on_event(Context& ctx, std::size_t) {
+  auto u = ctx.input(0);
+  auto y = ctx.output(0);
+  std::copy(stored_.begin(), stored_.end(), y.begin());
+  stored_.assign(u.begin(), u.end());
+  ctx.emit(0, 0.0);
+}
+
+EventCounter::EventCounter(std::string name) : Block(std::move(name)) {
+  add_output(1);
+  add_event_input();
+}
+
+void EventCounter::initialize(Context& ctx) {
+  count_ = 0;
+  ctx.set_out1(0, 0.0);
+}
+
+void EventCounter::on_event(Context& ctx, std::size_t) {
+  ++count_;
+  ctx.set_out1(0, static_cast<double>(count_));
+}
+
+}  // namespace ecsim::blocks

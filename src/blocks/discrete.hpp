@@ -1,0 +1,93 @@
+// Discrete (event-activated) dynamic blocks: the controller side. Following
+// Scicos semantics, these blocks execute when an activation event arrives on
+// their event input and hold their outputs in between. Each also exposes a
+// "done" event output emitted on completion, which the graph-of-delays
+// translation uses for sequencing (paper §3.2.1).
+#pragma once
+
+#include "mathlib/matrix.hpp"
+#include "sim/block.hpp"
+
+namespace ecsim::blocks {
+
+using sim::Block;
+using sim::Context;
+using sim::Time;
+
+/// Discrete LTI system: on activation, y = C x + D u then x <- A x + B u.
+class StateSpaceDisc : public Block {
+ public:
+  StateSpaceDisc(std::string name, math::Matrix a, math::Matrix b,
+                 math::Matrix c, math::Matrix d, std::vector<double> x0 = {});
+
+  void initialize(Context& ctx) override;
+  void on_event(Context& ctx, std::size_t event_in) override;
+
+  std::size_t event_in() const { return 0; }
+  std::size_t done_event_out() const { return 0; }
+  const std::vector<double>& xk() const { return x_; }
+
+ private:
+  math::Matrix a_, b_, c_, d_;
+  std::vector<double> x0_;
+  std::vector<double> x_;
+};
+
+/// Discrete PID with filtered derivative and optional anti-windup clamping:
+///   u = Kp e + I + D,  I <- I + Ki*Ts*e,  D = (Kd*N*(e - e_prev) + D_prev)/(1 + N*Ts)
+/// Input 0: error e. Output 0: control u.
+class PidDiscrete : public Block {
+ public:
+  struct Params {
+    double kp = 1.0;
+    double ki = 0.0;
+    double kd = 0.0;
+    double ts = 0.01;        // nominal sampling period (gain scaling)
+    double n = 20.0;         // derivative filter coefficient
+    double u_min = -1e12;    // anti-windup clamp
+    double u_max = 1e12;
+  };
+
+  PidDiscrete(std::string name, Params p);
+
+  void initialize(Context& ctx) override;
+  void on_event(Context& ctx, std::size_t event_in) override;
+
+ private:
+  Params p_;
+  double integral_ = 0.0;
+  double deriv_ = 0.0;
+  double prev_error_ = 0.0;
+};
+
+/// One-step delay z^-1: on activation, output the stored value, then store
+/// the current input.
+class UnitDelay : public Block {
+ public:
+  UnitDelay(std::string name, std::vector<double> init);
+  UnitDelay(std::string name, double init = 0.0)
+      : UnitDelay(std::move(name), std::vector<double>{init}) {}
+
+  void initialize(Context& ctx) override;
+  void on_event(Context& ctx, std::size_t event_in) override;
+
+ private:
+  std::vector<double> init_;
+  std::vector<double> stored_;
+};
+
+/// Counts its activations; output 0 holds the count. Test/diagnostic aid.
+class EventCounter : public Block {
+ public:
+  explicit EventCounter(std::string name);
+
+  void initialize(Context& ctx) override;
+  void on_event(Context& ctx, std::size_t event_in) override;
+
+  std::size_t count() const { return count_; }
+
+ private:
+  std::size_t count_ = 0;
+};
+
+}  // namespace ecsim::blocks

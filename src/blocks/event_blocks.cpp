@@ -1,0 +1,128 @@
+#include "blocks/event_blocks.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ecsim::blocks {
+
+DurationSampler constant_duration(Time d) {
+  if (d < 0.0) throw std::invalid_argument("constant_duration: negative");
+  return [d](math::Rng&) { return d; };
+}
+
+DurationSampler uniform_duration(Time bcet, Time wcet) {
+  if (bcet < 0.0 || wcet < bcet) {
+    throw std::invalid_argument("uniform_duration: need 0 <= bcet <= wcet");
+  }
+  return [bcet, wcet](math::Rng& rng) { return rng.uniform(bcet, wcet); };
+}
+
+DurationSampler truncated_normal_duration(Time mean, Time stddev, Time bcet,
+                                          Time wcet) {
+  if (bcet < 0.0 || wcet < bcet) {
+    throw std::invalid_argument("truncated_normal_duration: bad bounds");
+  }
+  return [=](math::Rng& rng) {
+    return rng.truncated_normal(mean, stddev, bcet, wcet);
+  };
+}
+
+EventDelay::EventDelay(std::string name, Time duration)
+    : EventDelay(std::move(name), constant_duration(duration)) {}
+
+EventDelay::EventDelay(std::string name, DurationSampler sampler)
+    : Block(std::move(name)), sampler_(std::move(sampler)) {
+  if (!sampler_) throw std::invalid_argument("EventDelay: null sampler");
+  add_event_input();
+  add_event_output();
+}
+
+void EventDelay::initialize(Context&) {
+  busy_until_ = 0.0;
+  busy_hits_ = 0;
+}
+
+void EventDelay::on_event(Context& ctx, std::size_t) {
+  const Time now = ctx.time();
+  Time start = now;
+  if (busy_until_ > now) {
+    start = busy_until_;
+    ++busy_hits_;
+  }
+  const Time d = sampler_(ctx.rng());
+  if (d < 0.0) throw std::runtime_error("EventDelay: sampler returned < 0");
+  busy_until_ = start + d;
+  ctx.emit(0, busy_until_ - now);
+}
+
+EventSelect::EventSelect(std::string name, std::size_t n_channels,
+                         std::size_t cond_width, ConditionMapping mapping)
+    : Block(std::move(name)), n_channels_(n_channels), mapping_(std::move(mapping)) {
+  if (n_channels == 0) throw std::invalid_argument("EventSelect: no channels");
+  if (!mapping_) throw std::invalid_argument("EventSelect: null mapping");
+  add_input(cond_width);
+  add_event_input();
+  for (std::size_t i = 0; i < n_channels; ++i) add_event_output();
+}
+
+std::unique_ptr<EventSelect> EventSelect::make_threshold(std::string name,
+                                                         double threshold) {
+  return std::make_unique<EventSelect>(
+      std::move(name), 2, 1, [threshold](std::span<const double> v) {
+        return static_cast<std::size_t>(v[0] > threshold ? 1 : 0);
+      });
+}
+
+void EventSelect::on_event(Context& ctx, std::size_t) {
+  const std::size_t ch = mapping_(ctx.input(0));
+  if (ch >= n_channels_) {
+    throw std::runtime_error("EventSelect '" + name() +
+                             "': mapping returned out-of-range channel");
+  }
+  ctx.emit(ch, 0.0);
+}
+
+TdmaGate::TdmaGate(std::string name, Time slot)
+    : Block(std::move(name)), slot_(slot) {
+  if (slot <= 0.0) throw std::invalid_argument("TdmaGate: slot must be > 0");
+  add_event_input();
+  add_event_output();
+}
+
+void TdmaGate::on_event(Context& ctx, std::size_t) {
+  const Time now = ctx.time();
+  // Same boundary formula as aaa::Medium::earliest_start so the schedule,
+  // the executive VM and the co-simulation agree to rounding error.
+  const double k = std::ceil(now / slot_ - 1e-9);
+  const Time boundary = std::max(0.0, k) * slot_;
+  ctx.emit(0, std::max(0.0, boundary - now));
+}
+
+EventMerge::EventMerge(std::string name, std::size_t n_inputs)
+    : Block(std::move(name)) {
+  if (n_inputs == 0) throw std::invalid_argument("EventMerge: no inputs");
+  for (std::size_t i = 0; i < n_inputs; ++i) add_event_input();
+  add_event_output();
+}
+
+void EventMerge::on_event(Context& ctx, std::size_t) { ctx.emit(0, 0.0); }
+
+EventDivider::EventDivider(std::string name, std::size_t divisor,
+                           std::size_t phase)
+    : Block(std::move(name)), divisor_(divisor), phase_(phase) {
+  if (divisor == 0) throw std::invalid_argument("EventDivider: divisor >= 1");
+  if (phase >= divisor) {
+    throw std::invalid_argument("EventDivider: phase must be < divisor");
+  }
+  add_event_input();
+  add_event_output();
+}
+
+void EventDivider::initialize(Context&) { count_ = 0; }
+
+void EventDivider::on_event(Context& ctx, std::size_t) {
+  if (count_ % divisor_ == phase_) ctx.emit(0, 0.0);
+  ++count_;
+}
+
+}  // namespace ecsim::blocks

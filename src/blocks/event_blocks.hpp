@@ -1,0 +1,126 @@
+// Event-processing blocks used by the graph of delays (paper §3.2):
+//  - EventDelay models the execution duration of one SynDEx operation
+//    (sequencing, §3.2.1): the output event fires L time units after the
+//    activation, where L may be constant (WCET mode) or drawn from an
+//    execution-time distribution (jitter studies);
+//  - EventSelect + a ConditionMapping function model conditioning (§3.2.2);
+//  - EventMerge fans several event streams into one.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "mathlib/rng.hpp"
+#include "sim/block.hpp"
+
+namespace ecsim::blocks {
+
+using sim::Block;
+using sim::Context;
+using sim::Time;
+
+/// Samples one execution duration. Receives the simulator RNG so runs are
+/// seed-reproducible.
+using DurationSampler = std::function<Time(math::Rng&)>;
+
+/// Constant-duration sampler (WCET mode).
+DurationSampler constant_duration(Time d);
+/// Uniform in [bcet, wcet].
+DurationSampler uniform_duration(Time bcet, Time wcet);
+/// Normal truncated to [bcet, wcet].
+DurationSampler truncated_normal_duration(Time mean, Time stddev, Time bcet,
+                                          Time wcet);
+
+/// Delays each incoming event by a (possibly random) execution duration.
+/// Non-reentrant like a processor operation: if an event arrives while a
+/// previous one is still "executing", the new execution starts when the
+/// previous finishes (busy queueing), preserving operation order.
+class EventDelay : public Block {
+ public:
+  EventDelay(std::string name, Time duration);
+  EventDelay(std::string name, DurationSampler sampler);
+
+  void initialize(Context& ctx) override;
+  void on_event(Context& ctx, std::size_t event_in) override;
+
+  std::size_t event_in() const { return 0; }
+  std::size_t event_out() const { return 0; }
+  /// Number of activations that found the block busy (diagnostic).
+  std::size_t busy_hits() const { return busy_hits_; }
+
+ private:
+  DurationSampler sampler_;
+  Time busy_until_ = 0.0;
+  std::size_t busy_hits_ = 0;
+};
+
+/// Maps the current value of the condition input to the index of the event
+/// output channel to forward to (paper's "Condition Mapping" function).
+using ConditionMapping = std::function<std::size_t(std::span<const double>)>;
+
+/// Routes each incoming event to one of `n_channels` event outputs according
+/// to the condition mapping applied to data input 0.
+class EventSelect : public Block {
+ public:
+  EventSelect(std::string name, std::size_t n_channels, std::size_t cond_width,
+              ConditionMapping mapping);
+
+  /// Two-way convenience: channel 1 if input > threshold else channel 0.
+  static std::unique_ptr<EventSelect> make_threshold(std::string name,
+                                                     double threshold);
+
+  void on_event(Context& ctx, std::size_t event_in) override;
+
+  std::size_t event_in() const { return 0; }
+
+ private:
+  std::size_t n_channels_;
+  ConditionMapping mapping_;
+};
+
+/// Delays each incoming event to the next boundary of a fixed time grid
+/// (t = k * slot for integer k): models TDMA bus arbitration in the graph
+/// of delays. An event exactly on a boundary passes through unchanged.
+class TdmaGate : public Block {
+ public:
+  TdmaGate(std::string name, Time slot);
+
+  void on_event(Context& ctx, std::size_t event_in) override;
+
+  std::size_t event_in() const { return 0; }
+  std::size_t event_out() const { return 0; }
+
+ private:
+  Time slot_;
+};
+
+/// N event inputs, one event output: forwards every incoming event.
+class EventMerge : public Block {
+ public:
+  EventMerge(std::string name, std::size_t n_inputs);
+
+  void on_event(Context& ctx, std::size_t event_in) override;
+
+  std::size_t event_out() const { return 0; }
+};
+
+/// Forwards every n-th incoming event (those with index % n == phase) —
+/// the rate decimator of multirate diagrams.
+class EventDivider : public Block {
+ public:
+  EventDivider(std::string name, std::size_t divisor, std::size_t phase = 0);
+
+  void initialize(Context& ctx) override;
+  void on_event(Context& ctx, std::size_t event_in) override;
+
+  std::size_t event_in() const { return 0; }
+  std::size_t event_out() const { return 0; }
+
+ private:
+  std::size_t divisor_;
+  std::size_t phase_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace ecsim::blocks

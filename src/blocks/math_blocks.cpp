@@ -1,0 +1,112 @@
+#include "blocks/math_blocks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace ecsim::blocks {
+
+Gain::Gain(std::string name, math::Matrix k)
+    : Block(std::move(name)), k_(std::move(k)) {
+  if (k_.empty()) throw std::invalid_argument("Gain: empty matrix");
+  add_input(k_.cols());
+  add_output(k_.rows());
+}
+
+void Gain::compute_outputs(Context& ctx) {
+  auto u = ctx.input(0);
+  auto y = ctx.output(0);
+  for (std::size_t r = 0; r < k_.rows(); ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < k_.cols(); ++c) s += k_(r, c) * u[c];
+    y[r] = s;
+  }
+}
+
+Sum::Sum(std::string name, std::vector<double> signs, std::size_t width)
+    : Block(std::move(name)), signs_(std::move(signs)), width_(width) {
+  if (signs_.empty()) throw std::invalid_argument("Sum: needs >= 1 input");
+  for (std::size_t i = 0; i < signs_.size(); ++i) add_input(width_);
+  add_output(width_);
+}
+
+void Sum::compute_outputs(Context& ctx) {
+  auto y = ctx.output(0);
+  std::fill(y.begin(), y.end(), 0.0);
+  for (std::size_t i = 0; i < signs_.size(); ++i) {
+    auto u = ctx.input(i);
+    for (std::size_t k = 0; k < width_; ++k) y[k] += signs_[i] * u[k];
+  }
+}
+
+Saturation::Saturation(std::string name, double lo, double hi, std::size_t width)
+    : Block(std::move(name)), lo_(lo), hi_(hi) {
+  if (hi < lo) throw std::invalid_argument("Saturation: hi < lo");
+  add_input(width);
+  add_output(width);
+}
+
+void Saturation::compute_outputs(Context& ctx) {
+  auto u = ctx.input(0);
+  auto y = ctx.output(0);
+  for (std::size_t k = 0; k < u.size(); ++k) y[k] = std::clamp(u[k], lo_, hi_);
+}
+
+Quantizer::Quantizer(std::string name, double step, std::size_t width)
+    : Block(std::move(name)), step_(step) {
+  if (step <= 0.0) throw std::invalid_argument("Quantizer: step must be > 0");
+  add_input(width);
+  add_output(width);
+}
+
+void Quantizer::compute_outputs(Context& ctx) {
+  auto u = ctx.input(0);
+  auto y = ctx.output(0);
+  for (std::size_t k = 0; k < u.size(); ++k) {
+    y[k] = std::round(u[k] / step_) * step_;
+  }
+}
+
+Mux::Mux(std::string name, std::vector<std::size_t> widths)
+    : Block(std::move(name)), widths_(std::move(widths)) {
+  if (widths_.empty()) throw std::invalid_argument("Mux: needs >= 1 input");
+  std::size_t total = 0;
+  for (std::size_t w : widths_) {
+    add_input(w);
+    total += w;
+  }
+  add_output(total);
+}
+
+void Mux::compute_outputs(Context& ctx) {
+  auto y = ctx.output(0);
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < widths_.size(); ++i) {
+    auto u = ctx.input(i);
+    std::copy(u.begin(), u.end(), y.begin() + static_cast<long>(off));
+    off += widths_[i];
+  }
+}
+
+Demux::Demux(std::string name, std::vector<std::size_t> widths)
+    : Block(std::move(name)), widths_(std::move(widths)) {
+  if (widths_.empty()) throw std::invalid_argument("Demux: needs >= 1 output");
+  const std::size_t total =
+      std::accumulate(widths_.begin(), widths_.end(), std::size_t{0});
+  add_input(total);
+  for (std::size_t w : widths_) add_output(w);
+}
+
+void Demux::compute_outputs(Context& ctx) {
+  auto u = ctx.input(0);
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < widths_.size(); ++i) {
+    auto y = ctx.output(i);
+    std::copy(u.begin() + static_cast<long>(off),
+              u.begin() + static_cast<long>(off + widths_[i]), y.begin());
+    off += widths_[i];
+  }
+}
+
+}  // namespace ecsim::blocks

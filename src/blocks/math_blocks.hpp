@@ -1,0 +1,89 @@
+// Combinational (direct-feedthrough) signal-processing blocks.
+#pragma once
+
+#include <vector>
+
+#include "mathlib/matrix.hpp"
+#include "sim/block.hpp"
+
+namespace ecsim::blocks {
+
+using sim::Block;
+using sim::Context;
+
+/// y = K * u with a matrix gain; input width = K.cols, output = K.rows.
+class Gain : public Block {
+ public:
+  Gain(std::string name, math::Matrix k);
+  Gain(std::string name, double k)
+      : Gain(std::move(name), math::Matrix{{k}}) {}
+
+  void compute_outputs(Context& ctx) override;
+  bool input_feedthrough(std::size_t) const override { return true; }
+
+ private:
+  math::Matrix k_;
+};
+
+/// y = sum_i signs[i] * u_i over n equally wide inputs.
+class Sum : public Block {
+ public:
+  Sum(std::string name, std::vector<double> signs, std::size_t width = 1);
+
+  void compute_outputs(Context& ctx) override;
+  bool input_feedthrough(std::size_t) const override { return true; }
+
+ private:
+  std::vector<double> signs_;
+  std::size_t width_;
+};
+
+/// Elementwise clamp to [lo, hi] — actuator limits.
+class Saturation : public Block {
+ public:
+  Saturation(std::string name, double lo, double hi, std::size_t width = 1);
+
+  void compute_outputs(Context& ctx) override;
+  bool input_feedthrough(std::size_t) const override { return true; }
+
+ private:
+  double lo_, hi_;
+};
+
+/// Mid-tread quantizer with step q — models ADC/DAC resolution.
+class Quantizer : public Block {
+ public:
+  Quantizer(std::string name, double step, std::size_t width = 1);
+
+  void compute_outputs(Context& ctx) override;
+  bool input_feedthrough(std::size_t) const override { return true; }
+
+ private:
+  double step_;
+};
+
+/// Concatenates n inputs of given widths into one output.
+class Mux : public Block {
+ public:
+  Mux(std::string name, std::vector<std::size_t> widths);
+
+  void compute_outputs(Context& ctx) override;
+  bool input_feedthrough(std::size_t) const override { return true; }
+
+ private:
+  std::vector<std::size_t> widths_;
+};
+
+/// Splits one input into n outputs of given widths.
+class Demux : public Block {
+ public:
+  Demux(std::string name, std::vector<std::size_t> widths);
+
+  void compute_outputs(Context& ctx) override;
+  bool input_feedthrough(std::size_t) const override { return true; }
+
+ private:
+  std::vector<std::size_t> widths_;
+};
+
+}  // namespace ecsim::blocks

@@ -1,0 +1,28 @@
+#include "blocks/probe.hpp"
+
+#include <stdexcept>
+
+namespace ecsim::blocks {
+
+Probe::Probe(std::string name, std::size_t width, Time record_period)
+    : Block(std::move(name)), period_(record_period) {
+  if (width == 0) throw std::invalid_argument("Probe: width must be >= 1");
+  if (record_period < 0.0) throw std::invalid_argument("Probe: negative period");
+  add_input(width);
+  add_event_input();  // trigger (self-scheduled in periodic mode)
+}
+
+void Probe::initialize(Context& ctx) {
+  samples_ = 0;
+  if (period_ > 0.0) ctx.schedule_self(0, 0.0);
+}
+
+void Probe::on_event(Context& ctx, std::size_t) {
+  auto u = ctx.input(0);
+  ctx.trace().record_signal(ctx.time(), ctx.block_index(),
+                            std::vector<double>(u.begin(), u.end()));
+  ++samples_;
+  if (period_ > 0.0) ctx.schedule_self(0, period_);
+}
+
+}  // namespace ecsim::blocks

@@ -1,0 +1,31 @@
+// Probe: records its input signal into the simulation trace — the scope of
+// the toolchain. Two modes:
+//  - periodic (record_period > 0): self-clocked dense sampling, used for
+//    computing integral performance criteria (IAE/ISE/quadratic cost);
+//  - triggered (record_period == 0): records whenever its event input fires,
+//    used to capture values at sampling/actuation instants.
+#pragma once
+
+#include "sim/block.hpp"
+
+namespace ecsim::blocks {
+
+using sim::Block;
+using sim::Context;
+using sim::Time;
+
+class Probe : public Block {
+ public:
+  Probe(std::string name, std::size_t width, Time record_period);
+
+  void initialize(Context& ctx) override;
+  void on_event(Context& ctx, std::size_t event_in) override;
+
+  std::size_t samples_taken() const { return samples_; }
+
+ private:
+  Time period_;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace ecsim::blocks

@@ -1,0 +1,34 @@
+#include "blocks/sample_hold.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ecsim::blocks {
+
+SampleHold::SampleHold(std::string name, std::size_t width,
+                       std::vector<double> initial)
+    : Block(std::move(name)), initial_(std::move(initial)) {
+  if (width == 0) throw std::invalid_argument("SampleHold: width must be >= 1");
+  if (initial_.empty()) initial_.assign(width, 0.0);
+  if (initial_.size() != width) {
+    throw std::invalid_argument("SampleHold: initial size mismatch");
+  }
+  add_input(width);
+  add_output(width);
+  add_event_input();
+  add_event_output();  // done (fires right after the copy)
+}
+
+void SampleHold::initialize(Context& ctx) {
+  auto y = ctx.output(0);
+  std::copy(initial_.begin(), initial_.end(), y.begin());
+}
+
+void SampleHold::on_event(Context& ctx, std::size_t) {
+  auto u = ctx.input(0);
+  auto y = ctx.output(0);
+  std::copy(u.begin(), u.end(), y.begin());
+  ctx.emit(0, 0.0);
+}
+
+}  // namespace ecsim::blocks

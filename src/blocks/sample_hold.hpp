@@ -1,0 +1,30 @@
+// Sample/Hold: the block the paper's Fig. 2 uses twice — once to model the
+// sampling of the plant output, once to model control-input actuation (ZOH).
+// The instant at which its activation event arrives *is* I_j(k) (resp.
+// O_j(k)) of eqs. (1)-(2); latency analysis reads these from the trace.
+#pragma once
+
+#include "sim/block.hpp"
+
+namespace ecsim::blocks {
+
+using sim::Block;
+using sim::Context;
+
+class SampleHold : public Block {
+ public:
+  /// `width` lanes; the output holds `initial` until the first activation.
+  SampleHold(std::string name, std::size_t width = 1,
+             std::vector<double> initial = {});
+
+  void initialize(Context& ctx) override;
+  void on_event(Context& ctx, std::size_t event_in) override;
+
+  std::size_t event_in() const { return 0; }
+  std::size_t done_event_out() const { return 0; }
+
+ private:
+  std::vector<double> initial_;
+};
+
+}  // namespace ecsim::blocks

@@ -1,0 +1,129 @@
+#include "blocks/sources.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace ecsim::blocks {
+
+Clock::Clock(std::string name, Time period, Time offset)
+    : Block(std::move(name)), period_(period), offset_(offset) {
+  if (period <= 0.0) throw std::invalid_argument("Clock: period must be > 0");
+  if (offset < 0.0) throw std::invalid_argument("Clock: offset must be >= 0");
+  add_event_input();   // self-tick
+  add_event_output();  // activation output
+}
+
+void Clock::initialize(Context& ctx) { ctx.schedule_self(0, offset_); }
+
+void Clock::on_event(Context& ctx, std::size_t) {
+  ctx.emit(0, 0.0);
+  ctx.schedule_self(0, period_);
+}
+
+TimetableClock::TimetableClock(std::string name, Time period,
+                               std::vector<Time> offsets)
+    : Block(std::move(name)), period_(period), offsets_(std::move(offsets)) {
+  if (period <= 0.0) {
+    throw std::invalid_argument("TimetableClock: period must be > 0");
+  }
+  if (offsets_.empty()) {
+    throw std::invalid_argument("TimetableClock: offsets must be non-empty");
+  }
+  if (!std::is_sorted(offsets_.begin(), offsets_.end())) {
+    throw std::invalid_argument("TimetableClock: offsets must be sorted");
+  }
+  for (Time o : offsets_) {
+    if (o < 0.0 || o >= period_) {
+      throw std::invalid_argument("TimetableClock: offsets must be in [0, period)");
+    }
+  }
+  add_event_input();
+  add_event_output();
+}
+
+void TimetableClock::initialize(Context& ctx) {
+  next_ = 0;
+  cycle_ = 0;
+  ctx.schedule_self(0, offsets_.front());
+}
+
+void TimetableClock::on_event(Context& ctx, std::size_t) {
+  ctx.emit(0, 0.0);
+  const Time now = static_cast<Time>(cycle_) * period_ + offsets_[next_];
+  ++next_;
+  if (next_ == offsets_.size()) {
+    next_ = 0;
+    ++cycle_;
+  }
+  const Time target = static_cast<Time>(cycle_) * period_ + offsets_[next_];
+  ctx.schedule_self(0, target - now);
+}
+
+Constant::Constant(std::string name, std::vector<double> value)
+    : Block(std::move(name)), value_(std::move(value)) {
+  add_output(value_.size());
+}
+
+void Constant::compute_outputs(Context& ctx) {
+  auto out = ctx.output(0);
+  std::copy(value_.begin(), value_.end(), out.begin());
+}
+
+Step::Step(std::string name, double initial, double final_value, Time step_time)
+    : Block(std::move(name)),
+      initial_(initial),
+      final_(final_value),
+      step_time_(step_time) {
+  add_output(1);
+}
+
+void Step::compute_outputs(Context& ctx) {
+  ctx.set_out1(0, ctx.time() < step_time_ ? initial_ : final_);
+}
+
+Sine::Sine(std::string name, double amplitude, double frequency, double phase,
+           double bias)
+    : Block(std::move(name)),
+      amplitude_(amplitude),
+      frequency_(frequency),
+      phase_(phase),
+      bias_(bias) {
+  add_output(1);
+}
+
+void Sine::compute_outputs(Context& ctx) {
+  const double w = 2.0 * std::numbers::pi * frequency_;
+  ctx.set_out1(0, amplitude_ * std::sin(w * ctx.time() + phase_) + bias_);
+}
+
+Pulse::Pulse(std::string name, double low, double high, Time period, double duty)
+    : Block(std::move(name)), low_(low), high_(high), period_(period), duty_(duty) {
+  if (period <= 0.0) throw std::invalid_argument("Pulse: period must be > 0");
+  if (duty <= 0.0 || duty >= 1.0) {
+    throw std::invalid_argument("Pulse: duty must be in (0,1)");
+  }
+  add_output(1);
+}
+
+void Pulse::compute_outputs(Context& ctx) {
+  const double phase = std::fmod(ctx.time(), period_);
+  ctx.set_out1(0, phase < duty_ * period_ ? high_ : low_);
+}
+
+NoiseHold::NoiseHold(std::string name, double mean, double stddev)
+    : Block(std::move(name)), mean_(mean), stddev_(stddev) {
+  add_event_input();
+  add_event_output();  // done
+  add_output(1);
+}
+
+void NoiseHold::initialize(Context& ctx) { ctx.set_out1(0, mean_); }
+
+void NoiseHold::on_event(Context& ctx, std::size_t) {
+  ctx.set_out1(0, ctx.rng().normal(mean_, stddev_));
+  ctx.emit(0, 0.0);
+}
+
+}  // namespace ecsim::blocks

@@ -1,0 +1,32 @@
+#include "blocks/synchronization.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ecsim::blocks {
+
+Synchronization::Synchronization(std::string name, std::size_t n_inputs)
+    : Block(std::move(name)), received_(n_inputs, false) {
+  if (n_inputs == 0) {
+    throw std::invalid_argument("Synchronization: n_inputs must be >= 1");
+  }
+  for (std::size_t i = 0; i < n_inputs; ++i) add_event_input();
+  add_event_output();
+}
+
+void Synchronization::initialize(Context&) {
+  std::fill(received_.begin(), received_.end(), false);
+  fires_ = 0;
+}
+
+void Synchronization::on_event(Context& ctx, std::size_t event_in) {
+  received_.at(event_in) = true;
+  if (std::all_of(received_.begin(), received_.end(),
+                  [](bool b) { return b; })) {
+    ctx.emit(0, 0.0);
+    std::fill(received_.begin(), received_.end(), false);
+    ++fires_;
+  }
+}
+
+}  // namespace ecsim::blocks

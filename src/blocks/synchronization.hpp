@@ -1,0 +1,34 @@
+// The Synchronization block proposed by the paper (§3.2.3): N event inputs,
+// 1 event output. It fires its output and resets its internal input flags
+// when every input has received at least one event since the last reset.
+// It is the Scicos-side image of inter-processor synchronization in SynDEx
+// generated code (message send/receive matching).
+#pragma once
+
+#include <vector>
+
+#include "sim/block.hpp"
+
+namespace ecsim::blocks {
+
+using sim::Block;
+using sim::Context;
+
+class Synchronization : public Block {
+ public:
+  Synchronization(std::string name, std::size_t n_inputs);
+
+  void initialize(Context& ctx) override;
+  void on_event(Context& ctx, std::size_t event_in) override;
+
+  std::size_t event_out() const { return 0; }
+  /// Current pending flags (diagnostic / property tests).
+  const std::vector<bool>& received() const { return received_; }
+  std::size_t fire_count() const { return fires_; }
+
+ private:
+  std::vector<bool> received_;
+  std::size_t fires_ = 0;
+};
+
+}  // namespace ecsim::blocks

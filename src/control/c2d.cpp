@@ -1,0 +1,72 @@
+#include "control/c2d.hpp"
+
+#include <stdexcept>
+
+#include "mathlib/expm.hpp"
+
+namespace ecsim::control {
+
+Matrix input_integral(const Matrix& a, const Matrix& b, double t) {
+  // exp([A B; 0 0] t) = [e^{At}  \int_0^t e^{As} ds B; 0 I]
+  const std::size_t n = a.rows();
+  const std::size_t m = b.cols();
+  Matrix aug = Matrix::zeros(n + m, n + m);
+  aug.set_block(0, 0, a);
+  aug.set_block(0, n, b);
+  const Matrix e = math::expm(aug * t);
+  return e.block(0, n, n, m);
+}
+
+StateSpace c2d(const StateSpace& sys, double ts) {
+  sys.validate();
+  if (sys.discrete) throw std::invalid_argument("c2d: system already discrete");
+  if (ts <= 0.0) throw std::invalid_argument("c2d: ts must be > 0");
+  const std::size_t n = sys.order();
+  const std::size_t m = sys.num_inputs();
+  Matrix aug = Matrix::zeros(n + m, n + m);
+  aug.set_block(0, 0, sys.a);
+  aug.set_block(0, n, sys.b);
+  const Matrix e = math::expm(aug * ts);
+  StateSpace d;
+  d.a = e.block(0, 0, n, n);
+  d.b = e.block(0, n, n, m);
+  d.c = sys.c;
+  d.d = sys.d;
+  d.discrete = true;
+  d.ts = ts;
+  return d;
+}
+
+StateSpace c2d_with_input_delay(const StateSpace& sys, double ts, double tau) {
+  sys.validate();
+  if (sys.discrete) {
+    throw std::invalid_argument("c2d_with_input_delay: system already discrete");
+  }
+  if (ts <= 0.0) throw std::invalid_argument("c2d_with_input_delay: ts <= 0");
+  if (tau < 0.0 || tau > ts) {
+    throw std::invalid_argument("c2d_with_input_delay: need 0 <= tau <= ts");
+  }
+  const std::size_t n = sys.order();
+  const std::size_t m = sys.num_inputs();
+  const StateSpace disc = c2d(sys, ts);
+  // Over [kTs, kTs+tau) the plant still sees u_{k-1}; afterwards u_k.
+  //   x_{k+1} = Ad x_k + G1 u_{k-1} + G0 u_k
+  //   G0 = \int_0^{ts-tau} e^{As} ds B,  G1 = Bd - G0.
+  const Matrix g0 = input_integral(sys.a, sys.b, ts - tau);
+  const Matrix g1 = disc.b - g0;
+
+  StateSpace aug;
+  aug.a = Matrix::zeros(n + m, n + m);
+  aug.a.set_block(0, 0, disc.a);
+  aug.a.set_block(0, n, g1);
+  aug.b = Matrix::zeros(n + m, m);
+  aug.b.set_block(0, 0, g0);
+  aug.b.set_block(n, 0, Matrix::identity(m));
+  aug.c = math::hcat(sys.c, Matrix::zeros(sys.c.rows(), m));
+  aug.d = sys.d;
+  aug.discrete = true;
+  aug.ts = ts;
+  return aug;
+}
+
+}  // namespace ecsim::control

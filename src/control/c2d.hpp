@@ -1,0 +1,26 @@
+// Zero-order-hold discretization via the matrix exponential of the augmented
+// matrix [A B; 0 0] — exact for piecewise-constant inputs.
+#pragma once
+
+#include "control/state_space.hpp"
+
+namespace ecsim::control {
+
+/// ZOH-discretize a continuous system with sampling period ts:
+///   Ad = e^{A ts},  Bd = \int_0^{ts} e^{A s} ds B,  C/D unchanged.
+StateSpace c2d(const StateSpace& sys, double ts);
+
+/// \int_0^{t} e^{A s} ds * B — the input-integral building block used by
+/// both c2d and delayed-input discretization.
+Matrix input_integral(const Matrix& a, const Matrix& b, double t);
+
+/// Discretize a continuous system whose ZOH input is applied with an
+/// input-output delay tau in [0, ts] (the control computed for period k
+/// takes effect at kTs + tau). Returns the augmented discrete system with
+/// state z = [x; u_{k-1}]:
+///   z+ = [Ad  G1; 0  0] z + [G0; I] u_k
+/// where G0 = \int_0^{ts-tau} e^{As} ds B and G1 = \int_{ts-tau}^{ts} e^{As} ds B.
+/// The C matrix is extended with zeros; D is unchanged.
+StateSpace c2d_with_input_delay(const StateSpace& sys, double ts, double tau);
+
+}  // namespace ecsim::control

@@ -1,0 +1,78 @@
+#include "control/delay_compensation.hpp"
+
+#include <stdexcept>
+
+#include "control/c2d.hpp"
+
+namespace ecsim::control {
+
+Matrix augment_q(const Matrix& q, std::size_t n_inputs) {
+  const std::size_t n = q.rows();
+  Matrix out = Matrix::zeros(n + n_inputs, n + n_inputs);
+  out.set_block(0, 0, q);
+  return out;
+}
+
+StateSpace state_feedback_controller(const Matrix& k, double nbar, double ts) {
+  if (k.rows() != 1) {
+    throw std::invalid_argument("state_feedback_controller: single-input only");
+  }
+  const std::size_t n = k.cols();
+  StateSpace sys;
+  sys.a = Matrix::zeros(0, 0);
+  sys.b = Matrix::zeros(0, n + 1);
+  sys.c = Matrix::zeros(1, 0);
+  sys.d = Matrix::zeros(1, n + 1);
+  for (std::size_t i = 0; i < n; ++i) sys.d(0, i) = -k(0, i);
+  sys.d(0, n) = nbar;
+  sys.discrete = true;
+  sys.ts = ts;
+  sys.validate();
+  return sys;
+}
+
+StateSpace delayed_feedback_controller(const Matrix& k_aug, double nbar,
+                                       double ts) {
+  if (k_aug.rows() != 1 || k_aug.cols() < 2) {
+    throw std::invalid_argument(
+        "delayed_feedback_controller: need a 1 x (n+1) gain");
+  }
+  const std::size_t n = k_aug.cols() - 1;  // physical state dimension
+  const double ku = k_aug(0, n);           // gain on the stored input u_prev
+  // u_k = -Kx x_k - Ku u_prev + nbar r; the single state holds u_prev, so
+  // its update equals the output expression.
+  StateSpace sys;
+  sys.a = Matrix{{-ku}};
+  sys.b = Matrix::zeros(1, n + 1);
+  sys.c = Matrix{{-ku}};
+  sys.d = Matrix::zeros(1, n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    sys.b(0, i) = -k_aug(0, i);
+    sys.d(0, i) = -k_aug(0, i);
+  }
+  sys.b(0, n) = nbar;
+  sys.d(0, n) = nbar;
+  sys.discrete = true;
+  sys.ts = ts;
+  sys.validate();
+  return sys;
+}
+
+DelayLqrResult dlqr_with_input_delay(const StateSpace& cont_plant, double ts,
+                                     double tau, const Matrix& q_aug,
+                                     const Matrix& r) {
+  cont_plant.validate();
+  if (cont_plant.discrete) {
+    throw std::invalid_argument("dlqr_with_input_delay: plant must be continuous");
+  }
+  DelayLqrResult res;
+  res.augmented = c2d_with_input_delay(cont_plant, ts, tau);
+  const LqrResult lqr = dlqr(res.augmented, q_aug, r);
+  res.k = lqr.k;
+  if (res.augmented.num_outputs() == 1 && res.augmented.num_inputs() == 1) {
+    res.nbar = reference_gain(res.augmented, res.k);
+  }
+  return res;
+}
+
+}  // namespace ecsim::control

@@ -1,0 +1,39 @@
+// Delay-aware controller redesign — the "calibration" step the paper's
+// methodology moves from hardware testing into early co-simulation (EXP-M1).
+#pragma once
+
+#include "control/lqr.hpp"
+#include "control/state_space.hpp"
+
+namespace ecsim::control {
+
+/// Delay-aware LQR: design state feedback for a plant whose control input is
+/// applied `tau` after the sampling instant (0 <= tau <= ts). Internally
+/// designs on the delay-augmented discretization z = [x; u_prev] so the
+/// controller explicitly accounts for the actuation latency.
+/// Returns the gain on the augmented state: u = -K [x; u_prev] (+ Nbar r).
+struct DelayLqrResult {
+  Matrix k;                // 1 x (n+m) gain on [x; u_prev]
+  StateSpace augmented;    // the augmented design model
+  double nbar = 0.0;       // reference feedforward for SISO tracking
+};
+
+DelayLqrResult dlqr_with_input_delay(const StateSpace& cont_plant, double ts,
+                                     double tau, const Matrix& q_aug,
+                                     const Matrix& r);
+
+/// Convenience: build Q for the augmented system from a Q on the physical
+/// state (zero weight on the stored input).
+Matrix augment_q(const Matrix& q, std::size_t n_inputs);
+
+/// Realize static state feedback u = -K x + nbar * r as a (stateless)
+/// discrete system with input [x; r].
+StateSpace state_feedback_controller(const Matrix& k, double nbar, double ts);
+
+/// Realize delay-aware feedback u_k = -Kx x_k - Ku u_{k-1} + nbar * r as a
+/// discrete system with one state (the previous control) and input [x; r].
+/// `k_aug` is the 1 x (n+1) gain on [x; u_prev] from dlqr_with_input_delay.
+StateSpace delayed_feedback_controller(const Matrix& k_aug, double nbar,
+                                       double ts);
+
+}  // namespace ecsim::control

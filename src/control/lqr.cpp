@@ -1,0 +1,53 @@
+#include "control/lqr.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mathlib/linalg.hpp"
+#include "mathlib/riccati.hpp"
+
+namespace ecsim::control {
+
+LqrResult dlqr(const Matrix& a, const Matrix& b, const Matrix& q,
+               const Matrix& r) {
+  const Matrix p = math::solve_dare(a, b, q, r);
+  const Matrix bt = b.transpose();
+  // K = (R + B'PB)^-1 B'PA
+  const Matrix k = math::solve(r + bt * p * b, bt * p * a);
+  return LqrResult{k, p};
+}
+
+LqrResult dlqr(const StateSpace& sys, const Matrix& q, const Matrix& r) {
+  sys.validate();
+  if (!sys.discrete) throw std::invalid_argument("dlqr: need a discrete system");
+  return dlqr(sys.a, sys.b, q, r);
+}
+
+Matrix closed_loop(const Matrix& a, const Matrix& b, const Matrix& k) {
+  return a - b * k;
+}
+
+double reference_gain(const StateSpace& sys, const Matrix& k) {
+  sys.validate();
+  if (!sys.discrete) {
+    throw std::invalid_argument("reference_gain: need a discrete system");
+  }
+  if (sys.num_outputs() != 1 || sys.num_inputs() != 1) {
+    throw std::invalid_argument("reference_gain: SISO only");
+  }
+  // DC gain of the closed loop from the scaled reference to y:
+  //   y_ss = C (I - (A - BK))^-1 B * Nbar * r  (D assumed 0 at DC path)
+  const std::size_t n = sys.order();
+  const Matrix acl = closed_loop(sys.a, sys.b, k);
+  const Matrix m = Matrix::identity(n) - acl;
+  const Matrix x_ss = math::solve(m, sys.b);  // per unit of (Nbar r)
+  double y_ss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) y_ss += sys.c(0, i) * x_ss(i, 0);
+  y_ss += sys.d(0, 0);
+  if (std::abs(y_ss) < 1e-12) {
+    throw std::runtime_error("reference_gain: closed-loop DC gain ~ 0");
+  }
+  return 1.0 / y_ss;
+}
+
+}  // namespace ecsim::control

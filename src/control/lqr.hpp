@@ -1,0 +1,28 @@
+// Discrete-time LQR synthesis via the algebraic Riccati equation.
+#pragma once
+
+#include "control/state_space.hpp"
+
+namespace ecsim::control {
+
+struct LqrResult {
+  Matrix k;  // optimal state-feedback gain: u = -K x
+  Matrix p;  // Riccati solution (cost-to-go: J* = x0' P x0)
+};
+
+/// Infinite-horizon discrete LQR minimizing sum x'Qx + u'Ru.
+LqrResult dlqr(const Matrix& a, const Matrix& b, const Matrix& q,
+               const Matrix& r);
+
+/// Convenience overload on a discrete StateSpace.
+LqrResult dlqr(const StateSpace& sys, const Matrix& q, const Matrix& r);
+
+/// Closed-loop matrix A - B K.
+Matrix closed_loop(const Matrix& a, const Matrix& b, const Matrix& k);
+
+/// Feedforward gain Nbar so that y tracks a constant reference r under
+/// u = -K x + Nbar r (SISO output). Throws if the closed-loop DC gain is
+/// singular.
+double reference_gain(const StateSpace& sys, const Matrix& k);
+
+}  // namespace ecsim::control

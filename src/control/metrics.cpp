@@ -1,0 +1,108 @@
+#include "control/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ecsim::control {
+
+namespace {
+
+template <typename F>
+double trapz(const Series& y, F integrand) {
+  if (y.size() < 2) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 1; i < y.size(); ++i) {
+    const double dt = y[i].first - y[i - 1].first;
+    acc += 0.5 * dt * (integrand(y[i - 1]) + integrand(y[i]));
+  }
+  return acc;
+}
+
+}  // namespace
+
+double iae(const Series& y, double ref) {
+  return trapz(y, [ref](const auto& p) { return std::abs(ref - p.second); });
+}
+
+double ise(const Series& y, double ref) {
+  return trapz(y, [ref](const auto& p) {
+    const double e = ref - p.second;
+    return e * e;
+  });
+}
+
+double itae(const Series& y, double ref) {
+  return trapz(y, [ref](const auto& p) {
+    return p.first * std::abs(ref - p.second);
+  });
+}
+
+double quadratic_cost(const Series& y, const Series& u, double ref, double qy,
+                      double ru) {
+  if (y.size() != u.size()) {
+    throw std::invalid_argument("quadratic_cost: series length mismatch");
+  }
+  if (y.size() < 2) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 1; i < y.size(); ++i) {
+    const double dt = y[i].first - y[i - 1].first;
+    auto point = [&](std::size_t j) {
+      const double e = ref - y[j].second;
+      return qy * e * e + ru * u[j].second * u[j].second;
+    };
+    acc += 0.5 * dt * (point(i - 1) + point(i));
+  }
+  const double span = y.back().first - y.front().first;
+  return span > 0.0 ? acc / span : 0.0;
+}
+
+StepInfo step_info(const Series& y, double ref, double band) {
+  StepInfo info;
+  if (y.empty()) return info;
+  info.peak = y.front().second;
+  for (const auto& [t, v] : y) {
+    if (std::abs(v) > std::abs(info.peak)) {
+      info.peak = v;
+      info.peak_time = t;
+    }
+  }
+  const double denom = std::abs(ref) > 1e-12 ? std::abs(ref) : 1.0;
+  if ((ref >= 0.0 && info.peak > ref) || (ref < 0.0 && info.peak < ref)) {
+    info.overshoot_pct = (std::abs(info.peak) - std::abs(ref)) / denom * 100.0;
+    if (info.overshoot_pct < 0.0) info.overshoot_pct = 0.0;
+  }
+  // Settling time: last exit from the band.
+  const double tol = band * denom;
+  info.settling_time = 0.0;
+  for (const auto& [t, v] : y) {
+    if (std::abs(v - ref) > tol) info.settling_time = t;
+  }
+  if (std::abs(y.back().second - ref) > tol) {
+    info.settling_time = -1.0;  // never settled
+  }
+  // Rise time 10% -> 90%.
+  double t10 = -1.0, t90 = -1.0;
+  for (const auto& [t, v] : y) {
+    const double frac = ref != 0.0 ? v / ref : v;
+    if (t10 < 0.0 && frac >= 0.1) t10 = t;
+    if (t90 < 0.0 && frac >= 0.9) t90 = t;
+  }
+  if (t10 >= 0.0 && t90 >= 0.0) info.rise_time = t90 - t10;
+  info.steady_state_error = std::abs(ref - y.back().second);
+  return info;
+}
+
+double rms(const Series& y) {
+  if (y.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& [t, v] : y) acc += v * v;
+  return std::sqrt(acc / static_cast<double>(y.size()));
+}
+
+double max_abs(const Series& y) {
+  double best = 0.0;
+  for (const auto& [t, v] : y) best = std::max(best, std::abs(v));
+  return best;
+}
+
+}  // namespace ecsim::control

@@ -1,0 +1,46 @@
+// Control-performance metrics computed from probe time series. These are the
+// numbers that quantify "impact of the implementation on control performance"
+// in every experiment.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace ecsim::control {
+
+using sim::Time;
+/// A (time, value) series as returned by Trace::series().
+using Series = std::vector<std::pair<Time, double>>;
+
+/// Integral of |ref - y| dt (trapezoidal).
+double iae(const Series& y, double ref);
+/// Integral of (ref - y)^2 dt.
+double ise(const Series& y, double ref);
+/// Integral of t * |ref - y| dt.
+double itae(const Series& y, double ref);
+/// Time-weighted quadratic regulation cost:
+///   J = (1/T) * \int qy*(ref-y)^2 + ru*u^2 dt, with y and u sampled on the
+/// same probe grid (series must be equally long and time-aligned).
+double quadratic_cost(const Series& y, const Series& u, double ref, double qy,
+                      double ru);
+
+/// Step-response characteristics w.r.t. a final reference value.
+struct StepInfo {
+  double overshoot_pct = 0.0;    // (peak - ref)/|ref| * 100 (0 if none)
+  double settling_time = -1.0;   // first time after which |y-ref| <= band*|ref|
+  double rise_time = -1.0;       // 10% -> 90% of ref
+  double steady_state_error = 0.0;  // |ref - y(end)|
+  double peak = 0.0;
+  Time peak_time = 0.0;
+};
+
+StepInfo step_info(const Series& y, double ref, double band = 0.02);
+
+/// RMS of a series' values.
+double rms(const Series& y);
+/// Max |value|.
+double max_abs(const Series& y);
+
+}  // namespace ecsim::control

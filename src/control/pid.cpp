@@ -1,0 +1,59 @@
+#include "control/pid.hpp"
+
+#include <stdexcept>
+
+namespace ecsim::control {
+
+PidGains ziegler_nichols(double ku, double tu) {
+  if (ku <= 0.0 || tu <= 0.0) {
+    throw std::invalid_argument("ziegler_nichols: ku, tu must be > 0");
+  }
+  PidGains g;
+  g.kp = 0.6 * ku;
+  g.ki = 1.2 * ku / tu;
+  g.kd = 0.075 * ku * tu;
+  return g;
+}
+
+PidGains imc_pid(double k, double tau, double theta, double lambda) {
+  if (k == 0.0 || tau <= 0.0 || lambda <= 0.0 || theta < 0.0) {
+    throw std::invalid_argument("imc_pid: bad FOPDT parameters");
+  }
+  PidGains g;
+  const double denom = k * (lambda + theta);
+  g.kp = (tau + theta / 2.0) / denom;
+  const double ti = tau + theta / 2.0;
+  const double td = (tau * theta) / (2.0 * tau + theta);
+  g.ki = g.kp / ti;
+  g.kd = g.kp * td;
+  return g;
+}
+
+StateSpace pid_to_ss(const PidGains& g, double ts) {
+  if (ts <= 0.0) throw std::invalid_argument("pid_to_ss: ts must be > 0");
+  // State 1: integrator I_{k+1} = I_k + ki*ts*e_k
+  // State 2: filtered derivative D_{k+1} = a D_k + kd*n*(1-a) ... using the
+  // backward-Euler filtered derivative: D_k = (kd*n*(e_k - e_prev) + D_prev)
+  // / (1 + n*ts). Realize with states [I; D; e_prev].
+  const double alpha = 1.0 / (1.0 + g.n * ts);
+  StateSpace sys;
+  sys.a = Matrix{{1.0, 0.0, 0.0},
+                 {0.0, alpha, -g.kd * g.n * alpha},
+                 {0.0, 0.0, 0.0}};
+  sys.b = Matrix{{g.ki * ts}, {g.kd * g.n * alpha}, {1.0}};
+  // u_k = kp e_k + I_k + D_k where D_k depends on e_k (direct feedthrough):
+  //   D_k = alpha*(D_{k-1} + kd*n*(e_k - e_{k-1}))
+  sys.c = Matrix{{0.0, 0.0, 0.0}};
+  sys.d = Matrix{{0.0}};
+  // Express u_k = kp e + I_k + alpha*D_{k-1} - alpha*kd*n*e_prev + alpha*kd*n*e
+  sys.c(0, 0) = 1.0;
+  sys.c(0, 1) = alpha;
+  sys.c(0, 2) = -g.kd * g.n * alpha;
+  sys.d(0, 0) = g.kp + g.kd * g.n * alpha;
+  sys.discrete = true;
+  sys.ts = ts;
+  sys.validate();
+  return sys;
+}
+
+}  // namespace ecsim::control

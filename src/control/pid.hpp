@@ -1,0 +1,27 @@
+// Continuous PID design helpers and discretization to the PidDiscrete block
+// parameters, plus a Smith-predictor arrangement for delay compensation.
+#pragma once
+
+#include "control/state_space.hpp"
+
+namespace ecsim::control {
+
+struct PidGains {
+  double kp = 0.0;
+  double ki = 0.0;
+  double kd = 0.0;
+  double n = 20.0;  // derivative filter coefficient
+};
+
+/// Ziegler-Nichols (classic) tuning from ultimate gain/period.
+PidGains ziegler_nichols(double ku, double tu);
+
+/// Lambda/IMC tuning for a first-order-plus-dead-time model
+/// G(s) = k e^{-theta s} / (tau s + 1), closed-loop time constant lambda.
+PidGains imc_pid(double k, double tau, double theta, double lambda);
+
+/// Realize a PID (with filtered derivative) as a discrete StateSpace
+/// (input: error e, output: u) at period ts using backward-Euler integration.
+StateSpace pid_to_ss(const PidGains& g, double ts);
+
+}  // namespace ecsim::control

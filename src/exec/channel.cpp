@@ -1,0 +1,3 @@
+#include "exec/channel.hpp"
+
+// Channel is header-only; this translation unit anchors the library target.

@@ -1,0 +1,34 @@
+// Message bookkeeping for the executive VM: per transfer (schedule comm
+// index) and per iteration, when the data was made available by the sender
+// and when the medium finished moving it.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "aaa/schedule.hpp"
+
+namespace ecsim::exec {
+
+using aaa::Time;
+
+/// State of one logical channel (one ScheduledComm) across iterations.
+class Channel {
+ public:
+  explicit Channel(std::size_t iterations)
+      : sent_(iterations), delivered_(iterations) {}
+
+  void mark_sent(std::size_t iter, Time t) { sent_.at(iter) = t; }
+  void mark_delivered(std::size_t iter, Time t) { delivered_.at(iter) = t; }
+
+  std::optional<Time> sent(std::size_t iter) const { return sent_.at(iter); }
+  std::optional<Time> delivered(std::size_t iter) const {
+    return delivered_.at(iter);
+  }
+
+ private:
+  std::vector<std::optional<Time>> sent_;
+  std::vector<std::optional<Time>> delivered_;
+};
+
+}  // namespace ecsim::exec

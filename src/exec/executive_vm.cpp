@@ -1,0 +1,232 @@
+#include "exec/executive_vm.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "exec/channel.hpp"
+
+namespace ecsim::exec {
+
+using aaa::DataDep;
+using aaa::ExecutiveProgram;
+
+std::vector<Time> VmResult::completions(OpId op) const {
+  std::vector<Time> out;
+  for (const OpInstance& oi : ops) {
+    if (oi.op == op) out.push_back(oi.end);
+  }
+  return out;
+}
+
+std::vector<Time> VmResult::starts(OpId op) const {
+  std::vector<Time> out;
+  for (const OpInstance& oi : ops) {
+    if (oi.op == op) out.push_back(oi.start);
+  }
+  return out;
+}
+
+ExecTimeFn uniform_fraction_exec_time(double lo_frac) {
+  return [lo_frac](const Operation&, Time wcet, math::Rng& rng) {
+    return wcet * rng.uniform(lo_frac, 1.0);
+  };
+}
+
+BranchFn uniform_branch_chooser() {
+  return [](const Operation& op, std::size_t, math::Rng& rng) {
+    return static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(op.branches.size()) - 1));
+  };
+}
+
+BranchFn worst_case_branch_chooser() {
+  return [](const Operation& op, std::size_t, math::Rng&) {
+    std::size_t worst = 0;
+    Time worst_wcet = -1.0;
+    for (std::size_t b = 0; b < op.branches.size(); ++b) {
+      Time w = 0.0;
+      for (const auto& [type, t] : op.branches[b].wcet) w = std::max(w, t);
+      if (w > worst_wcet) {
+        worst_wcet = w;
+        worst = b;
+      }
+    }
+    return worst;
+  };
+}
+
+namespace {
+
+/// Sequencer cursor over a processor program or a medium communicator.
+struct Cursor {
+  std::size_t pc = 0;    // instruction / transfer index within one iteration
+  std::size_t iter = 0;  // current iteration
+  Time t = 0.0;          // local time: everything before this has finished
+  bool done(std::size_t length, std::size_t iterations) const {
+    return iter >= iterations || length == 0;
+  }
+};
+
+}  // namespace
+
+VmResult run_executives(const AlgorithmGraph& alg,
+                        const ArchitectureGraph& arch, const Schedule& sched,
+                        const GeneratedCode& code, const VmOptions& opts) {
+  VmResult result;
+  math::Rng rng(opts.seed);
+  const std::size_t iters = opts.iterations;
+
+  std::vector<Channel> channels(sched.comms().size(), Channel(iters));
+  std::vector<Cursor> proc_cur(code.programs.size());
+  std::vector<Cursor> medium_cur(code.communicators.size());
+
+  // Pre-sample execution times and branches would couple RNG draws to the
+  // interleaving of the advancing loop; instead draw on first execution of
+  // each instance, which happens exactly once.
+  auto exec_time = [&](const Operation& op, Time wcet) {
+    return opts.exec_time ? opts.exec_time(op, wcet, rng) : wcet;
+  };
+
+  auto advance_proc = [&](std::size_t pi) -> bool {
+    Cursor& cur = proc_cur[pi];
+    const ExecutiveProgram& prog = code.programs[pi];
+    if (cur.done(prog.instrs.size(), iters)) return false;
+    const aaa::Instr& ins = prog.instrs[cur.pc];
+    switch (ins.kind) {
+      case aaa::InstrKind::kCompute: {
+        const Operation& op = alg.op(ins.op);
+        Time start = cur.t;
+        // Release gating: sensors wait for the period tick; any op with a
+        // release offset (multirate instances) additionally waits for
+        // k*period + release.
+        if (opts.period > 0.0 &&
+            (op.kind == aaa::OpKind::kSensor || op.release > 0.0)) {
+          start = std::max(start, static_cast<Time>(cur.iter) * opts.period +
+                                      op.release);
+        }
+        std::size_t branch = kNone;
+        Time wcet;
+        const std::string& type = arch.processor(prog.proc).type;
+        if (op.is_conditional()) {
+          branch = opts.branch_chooser ? opts.branch_chooser(op, cur.iter, rng)
+                                       : 0;
+          wcet = op.branches.at(branch).wcet.at(type);
+        } else {
+          wcet = op.wcet.at(type);
+        }
+        const Time dur = exec_time(op, wcet);
+        result.ops.push_back(
+            OpInstance{ins.op, cur.iter, prog.proc, start, start + dur, branch});
+        cur.t = start + dur;
+        break;
+      }
+      case aaa::InstrKind::kSend:
+        channels[ins.comm].mark_sent(cur.iter, cur.t);
+        break;
+      case aaa::InstrKind::kRecv: {
+        const auto delivered = channels[ins.comm].delivered(cur.iter);
+        if (!delivered) return false;  // blocked on message
+        cur.t = std::max(cur.t, *delivered);
+        break;
+      }
+    }
+    if (++cur.pc == prog.instrs.size()) {
+      cur.pc = 0;
+      ++cur.iter;
+    }
+    return true;
+  };
+
+  // For multi-hop routes the communicators forward autonomously: hop k > 0
+  // becomes ready when hop k-1 delivered, without the intermediate
+  // processor's sequencer in the path.
+  std::vector<std::size_t> prev_hop(sched.comms().size(), kNone);
+  for (std::size_t ci = 0; ci < sched.comms().size(); ++ci) {
+    const aaa::ScheduledComm& sc = sched.comms()[ci];
+    if (sc.hop_index == 0) continue;
+    for (std::size_t cj = 0; cj < sched.comms().size(); ++cj) {
+      const aaa::ScheduledComm& other = sched.comms()[cj];
+      if (other.dep_index == sc.dep_index &&
+          other.hop_index + 1 == sc.hop_index) {
+        prev_hop[ci] = cj;
+        break;
+      }
+    }
+  }
+
+  auto advance_medium = [&](std::size_t mi) -> bool {
+    Cursor& cur = medium_cur[mi];
+    const aaa::CommunicatorProgram& prog = code.communicators[mi];
+    if (cur.done(prog.comms.size(), iters)) return false;
+    const std::size_t ci = prog.comms[cur.pc];
+    const auto sent = prev_hop[ci] == kNone
+                          ? channels[ci].sent(cur.iter)
+                          : channels[prev_hop[ci]].delivered(cur.iter);
+    if (!sent) return false;  // waiting for the sender's signal
+    const aaa::ScheduledComm& sc = sched.comms()[ci];
+    const DataDep& dep = alg.dependencies()[sc.dep_index];
+    const aaa::Medium& medium = arch.medium(prog.medium);
+    const Time start = medium.earliest_start(std::max(cur.t, *sent));
+    const Time end = start + medium.transfer_time(dep.size);
+    channels[ci].mark_delivered(cur.iter, end);
+    result.comms.push_back(CommInstance{ci, cur.iter, start, end});
+    cur.t = end;
+    if (++cur.pc == prog.comms.size()) {
+      cur.pc = 0;
+      ++cur.iter;
+    }
+    return true;
+  };
+
+  // Run to completion or quiescence.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t pi = 0; pi < code.programs.size(); ++pi) {
+      while (advance_proc(pi)) progress = true;
+    }
+    for (std::size_t mi = 0; mi < code.communicators.size(); ++mi) {
+      while (advance_medium(mi)) progress = true;
+    }
+  }
+
+  // Anyone not finished is deadlocked (blocked on a message that will never
+  // arrive) — with well-formed generated code this cannot happen.
+  std::ostringstream blocked;
+  for (std::size_t pi = 0; pi < code.programs.size(); ++pi) {
+    const Cursor& cur = proc_cur[pi];
+    if (!cur.done(code.programs[pi].instrs.size(), iters)) {
+      result.deadlock = true;
+      blocked << "processor " << arch.processor(code.programs[pi].proc).name
+              << " blocked at instr " << cur.pc << " ('"
+              << code.programs[pi].instrs[cur.pc].label << "') iteration "
+              << cur.iter << "; ";
+    }
+  }
+  for (std::size_t mi = 0; mi < code.communicators.size(); ++mi) {
+    const Cursor& cur = medium_cur[mi];
+    if (!cur.done(code.communicators[mi].comms.size(), iters)) {
+      result.deadlock = true;
+      blocked << "medium " << arch.medium(code.communicators[mi].medium).name
+              << " blocked at transfer " << cur.pc << " iteration " << cur.iter
+              << "; ";
+    }
+  }
+  result.deadlock_info = blocked.str();
+
+  // Deterministic report order regardless of the advancing interleaving.
+  std::sort(result.ops.begin(), result.ops.end(),
+            [](const OpInstance& a, const OpInstance& b) {
+              if (a.start != b.start) return a.start < b.start;
+              if (a.proc != b.proc) return a.proc < b.proc;
+              return a.op < b.op;
+            });
+  std::sort(result.comms.begin(), result.comms.end(),
+            [](const CommInstance& a, const CommInstance& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.comm < b.comm;
+            });
+  return result;
+}
+
+}  // namespace ecsim::exec

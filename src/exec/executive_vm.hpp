@@ -1,0 +1,88 @@
+// Executive VM: executes the generated distributed executives (per-processor
+// instruction sequences + per-medium communicator sequences) with
+// *actual* execution times that may be below WCET and with run-time branch
+// choices for conditional operations. Used to validate the claims the paper
+// makes about generated code (deadlock freedom, preserved total order) and
+// to produce the sampling/actuation instants that exhibit jitter.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "aaa/codegen.hpp"
+#include "mathlib/rng.hpp"
+
+namespace ecsim::exec {
+
+using aaa::AlgorithmGraph;
+using aaa::ArchitectureGraph;
+using aaa::GeneratedCode;
+using aaa::kNone;
+using aaa::Operation;
+using aaa::OpId;
+using aaa::ProcId;
+using aaa::Schedule;
+using aaa::Time;
+
+/// Actual execution time of one operation instance given its WCET on the
+/// host processor. Default: exactly WCET.
+using ExecTimeFn =
+    std::function<Time(const Operation&, Time wcet, math::Rng&)>;
+/// Branch selector for conditional operations (per iteration).
+using BranchFn =
+    std::function<std::size_t(const Operation&, std::size_t iter, math::Rng&)>;
+
+struct VmOptions {
+  std::size_t iterations = 1;
+  /// Sensor release period: a sensor op of iteration k cannot start before
+  /// k * period. 0 disables periodic release (free-running).
+  Time period = 0.0;
+  std::uint64_t seed = 1;
+  ExecTimeFn exec_time;     // null => WCET
+  BranchFn branch_chooser;  // null => always branch 0
+};
+
+struct OpInstance {
+  OpId op = 0;
+  std::size_t iteration = 0;
+  ProcId proc = 0;
+  Time start = 0.0;
+  Time end = 0.0;
+  std::size_t branch = kNone;  // taken branch for conditional ops
+};
+
+struct CommInstance {
+  std::size_t comm = 0;  // index into Schedule::comms()
+  std::size_t iteration = 0;
+  Time start = 0.0;
+  Time end = 0.0;
+};
+
+struct VmResult {
+  std::vector<OpInstance> ops;
+  std::vector<CommInstance> comms;
+  bool deadlock = false;
+  std::string deadlock_info;
+
+  /// Completion instants of one operation, ordered by iteration.
+  std::vector<Time> completions(OpId op) const;
+  /// Start instants of one operation, ordered by iteration.
+  std::vector<Time> starts(OpId op) const;
+};
+
+/// Run the executives. Never throws on deadlock — reports it in the result
+/// so tests and experiments can assert on it.
+VmResult run_executives(const AlgorithmGraph& alg,
+                        const ArchitectureGraph& arch, const Schedule& sched,
+                        const GeneratedCode& code, const VmOptions& opts);
+
+/// WCET-fraction sampler: actual = wcet * uniform(lo_frac, 1.0).
+ExecTimeFn uniform_fraction_exec_time(double lo_frac);
+/// Uniformly random branch.
+BranchFn uniform_branch_chooser();
+/// Always the branch with the largest WCET — what the static schedule
+/// reserves; use for exact-WCET conformance runs of conditional algorithms.
+BranchFn worst_case_branch_chooser();
+
+}  // namespace ecsim::exec

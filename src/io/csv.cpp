@@ -1,0 +1,65 @@
+#include "io/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace ecsim::io {
+
+std::string series_csv(const control::Series& series, const std::string& name) {
+  std::ostringstream os;
+  os << "t," << name << "\n";
+  os.precision(12);
+  for (const auto& [t, v] : series) os << t << "," << v << "\n";
+  return os.str();
+}
+
+std::string multi_series_csv(const std::vector<control::Series>& series,
+                       const std::vector<std::string>& names) {
+  if (series.size() != names.size()) {
+    throw std::invalid_argument("multi_series_csv: names/series size mismatch");
+  }
+  std::ostringstream os;
+  os << "t";
+  for (const std::string& n : names) os << "," << n;
+  os << "\n";
+  os.precision(12);
+  std::size_t rows = 0;
+  for (const auto& s : series) rows = std::max(rows, s.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    // Time column from the first series that has this row.
+    bool wrote_t = false;
+    std::ostringstream row;
+    for (const auto& s : series) {
+      if (!wrote_t && r < s.size()) {
+        row << s[r].first;
+        wrote_t = true;
+        break;
+      }
+    }
+    for (const auto& s : series) {
+      row << ",";
+      if (r < s.size()) row << s[r].second;
+    }
+    os << row.str() << "\n";
+  }
+  return os.str();
+}
+
+std::string latency_csv(const latency::LatencySeries& series) {
+  std::ostringstream os;
+  os << "k,instant,latency\n";
+  os.precision(12);
+  for (std::size_t k = 0; k < series.latencies.size(); ++k) {
+    os << k << "," << series.instants[k] << "," << series.latencies[k] << "\n";
+  }
+  return os.str();
+}
+
+bool save_text(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace ecsim::io

@@ -1,0 +1,28 @@
+// CSV exporters: trajectories and latency series as plottable artifacts,
+// plus a tiny save-to-file helper used by the benches and examples.
+#pragma once
+
+#include <string>
+
+#include "control/metrics.hpp"
+#include "latency/latency.hpp"
+
+namespace ecsim::io {
+
+/// "t,<name>\n" header followed by one row per sample.
+std::string series_csv(const control::Series& series,
+                       const std::string& name = "y");
+
+/// Several time-aligned series side by side (shorter series padded with
+/// empty cells).
+std::string multi_series_csv(const std::vector<control::Series>& series,
+                       const std::vector<std::string>& names);
+
+/// "k,instant,latency\n" rows of eq. (1)/(2) data.
+std::string latency_csv(const latency::LatencySeries& series);
+
+/// Write `content` to `path`; returns false (and leaves no partial file
+/// behind it can avoid) on I/O failure.
+bool save_text(const std::string& path, const std::string& content);
+
+}  // namespace ecsim::io

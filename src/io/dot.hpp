@@ -1,0 +1,28 @@
+// Graphviz DOT exporters for the three graph artifacts of the toolchain:
+// the simulation diagram (data wires solid, event wires dashed red — the
+// visual convention of Scicos), the AAA algorithm graph and the architecture
+// graph. Render with `dot -Tsvg`.
+#pragma once
+
+#include <string>
+
+#include "aaa/algorithm_graph.hpp"
+#include "aaa/architecture_graph.hpp"
+#include "aaa/schedule.hpp"
+#include "sim/model.hpp"
+
+namespace ecsim::io {
+
+std::string to_dot(const sim::Model& model, const std::string& name = "model");
+
+std::string to_dot(const aaa::AlgorithmGraph& alg);
+
+std::string to_dot(const aaa::ArchitectureGraph& arch);
+
+/// Gantt-style rendering of a schedule as an HTML-ish DOT table per
+/// component (one rank per processor/medium, boxes labeled with intervals).
+std::string schedule_to_dot(const aaa::AlgorithmGraph& alg,
+                            const aaa::ArchitectureGraph& arch,
+                            const aaa::Schedule& sched);
+
+}  // namespace ecsim::io

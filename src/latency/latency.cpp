@@ -1,0 +1,80 @@
+#include "latency/latency.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace ecsim::latency {
+
+LatencySeries analyze_instants(std::string channel,
+                               const std::vector<Time>& instants, Time ts,
+                               bool assign_by_rounding) {
+  if (ts <= 0.0) throw std::invalid_argument("analyze_instants: ts must be > 0");
+  LatencySeries s;
+  s.channel = std::move(channel);
+  s.instants = instants;
+  s.latencies.reserve(instants.size());
+  for (std::size_t i = 0; i < instants.size(); ++i) {
+    const double k = assign_by_rounding ? std::floor(instants[i] / ts + 1e-9)
+                                        : static_cast<double>(i);
+    s.latencies.push_back(instants[i] - k * ts);
+  }
+  s.summary = math::summarize(s.latencies);
+  s.jitter = math::peak_to_peak(s.latencies);
+  return s;
+}
+
+LatencySeries analyze_block_activations(const sim::Trace& trace,
+                                        const std::string& block, Time ts,
+                                        std::string channel) {
+  const std::vector<Time> instants = trace.activation_times_by_name(block, 0);
+  return analyze_instants(channel.empty() ? block : std::move(channel),
+                          instants, ts);
+}
+
+std::string to_table(const LatencySeries& s, std::size_t max_rows) {
+  std::ostringstream os;
+  os << "channel: " << s.channel << "\n";
+  os << std::setw(6) << "k" << std::setw(14) << "instant" << std::setw(14)
+     << "latency" << "\n";
+  const std::size_t n = std::min(max_rows, s.latencies.size());
+  os << std::fixed << std::setprecision(6);
+  for (std::size_t k = 0; k < n; ++k) {
+    os << std::setw(6) << k << std::setw(14) << s.instants[k] << std::setw(14)
+       << s.latencies[k] << "\n";
+  }
+  if (s.latencies.size() > n) {
+    os << "  ... (" << s.latencies.size() - n << " more)\n";
+  }
+  os << "mean=" << s.summary.mean << " min=" << s.summary.min
+     << " max=" << s.summary.max << " stddev=" << s.summary.stddev
+     << " jitter(p2p)=" << s.jitter << "\n";
+  return os.str();
+}
+
+LatencySeries io_latency(const std::vector<Time>& sampling_instants,
+                         const std::vector<Time>& actuation_instants,
+                         Time ts) {
+  if (ts <= 0.0) throw std::invalid_argument("io_latency: ts must be > 0");
+  LatencySeries s;
+  s.channel = "input-output";
+  const std::size_t n =
+      std::min(sampling_instants.size(), actuation_instants.size());
+  s.instants.reserve(n);
+  s.latencies.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (actuation_instants[k] + 1e-12 < sampling_instants[k]) {
+      throw std::invalid_argument(
+          "io_latency: actuation precedes sampling in period " +
+          std::to_string(k));
+    }
+    s.instants.push_back(actuation_instants[k]);
+    s.latencies.push_back(actuation_instants[k] - sampling_instants[k]);
+  }
+  s.summary = math::summarize(s.latencies);
+  s.jitter = math::peak_to_peak(s.latencies);
+  return s;
+}
+
+}  // namespace ecsim::latency

@@ -1,0 +1,55 @@
+// Sampling/actuation latency analysis — the quantities of Section 2:
+//   Ls_j(k) = I_j(k) - k*Ts   (eq. 1, sampling latency)
+//   La_j(k) = O_j(k) - k*Ts   (eq. 2, actuation latency)
+// where I_j(k) / O_j(k) are the instants at which the j-th input sampling /
+// output actuation completed in period k. Instants come either from a sim
+// Trace (graph-of-delays co-simulation) or from an executive VM run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mathlib/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace ecsim::latency {
+
+using sim::Time;
+
+/// Per-period latencies of one input or output channel.
+struct LatencySeries {
+  std::string channel;        // e.g. "y0 sampling" or "u0 actuation"
+  std::vector<Time> instants; // I_j(k) or O_j(k), ordered by k
+  std::vector<Time> latencies;  // instants[k] - k*Ts
+  math::Summary summary;      // over latencies
+  double jitter = 0.0;        // peak-to-peak of latencies
+};
+
+/// Compute latencies from raw completion instants. Each instant is assigned
+/// to its period k = round(instant / ts) when `assign_by_rounding` is true
+/// (robust to instants slightly after the period boundary), otherwise
+/// instant i is period i (strict ordering, the SynDEx case where every
+/// period produces exactly one instant).
+LatencySeries analyze_instants(std::string channel,
+                               const std::vector<Time>& instants, Time ts,
+                               bool assign_by_rounding = false);
+
+/// Extract the activation instants of a named block's event input from a
+/// trace and run analyze_instants. For a SampleHold named `block`, event
+/// input 0 activations are exactly the I/O instants of eqs. (1)-(2).
+LatencySeries analyze_block_activations(const sim::Trace& trace,
+                                        const std::string& block, Time ts,
+                                        std::string channel = "");
+
+/// Formatted table: k | instant | latency, followed by the summary row.
+std::string to_table(const LatencySeries& s, std::size_t max_rows = 20);
+
+/// Input-to-output latency per period: L_io(k) = O(k) - I(k), the delay the
+/// control signal actually experiences between measure and reaction (the
+/// quantity Cervin et al. call the input-output latency). Both series must
+/// have one instant per period; the shorter length wins.
+LatencySeries io_latency(const std::vector<Time>& sampling_instants,
+                         const std::vector<Time>& actuation_instants,
+                         Time ts);
+
+}  // namespace ecsim::latency

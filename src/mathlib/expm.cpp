@@ -1,0 +1,52 @@
+#include "mathlib/expm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mathlib/linalg.hpp"
+
+namespace ecsim::math {
+
+Matrix expm(const Matrix& a) {
+  if (!a.is_square()) throw std::invalid_argument("expm: non-square matrix");
+  const std::size_t n = a.rows();
+  if (n == 0) return a;
+
+  // Scale so that ||A/2^s||_inf <= 0.5.
+  int s = 0;
+  const double norm = a.norm_inf();
+  if (norm > 0.5) {
+    s = static_cast<int>(std::ceil(std::log2(norm / 0.5)));
+    s = std::max(s, 0);
+  }
+  Matrix x = a;
+  x *= std::pow(2.0, -s);
+
+  // Degree-6 diagonal Pade: N(x)/D(x) with coefficients c_k.
+  // c_0..c_6 for p=q=6: c_k = ((2q-k)! q!) / ((2q)! k! (q-k)!)
+  const double c[7] = {1.0,
+                       0.5,
+                       0.11363636363636365,      // 15/132
+                       0.015151515151515152,     // 20/1320
+                       1.2626262626262627e-3,    // 15/11880
+                       6.313131313131313e-5,     // 6/95040
+                       1.5031265031265032e-6};   // 720/479001600
+
+  const Matrix ident = Matrix::identity(n);
+  Matrix x2 = x * x;
+  Matrix x4 = x2 * x2;
+  Matrix x6 = x4 * x2;
+  // Even part E = c0 I + c2 X^2 + c4 X^4 + c6 X^6
+  Matrix even = c[0] * ident + c[2] * x2 + c[4] * x4 + c[6] * x6;
+  // Odd part O = X (c1 I + c3 X^2 + c5 X^4)
+  Matrix odd = x * (c[1] * ident + c[3] * x2 + c[5] * x4);
+  // N = E + O, D = E - O;  e^x ~ D^-1 N
+  Matrix numer = even + odd;
+  Matrix denom = even - odd;
+  Matrix result = solve(denom, numer);
+
+  for (int i = 0; i < s; ++i) result = result * result;
+  return result;
+}
+
+}  // namespace ecsim::math

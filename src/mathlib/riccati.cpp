@@ -1,0 +1,75 @@
+#include "mathlib/riccati.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mathlib/linalg.hpp"
+
+namespace ecsim::math {
+
+Matrix solve_dare(const Matrix& a, const Matrix& b, const Matrix& q,
+                  const Matrix& r, const RiccatiOptions& opts) {
+  const std::size_t n = a.rows();
+  if (!a.is_square() || b.rows() != n || !q.is_square() || q.rows() != n ||
+      !r.is_square() || r.rows() != b.cols()) {
+    throw std::invalid_argument("solve_dare: inconsistent dimensions");
+  }
+  // Structure-preserving doubling algorithm (SDA): quadratically convergent
+  // even for closed-loop poles arbitrarily close to the unit circle (slow
+  // plants at short sampling periods), where fixed-point iteration of the
+  // Riccati difference equation stalls.
+  //   G0 = B R^-1 B',  H0 = Q,  A0 = A
+  //   M  = (I + Gk Hk)^-1
+  //   A+ = Ak M Ak,  G+ = Gk + Ak M Gk Ak',  H+ = Hk + Ak' Hk M Ak
+  // Hk converges to the stabilizing solution P.
+  const Matrix ident = Matrix::identity(n);
+  Matrix ak = a;
+  Matrix g = b * solve(r, b.transpose());
+  Matrix h = q;
+  // SDA iteration count ~ log2 of the fixed-point count; 100 is generous.
+  const int max_doublings = std::min(opts.max_iterations, 100);
+  for (int it = 0; it < max_doublings; ++it) {
+    const Matrix m = solve(ident + g * h, ident);  // (I + G H)^-1
+    const Matrix am = ak * m;
+    Matrix h_next = h + ak.transpose() * h * m * ak;
+    Matrix g_next = g + am * g * ak.transpose();
+    Matrix a_next = am * ak;
+    // Symmetrize to damp numerical drift.
+    h_next = 0.5 * (h_next + h_next.transpose());
+    g_next = 0.5 * (g_next + g_next.transpose());
+    if (!std::isfinite(h_next.norm()) || !std::isfinite(a_next.norm()) ||
+        h_next.max_abs() > 1e160) {
+      throw std::runtime_error(
+          "solve_dare: iteration diverged (pair likely not stabilizable)");
+    }
+    const double delta = (h_next - h).max_abs();
+    const double scale = std::max(1.0, h.max_abs());
+    h = std::move(h_next);
+    g = std::move(g_next);
+    ak = std::move(a_next);
+    if (delta < opts.tolerance * scale) return h;
+  }
+  throw std::runtime_error("solve_dare: iteration did not converge");
+}
+
+Matrix solve_dlyap(const Matrix& a, const Matrix& q,
+                   const RiccatiOptions& opts) {
+  if (!a.is_square() || !q.same_shape(a)) {
+    throw std::invalid_argument("solve_dlyap: inconsistent dimensions");
+  }
+  // X = sum_k A^k Q (A')^k with doubling: X <- X + M X M', M <- M*M.
+  Matrix x = q;
+  Matrix m = a;
+  for (int it = 0; it < 200; ++it) {
+    const Matrix term = m * x * m.transpose();
+    if (term.max_abs() < opts.tolerance) return x;
+    x += term;
+    m = m * m;
+    if (m.max_abs() > 1e12) {
+      throw std::runtime_error("solve_dlyap: A is not Schur stable");
+    }
+  }
+  throw std::runtime_error("solve_dlyap: did not converge");
+}
+
+}  // namespace ecsim::math

@@ -1,0 +1,28 @@
+// Discrete-time algebraic Riccati and Lyapunov equation solvers by fixed-point
+// iteration of the corresponding difference equations. Sufficient for the
+// stabilizable/detectable low-order systems used in control design here.
+#pragma once
+
+#include "mathlib/matrix.hpp"
+
+namespace ecsim::math {
+
+struct RiccatiOptions {
+  int max_iterations = 100000;
+  double tolerance = 1e-12;  // convergence threshold on max|P_{k+1}-P_k|
+};
+
+/// Solve the discrete-time algebraic Riccati equation
+///   P = A'PA - A'PB (R + B'PB)^-1 B'PA + Q
+/// by iterating the Riccati difference equation until convergence.
+/// Throws std::runtime_error if the iteration does not converge (e.g. the
+/// pair (A, B) is not stabilizable).
+Matrix solve_dare(const Matrix& a, const Matrix& b, const Matrix& q,
+                  const Matrix& r, const RiccatiOptions& opts = {});
+
+/// Solve the discrete Lyapunov equation  X = A X A' + Q  by accumulation
+/// (converges iff spectral_radius(A) < 1).
+Matrix solve_dlyap(const Matrix& a, const Matrix& q,
+                   const RiccatiOptions& opts = {});
+
+}  // namespace ecsim::math

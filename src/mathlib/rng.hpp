@@ -1,0 +1,42 @@
+// Deterministic random number generation for reproducible experiments.
+// All stochastic components (execution-time models, workload generators)
+// take an explicit Rng so every run is seed-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ecsim::math {
+
+/// Thin deterministic PRNG (xoshiro256** core) with the distributions the
+/// simulator needs. Not std::mt19937 so that streams are stable across
+/// standard library implementations.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  std::uint64_t next_u64();
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Standard normal via Box-Muller.
+  double normal();
+  double normal(double mean, double stddev);
+  /// Bernoulli with probability p of true.
+  bool bernoulli(double p);
+  /// Truncated normal in [lo, hi] by rejection (falls back to clamping
+  /// after 64 rejections to stay O(1)).
+  double truncated_normal(double mean, double stddev, double lo, double hi);
+  /// Pick an index in [0, weights.size()) with probability ~ weights[i].
+  std::size_t categorical(const std::vector<double>& weights);
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace ecsim::math

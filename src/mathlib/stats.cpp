@@ -1,0 +1,62 @@
+#include "mathlib/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ecsim::math {
+
+Summary summarize(const std::vector<double>& sample) {
+  Summary s;
+  s.count = sample.size();
+  if (sample.empty()) return s;
+  double sum = 0.0;
+  s.min = sample.front();
+  s.max = sample.front();
+  for (double v : sample) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(sample.size());
+  if (sample.size() > 1) {
+    double ss = 0.0;
+    for (double v : sample) ss += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(sample.size() - 1));
+  }
+  s.median = quantile(sample, 0.5);
+  s.p95 = quantile(sample, 0.95);
+  return s;
+}
+
+double quantile(std::vector<double> sample, double q) {
+  if (sample.empty()) throw std::invalid_argument("quantile: empty sample");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q out of range");
+  std::sort(sample.begin(), sample.end());
+  const double pos = q * static_cast<double>(sample.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sample[lo] * (1.0 - frac) + sample[hi] * frac;
+}
+
+double peak_to_peak(const std::vector<double>& sample) {
+  if (sample.empty()) return 0.0;
+  const auto [mn, mx] = std::minmax_element(sample.begin(), sample.end());
+  return *mx - *mn;
+}
+
+std::vector<std::size_t> histogram(const std::vector<double>& sample, double lo,
+                                   double hi, std::size_t bins) {
+  if (bins == 0 || hi <= lo) throw std::invalid_argument("histogram: bad range");
+  std::vector<std::size_t> h(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double v : sample) {
+    auto idx = static_cast<long>((v - lo) / width);
+    idx = std::clamp(idx, 0L, static_cast<long>(bins) - 1);
+    ++h[static_cast<std::size_t>(idx)];
+  }
+  return h;
+}
+
+}  // namespace ecsim::math

@@ -1,0 +1,33 @@
+// Descriptive statistics used by latency/jitter analysis and benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ecsim::math {
+
+/// Summary statistics over a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p95 = 0.0;  // 95th percentile (nearest-rank on sorted sample)
+};
+
+Summary summarize(const std::vector<double>& sample);
+
+/// q-quantile (0<=q<=1) by linear interpolation on the sorted sample.
+double quantile(std::vector<double> sample, double q);
+
+/// Peak-to-peak jitter: max - min.
+double peak_to_peak(const std::vector<double>& sample);
+
+/// Histogram with `bins` equal-width bins over [lo, hi]; values outside are
+/// clamped into the end bins.
+std::vector<std::size_t> histogram(const std::vector<double>& sample,
+                                   double lo, double hi, std::size_t bins);
+
+}  // namespace ecsim::math

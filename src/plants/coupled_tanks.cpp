@@ -1,0 +1,20 @@
+#include "plants/coupled_tanks.hpp"
+
+#include <stdexcept>
+
+namespace ecsim::plants {
+
+control::StateSpace coupled_tanks(const CoupledTanksParams& p) {
+  if (p.a1 <= 0.0 || p.a2 <= 0.0) {
+    throw std::invalid_argument("coupled_tanks: outflow rates must be > 0");
+  }
+  control::StateSpace sys;
+  sys.a = control::Matrix{{-p.a1, 0.0}, {p.a1, -p.a2}};
+  sys.b = control::Matrix{{p.pump_gain}, {0.0}};
+  sys.c = control::Matrix{{0.0, 1.0}};
+  sys.d = control::Matrix{{0.0}};
+  sys.validate();
+  return sys;
+}
+
+}  // namespace ecsim::plants

@@ -1,0 +1,18 @@
+// Coupled two-tank level process (linearized) — a slow chemical-process
+// plant contrasting with the fast electromechanical benchmarks.
+#pragma once
+
+#include "control/state_space.hpp"
+
+namespace ecsim::plants {
+
+struct CoupledTanksParams {
+  double a1 = 0.05;    // tank 1 outflow rate [1/s]
+  double a2 = 0.04;    // tank 2 outflow rate [1/s]
+  double pump_gain = 0.1;  // inflow per unit pump command
+};
+
+/// States: [level h1, level h2]; input: pump command; output: h2.
+control::StateSpace coupled_tanks(const CoupledTanksParams& p = {});
+
+}  // namespace ecsim::plants

@@ -1,0 +1,19 @@
+#include "plants/dc_servo.hpp"
+
+#include <stdexcept>
+
+namespace ecsim::plants {
+
+control::StateSpace dc_servo(const DcServoParams& p) {
+  if (p.tau <= 0.0) throw std::invalid_argument("dc_servo: tau must be > 0");
+  control::StateSpace sys;
+  // G(s) = k/(s(tau s + 1)):  x1' = x2, x2' = (-x2 + k u)/tau, y = x1.
+  sys.a = control::Matrix{{0.0, 1.0}, {0.0, -1.0 / p.tau}};
+  sys.b = control::Matrix{{0.0}, {p.gain / p.tau}};
+  sys.c = control::Matrix{{1.0, 0.0}};
+  sys.d = control::Matrix{{0.0}};
+  sys.validate();
+  return sys;
+}
+
+}  // namespace ecsim::plants

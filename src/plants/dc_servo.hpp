@@ -1,0 +1,18 @@
+// DC servo benchmark G(s) = k / (s (tau s + 1)) — the canonical plant of
+// Cervin et al., "How does control timing affect performance?" (paper ref
+// [2]); default k=1000, tau=1 gives G(s) = 1000/(s(s+1)).
+#pragma once
+
+#include "control/state_space.hpp"
+
+namespace ecsim::plants {
+
+struct DcServoParams {
+  double gain = 1000.0;
+  double tau = 1.0;
+};
+
+/// States: [position, velocity]; input: armature voltage; output: position.
+control::StateSpace dc_servo(const DcServoParams& p = {});
+
+}  // namespace ecsim::plants

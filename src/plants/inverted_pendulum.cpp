@@ -1,0 +1,31 @@
+#include "plants/inverted_pendulum.hpp"
+
+#include <stdexcept>
+
+namespace ecsim::plants {
+
+control::StateSpace inverted_pendulum(const PendulumParams& p) {
+  if (p.cart_mass <= 0.0 || p.pole_mass <= 0.0 || p.pole_length <= 0.0 ||
+      p.inertia <= 0.0) {
+    throw std::invalid_argument("inverted_pendulum: masses/length must be > 0");
+  }
+  const double m = p.pole_mass, big_m = p.cart_mass, l = p.pole_length;
+  const double i = p.inertia, b = p.cart_friction, g = p.gravity;
+  // Standard upright linearization; q = (M+m)(I+ml^2) - (ml)^2.
+  const double q = (big_m + m) * (i + m * l * l) - (m * l) * (m * l);
+
+  control::StateSpace sys;
+  sys.a = control::Matrix{
+      {0.0, 1.0, 0.0, 0.0},
+      {0.0, -(i + m * l * l) * b / q, m * m * g * l * l / q, 0.0},
+      {0.0, 0.0, 0.0, 1.0},
+      {0.0, -m * l * b / q, m * g * l * (big_m + m) / q, 0.0}};
+  sys.b =
+      control::Matrix{{0.0}, {(i + m * l * l) / q}, {0.0}, {m * l / q}};
+  sys.c = control::Matrix{{1.0, 0.0, 0.0, 0.0}, {0.0, 0.0, 1.0, 0.0}};
+  sys.d = control::Matrix::zeros(2, 1);
+  sys.validate();
+  return sys;
+}
+
+}  // namespace ecsim::plants

@@ -1,0 +1,21 @@
+// Inverted pendulum on a cart, linearized about the upright equilibrium.
+#pragma once
+
+#include "control/state_space.hpp"
+
+namespace ecsim::plants {
+
+struct PendulumParams {
+  double cart_mass = 0.5;     // M [kg]
+  double pole_mass = 0.2;     // m [kg]
+  double pole_length = 0.3;   // l: distance pivot -> pole COM [m]
+  double cart_friction = 0.1; // b [N/(m/s)]
+  double inertia = 0.006;     // I: pole inertia about COM [kg m^2]
+  double gravity = 9.81;
+};
+
+/// States: [cart position, cart velocity, pole angle, pole angular velocity];
+/// input: horizontal force on the cart; outputs: [cart position, pole angle].
+control::StateSpace inverted_pendulum(const PendulumParams& p = {});
+
+}  // namespace ecsim::plants

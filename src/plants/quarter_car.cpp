@@ -1,0 +1,29 @@
+#include "plants/quarter_car.hpp"
+
+#include <stdexcept>
+
+namespace ecsim::plants {
+
+control::StateSpace quarter_car(const QuarterCarParams& p) {
+  if (p.sprung_mass <= 0.0 || p.unsprung_mass <= 0.0) {
+    throw std::invalid_argument("quarter_car: masses must be > 0");
+  }
+  const double ms = p.sprung_mass, mu = p.unsprung_mass;
+  const double ks = p.spring, bs = p.damper, kt = p.tire_stiffness;
+  // ms zs'' = -ks (zs - zu) - bs (zs' - zu') + u
+  // mu zu'' =  ks (zs - zu) + bs (zs' - zu') - kt (zu - zr) - u
+  control::StateSpace sys;
+  sys.a = control::Matrix{
+      {0.0, 1.0, 0.0, 0.0},
+      {-ks / ms, -bs / ms, ks / ms, bs / ms},
+      {0.0, 0.0, 0.0, 1.0},
+      {ks / mu, bs / mu, -(ks + kt) / mu, -bs / mu}};
+  sys.b = control::Matrix{
+      {0.0, 0.0}, {1.0 / ms, 0.0}, {0.0, 0.0}, {-1.0 / mu, kt / mu}};
+  sys.c = control::Matrix{{1.0, 0.0, 0.0, 0.0}, {1.0, 0.0, -1.0, 0.0}};
+  sys.d = control::Matrix::zeros(2, 2);
+  sys.validate();
+  return sys;
+}
+
+}  // namespace ecsim::plants

@@ -1,0 +1,23 @@
+// Quarter-car active suspension — the automotive workload motivating the
+// paper's industrial context (ref [4]: Sensors & Actuators for Advanced
+// Automotive Applications).
+#pragma once
+
+#include "control/state_space.hpp"
+
+namespace ecsim::plants {
+
+struct QuarterCarParams {
+  double sprung_mass = 300.0;     // ms: body quarter mass [kg]
+  double unsprung_mass = 40.0;    // mu: wheel assembly [kg]
+  double spring = 16000.0;        // ks [N/m]
+  double damper = 1000.0;         // bs [N s/m]
+  double tire_stiffness = 190000.0;  // kt [N/m]
+};
+
+/// States: [body disp zs, body vel, wheel disp zu, wheel vel];
+/// inputs: [actuator force u, road displacement zr];
+/// outputs: [body displacement, suspension deflection zs - zu].
+control::StateSpace quarter_car(const QuarterCarParams& p = {});
+
+}  // namespace ecsim::plants

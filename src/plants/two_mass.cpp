@@ -1,0 +1,28 @@
+#include "plants/two_mass.hpp"
+
+#include <stdexcept>
+
+namespace ecsim::plants {
+
+control::StateSpace two_mass(const TwoMassParams& p) {
+  if (p.motor_inertia <= 0.0 || p.load_inertia <= 0.0) {
+    throw std::invalid_argument("two_mass: inertias must be > 0");
+  }
+  const double j1 = p.motor_inertia, j2 = p.load_inertia;
+  const double k = p.stiffness, c = p.damping, b = p.motor_friction;
+  // J1 w1' = -k (th1 - th2) - c (w1 - w2) - b w1 + u
+  // J2 w2' =  k (th1 - th2) + c (w1 - w2)
+  control::StateSpace sys;
+  sys.a = control::Matrix{
+      {0.0, 1.0, 0.0, 0.0},
+      {-k / j1, -(c + b) / j1, k / j1, c / j1},
+      {0.0, 0.0, 0.0, 1.0},
+      {k / j2, c / j2, -k / j2, -c / j2}};
+  sys.b = control::Matrix{{0.0}, {1.0 / j1}, {0.0}, {0.0}};
+  sys.c = control::Matrix{{0.0, 0.0, 1.0, 0.0}, {0.0, 1.0, 0.0, 0.0}};
+  sys.d = control::Matrix::zeros(2, 1);
+  sys.validate();
+  return sys;
+}
+
+}  // namespace ecsim::plants

@@ -1,0 +1,21 @@
+// Two-mass flexible servo drive: motor inertia coupled to a load inertia
+// through a compliant shaft — classic resonant mechatronic plant.
+#pragma once
+
+#include "control/state_space.hpp"
+
+namespace ecsim::plants {
+
+struct TwoMassParams {
+  double motor_inertia = 0.0023;  // J1 [kg m^2]
+  double load_inertia = 0.0023;   // J2 [kg m^2]
+  double stiffness = 2.8;         // k [N m/rad]
+  double damping = 0.0022;        // c [N m s/rad]
+  double motor_friction = 0.001;  // viscous friction at the motor
+};
+
+/// States: [theta1, omega1, theta2, omega2]; input: motor torque;
+/// outputs: [load angle theta2, motor speed omega1].
+control::StateSpace two_mass(const TwoMassParams& p = {});
+
+}  // namespace ecsim::plants

@@ -1,0 +1,7 @@
+#include "sim/block.hpp"
+
+// Block is header-only apart from the vtable; Context methods live in
+// simulator.cpp where the buffers they touch are defined. This translation
+// unit anchors Block's vtable and the library target.
+
+namespace ecsim::sim {}  // namespace ecsim::sim

@@ -1,0 +1,28 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+
+namespace ecsim::sim {
+
+void EventQueue::push(Time t, std::size_t block, std::size_t event_in) {
+  heap_.push(ScheduledEvent{t, next_seq_++, block, event_in});
+}
+
+Time EventQueue::next_time() const {
+  if (heap_.empty()) throw std::logic_error("EventQueue::next_time: empty");
+  return heap_.top().time;
+}
+
+ScheduledEvent EventQueue::pop() {
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop: empty");
+  ScheduledEvent e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+  next_seq_ = 0;
+}
+
+}  // namespace ecsim::sim

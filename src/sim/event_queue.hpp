@@ -1,0 +1,45 @@
+// Time-ordered event queue. Ties at the same instant are broken by insertion
+// sequence number, which makes simultaneous-event processing deterministic
+// and causally ordered (an event emitted with zero delay during dispatch is
+// processed after the events already pending at that instant).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace ecsim::sim {
+
+struct ScheduledEvent {
+  Time time = 0.0;
+  std::uint64_t seq = 0;      // tie-break: FIFO among simultaneous events
+  std::size_t block = 0;      // destination block index
+  std::size_t event_in = 0;   // destination event input port
+};
+
+class EventQueue {
+ public:
+  void push(Time t, std::size_t block, std::size_t event_in);
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  /// Earliest pending event time; queue must be non-empty.
+  Time next_time() const;
+  /// Remove and return the earliest event (FIFO among ties).
+  ScheduledEvent pop();
+  void clear();
+
+ private:
+  struct Later {
+    bool operator()(const ScheduledEvent& a, const ScheduledEvent& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<ScheduledEvent, std::vector<ScheduledEvent>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ecsim::sim

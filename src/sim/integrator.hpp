@@ -1,0 +1,36 @@
+// ODE integration strategies for the continuous part of the hybrid model.
+// The simulator integrates the packed continuous state between event times;
+// derivative evaluation re-runs the combinational (feedthrough) network.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace ecsim::sim {
+
+/// dxdt(t, x, dx): write the derivative of `x` at time `t` into `dx`.
+using DerivFn =
+    std::function<void(Time, const std::vector<double>&, std::vector<double>&)>;
+
+enum class IntegratorKind {
+  kRk4,    // classic fixed-step Runge-Kutta 4
+  kRkf45,  // Runge-Kutta-Fehlberg 4(5) with adaptive step
+};
+
+struct IntegratorOptions {
+  IntegratorKind kind = IntegratorKind::kRk4;
+  double max_step = 1e-3;   // upper bound on any step (both kinds)
+  double rel_tol = 1e-8;    // RKF45 only
+  double abs_tol = 1e-10;   // RKF45 only
+  double min_step = 1e-12;  // RKF45 safety floor
+};
+
+/// Advance `x` from t0 to t1 (t1 >= t0) under the chosen scheme. The final
+/// step is shortened to land exactly on t1, so event times are never
+/// overstepped.
+void integrate(const IntegratorOptions& opts, const DerivFn& dxdt, Time t0,
+               Time t1, std::vector<double>& x);
+
+}  // namespace ecsim::sim

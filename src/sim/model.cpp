@@ -1,0 +1,67 @@
+#include "sim/model.hpp"
+
+namespace ecsim::sim {
+
+Block& Model::add_block(std::unique_ptr<Block> b) {
+  if (!b) throw std::invalid_argument("Model::add_block: null block");
+  blocks_.push_back(std::move(b));
+  return *blocks_.back();
+}
+
+std::size_t Model::index_of(const Block& b) const {
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i].get() == &b) return i;
+  }
+  throw std::invalid_argument("Model::index_of: block not owned by this model");
+}
+
+std::size_t Model::index_by_name(const std::string& name) const {
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i]->name() == name) return i;
+  }
+  throw std::out_of_range("Model::index_by_name: no block named '" + name + "'");
+}
+
+void Model::connect(const Block& from, std::size_t out, const Block& to,
+                    std::size_t in) {
+  const std::size_t fi = index_of(from);
+  const std::size_t ti = index_of(to);
+  if (out >= from.num_outputs()) {
+    throw std::out_of_range("Model::connect: output port out of range on '" +
+                            from.name() + "'");
+  }
+  if (in >= to.num_inputs()) {
+    throw std::out_of_range("Model::connect: input port out of range on '" +
+                            to.name() + "'");
+  }
+  if (from.output_width(out) != to.input_width(in)) {
+    throw std::invalid_argument("Model::connect: width mismatch between '" +
+                                from.name() + "' and '" + to.name() + "'");
+  }
+  for (const auto& w : data_wires_) {
+    if (w.to.block == ti && w.to.port == in) {
+      throw std::invalid_argument("Model::connect: input already driven on '" +
+                                  to.name() + "'");
+    }
+  }
+  data_wires_.push_back(DataWire{{fi, out}, {ti, in}});
+}
+
+void Model::connect_event(const Block& from, std::size_t evt_out,
+                          const Block& to, std::size_t evt_in) {
+  const std::size_t fi = index_of(from);
+  const std::size_t ti = index_of(to);
+  if (evt_out >= from.num_event_outputs()) {
+    throw std::out_of_range(
+        "Model::connect_event: event output out of range on '" + from.name() +
+        "'");
+  }
+  if (evt_in >= to.num_event_inputs()) {
+    throw std::out_of_range(
+        "Model::connect_event: event input out of range on '" + to.name() +
+        "'");
+  }
+  event_wires_.push_back(EventWire{{fi, evt_out}, {ti, evt_in}});
+}
+
+}  // namespace ecsim::sim

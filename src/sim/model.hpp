@@ -1,0 +1,63 @@
+// Model: owns the blocks and the wiring between their ports; the structural
+// half of a simulation (the dynamic half is Simulator). Mirrors a Scicos
+// diagram: data wires carry signal values, event wires carry activations.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/block.hpp"
+#include "sim/port.hpp"
+
+namespace ecsim::sim {
+
+class Model {
+ public:
+  /// Construct a block of type B in place and take ownership. Returns a
+  /// reference valid for the model's lifetime.
+  template <typename B, typename... Args>
+  B& add(Args&&... args) {
+    static_assert(std::is_base_of_v<Block, B>, "B must derive from Block");
+    auto owned = std::make_unique<B>(std::forward<Args>(args)...);
+    B& ref = *owned;
+    blocks_.push_back(std::move(owned));
+    return ref;
+  }
+
+  /// Take ownership of an already-constructed block.
+  Block& add_block(std::unique_ptr<Block> b);
+
+  /// Connect data output `out` of `from` to data input `in` of `to`.
+  /// Each input accepts at most one wire; widths must match.
+  void connect(const Block& from, std::size_t out, const Block& to,
+               std::size_t in);
+
+  /// Connect event output `evt_out` of `from` to event input `evt_in` of
+  /// `to`. Event outputs may fan out to any number of inputs.
+  void connect_event(const Block& from, std::size_t evt_out, const Block& to,
+                     std::size_t evt_in);
+
+  std::size_t num_blocks() const { return blocks_.size(); }
+  Block& block(std::size_t i) { return *blocks_.at(i); }
+  const Block& block(std::size_t i) const { return *blocks_.at(i); }
+
+  /// Index of a block owned by this model; throws if foreign.
+  std::size_t index_of(const Block& b) const;
+
+  /// Find a block by name; throws std::out_of_range if absent or ambiguous
+  /// lookup is needed (names should be unique for traceability).
+  std::size_t index_by_name(const std::string& name) const;
+
+  const std::vector<DataWire>& data_wires() const { return data_wires_; }
+  const std::vector<EventWire>& event_wires() const { return event_wires_; }
+
+ private:
+  std::vector<std::unique_ptr<Block>> blocks_;
+  std::vector<DataWire> data_wires_;
+  std::vector<EventWire> event_wires_;
+};
+
+}  // namespace ecsim::sim

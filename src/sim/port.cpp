@@ -1,0 +1,3 @@
+#include "sim/port.hpp"
+
+// Wiring types are header-only; this translation unit anchors the target.

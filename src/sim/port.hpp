@@ -1,0 +1,37 @@
+// Port and wiring descriptors shared by Block, Model and Simulator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ecsim::sim {
+
+/// Width (number of scalar lanes) of a data port.
+struct PortSpec {
+  std::size_t width = 1;
+};
+
+/// Identifies one data port of one block inside a Model.
+struct PortRef {
+  std::size_t block = 0;
+  std::size_t port = 0;
+
+  friend bool operator==(const PortRef&, const PortRef&) = default;
+};
+
+/// A data connection: exactly one producer output feeds a consumer input.
+struct DataWire {
+  PortRef from;  // (block, output port)
+  PortRef to;    // (block, input port)
+};
+
+/// An event connection: an event output fans out to many event inputs.
+struct EventWire {
+  PortRef from;  // (block, event output port)
+  PortRef to;    // (block, event input port)
+};
+
+/// Sentinel for "unconnected".
+inline constexpr std::size_t kUnconnected = static_cast<std::size_t>(-1);
+
+}  // namespace ecsim::sim

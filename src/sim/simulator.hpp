@@ -1,0 +1,101 @@
+// Simulator: executes a Model. Hybrid semantics following Scicos:
+//  - event queue orders discrete activations (deterministic FIFO among ties);
+//  - between event instants the packed continuous state is integrated, with
+//    the combinational (direct-feedthrough) network re-evaluated at every
+//    integration stage in topological order;
+//  - at an event instant, pending events are dispatched one at a time and the
+//    combinational network is refreshed after each, so zero-delay event
+//    chains (the paper's graph of delays) see causally consistent values.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mathlib/rng.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/integrator.hpp"
+#include "sim/model.hpp"
+#include "sim/trace.hpp"
+
+namespace ecsim::sim {
+
+struct SimOptions {
+  Time end_time = 1.0;
+  IntegratorOptions integrator;
+  std::uint64_t seed = 1;
+  /// Hard cap on dispatched events; exceeding it aborts the run with an
+  /// exception (guards against runaway zero-delay loops).
+  std::size_t max_events = 20'000'000;
+};
+
+class Simulator {
+ public:
+  /// Compiles the model: resolves wiring, orders the feedthrough network
+  /// (throws on algebraic loops), packs continuous states. The model must
+  /// outlive the simulator and must not be structurally modified afterwards.
+  explicit Simulator(Model& model, SimOptions opts = {});
+
+  /// Run from t=0 to opts.end_time. May be called repeatedly; each call
+  /// restarts from a clean initial state (blocks re-initialize).
+  Trace& run();
+
+  Trace& trace() { return trace_; }
+  const Trace& trace() const { return trace_; }
+  Time current_time() const { return time_; }
+  std::size_t events_dispatched() const { return events_dispatched_; }
+
+  /// Final (or current) value of a data output lane — test convenience.
+  double output_value(const Block& b, std::size_t port,
+                      std::size_t lane = 0) const;
+
+  const Model& model() const { return model_; }
+
+ private:
+  friend class Context;
+
+  struct InputSource {
+    std::size_t block = kUnconnected;  // producer block (kUnconnected: none)
+    std::size_t port = 0;
+    std::size_t width = 0;
+  };
+
+  void compile();
+  void refresh_outputs(Time t);
+  void dispatch(const ScheduledEvent& e);
+  void evaluate_derivatives(Time t, const std::vector<double>& x,
+                            std::vector<double>& dx);
+
+  // Context backends.
+  std::span<const double> ctx_input(std::size_t block, std::size_t port) const;
+  std::span<double> ctx_output(std::size_t block, std::size_t port);
+  std::span<const double> ctx_state(std::size_t block) const;
+  std::span<double> ctx_state_mut(std::size_t block);
+  void ctx_emit(std::size_t block, std::size_t event_out, Time at);
+  void ctx_schedule_self(std::size_t block, std::size_t event_in, Time at);
+
+  Model& model_;
+  SimOptions opts_;
+  math::Rng rng_;
+  Trace trace_;
+  EventQueue queue_;
+
+  // Compiled structure.
+  std::vector<std::vector<InputSource>> input_sources_;  // [block][input]
+  std::vector<std::vector<std::vector<double>>> outputs_;  // [block][port][lane]
+  std::vector<std::size_t> eval_order_;                   // feedthrough topo
+  std::vector<std::size_t> state_offset_;                 // [block]
+  std::size_t total_state_ = 0;
+  // Event fan-out: [block][event_out] -> list of (block, event_in).
+  std::vector<std::vector<std::vector<PortRef>>> event_sinks_;
+
+  // Run state.
+  Time time_ = 0.0;
+  std::vector<double> x_;               // committed continuous state
+  const double* active_x_ = nullptr;    // state viewed by blocks right now
+  bool in_integration_ = false;
+  std::size_t events_dispatched_ = 0;
+  std::vector<double> zeros_;           // backing for unconnected inputs
+};
+
+}  // namespace ecsim::sim

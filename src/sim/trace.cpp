@@ -1,0 +1,55 @@
+#include "sim/trace.hpp"
+
+namespace ecsim::sim {
+
+void Trace::record_event(Time t, std::size_t block, std::size_t event_in,
+                         const std::string& name) {
+  events_.push_back(EventRecord{t, block, event_in, name});
+}
+
+void Trace::record_signal(Time t, std::size_t block,
+                          std::vector<double> values) {
+  signals_.push_back(SignalRecord{t, block, std::move(values)});
+}
+
+std::vector<Time> Trace::activation_times(std::size_t block,
+                                          std::size_t event_in) const {
+  std::vector<Time> out;
+  for (const auto& e : events_) {
+    if (e.block == block &&
+        (event_in == static_cast<std::size_t>(-1) || e.event_in == event_in)) {
+      out.push_back(e.time);
+    }
+  }
+  return out;
+}
+
+std::vector<Time> Trace::activation_times_by_name(const std::string& name,
+                                                  std::size_t event_in) const {
+  std::vector<Time> out;
+  for (const auto& e : events_) {
+    if (e.block_name == name &&
+        (event_in == static_cast<std::size_t>(-1) || e.event_in == event_in)) {
+      out.push_back(e.time);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<Time, double>> Trace::series(std::size_t block,
+                                                   std::size_t component) const {
+  std::vector<std::pair<Time, double>> out;
+  for (const auto& s : signals_) {
+    if (s.block == block && component < s.values.size()) {
+      out.emplace_back(s.time, s.values[component]);
+    }
+  }
+  return out;
+}
+
+void Trace::clear() {
+  events_.clear();
+  signals_.clear();
+}
+
+}  // namespace ecsim::sim

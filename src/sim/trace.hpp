@@ -1,0 +1,61 @@
+// Simulation trace: time-stamped records of event dispatches and probed
+// signals. The latency analysis module (eqs. 1-2 of the paper) and all
+// control-performance metrics are computed from these records.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ecsim::sim {
+
+using Time = double;
+
+/// One block activation (an event consumed on an event input port).
+struct EventRecord {
+  Time time = 0.0;
+  std::size_t block = 0;      // block index in the model
+  std::size_t event_in = 0;   // which event input fired
+  std::string block_name;     // convenience copy for reporting
+};
+
+/// One probed signal sample.
+struct SignalRecord {
+  Time time = 0.0;
+  std::size_t block = 0;  // index of the probing block
+  std::vector<double> values;
+};
+
+/// Append-only trace populated by the simulator during a run.
+class Trace {
+ public:
+  void record_event(Time t, std::size_t block, std::size_t event_in,
+                    const std::string& name);
+  void record_signal(Time t, std::size_t block, std::vector<double> values);
+
+  const std::vector<EventRecord>& events() const { return events_; }
+  const std::vector<SignalRecord>& signals() const { return signals_; }
+
+  /// Activation times of a given block (optionally restricted to one event
+  /// input port; pass npos for any port).
+  std::vector<Time> activation_times(
+      std::size_t block,
+      std::size_t event_in = static_cast<std::size_t>(-1)) const;
+
+  /// Same, addressed by block name.
+  std::vector<Time> activation_times_by_name(
+      const std::string& name,
+      std::size_t event_in = static_cast<std::size_t>(-1)) const;
+
+  /// Time series (t, values[component]) of a probe block's records.
+  std::vector<std::pair<Time, double>> series(std::size_t block,
+                                              std::size_t component = 0) const;
+
+  void clear();
+
+ private:
+  std::vector<EventRecord> events_;
+  std::vector<SignalRecord> signals_;
+};
+
+}  // namespace ecsim::sim

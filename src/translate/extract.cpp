@@ -1,0 +1,93 @@
+#include "translate/extract.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace ecsim::translate {
+
+namespace {
+
+aaa::Operation make_operation(const std::string& name, aaa::OpKind kind,
+                              const TimingAnnotations& annot) {
+  aaa::Operation op;
+  op.name = name;
+  op.kind = kind;
+  if (const auto it = annot.wcet.find(name); it != annot.wcet.end()) {
+    op.wcet = it->second;
+  } else {
+    op.wcet["cpu"] = TimingAnnotations::kDefaultWcet;
+  }
+  if (const auto it = annot.binding.find(name); it != annot.binding.end()) {
+    op.bound_processor = it->second;
+  }
+  return op;
+}
+
+}  // namespace
+
+aaa::AlgorithmGraph extract_algorithm(const sim::Model& model,
+                                      const std::vector<std::string>& samplers,
+                                      const std::vector<std::string>& computes,
+                                      const std::vector<std::string>& actuators,
+                                      const TimingAnnotations& annotations,
+                                      aaa::Time period) {
+  aaa::AlgorithmGraph alg("extracted", period);
+
+  // Map model block index -> op id for extracted blocks.
+  std::map<std::size_t, aaa::OpId> op_of_block;
+  auto add_all = [&](const std::vector<std::string>& names, aaa::OpKind kind) {
+    for (const std::string& name : names) {
+      const std::size_t bi = model.index_by_name(name);
+      if (op_of_block.count(bi)) {
+        throw std::invalid_argument("extract_algorithm: block '" + name +
+                                    "' listed twice");
+      }
+      op_of_block[bi] = alg.add_operation(make_operation(name, kind, annotations));
+    }
+  };
+  add_all(samplers, aaa::OpKind::kSensor);
+  add_all(computes, aaa::OpKind::kCompute);
+  add_all(actuators, aaa::OpKind::kActuator);
+
+  // Successor blocks per block over data wires.
+  std::vector<std::vector<std::size_t>> succ(model.num_blocks());
+  for (const sim::DataWire& w : model.data_wires()) {
+    succ[w.from.block].push_back(w.to.block);
+  }
+
+  // For each extracted block, BFS downstream through *unextracted* blocks to
+  // find the extracted consumers of its data. Actuators are sinks of the
+  // algorithm: their data reaches the physical plant, and the path back from
+  // the plant to the samplers is the *physical* feedback loop, not a data
+  // dependency of the software iteration.
+  std::set<std::pair<aaa::OpId, aaa::OpId>> edges;
+  for (const auto& [src_block, src_op] : op_of_block) {
+    if (alg.op(src_op).kind == aaa::OpKind::kActuator) continue;
+    std::vector<std::size_t> frontier = succ[src_block];
+    std::set<std::size_t> visited(frontier.begin(), frontier.end());
+    while (!frontier.empty()) {
+      const std::size_t b = frontier.back();
+      frontier.pop_back();
+      if (const auto it = op_of_block.find(b); it != op_of_block.end()) {
+        if (it->second != src_op) edges.insert({src_op, it->second});
+        continue;  // stop at extracted blocks: they forward via their own op
+      }
+      for (std::size_t nb : succ[b]) {
+        if (visited.insert(nb).second) frontier.push_back(nb);
+      }
+    }
+  }
+  for (const auto& [from, to] : edges) {
+    double size = 1.0;
+    const std::string& producer = alg.op(from).name;
+    if (const auto it = annotations.out_size.find(producer);
+        it != annotations.out_size.end()) {
+      size = it->second;
+    }
+    alg.add_dependency(from, to, size);
+  }
+  return alg;
+}
+
+}  // namespace ecsim::translate

@@ -1,0 +1,42 @@
+// Scicos -> SynDEx direction of the ECLIPSE translator: extract the discrete
+// control part of a simulation model (samplers, computations, actuators and
+// the data flow between them) into an AAA algorithm graph, attaching the
+// designer-supplied timing characterization (WCETs, data sizes, I/O
+// bindings) that Scicos blocks do not carry.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "aaa/algorithm_graph.hpp"
+#include "sim/model.hpp"
+
+namespace ecsim::translate {
+
+/// Designer-supplied timing/placement characterization, keyed by block name.
+struct TimingAnnotations {
+  /// Block -> processor type -> WCET. A block absent here gets kDefaultWcet
+  /// on type "cpu".
+  std::map<std::string, std::map<std::string, aaa::Time>> wcet;
+  /// Block -> size of the data it produces (default 1.0).
+  std::map<std::string, double> out_size;
+  /// Block -> processor-name binding (sensors/actuators are wired to I/O).
+  std::map<std::string, std::string> binding;
+
+  static constexpr aaa::Time kDefaultWcet = 1e-4;
+};
+
+/// Extract an algorithm graph from `model`. `samplers`, `computes` and
+/// `actuators` name the blocks that become kSensor / kCompute / kActuator
+/// operations. Data dependencies are discovered by following data wires,
+/// transitively through blocks that are not part of the extracted set
+/// (e.g. a Sum junction between sampler and controller).
+aaa::AlgorithmGraph extract_algorithm(const sim::Model& model,
+                                      const std::vector<std::string>& samplers,
+                                      const std::vector<std::string>& computes,
+                                      const std::vector<std::string>& actuators,
+                                      const TimingAnnotations& annotations,
+                                      aaa::Time period);
+
+}  // namespace ecsim::translate

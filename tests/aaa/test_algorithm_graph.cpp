@@ -1,0 +1,116 @@
+#include "aaa/algorithm_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ecsim::aaa {
+namespace {
+
+AlgorithmGraph chain3() {
+  AlgorithmGraph g("chain", 0.01);
+  const OpId s = g.add_simple("sense", OpKind::kSensor, 1e-4);
+  const OpId c = g.add_simple("ctrl", OpKind::kCompute, 5e-4);
+  const OpId a = g.add_simple("act", OpKind::kActuator, 1e-4);
+  g.add_dependency(s, c, 8.0);
+  g.add_dependency(c, a, 8.0);
+  return g;
+}
+
+TEST(AlgorithmGraph, AddAndFind) {
+  const AlgorithmGraph g = chain3();
+  EXPECT_EQ(g.num_operations(), 3u);
+  EXPECT_EQ(g.find("ctrl"), 1u);
+  EXPECT_THROW(g.find("nope"), std::out_of_range);
+  EXPECT_EQ(g.sensors(), std::vector<OpId>{0});
+  EXPECT_EQ(g.actuators(), std::vector<OpId>{2});
+}
+
+TEST(AlgorithmGraph, RejectsBadOperations) {
+  AlgorithmGraph g;
+  Operation unnamed;
+  unnamed.wcet["cpu"] = 1.0;
+  EXPECT_THROW(g.add_operation(unnamed), std::invalid_argument);
+  Operation no_wcet;
+  no_wcet.name = "x";
+  EXPECT_THROW(g.add_operation(no_wcet), std::invalid_argument);
+  Operation neg;
+  neg.name = "y";
+  neg.wcet["cpu"] = -1.0;
+  EXPECT_THROW(g.add_operation(neg), std::invalid_argument);
+  g.add_simple("a", OpKind::kCompute, 1.0);
+  EXPECT_THROW(g.add_simple("a", OpKind::kCompute, 1.0), std::invalid_argument);
+}
+
+TEST(AlgorithmGraph, RejectsBadDependencies) {
+  AlgorithmGraph g;
+  const OpId a = g.add_simple("a", OpKind::kCompute, 1.0);
+  EXPECT_THROW(g.add_dependency(a, a), std::invalid_argument);
+  EXPECT_THROW(g.add_dependency(a, 7), std::out_of_range);
+  EXPECT_THROW(g.add_dependency(a, a, -1.0), std::invalid_argument);
+}
+
+TEST(AlgorithmGraph, PredecessorsAndSuccessors) {
+  const AlgorithmGraph g = chain3();
+  EXPECT_EQ(g.predecessors(1), std::vector<OpId>{0});
+  EXPECT_EQ(g.successors(1), std::vector<OpId>{2});
+  EXPECT_TRUE(g.predecessors(0).empty());
+  EXPECT_TRUE(g.successors(2).empty());
+}
+
+TEST(AlgorithmGraph, TopologicalOrderRespectsDeps) {
+  const AlgorithmGraph g = chain3();
+  const auto order = g.topological_order();
+  ASSERT_EQ(order.size(), 3u);
+  const auto pos = [&](OpId id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  EXPECT_LT(pos(0), pos(1));
+  EXPECT_LT(pos(1), pos(2));
+}
+
+TEST(AlgorithmGraph, CycleDetected) {
+  AlgorithmGraph g;
+  const OpId a = g.add_simple("a", OpKind::kCompute, 1.0);
+  const OpId b = g.add_simple("b", OpKind::kCompute, 1.0);
+  g.add_dependency(a, b);
+  g.add_dependency(b, a);
+  EXPECT_THROW(g.topological_order(), std::runtime_error);
+}
+
+TEST(AlgorithmGraph, TailLevelsAreCriticalPaths) {
+  const AlgorithmGraph g = chain3();
+  const auto levels = g.tail_levels();
+  EXPECT_NEAR(levels[2], 1e-4, 1e-15);          // act alone
+  EXPECT_NEAR(levels[1], 5e-4 + 1e-4, 1e-15);   // ctrl + act
+  EXPECT_NEAR(levels[0], 7e-4, 1e-15);          // whole chain
+  // Comm weight adds per-edge cost.
+  const auto weighted = g.tail_levels(1e-5);
+  EXPECT_NEAR(weighted[0], 7e-4 + 2.0 * 8.0 * 1e-5, 1e-12);
+}
+
+TEST(Operation, ConditionalWcetIsMaxOverBranches) {
+  Operation op;
+  op.name = "cond";
+  Branch b0{"fast", {{"cpu", 1.0}}};
+  Branch b1{"slow", {{"cpu", 3.0}}};
+  op.branches = {b0, b1};
+  EXPECT_TRUE(op.is_conditional());
+  EXPECT_DOUBLE_EQ(op.wcet_on("cpu"), 3.0);
+  EXPECT_TRUE(op.runs_on("cpu"));
+  EXPECT_FALSE(op.runs_on("dsp"));
+  EXPECT_THROW(op.wcet_on("dsp"), std::invalid_argument);
+}
+
+TEST(Operation, HeterogeneousTypes) {
+  Operation op;
+  op.name = "f";
+  op.wcet["cpu"] = 2.0;
+  op.wcet["dsp"] = 0.5;
+  EXPECT_TRUE(op.runs_on("dsp"));
+  EXPECT_DOUBLE_EQ(op.wcet_on("dsp"), 0.5);
+  EXPECT_FALSE(op.runs_on("fpga"));
+}
+
+}  // namespace
+}  // namespace ecsim::aaa

@@ -1,0 +1,66 @@
+#include "aaa/architecture_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecsim::aaa {
+namespace {
+
+TEST(ArchitectureGraph, AddAndFind) {
+  ArchitectureGraph arch;
+  const ProcId p0 = arch.add_processor("P0", "cpu");
+  const ProcId p1 = arch.add_processor("P1", "dsp");
+  const MediumId bus = arch.add_medium("bus", 100.0, 0.01);
+  arch.attach(p0, bus);
+  arch.attach(p1, bus);
+  EXPECT_EQ(arch.num_processors(), 2u);
+  EXPECT_EQ(arch.num_media(), 1u);
+  EXPECT_EQ(arch.find_processor("P1"), p1);
+  EXPECT_EQ(arch.find_medium("bus"), bus);
+  EXPECT_THROW(arch.find_processor("x"), std::out_of_range);
+  EXPECT_THROW(arch.find_medium("x"), std::out_of_range);
+  EXPECT_EQ(arch.procs_on(bus).size(), 2u);
+  EXPECT_EQ(arch.media_of(p0).size(), 1u);
+}
+
+TEST(ArchitectureGraph, Validation) {
+  ArchitectureGraph arch;
+  EXPECT_THROW(arch.add_processor(""), std::invalid_argument);
+  arch.add_processor("P0");
+  EXPECT_THROW(arch.add_processor("P0"), std::invalid_argument);
+  EXPECT_THROW(arch.add_medium("m", 0.0), std::invalid_argument);
+  EXPECT_THROW(arch.add_medium("m", 1.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(arch.attach(5, 0), std::out_of_range);
+}
+
+TEST(ArchitectureGraph, AttachIsIdempotent) {
+  ArchitectureGraph arch;
+  const ProcId p = arch.add_processor("P0");
+  const MediumId m = arch.add_medium("bus", 1.0);
+  arch.attach(p, m);
+  arch.attach(p, m);
+  EXPECT_EQ(arch.media_of(p).size(), 1u);
+  EXPECT_EQ(arch.procs_on(m).size(), 1u);
+}
+
+TEST(Medium, TransferTimeModel) {
+  const Medium m{"bus", 100.0, 0.5};
+  EXPECT_DOUBLE_EQ(m.transfer_time(200.0), 0.5 + 2.0);
+  EXPECT_DOUBLE_EQ(m.transfer_time(0.0), 0.5);
+}
+
+TEST(BusArchitecture, FactoryShapes) {
+  const ArchitectureGraph uni = ArchitectureGraph::bus_architecture(1, 100.0);
+  EXPECT_EQ(uni.num_processors(), 1u);
+  EXPECT_EQ(uni.num_media(), 0u);  // no bus needed for one processor
+
+  const ArchitectureGraph tri = ArchitectureGraph::bus_architecture(3, 100.0, 0.1);
+  EXPECT_EQ(tri.num_processors(), 3u);
+  EXPECT_EQ(tri.num_media(), 1u);
+  EXPECT_EQ(tri.procs_on(0).size(), 3u);
+  EXPECT_EQ(tri.processor(2).name, "P2");
+  EXPECT_THROW(ArchitectureGraph::bus_architecture(0, 1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecsim::aaa

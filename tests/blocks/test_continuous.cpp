@@ -1,0 +1,128 @@
+#include "blocks/continuous.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blocks/sources.hpp"
+#include "sim/simulator.hpp"
+
+namespace ecsim::blocks {
+namespace {
+
+using sim::IntegratorKind;
+using sim::Model;
+using sim::SimOptions;
+using sim::Simulator;
+
+SimOptions fine(double t_end) {
+  SimOptions o;
+  o.end_time = t_end;
+  o.integrator.max_step = 1e-3;
+  return o;
+}
+
+TEST(Integrator, RampFromConstant) {
+  Model m;
+  auto& c = m.add<Constant>("c", 2.0);
+  auto& x = m.add<Integrator>("x", 1.0);
+  m.connect(c, 0, x, 0);
+  Simulator s(m, fine(3.0));
+  s.run();
+  EXPECT_NEAR(s.output_value(x, 0), 7.0, 1e-9);
+}
+
+TEST(Integrator, VectorState) {
+  Model m;
+  auto& c = m.add<Constant>("c", std::vector<double>{1.0, -2.0});
+  auto& x = m.add<Integrator>("x", std::vector<double>{0.0, 10.0});
+  m.connect(c, 0, x, 0);
+  Simulator s(m, fine(2.0));
+  s.run();
+  EXPECT_NEAR(s.output_value(x, 0, 0), 2.0, 1e-9);
+  EXPECT_NEAR(s.output_value(x, 0, 1), 6.0, 1e-9);
+}
+
+TEST(StateSpaceCont, ShapeValidation) {
+  using math::Matrix;
+  EXPECT_THROW(StateSpaceCont("p", Matrix(2, 3), Matrix(2, 1), Matrix(1, 2),
+                              Matrix(1, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(StateSpaceCont("p", Matrix(2, 2), Matrix(3, 1), Matrix(1, 2),
+                              Matrix(1, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(StateSpaceCont("p", Matrix(2, 2), Matrix(2, 1), Matrix(1, 2),
+                              Matrix(1, 1), std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(StateSpaceCont, FeedthroughDetection) {
+  using math::Matrix;
+  StateSpaceCont without("a", Matrix{{-1.0}}, Matrix{{1.0}}, Matrix{{1.0}},
+                         Matrix{{0.0}});
+  EXPECT_FALSE(without.input_feedthrough(0));
+  StateSpaceCont with("b", Matrix{{-1.0}}, Matrix{{1.0}}, Matrix{{1.0}},
+                      Matrix{{0.5}});
+  EXPECT_TRUE(with.input_feedthrough(0));
+}
+
+TEST(StateSpaceCont, SecondOrderStep) {
+  // Double integrator with unit input: y = t^2 / 2.
+  using math::Matrix;
+  Model m;
+  auto& u = m.add<Constant>("u", 1.0);
+  auto& p = m.add<StateSpaceCont>(
+      "p", Matrix{{0.0, 1.0}, {0.0, 0.0}}, Matrix{{0.0}, {1.0}},
+      Matrix{{1.0, 0.0}}, Matrix{{0.0}});
+  m.connect(u, 0, p, 0);
+  Simulator s(m, fine(2.0));
+  s.run();
+  EXPECT_NEAR(s.output_value(p, 0), 2.0, 1e-9);
+}
+
+TEST(StateSpaceCont, InitialConditionRespected) {
+  using math::Matrix;
+  Model m;
+  auto& p = m.add<StateSpaceCont>("p", Matrix{{-1.0}}, Matrix{{0.0}},
+                                  Matrix{{1.0}}, Matrix{{0.0}},
+                                  std::vector<double>{5.0});
+  Simulator s(m, fine(1.0));
+  s.run();
+  EXPECT_NEAR(s.output_value(p, 0), 5.0 * std::exp(-1.0), 1e-8);
+}
+
+TEST(TransferFunction, FirstOrderLagMatchesClosedForm) {
+  // 1/(s+1) driven by unit step: y = 1 - e^{-t}.
+  Model m;
+  auto& u = m.add<Constant>("u", 1.0);
+  auto& tf = m.add<TransferFunction>("tf", std::vector<double>{1.0},
+                                     std::vector<double>{1.0, 1.0});
+  m.connect(u, 0, tf, 0);
+  Simulator s(m, fine(1.5));
+  s.run();
+  EXPECT_NEAR(s.output_value(tf, 0), 1.0 - std::exp(-1.5), 1e-8);
+}
+
+TEST(TransferFunction, DcServoShape) {
+  // 1000/(s^2+s): order 2, no feedthrough.
+  TransferFunction tf("servo", {1000.0}, {1.0, 1.0, 0.0});
+  EXPECT_EQ(tf.continuous_state_size(), 2u);
+  EXPECT_FALSE(tf.input_feedthrough(0));
+}
+
+TEST(TransferFunction, ProperWithFeedthrough) {
+  // (s+2)/(s+1) = 1 + 1/(s+1): D = 1.
+  TransferFunction tf("pz", {1.0, 2.0}, {1.0, 1.0});
+  EXPECT_TRUE(tf.input_feedthrough(0));
+  EXPECT_DOUBLE_EQ(tf.d()(0, 0), 1.0);
+}
+
+TEST(TransferFunction, Validation) {
+  EXPECT_THROW(TransferFunction("x", {1.0, 0.0, 0.0}, {1.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(TransferFunction("x", {1.0}, {}), std::invalid_argument);
+  EXPECT_THROW(TransferFunction("x", {1.0}, {0.0, 1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecsim::blocks

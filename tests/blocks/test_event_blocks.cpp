@@ -1,0 +1,223 @@
+#include "blocks/event_blocks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "blocks/discrete.hpp"
+#include "blocks/sources.hpp"
+#include "sim/simulator.hpp"
+
+namespace ecsim::blocks {
+namespace {
+
+using sim::Model;
+using sim::SimOptions;
+using sim::Simulator;
+
+TEST(DurationSamplers, Validation) {
+  EXPECT_THROW(constant_duration(-1.0), std::invalid_argument);
+  EXPECT_THROW(uniform_duration(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(uniform_duration(2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(truncated_normal_duration(1.0, 0.1, 2.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(DurationSamplers, UniformWithinBounds) {
+  math::Rng rng(3);
+  auto sampler = uniform_duration(0.5, 1.5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = sampler(rng);
+    EXPECT_GE(d, 0.5);
+    EXPECT_LE(d, 1.5);
+  }
+}
+
+TEST(DurationSamplers, TruncatedNormalStaysInBoundsWithSaneMean) {
+  math::Rng rng(77);
+  auto sampler = truncated_normal_duration(1.0, 0.3, 0.5, 1.5);
+  double sum = 0.0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    const double d = sampler(rng);
+    EXPECT_GE(d, 0.5);
+    EXPECT_LE(d, 1.5);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / n, 1.0, 0.05);
+}
+
+TEST(EventDelay, ConstantDelayShiftsEvents) {
+  Model m;
+  auto& clk = m.add<Clock>("clk", 1.0);
+  auto& d = m.add<EventDelay>("d", 0.25);
+  auto& n = m.add<EventCounter>("n");
+  m.connect_event(clk, 0, d, d.event_in());
+  m.connect_event(d, d.event_out(), n, 0);
+  Simulator s(m, SimOptions{.end_time = 2.0});
+  s.run();
+  const auto times = s.trace().activation_times_by_name("n");
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_NEAR(times[0], 0.25, 1e-12);
+  EXPECT_NEAR(times[1], 1.25, 1e-12);
+}
+
+TEST(EventDelay, BusyQueueingSerializesOverlappingWork) {
+  // Duration 0.7 with period 0.5: the second activation must queue and the
+  // output spacing equals the duration, not the input period.
+  Model m;
+  auto& clk = m.add<Clock>("clk", 0.5);
+  auto& d = m.add<EventDelay>("d", 0.7);
+  auto& n = m.add<EventCounter>("n");
+  m.connect_event(clk, 0, d, d.event_in());
+  m.connect_event(d, d.event_out(), n, 0);
+  Simulator s(m, SimOptions{.end_time = 3.0});
+  s.run();
+  const auto times = s.trace().activation_times_by_name("n");
+  ASSERT_GE(times.size(), 3u);
+  EXPECT_NEAR(times[0], 0.7, 1e-12);
+  EXPECT_NEAR(times[1], 1.4, 1e-12);
+  EXPECT_NEAR(times[2], 2.1, 1e-12);
+  EXPECT_GT(d.busy_hits(), 0u);
+}
+
+TEST(EventDelay, ZeroDurationPassesThroughSameInstant) {
+  Model m;
+  auto& clk = m.add<Clock>("clk", 1.0);
+  auto& d = m.add<EventDelay>("d", 0.0);
+  auto& n = m.add<EventCounter>("n");
+  m.connect_event(clk, 0, d, d.event_in());
+  m.connect_event(d, d.event_out(), n, 0);
+  Simulator s(m, SimOptions{.end_time = 0.0});
+  s.run();
+  EXPECT_EQ(n.count(), 1u);
+}
+
+TEST(EventDelay, StochasticDurationsAreSeedStable) {
+  auto run = [](std::uint64_t seed) {
+    Model m;
+    auto& clk = m.add<Clock>("clk", 1.0);
+    auto& d = m.add<EventDelay>("d", uniform_duration(0.1, 0.4));
+    auto& n = m.add<EventCounter>("n");
+    m.connect_event(clk, 0, d, d.event_in());
+    m.connect_event(d, d.event_out(), n, 0);
+    Simulator s(m, SimOptions{.end_time = 5.0, .seed = seed});
+    s.run();
+    return s.trace().activation_times_by_name("n");
+  };
+  EXPECT_EQ(run(9), run(9));
+  EXPECT_NE(run(9), run(10));
+}
+
+TEST(EventSelect, RoutesByConditionValue) {
+  Model m;
+  auto& cond = m.add<Sine>("cond", 1.0, 0.25);  // positive first half period
+  auto& clk = m.add<Clock>("clk", 1.0, 0.5);
+  auto& sel = m.add_block(EventSelect::make_threshold("sel", 0.0));
+  auto& n0 = m.add<EventCounter>("n0");
+  auto& n1 = m.add<EventCounter>("n1");
+  m.connect(cond, 0, sel, 0);
+  m.connect_event(clk, 0, sel, 0);
+  m.connect_event(sel, 0, n0, 0);
+  m.connect_event(sel, 1, n1, 0);
+  Simulator s(m, SimOptions{.end_time = 3.9});
+  s.run();
+  // Ticks at 0.5 (sin>0 -> ch1), 1.5 (sin<0 -> ch0), 2.5 (ch1), 3.5 (ch0).
+  EXPECT_EQ(n1.count(), 2u);
+  EXPECT_EQ(n0.count(), 2u);
+}
+
+TEST(EventSelect, OutOfRangeMappingThrows) {
+  Model m;
+  auto& clk = m.add<Clock>("clk", 1.0);
+  auto& sel = m.add<EventSelect>(
+      "sel", 2, 1, [](std::span<const double>) { return std::size_t{5}; });
+  m.connect_event(clk, 0, sel, 0);
+  Simulator s(m, SimOptions{.end_time = 1.0});
+  EXPECT_THROW(s.run(), std::runtime_error);
+}
+
+TEST(EventSelect, Validation) {
+  EXPECT_THROW(
+      EventSelect("s", 0, 1, [](std::span<const double>) { return 0u; }),
+      std::invalid_argument);
+  EXPECT_THROW(EventSelect("s", 2, 1, nullptr), std::invalid_argument);
+}
+
+TEST(TdmaGate, SnapsEventsToGrid) {
+  Model m;
+  auto& clk = m.add<Clock>("clk", 0.7e-3);  // off-grid ticks
+  auto& gate = m.add<TdmaGate>("gate", 1e-3);
+  auto& n = m.add<EventCounter>("n");
+  m.connect_event(clk, 0, gate, gate.event_in());
+  m.connect_event(gate, gate.event_out(), n, 0);
+  Simulator s(m, SimOptions{.end_time = 3.0e-3});
+  s.run();
+  const auto times = s.trace().activation_times_by_name("n");
+  ASSERT_GE(times.size(), 3u);
+  EXPECT_NEAR(times[0], 0.0, 1e-12);      // tick at 0 passes through
+  EXPECT_NEAR(times[1], 1.0e-3, 1e-12);   // 0.7 ms -> 1 ms
+  EXPECT_NEAR(times[2], 2.0e-3, 1e-12);   // 1.4 ms -> 2 ms
+  EXPECT_THROW(TdmaGate("x", 0.0), std::invalid_argument);
+}
+
+TEST(EventDivider, ForwardsEveryNth) {
+  Model m;
+  auto& clk = m.add<Clock>("clk", 1.0);
+  auto& div = m.add<EventDivider>("div", 3);
+  auto& n = m.add<EventCounter>("n");
+  m.connect_event(clk, 0, div, div.event_in());
+  m.connect_event(div, div.event_out(), n, 0);
+  Simulator s(m, SimOptions{.end_time = 8.0});
+  s.run();
+  // Ticks at 0..8 (9 ticks); forwarded: 0, 3, 6.
+  const auto times = s.trace().activation_times_by_name("n");
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_NEAR(times[1], 3.0, 1e-12);
+}
+
+TEST(EventDivider, PhaseShiftsSelection) {
+  Model m;
+  auto& clk = m.add<Clock>("clk", 1.0);
+  auto& div = m.add<EventDivider>("div", 4, 2);
+  auto& n = m.add<EventCounter>("n");
+  m.connect_event(clk, 0, div, div.event_in());
+  m.connect_event(div, div.event_out(), n, 0);
+  Simulator s(m, SimOptions{.end_time = 9.0});
+  s.run();
+  const auto times = s.trace().activation_times_by_name("n");
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_NEAR(times[0], 2.0, 1e-12);
+  EXPECT_NEAR(times[1], 6.0, 1e-12);
+  EXPECT_THROW(EventDivider("x", 0), std::invalid_argument);
+  EXPECT_THROW(EventDivider("x", 2, 2), std::invalid_argument);
+}
+
+TEST(EventDivider, CounterResetsBetweenRuns) {
+  Model m;
+  auto& clk = m.add<Clock>("clk", 1.0);
+  auto& div = m.add<EventDivider>("div", 2, 1);
+  auto& n = m.add<EventCounter>("n");
+  m.connect_event(clk, 0, div, div.event_in());
+  m.connect_event(div, div.event_out(), n, 0);
+  Simulator s(m, SimOptions{.end_time = 4.0});
+  s.run();
+  const std::size_t first = n.count();
+  s.run();
+  EXPECT_EQ(n.count(), first);
+}
+
+TEST(EventMerge, ForwardsAllInputs) {
+  Model m;
+  auto& c1 = m.add<Clock>("c1", 1.0);
+  auto& c2 = m.add<Clock>("c2", 1.0, 0.5);
+  auto& merge = m.add<EventMerge>("merge", 2);
+  auto& n = m.add<EventCounter>("n");
+  m.connect_event(c1, 0, merge, 0);
+  m.connect_event(c2, 0, merge, 1);
+  m.connect_event(merge, 0, n, 0);
+  Simulator s(m, SimOptions{.end_time = 2.0});
+  s.run();
+  EXPECT_EQ(n.count(), 5u);  // 0, .5, 1, 1.5, 2
+}
+
+}  // namespace
+}  // namespace ecsim::blocks

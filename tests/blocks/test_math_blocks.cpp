@@ -1,0 +1,104 @@
+#include "blocks/math_blocks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "blocks/sources.hpp"
+#include "sim/simulator.hpp"
+
+namespace ecsim::blocks {
+namespace {
+
+using sim::Model;
+using sim::SimOptions;
+using sim::Simulator;
+
+double eval_chain(double input, auto&& make_block) {
+  Model m;
+  auto& c = m.add<Constant>("c", input);
+  auto& b = make_block(m);
+  m.connect(c, 0, b, 0);
+  Simulator s(m, SimOptions{.end_time = 0.01});
+  s.run();
+  return s.output_value(b, 0);
+}
+
+TEST(Gain, MatrixGain) {
+  Model m;
+  auto& c = m.add<Constant>("c", std::vector<double>{1.0, 2.0});
+  auto& g = m.add<Gain>("g", math::Matrix{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}});
+  m.connect(c, 0, g, 0);
+  Simulator s(m, SimOptions{.end_time = 0.01});
+  s.run();
+  EXPECT_DOUBLE_EQ(s.output_value(g, 0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(s.output_value(g, 0, 1), 11.0);
+  EXPECT_DOUBLE_EQ(s.output_value(g, 0, 2), 17.0);
+}
+
+TEST(Gain, EmptyMatrixThrows) {
+  EXPECT_THROW(Gain("g", math::Matrix()), std::invalid_argument);
+}
+
+TEST(Sum, SignedCombination) {
+  Model m;
+  auto& a = m.add<Constant>("a", 5.0);
+  auto& b = m.add<Constant>("b", 3.0);
+  auto& c = m.add<Constant>("c", 1.0);
+  auto& sum = m.add<Sum>("s", std::vector<double>{1.0, -1.0, 2.0}, 1);
+  m.connect(a, 0, sum, 0);
+  m.connect(b, 0, sum, 1);
+  m.connect(c, 0, sum, 2);
+  Simulator s(m, SimOptions{.end_time = 0.01});
+  s.run();
+  EXPECT_DOUBLE_EQ(s.output_value(sum, 0), 4.0);
+}
+
+TEST(Sum, VectorWidth) {
+  Model m;
+  auto& a = m.add<Constant>("a", std::vector<double>{1.0, 2.0});
+  auto& b = m.add<Constant>("b", std::vector<double>{10.0, 20.0});
+  auto& sum = m.add<Sum>("s", std::vector<double>{1.0, 1.0}, 2);
+  m.connect(a, 0, sum, 0);
+  m.connect(b, 0, sum, 1);
+  Simulator s(m, SimOptions{.end_time = 0.01});
+  s.run();
+  EXPECT_DOUBLE_EQ(s.output_value(sum, 0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(s.output_value(sum, 0, 1), 22.0);
+}
+
+TEST(Saturation, Clamps) {
+  auto mk = [](Model& m) -> Saturation& {
+    return m.add<Saturation>("sat", -1.0, 2.0);
+  };
+  EXPECT_DOUBLE_EQ(eval_chain(5.0, mk), 2.0);
+  EXPECT_DOUBLE_EQ(eval_chain(-5.0, mk), -1.0);
+  EXPECT_DOUBLE_EQ(eval_chain(0.5, mk), 0.5);
+  EXPECT_THROW(Saturation("s", 1.0, -1.0), std::invalid_argument);
+}
+
+TEST(Quantizer, RoundsToStep) {
+  auto mk = [](Model& m) -> Quantizer& { return m.add<Quantizer>("q", 0.5); };
+  EXPECT_DOUBLE_EQ(eval_chain(1.2, mk), 1.0);
+  EXPECT_DOUBLE_EQ(eval_chain(1.3, mk), 1.5);
+  EXPECT_DOUBLE_EQ(eval_chain(-0.7, mk), -0.5);
+  EXPECT_THROW(Quantizer("q", 0.0), std::invalid_argument);
+}
+
+TEST(MuxDemux, RoundTrip) {
+  Model m;
+  auto& a = m.add<Constant>("a", std::vector<double>{1.0, 2.0});
+  auto& b = m.add<Constant>("b", 3.0);
+  auto& mux = m.add<Mux>("mux", std::vector<std::size_t>{2, 1});
+  auto& demux = m.add<Demux>("demux", std::vector<std::size_t>{1, 2});
+  m.connect(a, 0, mux, 0);
+  m.connect(b, 0, mux, 1);
+  m.connect(mux, 0, demux, 0);
+  Simulator s(m, SimOptions{.end_time = 0.01});
+  s.run();
+  EXPECT_DOUBLE_EQ(s.output_value(mux, 0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(s.output_value(demux, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(s.output_value(demux, 1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(s.output_value(demux, 1, 1), 3.0);
+}
+
+}  // namespace
+}  // namespace ecsim::blocks

@@ -1,0 +1,116 @@
+// Tests of the paper's proposed Synchronization block (§3.2.3): "The block
+// must be executed at the reception of an activation event. It generates an
+// event in output and resets (to zero) all its internal variables when each
+// of its event inputs have received at least one event since the last reset."
+#include "blocks/synchronization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "blocks/discrete.hpp"
+#include "blocks/event_blocks.hpp"
+#include "blocks/sources.hpp"
+#include "sim/simulator.hpp"
+
+namespace ecsim::blocks {
+namespace {
+
+using sim::Model;
+using sim::SimOptions;
+using sim::Simulator;
+
+TEST(Synchronization, Validation) {
+  EXPECT_THROW(Synchronization("s", 0), std::invalid_argument);
+}
+
+TEST(Synchronization, SingleInputForwardsEveryEvent) {
+  Model m;
+  auto& clk = m.add<Clock>("clk", 1.0);
+  auto& sync = m.add<Synchronization>("sync", 1);
+  auto& n = m.add<EventCounter>("n");
+  m.connect_event(clk, 0, sync, 0);
+  m.connect_event(sync, sync.event_out(), n, 0);
+  Simulator s(m, SimOptions{.end_time = 3.0});
+  s.run();
+  EXPECT_EQ(n.count(), 4u);
+}
+
+TEST(Synchronization, FiresOnlyWhenAllInputsSeen) {
+  // Input 0 ticks every 1.0; input 1 every 2.0: output fires every 2.0 at
+  // the instant the *later* input arrives.
+  Model m;
+  auto& fast = m.add<Clock>("fast", 1.0);
+  auto& slow = m.add<Clock>("slow", 2.0, 0.25);
+  auto& sync = m.add<Synchronization>("sync", 2);
+  auto& n = m.add<EventCounter>("n");
+  m.connect_event(fast, 0, sync, 0);
+  m.connect_event(slow, 0, sync, 1);
+  m.connect_event(sync, sync.event_out(), n, 0);
+  Simulator s(m, SimOptions{.end_time = 5.0});
+  s.run();
+  const auto times = s.trace().activation_times_by_name("n");
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_NEAR(times[0], 0.25, 1e-12);
+  EXPECT_NEAR(times[1], 2.25, 1e-12);
+  EXPECT_NEAR(times[2], 4.25, 1e-12);
+}
+
+TEST(Synchronization, RepeatedEventsOnSameInputDontFire) {
+  Model m;
+  auto& fast = m.add<Clock>("fast", 0.1);
+  auto& sync = m.add<Synchronization>("sync", 2);  // input 1 never wired
+  auto& n = m.add<EventCounter>("n");
+  m.connect_event(fast, 0, sync, 0);
+  m.connect_event(sync, sync.event_out(), n, 0);
+  Simulator s(m, SimOptions{.end_time = 5.0});
+  s.run();
+  EXPECT_EQ(n.count(), 0u);
+}
+
+TEST(Synchronization, ResetsAfterFiring) {
+  Model m;
+  auto& a = m.add<Clock>("a", 1.0);
+  auto& b = m.add<Clock>("b", 1.0, 0.5);
+  auto& sync = m.add<Synchronization>("sync", 2);
+  auto& n = m.add<EventCounter>("n");
+  m.connect_event(a, 0, sync, 0);
+  m.connect_event(b, 0, sync, 1);
+  m.connect_event(sync, sync.event_out(), n, 0);
+  Simulator s(m, SimOptions{.end_time = 3.2});
+  s.run();
+  // Pairs complete at 0.5, 1.5, 2.5 (a at k, b at k+0.5); a(3.0) is left
+  // pending because b provides no partner before the horizon ends.
+  const auto times = s.trace().activation_times_by_name("n");
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_NEAR(times[0], 0.5, 1e-12);
+  EXPECT_NEAR(times[1], 1.5, 1e-12);
+  EXPECT_NEAR(times[2], 2.5, 1e-12);
+}
+
+TEST(Synchronization, SimultaneousEventsAtSameInstant) {
+  Model m;
+  auto& clk = m.add<Clock>("clk", 1.0);
+  auto& sync = m.add<Synchronization>("sync", 2);
+  auto& n = m.add<EventCounter>("n");
+  m.connect_event(clk, 0, sync, 0);
+  m.connect_event(clk, 0, sync, 1);  // same tick fans out to both inputs
+  m.connect_event(sync, sync.event_out(), n, 0);
+  Simulator s(m, SimOptions{.end_time = 2.0});
+  s.run();
+  EXPECT_EQ(n.count(), 3u);
+  EXPECT_EQ(sync.fire_count(), 3u);
+}
+
+TEST(Synchronization, WideJoin) {
+  Model m;
+  auto& clk = m.add<Clock>("clk", 1.0);
+  auto& sync = m.add<Synchronization>("sync", 8);
+  auto& n = m.add<EventCounter>("n");
+  for (std::size_t i = 0; i < 8; ++i) m.connect_event(clk, 0, sync, i);
+  m.connect_event(sync, sync.event_out(), n, 0);
+  Simulator s(m, SimOptions{.end_time = 0.0});
+  s.run();
+  EXPECT_EQ(n.count(), 1u);
+}
+
+}  // namespace
+}  // namespace ecsim::blocks

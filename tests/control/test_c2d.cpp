@@ -1,0 +1,99 @@
+#include "control/c2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ecsim::control {
+namespace {
+
+TEST(C2d, FirstOrderClosedForm) {
+  // x' = -a x + u: Ad = e^{-a ts}, Bd = (1 - e^{-a ts})/a.
+  const double a = 2.0, ts = 0.1;
+  StateSpace sys;
+  sys.a = Matrix{{-a}};
+  sys.b = Matrix{{1.0}};
+  sys.c = Matrix{{1.0}};
+  sys.d = Matrix{{0.0}};
+  const StateSpace d = c2d(sys, ts);
+  EXPECT_TRUE(d.discrete);
+  EXPECT_DOUBLE_EQ(d.ts, ts);
+  EXPECT_NEAR(d.a(0, 0), std::exp(-a * ts), 1e-12);
+  EXPECT_NEAR(d.b(0, 0), (1.0 - std::exp(-a * ts)) / a, 1e-12);
+}
+
+TEST(C2d, DoubleIntegratorClosedForm) {
+  // Ad = [1 ts; 0 1], Bd = [ts^2/2; ts]
+  StateSpace sys = make_state_system(Matrix{{0.0, 1.0}, {0.0, 0.0}},
+                                     Matrix{{0.0}, {1.0}});
+  const double ts = 0.05;
+  const StateSpace d = c2d(sys, ts);
+  EXPECT_NEAR(d.a(0, 1), ts, 1e-14);
+  EXPECT_NEAR(d.b(0, 0), ts * ts / 2.0, 1e-14);
+  EXPECT_NEAR(d.b(1, 0), ts, 1e-14);
+}
+
+TEST(C2d, Validation) {
+  StateSpace sys = make_state_system(Matrix{{0.0}}, Matrix{{1.0}});
+  EXPECT_THROW(c2d(sys, 0.0), std::invalid_argument);
+  StateSpace already = c2d(sys, 0.1);
+  EXPECT_THROW(c2d(already, 0.1), std::invalid_argument);
+}
+
+TEST(InputIntegral, MatchesBd) {
+  StateSpace sys = make_state_system(Matrix{{-1.0, 0.2}, {0.0, -3.0}},
+                                     Matrix{{1.0}, {0.5}});
+  const double ts = 0.07;
+  const StateSpace d = c2d(sys, ts);
+  EXPECT_TRUE(math::approx_equal(input_integral(sys.a, sys.b, ts), d.b, 1e-12));
+}
+
+TEST(C2dWithInputDelay, ZeroDelayReducesToPlainC2d) {
+  StateSpace sys = make_state_system(Matrix{{0.0, 1.0}, {0.0, -1.0}},
+                                     Matrix{{0.0}, {1.0}});
+  const double ts = 0.02;
+  const StateSpace plain = c2d(sys, ts);
+  const StateSpace aug = c2d_with_input_delay(sys, ts, 0.0);
+  EXPECT_EQ(aug.order(), 3u);
+  EXPECT_TRUE(math::approx_equal(aug.a.block(0, 0, 2, 2), plain.a, 1e-12));
+  // With tau = 0, G1 = 0 and G0 = Bd: no dependence on the stored input.
+  EXPECT_NEAR(aug.a(0, 2), 0.0, 1e-12);
+  EXPECT_NEAR(aug.a(1, 2), 0.0, 1e-12);
+  EXPECT_TRUE(math::approx_equal(aug.b.block(0, 0, 2, 1), plain.b, 1e-12));
+}
+
+TEST(C2dWithInputDelay, FullPeriodDelayShiftsAllInputEffect) {
+  StateSpace sys = make_state_system(Matrix{{-1.0}}, Matrix{{1.0}});
+  const double ts = 0.1;
+  const StateSpace plain = c2d(sys, ts);
+  const StateSpace aug = c2d_with_input_delay(sys, ts, ts);
+  // With tau = ts the current input has no effect within the period:
+  // G0 = 0 and G1 = Bd.
+  EXPECT_NEAR(aug.b(0, 0), 0.0, 1e-12);
+  EXPECT_NEAR(aug.a(0, 1), plain.b(0, 0), 1e-12);
+}
+
+TEST(C2dWithInputDelay, SplitsAdditively) {
+  // For any tau: G0 + G1 = Bd.
+  StateSpace sys = make_state_system(Matrix{{0.0, 1.0}, {-2.0, -0.5}},
+                                     Matrix{{0.0}, {1.0}});
+  const double ts = 0.05;
+  const StateSpace plain = c2d(sys, ts);
+  for (double tau : {0.01, 0.025, 0.04}) {
+    const StateSpace aug = c2d_with_input_delay(sys, ts, tau);
+    const Matrix g0 = aug.b.block(0, 0, 2, 1);
+    Matrix g1(2, 1);
+    g1(0, 0) = aug.a(0, 2);
+    g1(1, 0) = aug.a(1, 2);
+    EXPECT_TRUE(math::approx_equal(g0 + g1, plain.b, 1e-12));
+  }
+}
+
+TEST(C2dWithInputDelay, Validation) {
+  StateSpace sys = make_state_system(Matrix{{0.0}}, Matrix{{1.0}});
+  EXPECT_THROW(c2d_with_input_delay(sys, 0.1, -0.01), std::invalid_argument);
+  EXPECT_THROW(c2d_with_input_delay(sys, 0.1, 0.2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecsim::control

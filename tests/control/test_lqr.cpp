@@ -1,0 +1,75 @@
+#include "control/lqr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "control/c2d.hpp"
+#include "mathlib/linalg.hpp"
+
+namespace ecsim::control {
+namespace {
+
+TEST(Dlqr, StabilizesDoubleIntegrator) {
+  const StateSpace ct = make_state_system(Matrix{{0.0, 1.0}, {0.0, 0.0}},
+                                          Matrix{{0.0}, {1.0}});
+  const StateSpace dt = c2d(ct, 0.1);
+  const LqrResult r = dlqr(dt, Matrix::identity(2), Matrix{{1.0}});
+  EXPECT_LT(math::spectral_radius(closed_loop(dt.a, dt.b, r.k)), 1.0);
+}
+
+TEST(Dlqr, GainSatisfiesOptimalityCondition) {
+  const StateSpace ct = make_state_system(
+      Matrix{{0.0, 1.0}, {-1.0, -0.2}}, Matrix{{0.0}, {1.0}});
+  const StateSpace dt = c2d(ct, 0.05);
+  const Matrix q = Matrix::diag({10.0, 1.0});
+  const Matrix r{{0.5}};
+  const LqrResult res = dlqr(dt, q, r);
+  // K = (R + B'PB)^-1 B'PA  <=>  (R + B'PB) K = B'PA
+  const Matrix lhs = (r + dt.b.transpose() * res.p * dt.b) * res.k;
+  const Matrix rhs = dt.b.transpose() * res.p * dt.a;
+  EXPECT_TRUE(math::approx_equal(lhs, rhs, 1e-9));
+}
+
+TEST(Dlqr, HigherStateWeightGivesFasterClosedLoop) {
+  const StateSpace ct = make_state_system(Matrix{{0.0, 1.0}, {0.0, -1.0}},
+                                          Matrix{{0.0}, {1.0}});
+  const StateSpace dt = c2d(ct, 0.02);
+  const LqrResult cheap = dlqr(dt, Matrix::identity(2), Matrix{{10.0}});
+  const LqrResult aggressive = dlqr(dt, 100.0 * Matrix::identity(2),
+                                    Matrix{{0.01}});
+  const double rho_cheap =
+      math::spectral_radius(closed_loop(dt.a, dt.b, cheap.k));
+  const double rho_aggr =
+      math::spectral_radius(closed_loop(dt.a, dt.b, aggressive.k));
+  EXPECT_LT(rho_aggr, rho_cheap);
+}
+
+TEST(Dlqr, RejectsContinuousSystem) {
+  const StateSpace ct = make_state_system(Matrix{{0.0}}, Matrix{{1.0}});
+  EXPECT_THROW(dlqr(ct, Matrix{{1.0}}, Matrix{{1.0}}), std::invalid_argument);
+}
+
+TEST(ReferenceGain, UnitDcGainAchieved) {
+  StateSpace ct = make_state_system(Matrix{{0.0, 1.0}, {0.0, -1.0}},
+                                    Matrix{{0.0}, {1.0}});
+  ct.c = Matrix{{1.0, 0.0}};
+  ct.d = Matrix{{0.0}};
+  const StateSpace dt = c2d(ct, 0.05);
+  const LqrResult r = dlqr(dt, Matrix::diag({10.0, 0.1}), Matrix{{0.1}});
+  const double nbar = reference_gain(dt, r.k);
+  // Steady state: x = (I - Acl)^-1 B nbar, y = C x must equal 1.
+  const Matrix acl = closed_loop(dt.a, dt.b, r.k);
+  const Matrix x_ss =
+      math::solve(Matrix::identity(2) - acl, dt.b * Matrix{{nbar}});
+  EXPECT_NEAR((dt.c * x_ss)(0, 0), 1.0, 1e-9);
+}
+
+TEST(ReferenceGain, RequiresSiso) {
+  StateSpace dt = make_state_system(Matrix{{0.5, 0.0}, {0.0, 0.5}},
+                                    Matrix{{1.0, 0.0}, {0.0, 1.0}});
+  dt.discrete = true;
+  dt.ts = 0.1;
+  EXPECT_THROW(reference_gain(dt, Matrix::zeros(2, 2)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecsim::control

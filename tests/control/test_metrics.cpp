@@ -1,0 +1,86 @@
+#include "control/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ecsim::control {
+namespace {
+
+Series constant_series(double value, double t_end, double dt) {
+  Series s;
+  for (double t = 0.0; t <= t_end + 1e-12; t += dt) s.emplace_back(t, value);
+  return s;
+}
+
+TEST(Metrics, IaeOfConstantError) {
+  // |ref - y| = 0.5 over 2 seconds -> IAE = 1.0.
+  const Series y = constant_series(0.5, 2.0, 0.01);
+  EXPECT_NEAR(iae(y, 1.0), 1.0, 1e-9);
+}
+
+TEST(Metrics, IseOfConstantError) {
+  const Series y = constant_series(0.0, 2.0, 0.01);
+  EXPECT_NEAR(ise(y, 2.0), 8.0, 1e-9);
+}
+
+TEST(Metrics, ItaeWeightsLateErrors) {
+  // e = 1 over [0, 2]: ITAE = \int t dt = 2.
+  const Series y = constant_series(0.0, 2.0, 0.001);
+  EXPECT_NEAR(itae(y, 1.0), 2.0, 1e-6);
+}
+
+TEST(Metrics, EmptyOrSingletonSeriesGiveZero) {
+  EXPECT_DOUBLE_EQ(iae({}, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(iae({{0.0, 5.0}}, 1.0), 0.0);
+}
+
+TEST(Metrics, QuadraticCostCombinesStateAndControl) {
+  const Series y = constant_series(0.0, 1.0, 0.01);  // e = 1
+  const Series u = constant_series(2.0, 1.0, 0.01);  // u^2 = 4
+  EXPECT_NEAR(quadratic_cost(y, u, 1.0, 1.0, 0.5), 1.0 + 2.0, 1e-9);
+  EXPECT_THROW(quadratic_cost(y, {}, 1.0, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(StepInfo, FirstOrderResponse) {
+  Series y;
+  for (double t = 0.0; t <= 6.0; t += 0.001) {
+    y.emplace_back(t, 1.0 - std::exp(-t));
+  }
+  const StepInfo info = step_info(y, 1.0);
+  EXPECT_NEAR(info.overshoot_pct, 0.0, 1e-9);
+  // 2% settling of 1 - e^{-t}: t = ln(50) ~ 3.912.
+  EXPECT_NEAR(info.settling_time, std::log(50.0), 0.01);
+  // Rise 10->90%: ln(10) - ln(10/9) ~ 2.197.
+  EXPECT_NEAR(info.rise_time, std::log(9.0), 0.01);
+  EXPECT_LT(info.steady_state_error, 0.01);
+}
+
+TEST(StepInfo, DetectsOvershoot) {
+  Series y;
+  for (double t = 0.0; t <= 10.0; t += 0.001) {
+    // Underdamped second-order-ish response peaking above 1.
+    y.emplace_back(t, 1.0 - std::exp(-t) * std::cos(2.0 * t) * 1.0);
+  }
+  const StepInfo info = step_info(y, 1.0);
+  EXPECT_GT(info.overshoot_pct, 5.0);
+  EXPECT_GT(info.peak, 1.05);
+  EXPECT_GT(info.peak_time, 0.0);
+}
+
+TEST(StepInfo, NeverSettledReportsMinusOne) {
+  const Series y = constant_series(0.5, 1.0, 0.01);
+  const StepInfo info = step_info(y, 1.0);
+  EXPECT_DOUBLE_EQ(info.settling_time, -1.0);
+  EXPECT_NEAR(info.steady_state_error, 0.5, 1e-12);
+}
+
+TEST(Metrics, RmsAndMaxAbs) {
+  const Series y{{0.0, 3.0}, {1.0, -4.0}};
+  EXPECT_NEAR(rms(y), std::sqrt((9.0 + 16.0) / 2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(max_abs(y), 4.0);
+  EXPECT_DOUBLE_EQ(rms({}), 0.0);
+}
+
+}  // namespace
+}  // namespace ecsim::control

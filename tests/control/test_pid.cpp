@@ -1,0 +1,80 @@
+#include "control/pid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mathlib/linalg.hpp"
+#include "mathlib/riccati.hpp"
+
+namespace ecsim::control {
+namespace {
+
+TEST(ZieglerNichols, ClassicRatios) {
+  const PidGains g = ziegler_nichols(10.0, 2.0);
+  EXPECT_DOUBLE_EQ(g.kp, 6.0);
+  EXPECT_DOUBLE_EQ(g.ki, 6.0);
+  EXPECT_DOUBLE_EQ(g.kd, 1.5);
+  EXPECT_THROW(ziegler_nichols(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ziegler_nichols(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(ImcPid, LongerLambdaGivesSmallerGain) {
+  const PidGains fast = imc_pid(2.0, 5.0, 0.5, 1.0);
+  const PidGains slow = imc_pid(2.0, 5.0, 0.5, 5.0);
+  EXPECT_GT(fast.kp, slow.kp);
+  EXPECT_THROW(imc_pid(0.0, 1.0, 0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(imc_pid(1.0, 1.0, 0.1, 0.0), std::invalid_argument);
+}
+
+TEST(PidToSs, ProportionalOnlyIsPureFeedthrough) {
+  PidGains g;
+  g.kp = 4.0;
+  g.ki = 0.0;
+  g.kd = 0.0;
+  const StateSpace sys = pid_to_ss(g, 0.01);
+  // No derivative term: D reduces to kp; integrator state never fed.
+  EXPECT_NEAR(sys.d(0, 0), 4.0, 1e-12);
+  EXPECT_NEAR(sys.b(0, 0), 0.0, 1e-12);
+}
+
+TEST(PidToSs, IntegratorRampsLikeTheRecurrence) {
+  PidGains g;
+  g.kp = 0.0;
+  g.ki = 2.0;
+  g.kd = 0.0;
+  const double ts = 0.1;
+  const StateSpace sys = pid_to_ss(g, ts);
+  // Iterate x+ = Ax + B e, u = Cx + D e with e = 1 for 5 steps; compare to
+  // the recurrence u_k = ki*ts*k (integral before current step).
+  std::vector<double> x(sys.order(), 0.0);
+  for (int k = 0; k < 5; ++k) {
+    const double u = math::dot(sys.c.row(0), x) + sys.d(0, 0);
+    EXPECT_NEAR(u, 2.0 * ts * k, 1e-12);
+    std::vector<double> xn(sys.order(), 0.0);
+    for (std::size_t i = 0; i < sys.order(); ++i) {
+      xn[i] = math::dot(sys.a.row(i), x) + sys.b(i, 0);
+    }
+    x = xn;
+  }
+}
+
+TEST(PidToSs, DerivativeFilterDecays) {
+  PidGains g;
+  g.kp = 0.0;
+  g.ki = 0.0;
+  g.kd = 1.0;
+  g.n = 10.0;
+  const StateSpace sys = pid_to_ss(g, 0.01);
+  // Filtered-derivative pole alpha = 1/(1 + n ts) in (0,1). The realization
+  // also carries the (unused here) integrator state at exactly 1, so the
+  // spectral radius is 1, not less.
+  const double alpha = 1.0 / (1.0 + g.n * 0.01);
+  EXPECT_NEAR(sys.a(1, 1), alpha, 1e-12);
+  EXPECT_NEAR(math::spectral_radius(sys.a), 1.0, 1e-12);
+}
+
+TEST(PidToSs, Validation) {
+  EXPECT_THROW(pid_to_ss(PidGains{}, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecsim::control

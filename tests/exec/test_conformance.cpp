@@ -1,0 +1,88 @@
+#include "exec/conformance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aaa/adequation.hpp"
+
+namespace ecsim::exec {
+namespace {
+
+struct DistributedChain {
+  AlgorithmGraph alg{"chain", 0.01};
+  ArchitectureGraph arch{
+      aaa::ArchitectureGraph::bus_architecture(2, 1e4, 1e-5)};
+  Schedule sched{0, 0};
+  GeneratedCode code;
+
+  DistributedChain() {
+    const aaa::OpId s = alg.add_simple("sense", aaa::OpKind::kSensor, 1e-4, "P0");
+    const aaa::OpId c = alg.add_simple("ctrl", aaa::OpKind::kCompute, 5e-4, "P1");
+    const aaa::OpId a = alg.add_simple("act", aaa::OpKind::kActuator, 1e-4, "P0");
+    alg.add_dependency(s, c, 8.0);
+    alg.add_dependency(c, a, 8.0);
+    sched = aaa::adequate(alg, arch);
+    code = aaa::generate_executives(alg, arch, sched);
+  }
+};
+
+TEST(Conformance, WcetExecutionMatchesScheduleExactly) {
+  DistributedChain f;
+  VmOptions opts;
+  opts.iterations = 20;
+  opts.period = f.alg.period();
+  const VmResult vm = run_executives(f.alg, f.arch, f.sched, f.code, opts);
+  const ConformanceReport rep =
+      check_wcet_conformance(f.alg, f.arch, f.sched, vm, opts.period);
+  EXPECT_TRUE(rep.ok) << rep.violations;
+  EXPECT_EQ(rep.checked_instances, 60u);
+  EXPECT_LT(rep.max_time_error, 1e-9);
+}
+
+TEST(Conformance, RandomExecutionTimesStillPreserveOrder) {
+  DistributedChain f;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    VmOptions opts;
+    opts.iterations = 10;
+    opts.period = f.alg.period();
+    opts.exec_time = uniform_fraction_exec_time(0.1);
+    opts.seed = seed;
+    const VmResult vm = run_executives(f.alg, f.arch, f.sched, f.code, opts);
+    const ConformanceReport rep =
+        check_order_preservation(f.alg, f.arch, f.sched, vm);
+    EXPECT_TRUE(rep.ok) << "seed " << seed << ": " << rep.violations;
+  }
+}
+
+TEST(Conformance, DeadlockReportedAsViolation) {
+  DistributedChain f;
+  GeneratedCode bad = f.code;
+  for (auto& prog : bad.programs) {
+    std::erase_if(prog.instrs, [](const aaa::Instr& ins) {
+      return ins.kind == aaa::InstrKind::kSend;
+    });
+  }
+  VmOptions opts;
+  opts.iterations = 1;
+  opts.period = 0.01;
+  const VmResult vm = run_executives(f.alg, f.arch, f.sched, bad, opts);
+  const ConformanceReport rep =
+      check_order_preservation(f.alg, f.arch, f.sched, vm);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.violations.find("deadlock"), std::string::npos);
+}
+
+TEST(Conformance, FlagsTimeMismatchWhenFasterThanWcet) {
+  DistributedChain f;
+  VmOptions opts;
+  opts.iterations = 2;
+  opts.period = f.alg.period();
+  opts.exec_time = uniform_fraction_exec_time(0.2);
+  const VmResult vm = run_executives(f.alg, f.arch, f.sched, f.code, opts);
+  const ConformanceReport rep =
+      check_wcet_conformance(f.alg, f.arch, f.sched, vm, opts.period);
+  EXPECT_FALSE(rep.ok);  // faster than WCET => instants differ
+  EXPECT_GT(rep.max_time_error, 0.0);
+}
+
+}  // namespace
+}  // namespace ecsim::exec

@@ -1,0 +1,54 @@
+#include "io/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace ecsim::io {
+namespace {
+
+TEST(Csv, SingleSeries) {
+  const control::Series s{{0.0, 1.0}, {0.5, 2.0}};
+  const std::string csv = series_csv(s, "pos");
+  EXPECT_NE(csv.find("t,pos\n"), std::string::npos);
+  EXPECT_NE(csv.find("0,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("0.5,2\n"), std::string::npos);
+}
+
+TEST(Csv, MultiSeriesPadsShorter) {
+  const control::Series y{{0.0, 1.0}, {1.0, 2.0}, {2.0, 3.0}};
+  const control::Series u{{0.0, -1.0}};
+  const std::string csv = multi_series_csv({y, u}, {"y", "u"});
+  EXPECT_NE(csv.find("t,y,u\n"), std::string::npos);
+  EXPECT_NE(csv.find("0,1,-1\n"), std::string::npos);
+  EXPECT_NE(csv.find("2,3,\n"), std::string::npos);  // padded cell
+  // Note the explicit vectors: braced arguments would otherwise resolve to
+  // the single-series overload through string's iterator-pair constructor.
+  EXPECT_THROW(multi_series_csv(std::vector<control::Series>{y},
+                          std::vector<std::string>{"a", "b"}),
+               std::invalid_argument);
+}
+
+TEST(Csv, LatencySeries) {
+  latency::LatencySeries s =
+      latency::analyze_instants("act", {0.002, 0.012}, 0.01);
+  const std::string csv = latency_csv(s);
+  EXPECT_NE(csv.find("k,instant,latency\n"), std::string::npos);
+  EXPECT_NE(csv.find("0,0.002,0.002\n"), std::string::npos);
+  EXPECT_NE(csv.find("1,0.012,0.002"), std::string::npos);
+}
+
+TEST(Csv, SaveTextRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/ecsim_csv_test.csv";
+  ASSERT_TRUE(save_text(path, "hello,1\n"));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "hello,1");
+  std::remove(path.c_str());
+  EXPECT_FALSE(save_text("/nonexistent-dir/x/y.csv", "x"));
+}
+
+}  // namespace
+}  // namespace ecsim::io

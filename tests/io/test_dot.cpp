@@ -1,0 +1,73 @@
+#include "io/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aaa/adequation.hpp"
+#include "blocks/math_blocks.hpp"
+#include "blocks/sample_hold.hpp"
+#include "blocks/sources.hpp"
+
+namespace ecsim::io {
+namespace {
+
+TEST(Dot, ModelExportListsBlocksAndWireStyles) {
+  sim::Model m;
+  auto& c = m.add<blocks::Constant>("source\"x\"", 1.0);
+  auto& g = m.add<blocks::Gain>("gain", 2.0);
+  auto& clk = m.add<blocks::Clock>("clk", 1.0);
+  auto& sh = m.add<blocks::SampleHold>("sh", 1);
+  m.connect(c, 0, g, 0);
+  m.connect(g, 0, sh, 0);
+  m.connect_event(clk, 0, sh, 0);
+  const std::string dot = to_dot(m, "loop");
+  EXPECT_NE(dot.find("digraph \"loop\""), std::string::npos);
+  EXPECT_NE(dot.find("source\\\"x\\\""), std::string::npos);  // escaped quote
+  EXPECT_NE(dot.find("style=dashed, color=red"), std::string::npos);
+  // All four blocks present.
+  for (const char* n : {"gain", "clk", "sh"}) {
+    EXPECT_NE(dot.find(n), std::string::npos) << n;
+  }
+}
+
+TEST(Dot, AlgorithmExportMarksKindsAndConditions) {
+  aaa::AlgorithmGraph alg("demo", 0.01);
+  const aaa::OpId s = alg.add_simple("sense", aaa::OpKind::kSensor, 1e-4, "P0");
+  aaa::Operation cond;
+  cond.name = "ctrl";
+  cond.branches = {aaa::Branch{"a", {{"cpu", 1e-4}}},
+                   aaa::Branch{"b", {{"cpu", 2e-4}}}};
+  const aaa::OpId c = alg.add_operation(std::move(cond));
+  alg.add_dependency(s, c, 8.0);
+  const std::string dot = to_dot(alg);
+  EXPECT_NE(dot.find("invhouse"), std::string::npos);  // sensor shape
+  EXPECT_NE(dot.find("2 branches"), std::string::npos);
+  EXPECT_NE(dot.find("@P0"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"8\""), std::string::npos);
+}
+
+TEST(Dot, ArchitectureExportShowsTdma) {
+  auto arch = aaa::ArchitectureGraph::bus_architecture(2, 1e4, 1e-4);
+  arch.set_tdma(0, 0.001);
+  const std::string dot = to_dot(arch);
+  EXPECT_NE(dot.find("graph \"bus-2\""), std::string::npos);
+  EXPECT_NE(dot.find("tdma="), std::string::npos);
+  EXPECT_NE(dot.find("p0 -- m0"), std::string::npos);
+  EXPECT_NE(dot.find("p1 -- m0"), std::string::npos);
+}
+
+TEST(Dot, ScheduleGantt) {
+  aaa::AlgorithmGraph alg("chain", 0.01);
+  const aaa::OpId s = alg.add_simple("sense", aaa::OpKind::kSensor, 1e-4, "P0");
+  const aaa::OpId c = alg.add_simple("ctrl", aaa::OpKind::kCompute, 5e-4, "P1");
+  alg.add_dependency(s, c, 8.0);
+  const auto arch = aaa::ArchitectureGraph::bus_architecture(2, 1e4, 1e-5);
+  const aaa::Schedule sched = aaa::adequate(alg, arch);
+  const std::string dot = schedule_to_dot(alg, arch, sched);
+  EXPECT_NE(dot.find("proc0"), std::string::npos);
+  EXPECT_NE(dot.find("medium0"), std::string::npos);
+  EXPECT_NE(dot.find("sense"), std::string::npos);
+  EXPECT_NE(dot.find("sense\\>ctrl"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ecsim::io

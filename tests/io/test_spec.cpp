@@ -1,0 +1,125 @@
+#include "io/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aaa/adequation.hpp"
+
+namespace ecsim::io {
+namespace {
+
+constexpr const char* kServoSpec = R"(
+# comment line
+[algorithm]
+name   servo
+period 0.01
+op  sense sensor   2e-4 @P0   # trailing comment
+op  ctrl  compute  3e-3 @P1
+op  act   actuator 2e-4 @P0
+dep sense ctrl 8
+dep ctrl  act  8
+
+[architecture]
+name  two-ecu
+proc  P0 cpu
+proc  P1 cpu
+bus   can 2e4 2e-4 P0 P1
+)";
+
+TEST(Spec, ParsesFullFlow) {
+  const ParsedSpec spec = parse_spec(kServoSpec);
+  ASSERT_TRUE(spec.has_algorithm);
+  ASSERT_TRUE(spec.has_architecture);
+  EXPECT_EQ(spec.algorithm.name(), "servo");
+  EXPECT_DOUBLE_EQ(spec.algorithm.period(), 0.01);
+  EXPECT_EQ(spec.algorithm.num_operations(), 3u);
+  EXPECT_EQ(spec.algorithm.op(spec.algorithm.find("sense")).kind,
+            aaa::OpKind::kSensor);
+  EXPECT_EQ(spec.algorithm.op(spec.algorithm.find("ctrl")).bound_processor,
+            "P1");
+  EXPECT_EQ(spec.algorithm.dependencies().size(), 2u);
+  EXPECT_DOUBLE_EQ(spec.algorithm.dependencies()[0].size, 8.0);
+  EXPECT_EQ(spec.architecture.num_processors(), 2u);
+  EXPECT_EQ(spec.architecture.num_media(), 1u);
+  EXPECT_DOUBLE_EQ(spec.architecture.medium(0).bandwidth, 2e4);
+  // The parsed artifacts feed the pipeline directly.
+  const aaa::Schedule sched =
+      aaa::adequate(spec.algorithm, spec.architecture);
+  EXPECT_NO_THROW(sched.validate(spec.algorithm, spec.architecture));
+}
+
+TEST(Spec, ParsesConditionalOps) {
+  const ParsedSpec spec = parse_spec(R"(
+[algorithm]
+period 0.02
+op ctrl compute branch fast 5e-4 branch slow 6e-3
+)");
+  const aaa::Operation& op = spec.algorithm.op(0);
+  ASSERT_TRUE(op.is_conditional());
+  ASSERT_EQ(op.branches.size(), 2u);
+  EXPECT_EQ(op.branches[1].name, "slow");
+  EXPECT_DOUBLE_EQ(op.branches[1].wcet.at("cpu"), 6e-3);
+}
+
+TEST(Spec, RateDirectiveExpandsHyperperiod) {
+  const ParsedSpec spec = parse_spec(R"(
+[algorithm]
+period 0.002
+op s sensor 1e-4
+op o compute 9e-4
+dep s o
+rate o 4
+)");
+  EXPECT_DOUBLE_EQ(spec.algorithm.period(), 0.008);
+  // 4 sensor instances + 1 outer instance.
+  EXPECT_EQ(spec.algorithm.num_operations(), 5u);
+  EXPECT_NO_THROW(spec.algorithm.find("s@3"));
+  EXPECT_NO_THROW(spec.algorithm.find("o@0"));
+}
+
+TEST(Spec, TdmaDirective) {
+  const ParsedSpec spec = parse_spec(R"(
+[architecture]
+proc P0
+proc P1
+bus ttp 5e4 1e-4 P0 P1
+tdma ttp 1e-3
+)");
+  EXPECT_EQ(spec.architecture.medium(0).arbitration, aaa::Arbitration::kTdma);
+  EXPECT_DOUBLE_EQ(spec.architecture.medium(0).tdma_slot, 1e-3);
+}
+
+TEST(Spec, ErrorsCarryLineNumbers) {
+  try {
+    parse_spec("[algorithm]\nperiod 0.01\nop bad wrongkind 1e-4\n");
+    FAIL() << "expected SpecParseError";
+  } catch (const SpecParseError& e) {
+    EXPECT_EQ(e.line_number, 3u);
+    EXPECT_NE(std::string(e.what()).find("wrongkind"), std::string::npos);
+  }
+}
+
+TEST(Spec, RejectsMalformedInput) {
+  EXPECT_THROW(parse_spec("op x compute 1e-4\n"), SpecParseError);  // no section
+  EXPECT_THROW(parse_spec("[bogus]\n"), SpecParseError);
+  EXPECT_THROW(parse_spec("[algorithm]\nop x compute notanumber\n"),
+               SpecParseError);
+  EXPECT_THROW(parse_spec("[algorithm]\nop x compute 1e-4 P0\n"),
+               SpecParseError);  // missing @
+  EXPECT_THROW(parse_spec("[algorithm]\nop x compute 1e-4\nrate y 2\n"),
+               SpecParseError);  // unknown op
+  EXPECT_THROW(parse_spec("[algorithm]\nop x compute 1e-4\nrate x 2.5\n"),
+               SpecParseError);  // non-integer divisor
+  EXPECT_THROW(parse_spec("[architecture]\ntdma nobus 1e-3\n"),
+               SpecParseError);
+  EXPECT_THROW(
+      parse_spec("[algorithm]\nperiod 0.01\n"
+                 "op c compute branch a 1e-4 branch b 2e-4\nrate c 2\n"),
+      SpecParseError);  // conditional + multirate unsupported
+}
+
+TEST(Spec, LoadSpecMissingFileThrows) {
+  EXPECT_THROW(load_spec("/nonexistent/file.spec"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ecsim::io

@@ -1,0 +1,92 @@
+#include "latency/latency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecsim::latency {
+namespace {
+
+TEST(Latency, Eq1DefinitionReproduced) {
+  // I(k) = k*Ts + Ls with constant Ls = 0.002.
+  std::vector<Time> instants;
+  const double ts = 0.01;
+  for (int k = 0; k < 10; ++k) instants.push_back(k * ts + 0.002);
+  const LatencySeries s = analyze_instants("y0 sampling", instants, ts);
+  ASSERT_EQ(s.latencies.size(), 10u);
+  for (double l : s.latencies) EXPECT_NEAR(l, 0.002, 1e-12);
+  EXPECT_NEAR(s.summary.mean, 0.002, 1e-12);
+  EXPECT_NEAR(s.jitter, 0.0, 1e-12);
+}
+
+TEST(Latency, JitterIsPeakToPeak) {
+  const double ts = 0.01;
+  std::vector<Time> instants{0.001, ts + 0.003, 2 * ts + 0.002};
+  const LatencySeries s = analyze_instants("act", instants, ts);
+  EXPECT_NEAR(s.jitter, 0.002, 1e-12);
+  EXPECT_NEAR(s.summary.min, 0.001, 1e-12);
+  EXPECT_NEAR(s.summary.max, 0.003, 1e-12);
+}
+
+TEST(Latency, RoundingAssignmentHandlesSkippedPeriods) {
+  const double ts = 0.01;
+  // Instants only in periods 0 and 2.
+  std::vector<Time> instants{0.004, 0.0205};
+  const LatencySeries s =
+      analyze_instants("sparse", instants, ts, /*assign_by_rounding=*/true);
+  EXPECT_NEAR(s.latencies[0], 0.004, 1e-12);
+  EXPECT_NEAR(s.latencies[1], 0.0005, 1e-9);
+}
+
+TEST(Latency, Validation) {
+  EXPECT_THROW(analyze_instants("x", {0.0}, 0.0), std::invalid_argument);
+}
+
+TEST(Latency, FromTraceActivations) {
+  sim::Trace trace;
+  trace.record_event(0.002, 3, 0, "sense");
+  trace.record_event(0.012, 3, 0, "sense");
+  trace.record_event(0.022, 3, 0, "sense");
+  trace.record_event(0.005, 4, 0, "other");
+  const LatencySeries s = analyze_block_activations(trace, "sense", 0.01);
+  ASSERT_EQ(s.latencies.size(), 3u);
+  EXPECT_NEAR(s.summary.mean, 0.002, 1e-12);
+  EXPECT_EQ(s.channel, "sense");
+}
+
+TEST(Latency, TableRendering) {
+  std::vector<Time> instants;
+  for (int k = 0; k < 30; ++k) instants.push_back(k * 0.01 + 0.001);
+  const LatencySeries s = analyze_instants("u0 actuation", instants, 0.01);
+  const std::string table = to_table(s, 5);
+  EXPECT_NE(table.find("u0 actuation"), std::string::npos);
+  EXPECT_NE(table.find("(25 more)"), std::string::npos);
+  EXPECT_NE(table.find("jitter"), std::string::npos);
+}
+
+TEST(IoLatency, DifferenceOfInstantSeries) {
+  const double ts = 0.01;
+  std::vector<Time> sampling, actuation;
+  for (int k = 0; k < 5; ++k) {
+    sampling.push_back(k * ts + 0.001);
+    actuation.push_back(k * ts + 0.004 + (k % 2) * 0.001);
+  }
+  const LatencySeries s = io_latency(sampling, actuation, ts);
+  ASSERT_EQ(s.latencies.size(), 5u);
+  EXPECT_NEAR(s.latencies[0], 0.003, 1e-12);
+  EXPECT_NEAR(s.latencies[1], 0.004, 1e-12);
+  EXPECT_NEAR(s.jitter, 0.001, 1e-12);
+  EXPECT_EQ(s.channel, "input-output");
+}
+
+TEST(IoLatency, ShorterSeriesWins) {
+  const LatencySeries s =
+      io_latency({0.0, 0.01}, {0.002, 0.012, 0.022}, 0.01);
+  EXPECT_EQ(s.latencies.size(), 2u);
+}
+
+TEST(IoLatency, Validation) {
+  EXPECT_THROW(io_latency({0.005}, {0.001}, 0.01), std::invalid_argument);
+  EXPECT_THROW(io_latency({0.0}, {0.001}, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecsim::latency

@@ -1,0 +1,71 @@
+#include "mathlib/expm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mathlib/linalg.hpp"
+#include "mathlib/rng.hpp"
+
+namespace ecsim::math {
+namespace {
+
+TEST(Expm, ZeroMatrixGivesIdentity) {
+  EXPECT_TRUE(approx_equal(expm(Matrix::zeros(3, 3)), Matrix::identity(3)));
+}
+
+TEST(Expm, DiagonalMatrix) {
+  const Matrix e = expm(Matrix::diag({1.0, -2.0}));
+  EXPECT_NEAR(e(0, 0), std::exp(1.0), 1e-12);
+  EXPECT_NEAR(e(1, 1), std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(e(0, 1), 0.0, 1e-14);
+}
+
+TEST(Expm, NilpotentClosedForm) {
+  // exp([[0,1],[0,0]]) = [[1,1],[0,1]]
+  Matrix n{{0.0, 1.0}, {0.0, 0.0}};
+  EXPECT_TRUE(approx_equal(expm(n), Matrix{{1.0, 1.0}, {0.0, 1.0}}, 1e-13));
+}
+
+TEST(Expm, RotationMatrix) {
+  // exp([[0,-t],[t,0]]) = [[cos t, -sin t],[sin t, cos t]]
+  const double t = 1.3;
+  Matrix a{{0.0, -t}, {t, 0.0}};
+  const Matrix e = expm(a);
+  EXPECT_NEAR(e(0, 0), std::cos(t), 1e-12);
+  EXPECT_NEAR(e(0, 1), -std::sin(t), 1e-12);
+  EXPECT_NEAR(e(1, 0), std::sin(t), 1e-12);
+}
+
+TEST(Expm, LargeNormUsesScaling) {
+  Matrix a{{0.0, -10.0}, {10.0, 0.0}};
+  const Matrix e = expm(a);
+  EXPECT_NEAR(e(0, 0), std::cos(10.0), 1e-9);
+  EXPECT_NEAR(e(1, 0), std::sin(10.0), 1e-9);
+}
+
+TEST(Expm, SemigroupProperty) {
+  // e^{A} * e^{A} == e^{2A}
+  Rng rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    Matrix a(3, 3);
+    for (std::size_t r = 0; r < 3; ++r)
+      for (std::size_t c = 0; c < 3; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+    const Matrix e1 = expm(a);
+    const Matrix e2 = expm(a * 2.0);
+    EXPECT_TRUE(approx_equal(e1 * e1, e2, 1e-9));
+  }
+}
+
+TEST(Expm, InverseIsExpOfNegation) {
+  Matrix a{{-0.5, 1.0}, {0.2, -1.5}};
+  const Matrix prod = expm(a) * expm(-a);
+  EXPECT_TRUE(approx_equal(prod, Matrix::identity(2), 1e-12));
+}
+
+TEST(Expm, NonSquareThrows) {
+  EXPECT_THROW(expm(Matrix(2, 3)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecsim::math

@@ -1,0 +1,131 @@
+#include "mathlib/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "mathlib/rng.hpp"
+
+namespace ecsim::math {
+namespace {
+
+TEST(Lu, SolvesKnownSystem) {
+  Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const std::vector<double> x = solve(a, std::vector<double>{3.0, 5.0});
+  EXPECT_NEAR(x[0], 0.8, 1e-12);
+  EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(Lu, SingularDetectedAndSolveRefuses) {
+  Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  const Lu lu(a);
+  EXPECT_TRUE(lu.singular());
+  EXPECT_DOUBLE_EQ(lu.determinant(), 0.0);
+  EXPECT_THROW(lu.solve(std::vector<double>{1.0, 1.0}), std::runtime_error);
+}
+
+TEST(Lu, NonSquareThrows) {
+  EXPECT_THROW(Lu lu(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Lu, DeterminantMatchesCofactorExpansion) {
+  Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}, {7.0, 8.0, 10.0}};
+  EXPECT_NEAR(determinant(a), -3.0, 1e-9);
+}
+
+TEST(Lu, InverseRoundTrip) {
+  Matrix a{{4.0, 7.0}, {2.0, 6.0}};
+  const Matrix inv = inverse(a);
+  EXPECT_TRUE(approx_equal(a * inv, Matrix::identity(2), 1e-12));
+  EXPECT_TRUE(approx_equal(inv * a, Matrix::identity(2), 1e-12));
+}
+
+TEST(Lu, RandomSystemsResidualSmall) {
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform_int(0, 7));
+    Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+    for (std::size_t i = 0; i < n; ++i) a(i, i) += 2.0;  // diag dominance
+    std::vector<double> b(n);
+    for (double& v : b) v = rng.uniform(-1.0, 1.0);
+    const std::vector<double> x = solve(a, b);
+    const std::vector<double> r = vec_sub(a * x, b);
+    EXPECT_LT(vec_norm(r), 1e-10);
+  }
+}
+
+TEST(Eigen, DiagonalMatrix) {
+  const auto eigs = eigenvalues(Matrix::diag({1.0, -2.0, 3.5}));
+  std::vector<double> re;
+  for (const auto& l : eigs) {
+    EXPECT_NEAR(l.imag(), 0.0, 1e-9);
+    re.push_back(l.real());
+  }
+  std::sort(re.begin(), re.end());
+  EXPECT_NEAR(re[0], -2.0, 1e-9);
+  EXPECT_NEAR(re[1], 1.0, 1e-9);
+  EXPECT_NEAR(re[2], 3.5, 1e-9);
+}
+
+TEST(Eigen, ComplexPairOfRotation) {
+  // Rotation-scaling matrix: eigenvalues r e^{+-i theta}.
+  const double r = 0.9, theta = 0.7;
+  Matrix a{{r * std::cos(theta), -r * std::sin(theta)},
+           {r * std::sin(theta), r * std::cos(theta)}};
+  const auto eigs = eigenvalues(a);
+  ASSERT_EQ(eigs.size(), 2u);
+  for (const auto& l : eigs) {
+    EXPECT_NEAR(std::abs(l), r, 1e-9);
+  }
+  EXPECT_NEAR(spectral_radius(a), r, 1e-9);
+}
+
+TEST(Eigen, CompanionMatrixRoots) {
+  // x^3 - 6x^2 + 11x - 6 = (x-1)(x-2)(x-3)
+  Matrix a{{6.0, -11.0, 6.0}, {1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}};
+  auto eigs = eigenvalues(a);
+  std::vector<double> re;
+  for (const auto& l : eigs) {
+    EXPECT_NEAR(l.imag(), 0.0, 1e-7);
+    re.push_back(l.real());
+  }
+  std::sort(re.begin(), re.end());
+  EXPECT_NEAR(re[0], 1.0, 1e-7);
+  EXPECT_NEAR(re[1], 2.0, 1e-7);
+  EXPECT_NEAR(re[2], 3.0, 1e-7);
+}
+
+TEST(Eigen, TraceAndDeterminantInvariants) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(0, 4));
+    Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-2.0, 2.0);
+    const auto eigs = eigenvalues(a);
+    ASSERT_EQ(eigs.size(), n);
+    std::complex<double> sum{0.0, 0.0}, prod{1.0, 0.0};
+    for (const auto& l : eigs) {
+      sum += l;
+      prod *= l;
+    }
+    EXPECT_NEAR(sum.real(), a.trace(), 1e-6);
+    EXPECT_NEAR(sum.imag(), 0.0, 1e-6);
+    EXPECT_NEAR(prod.real(), determinant(a), 1e-5);
+  }
+}
+
+TEST(Eigen, StabilityPredicates) {
+  Matrix stable_dt{{0.5, 0.1}, {0.0, -0.3}};
+  EXPECT_LT(spectral_radius(stable_dt), 1.0);
+  Matrix stable_ct{{-1.0, 5.0}, {0.0, -0.1}};
+  EXPECT_LT(spectral_abscissa(stable_ct), 0.0);
+  Matrix unstable_ct{{0.1, 0.0}, {0.0, -2.0}};
+  EXPECT_GT(spectral_abscissa(unstable_ct), 0.0);
+}
+
+}  // namespace
+}  // namespace ecsim::math

@@ -1,0 +1,161 @@
+#include "mathlib/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ecsim::math {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, InitializerListLayout) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityAndDiag) {
+  const Matrix i3 = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(i3(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(i3(0, 1), 0.0);
+  const Matrix d = Matrix::diag({2.0, 3.0});
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(Matrix, OutOfRangeAccessThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m(2, 0), std::out_of_range);
+  EXPECT_THROW(m(0, 2), std::out_of_range);
+}
+
+TEST(Matrix, AddSubScale) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{4.0, 3.0}, {2.0, 1.0}};
+  const Matrix sum = a + b;
+  EXPECT_TRUE(approx_equal(sum, Matrix{{5.0, 5.0}, {5.0, 5.0}}));
+  const Matrix diff = a - b;
+  EXPECT_TRUE(approx_equal(diff, Matrix{{-3.0, -1.0}, {1.0, 3.0}}));
+  EXPECT_TRUE(approx_equal(2.0 * a, Matrix{{2.0, 4.0}, {6.0, 8.0}}));
+  EXPECT_TRUE(approx_equal(-a, Matrix{{-1.0, -2.0}, {-3.0, -4.0}}));
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2);
+  Matrix b(2, 3);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a - b, std::invalid_argument);
+}
+
+TEST(Matrix, Multiply) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  EXPECT_TRUE(approx_equal(a * b, Matrix{{19.0, 22.0}, {43.0, 50.0}}));
+  // Identity is neutral.
+  EXPECT_TRUE(approx_equal(a * Matrix::identity(2), a));
+  EXPECT_TRUE(approx_equal(Matrix::identity(2) * a, a));
+}
+
+TEST(Matrix, MultiplyInnerDimensionMismatchThrows) {
+  EXPECT_THROW(Matrix(2, 3) * Matrix(2, 3), std::invalid_argument);
+}
+
+TEST(Matrix, MatrixVector) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const std::vector<double> v{1.0, 1.0};
+  const std::vector<double> out = a * v;
+  EXPECT_DOUBLE_EQ(out[0], 3.0);
+  EXPECT_DOUBLE_EQ(out[1], 7.0);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = a.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_TRUE(approx_equal(t.transpose(), a));
+}
+
+TEST(Matrix, TraceAndNorms) {
+  Matrix a{{3.0, -4.0}, {0.0, 5.0}};
+  EXPECT_DOUBLE_EQ(a.trace(), 8.0);
+  EXPECT_NEAR(a.norm(), std::sqrt(9.0 + 16.0 + 25.0), 1e-12);
+  EXPECT_DOUBLE_EQ(a.norm_inf(), 7.0);
+  EXPECT_DOUBLE_EQ(a.max_abs(), 5.0);
+}
+
+TEST(Matrix, TraceNonSquareThrows) {
+  EXPECT_THROW(Matrix(2, 3).trace(), std::invalid_argument);
+}
+
+TEST(Matrix, BlockOps) {
+  Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}, {7.0, 8.0, 9.0}};
+  const Matrix b = a.block(1, 1, 2, 2);
+  EXPECT_TRUE(approx_equal(b, Matrix{{5.0, 6.0}, {8.0, 9.0}}));
+  Matrix z = Matrix::zeros(3, 3);
+  z.set_block(1, 1, Matrix{{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_DOUBLE_EQ(z(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(z(2, 2), 4.0);
+  EXPECT_THROW(a.block(2, 2, 2, 2), std::out_of_range);
+  EXPECT_THROW(z.set_block(2, 2, Matrix(2, 2)), std::out_of_range);
+}
+
+TEST(Matrix, RowColExtraction) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(a.col(1), (std::vector<double>{2.0, 4.0}));
+  EXPECT_EQ(a.row(1), (std::vector<double>{3.0, 4.0}));
+}
+
+TEST(Matrix, Concatenation) {
+  Matrix a{{1.0}, {2.0}};
+  Matrix b{{3.0}, {4.0}};
+  EXPECT_TRUE(approx_equal(hcat(a, b), Matrix{{1.0, 3.0}, {2.0, 4.0}}));
+  EXPECT_TRUE(
+      approx_equal(vcat(a.transpose(), b.transpose()),
+                   Matrix{{1.0, 2.0}, {3.0, 4.0}}));
+  EXPECT_THROW(hcat(Matrix(2, 1), Matrix(3, 1)), std::invalid_argument);
+  EXPECT_THROW(vcat(Matrix(1, 2), Matrix(1, 3)), std::invalid_argument);
+}
+
+TEST(VectorHelpers, Arithmetic) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{3.0, 5.0};
+  EXPECT_EQ(vec_add(a, b), (std::vector<double>{4.0, 7.0}));
+  EXPECT_EQ(vec_sub(b, a), (std::vector<double>{2.0, 3.0}));
+  EXPECT_EQ(vec_scale(2.0, a), (std::vector<double>{2.0, 4.0}));
+  EXPECT_DOUBLE_EQ(dot(a, b), 13.0);
+  EXPECT_NEAR(vec_norm(b), std::sqrt(34.0), 1e-12);
+}
+
+TEST(VectorHelpers, QuadForm) {
+  Matrix q{{2.0, 0.0}, {0.0, 3.0}};
+  EXPECT_DOUBLE_EQ(quad_form(q, {1.0, 2.0}), 2.0 + 12.0);
+}
+
+TEST(Matrix, ApproxEqualRespectsTolerance) {
+  Matrix a{{1.0}};
+  Matrix b{{1.0 + 1e-10}};
+  EXPECT_TRUE(approx_equal(a, b, 1e-9));
+  EXPECT_FALSE(approx_equal(a, b, 1e-11));
+  EXPECT_FALSE(approx_equal(a, Matrix(1, 2)));
+}
+
+}  // namespace
+}  // namespace ecsim::math

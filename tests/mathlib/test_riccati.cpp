@@ -1,0 +1,81 @@
+#include "mathlib/riccati.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mathlib/linalg.hpp"
+
+namespace ecsim::math {
+namespace {
+
+// Residual of the DARE at P.
+double dare_residual(const Matrix& a, const Matrix& b, const Matrix& q,
+                     const Matrix& r, const Matrix& p) {
+  const Matrix at = a.transpose();
+  const Matrix bt = b.transpose();
+  const Matrix gain = solve(r + bt * p * b, bt * p * a);
+  const Matrix rhs = at * p * a - (at * p * b) * gain + q;
+  return (rhs - p).max_abs();
+}
+
+TEST(Dare, ScalarClosedForm) {
+  // a=1, b=1, q=1, r=1: P = (1+sqrt(5))/2 * ... solve p = p - p^2/(1+p) + 1
+  // => p^2 - p - 1 = 0 => p = (1+sqrt(5))/2.
+  Matrix a{{1.0}}, b{{1.0}}, q{{1.0}}, r{{1.0}};
+  const Matrix p = solve_dare(a, b, q, r);
+  EXPECT_NEAR(p(0, 0), (1.0 + std::sqrt(5.0)) / 2.0, 1e-9);
+}
+
+TEST(Dare, ResidualSmallForSecondOrderSystem) {
+  Matrix a{{1.0, 0.1}, {0.0, 1.0}};
+  Matrix b{{0.0}, {0.1}};
+  Matrix q = Matrix::identity(2);
+  Matrix r{{0.1}};
+  const Matrix p = solve_dare(a, b, q, r);
+  EXPECT_LT(dare_residual(a, b, q, r, p), 1e-8);
+  // P must be symmetric positive semidefinite: check symmetry and x'Px >= 0
+  // on a few vectors.
+  EXPECT_TRUE(approx_equal(p, p.transpose(), 1e-9));
+  EXPECT_GE(quad_form(p, {1.0, 0.0}), 0.0);
+  EXPECT_GE(quad_form(p, {0.3, -0.7}), 0.0);
+}
+
+TEST(Dare, StabilizesUnstablePlant) {
+  Matrix a{{1.2, 0.0}, {0.1, 0.8}};
+  Matrix b{{1.0}, {0.0}};
+  Matrix q = Matrix::identity(2);
+  Matrix r{{1.0}};
+  const Matrix p = solve_dare(a, b, q, r);
+  const Matrix k = solve(r + b.transpose() * p * b, b.transpose() * p * a);
+  EXPECT_LT(spectral_radius(a - b * k), 1.0);
+}
+
+TEST(Dare, DimensionMismatchThrows) {
+  EXPECT_THROW(
+      solve_dare(Matrix(2, 2), Matrix(3, 1), Matrix(2, 2), Matrix(1, 1)),
+      std::invalid_argument);
+}
+
+TEST(Dare, UnstabilizablePairFails) {
+  // Unreachable unstable mode: a = diag(2, .5), b only drives the stable one.
+  Matrix a{{2.0, 0.0}, {0.0, 0.5}};
+  Matrix b{{0.0}, {1.0}};
+  RiccatiOptions opts;
+  opts.max_iterations = 2000;
+  EXPECT_THROW(solve_dare(a, b, Matrix::identity(2), Matrix{{1.0}}, opts),
+               std::runtime_error);
+}
+
+TEST(Dlyap, SolvesFixedPoint) {
+  Matrix a{{0.5, 0.1}, {0.0, 0.3}};
+  Matrix q = Matrix::identity(2);
+  const Matrix x = solve_dlyap(a, q);
+  EXPECT_TRUE(approx_equal(a * x * a.transpose() + q, x, 1e-9));
+}
+
+TEST(Dlyap, UnstableAThrows) {
+  Matrix a{{1.5}};
+  EXPECT_THROW(solve_dlyap(a, Matrix{{1.0}}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ecsim::math

@@ -1,0 +1,101 @@
+#include "mathlib/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mathlib/stats.hpp"
+
+namespace ecsim::math {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+  bool any_diff = false;
+  Rng a2(123);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.next_u64() != c.next_u64()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatelyHalf) {
+  Rng rng(5);
+  std::vector<double> sample(20000);
+  for (double& v : sample) v = rng.uniform();
+  const Summary s = summarize(sample);
+  EXPECT_NEAR(s.mean, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_THROW(rng.uniform_int(5, 3), std::invalid_argument);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  std::vector<double> sample(40000);
+  for (double& v : sample) v = rng.normal(2.0, 3.0);
+  const Summary s = summarize(sample);
+  EXPECT_NEAR(s.mean, 2.0, 0.1);
+  EXPECT_NEAR(s.stddev, 3.0, 0.1);
+}
+
+TEST(Rng, TruncatedNormalRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.truncated_normal(0.0, 10.0, -1.0, 1.0);
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+  }
+  EXPECT_THROW(rng.truncated_normal(0.0, 1.0, 1.0, -1.0),
+               std::invalid_argument);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(19);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 30000; ++i) {
+    ++counts[rng.categorical({1.0, 2.0, 1.0})];
+  }
+  EXPECT_NEAR(counts[0] / 30000.0, 0.25, 0.02);
+  EXPECT_NEAR(counts[1] / 30000.0, 0.50, 0.02);
+  EXPECT_THROW(rng.categorical({}), std::invalid_argument);
+  EXPECT_THROW(rng.categorical({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(rng.categorical({-1.0, 2.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecsim::math

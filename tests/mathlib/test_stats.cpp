@@ -1,0 +1,65 @@
+#include "mathlib/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ecsim::math {
+namespace {
+
+TEST(Stats, EmptySampleSummary) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, KnownSample) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, SingleElement) {
+  const Summary s = summarize({7.0});
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 7.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  EXPECT_DOUBLE_EQ(quantile({0.0, 10.0}, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile({0.0, 10.0}, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile({0.0, 10.0}, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile({3.0, 1.0, 2.0}, 0.5), 2.0);  // sorts internally
+}
+
+TEST(Stats, QuantileValidation) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile({1.0}, 1.5), std::invalid_argument);
+}
+
+TEST(Stats, PeakToPeak) {
+  EXPECT_DOUBLE_EQ(peak_to_peak({3.0, -1.0, 2.0}), 4.0);
+  EXPECT_DOUBLE_EQ(peak_to_peak({}), 0.0);
+}
+
+TEST(Stats, HistogramBinsAndClamping) {
+  const auto h = histogram({0.1, 0.9, 0.5, -5.0, 5.0}, 0.0, 1.0, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0] + h[1], 5u);  // all samples counted (outliers clamped)
+  EXPECT_EQ(h[0], 2u);         // 0.1 and clamped -5.0
+  EXPECT_EQ(h[1], 3u);         // 0.5 (midpoint rounds up), 0.9, clamped 5.0
+}
+
+TEST(Stats, HistogramValidation) {
+  EXPECT_THROW(histogram({1.0}, 0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(histogram({1.0}, 1.0, 0.0, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecsim::math

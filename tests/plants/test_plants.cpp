@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "control/c2d.hpp"
+#include "control/lqr.hpp"
+#include "mathlib/linalg.hpp"
+#include "plants/coupled_tanks.hpp"
+#include "plants/dc_servo.hpp"
+#include "plants/inverted_pendulum.hpp"
+#include "plants/quarter_car.hpp"
+#include "plants/two_mass.hpp"
+
+namespace ecsim::plants {
+namespace {
+
+using control::is_controllable;
+using control::is_observable;
+using control::StateSpace;
+
+TEST(DcServo, MatchesTransferFunction) {
+  const StateSpace s = dc_servo();
+  EXPECT_EQ(s.order(), 2u);
+  // Poles at 0 and -1/tau.
+  const auto eigs = math::eigenvalues(s.a);
+  double min_re = 0.0, max_re = -10.0;
+  for (const auto& l : eigs) {
+    min_re = std::min(min_re, l.real());
+    max_re = std::max(max_re, l.real());
+  }
+  EXPECT_NEAR(max_re, 0.0, 1e-12);
+  EXPECT_NEAR(min_re, -1.0, 1e-12);
+  EXPECT_TRUE(is_controllable(s));
+  EXPECT_TRUE(is_observable(s));
+  EXPECT_THROW(dc_servo({.gain = 1.0, .tau = 0.0}), std::invalid_argument);
+}
+
+TEST(InvertedPendulum, UnstableButStabilizable) {
+  const StateSpace s = inverted_pendulum();
+  EXPECT_EQ(s.order(), 4u);
+  EXPECT_FALSE(s.is_stable());  // upright equilibrium is unstable
+  EXPECT_TRUE(is_controllable(s));
+  // LQR on the discretized model must stabilize it.
+  const StateSpace dt = control::c2d(s, 0.01);
+  const auto lqr = control::dlqr(dt, math::Matrix::identity(4),
+                                 math::Matrix{{1.0}});
+  EXPECT_LT(math::spectral_radius(control::closed_loop(dt.a, dt.b, lqr.k)),
+            1.0);
+  EXPECT_THROW(inverted_pendulum({.cart_mass = 0.0}), std::invalid_argument);
+}
+
+TEST(QuarterCar, StableWithRealisticDamping) {
+  const StateSpace s = quarter_car();
+  EXPECT_EQ(s.order(), 4u);
+  EXPECT_EQ(s.num_inputs(), 2u);   // force + road
+  EXPECT_EQ(s.num_outputs(), 2u);  // body disp + suspension deflection
+  EXPECT_TRUE(s.is_stable());
+  EXPECT_THROW(quarter_car({.sprung_mass = -1.0}), std::invalid_argument);
+}
+
+TEST(QuarterCar, StaticGainFromRoadIsUnity) {
+  // A constant road elevation shifts the whole car by the same amount:
+  // DC gain from zr to zs equals 1. Solve 0 = A x + B_r zr, y = C x.
+  const StateSpace s = quarter_car();
+  const math::Matrix b_road = s.b.block(0, 1, 4, 1);
+  const math::Matrix x_ss = math::solve(-s.a, b_road);  // for zr = 1
+  const double body = (s.c * x_ss)(0, 0);
+  EXPECT_NEAR(body, 1.0, 1e-9);
+}
+
+TEST(CoupledTanks, MonotoneStableCascade) {
+  const StateSpace s = coupled_tanks();
+  EXPECT_TRUE(s.is_stable());
+  // DC gain: pump_gain/(a1) * a1/(a2) = pump_gain / a2.
+  const math::Matrix x_ss = math::solve(-s.a, s.b);
+  EXPECT_NEAR((s.c * x_ss)(0, 0), 0.1 / 0.04, 1e-9);
+  EXPECT_THROW(coupled_tanks({.a1 = 0.0}), std::invalid_argument);
+}
+
+TEST(TwoMass, ResonantButStable) {
+  const StateSpace s = two_mass();
+  EXPECT_EQ(s.order(), 4u);
+  // Rigid-body rotation mode (eigenvalue 0) plus damped flexible mode.
+  const auto eigs = math::eigenvalues(s.a);
+  bool has_oscillatory = false;
+  for (const auto& l : eigs) {
+    EXPECT_LE(l.real(), 1e-9);
+    if (std::abs(l.imag()) > 1.0) has_oscillatory = true;
+  }
+  EXPECT_TRUE(has_oscillatory);
+  EXPECT_TRUE(is_controllable(s));
+  EXPECT_THROW(two_mass({.motor_inertia = 0.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecsim::plants

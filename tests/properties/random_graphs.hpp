@@ -1,0 +1,51 @@
+// Shared random-workload generators for property tests: layered random DAGs
+// (always acyclic) and random bus architectures.
+#pragma once
+
+#include "aaa/algorithm_graph.hpp"
+#include "aaa/architecture_graph.hpp"
+#include "mathlib/rng.hpp"
+
+namespace ecsim::testing {
+
+inline aaa::AlgorithmGraph random_dag(math::Rng& rng, std::size_t n_ops,
+                                      double period = 1.0) {
+  aaa::AlgorithmGraph alg("random", period);
+  std::vector<aaa::OpId> ids;
+  for (std::size_t i = 0; i < n_ops; ++i) {
+    aaa::Operation op;
+    op.name = "op" + std::to_string(i);
+    op.kind = i == 0 ? aaa::OpKind::kSensor
+                     : (i + 1 == n_ops ? aaa::OpKind::kActuator
+                                       : aaa::OpKind::kCompute);
+    op.wcet["cpu"] = rng.uniform(1e-3, 1e-2);
+    ids.push_back(alg.add_operation(std::move(op)));
+  }
+  // Edges only forward in index order: acyclic by construction.
+  for (std::size_t j = 1; j < n_ops; ++j) {
+    const std::size_t n_preds =
+        1 + static_cast<std::size_t>(rng.uniform_int(0, 1));
+    for (std::size_t p = 0; p < n_preds && p < j; ++p) {
+      const auto from =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<long>(j) - 1));
+      bool exists = false;
+      for (const aaa::DataDep& d : alg.dependencies()) {
+        if (d.from == ids[from] && d.to == ids[j]) exists = true;
+      }
+      if (!exists) {
+        alg.add_dependency(ids[from], ids[j], rng.uniform(1.0, 16.0));
+      }
+    }
+  }
+  return alg;
+}
+
+inline aaa::ArchitectureGraph random_bus(math::Rng& rng,
+                                         std::size_t max_procs = 4) {
+  const auto n =
+      static_cast<std::size_t>(rng.uniform_int(1, static_cast<long>(max_procs)));
+  return aaa::ArchitectureGraph::bus_architecture(
+      n, rng.uniform(1e3, 1e5), rng.uniform(0.0, 1e-4));
+}
+
+}  // namespace ecsim::testing

@@ -1,0 +1,75 @@
+// Property sweep of the adequation heuristic over random layered DAGs and
+// random bus architectures: the schedule must always validate, cover every
+// operation exactly once, respect a critical-path lower bound, and be
+// deterministic for identical inputs.
+#include <gtest/gtest.h>
+
+#include "aaa/adequation.hpp"
+#include "random_graphs.hpp"
+
+namespace ecsim::aaa {
+namespace {
+
+class AdequationProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AdequationProperty, RandomWorkloadsScheduleSoundly) {
+  math::Rng rng(GetParam());
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::size_t n_ops =
+        3 + static_cast<std::size_t>(rng.uniform_int(0, 9));
+    const AlgorithmGraph alg = ecsim::testing::random_dag(rng, n_ops);
+    const ArchitectureGraph arch = ecsim::testing::random_bus(rng);
+    const Schedule sched = adequate(alg, arch);
+    ASSERT_NO_THROW(sched.validate(alg, arch));
+    EXPECT_EQ(sched.ops().size(), n_ops);
+
+    // Lower bound: makespan >= critical path of pure computation.
+    const auto levels = alg.tail_levels();
+    double cp = 0.0;
+    for (double l : levels) cp = std::max(cp, l);
+    EXPECT_GE(sched.makespan() + 1e-12, cp);
+
+    // Upper bound sanity: never worse than fully sequential + all comms.
+    double total = 0.0;
+    for (OpId i = 0; i < alg.num_operations(); ++i) {
+      total += alg.op(i).wcet_on("cpu");
+    }
+    double total_comm = 0.0;
+    if (arch.num_media() > 0) {
+      for (const DataDep& d : alg.dependencies()) {
+        total_comm += arch.medium(0).transfer_time(d.size);
+      }
+    }
+    EXPECT_LE(sched.makespan(), total + total_comm + 1e-9);
+  }
+}
+
+TEST_P(AdequationProperty, DeterministicForIdenticalInput) {
+  math::Rng rng(GetParam() * 7919);
+  const AlgorithmGraph alg = ecsim::testing::random_dag(rng, 8);
+  const ArchitectureGraph arch = ArchitectureGraph::bus_architecture(3, 1e4, 1e-5);
+  const Schedule s1 = adequate(alg, arch);
+  const Schedule s2 = adequate(alg, arch);
+  ASSERT_EQ(s1.ops().size(), s2.ops().size());
+  for (std::size_t i = 0; i < s1.ops().size(); ++i) {
+    EXPECT_EQ(s1.ops()[i].op, s2.ops()[i].op);
+    EXPECT_EQ(s1.ops()[i].proc, s2.ops()[i].proc);
+    EXPECT_DOUBLE_EQ(s1.ops()[i].start, s2.ops()[i].start);
+  }
+}
+
+TEST_P(AdequationProperty, CommAwareNeverLosesOnSingleProcessor) {
+  // On one processor there are no comms, so both variants must agree.
+  math::Rng rng(GetParam() * 104729);
+  const AlgorithmGraph alg = ecsim::testing::random_dag(rng, 7);
+  const ArchitectureGraph arch = ArchitectureGraph::bus_architecture(1, 1.0);
+  const double aware = adequate(alg, arch, {.comm_aware = true}).makespan();
+  const double blind = adequate(alg, arch, {.comm_aware = false}).makespan();
+  EXPECT_DOUBLE_EQ(aware, blind);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdequationProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace ecsim::aaa

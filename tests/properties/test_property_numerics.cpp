@@ -1,0 +1,131 @@
+// Numerical cross-validation properties:
+//  - ZOH discretization must agree with direct continuous simulation of the
+//    plant under piecewise-constant input, across all bundled plants;
+//  - dlqr must stabilize every (stabilizable) bundled plant across sampling
+//    periods.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blocks/continuous.hpp"
+#include "blocks/math_blocks.hpp"
+#include "blocks/sample_hold.hpp"
+#include "blocks/sources.hpp"
+#include "control/c2d.hpp"
+#include "control/delay_compensation.hpp"
+#include "control/lqr.hpp"
+#include "mathlib/linalg.hpp"
+#include "plants/coupled_tanks.hpp"
+#include "plants/dc_servo.hpp"
+#include "plants/inverted_pendulum.hpp"
+#include "plants/quarter_car.hpp"
+#include "plants/two_mass.hpp"
+#include "sim/simulator.hpp"
+
+namespace ecsim::control {
+namespace {
+
+StateSpace plant_by_name(const std::string& name) {
+  if (name == "dc_servo") return plants::dc_servo();
+  if (name == "pendulum") return plants::inverted_pendulum();
+  if (name == "quarter_car") return plants::quarter_car();
+  if (name == "tanks") return plants::coupled_tanks();
+  return plants::two_mass();
+}
+
+class PlantProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PlantProperty, C2dMatchesContinuousSimulationUnderZoh) {
+  const StateSpace ct = plant_by_name(GetParam());
+  const double ts = 0.02;
+  const StateSpace dt = c2d(ct, ts);
+
+  // Drive the continuous plant with a ZOH'd sine through the simulator and
+  // step the discrete model manually on the same samples.
+  sim::Model m;
+  auto& src = m.add<blocks::Sine>("src", 1.0, 1.3);
+  auto& clk = m.add<blocks::Clock>("clk", ts);
+  auto& zoh = m.add<blocks::SampleHold>("zoh", 1);
+  // Widen the held scalar onto all plant inputs (disturbances share it).
+  math::Matrix spread(ct.num_inputs(), 1);
+  for (std::size_t i = 0; i < ct.num_inputs(); ++i) spread(i, 0) = 1.0;
+  auto& widen = m.add<blocks::Gain>("widen", spread);
+  auto& plant = m.add<blocks::StateSpaceCont>("plant", ct.a, ct.b,
+                                              math::Matrix::identity(ct.order()),
+                                              math::Matrix::zeros(ct.order(),
+                                                                  ct.num_inputs()));
+  m.connect(src, 0, zoh, 0);
+  m.connect(zoh, 0, widen, 0);
+  m.connect(widen, 0, plant, 0);
+  m.connect_event(clk, 0, zoh, zoh.event_in());
+  sim::SimOptions opts;
+  opts.end_time = 10 * ts;
+  opts.integrator.max_step = 1e-4;
+  sim::Simulator s(m, opts);
+  s.run();
+
+  // Manual discrete recursion with the same input samples.
+  std::vector<double> x(ct.order(), 0.0);
+  for (int k = 0; k < 10; ++k) {
+    const double u = std::sin(2.0 * std::numbers::pi * 1.3 * k * ts);
+    std::vector<double> xn(ct.order(), 0.0);
+    for (std::size_t i = 0; i < ct.order(); ++i) {
+      xn[i] = math::dot(dt.a.row(i), x);
+      for (std::size_t j = 0; j < ct.num_inputs(); ++j) xn[i] += dt.b(i, j) * u;
+    }
+    x = xn;
+  }
+  for (std::size_t i = 0; i < ct.order(); ++i) {
+    EXPECT_NEAR(s.output_value(plant, 0, i), x[i],
+                1e-6 * std::max(1.0, std::abs(x[i])))
+        << GetParam() << " state " << i;
+  }
+}
+
+TEST_P(PlantProperty, DlqrStabilizesAcrossSamplingPeriods) {
+  StateSpace ct = plant_by_name(GetParam());
+  // Use the force/command input only (first column) for multi-input plants.
+  if (ct.num_inputs() > 1) {
+    ct.b = ct.b.block(0, 0, ct.order(), 1);
+    ct.d = math::Matrix::zeros(ct.num_outputs(), 1);
+  }
+  for (double ts : {0.001, 0.005, 0.02}) {
+    const StateSpace dt = c2d(ct, ts);
+    const LqrResult r = dlqr(dt, math::Matrix::identity(ct.order()),
+                             math::Matrix{{1.0}});
+    EXPECT_LT(math::spectral_radius(closed_loop(dt.a, dt.b, r.k)), 1.0)
+        << GetParam() << " ts=" << ts;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Plants, PlantProperty,
+                         ::testing::Values("dc_servo", "pendulum",
+                                           "quarter_car", "tanks",
+                                           "two_mass"));
+
+class DelaySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DelaySweep, DelayAugmentedDesignStableForAnyTauInPeriod) {
+  const double frac = GetParam();
+  const StateSpace servo = plants::dc_servo();
+  const double ts = 0.01;
+  const double tau = frac * ts;
+  const Matrix q = math::Matrix::zeros(3, 3);
+  Matrix q_aug = q;
+  q_aug.set_block(0, 0, math::Matrix::diag({100.0, 0.01}));
+  const auto res = [&] {
+    StateSpace s = servo;
+    return ecsim::control::dlqr_with_input_delay(s, ts, tau, q_aug,
+                                                 Matrix{{1e-3}});
+  }();
+  EXPECT_LT(math::spectral_radius(res.augmented.a - res.augmented.b * res.k),
+            1.0)
+      << "tau/ts = " << frac;
+}
+
+INSTANTIATE_TEST_SUITE_P(TauFractions, DelaySweep,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9,
+                                           1.0));
+
+}  // namespace
+}  // namespace ecsim::control

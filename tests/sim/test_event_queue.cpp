@@ -1,0 +1,63 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecsim::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  q.push(2.0, 0, 0);
+  q.push(1.0, 1, 0);
+  q.push(3.0, 2, 0);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_DOUBLE_EQ(q.next_time(), 1.0);
+  EXPECT_EQ(q.pop().block, 1u);
+  EXPECT_EQ(q.pop().block, 0u);
+  EXPECT_EQ(q.pop().block, 2u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, FifoAmongSimultaneous) {
+  EventQueue q;
+  for (std::size_t i = 0; i < 10; ++i) q.push(1.0, i, 0);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(q.pop().block, i);
+  }
+}
+
+TEST(EventQueue, InterleavedPushPopKeepsFifo) {
+  EventQueue q;
+  q.push(1.0, 0, 0);
+  q.push(1.0, 1, 0);
+  EXPECT_EQ(q.pop().block, 0u);
+  q.push(1.0, 2, 0);  // arrives later -> processed after block 1
+  EXPECT_EQ(q.pop().block, 1u);
+  EXPECT_EQ(q.pop().block, 2u);
+}
+
+TEST(EventQueue, EmptyAccessThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.next_time(), std::logic_error);
+  EXPECT_THROW(q.pop(), std::logic_error);
+}
+
+TEST(EventQueue, ClearResets) {
+  EventQueue q;
+  q.push(1.0, 0, 0);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, CarriesEventPort) {
+  EventQueue q;
+  q.push(1.0, 4, 7);
+  const ScheduledEvent e = q.pop();
+  EXPECT_EQ(e.block, 4u);
+  EXPECT_EQ(e.event_in, 7u);
+  EXPECT_DOUBLE_EQ(e.time, 1.0);
+}
+
+}  // namespace
+}  // namespace ecsim::sim

@@ -1,0 +1,89 @@
+#include "sim/integrator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ecsim::sim {
+namespace {
+
+// dx/dt = -x, x(0) = 1 -> x(t) = e^{-t}
+const DerivFn kDecay = [](Time, const std::vector<double>& x,
+                          std::vector<double>& dx) { dx[0] = -x[0]; };
+
+TEST(Integrator, Rk4Accuracy) {
+  IntegratorOptions opts;
+  opts.kind = IntegratorKind::kRk4;
+  opts.max_step = 1e-3;
+  std::vector<double> x{1.0};
+  integrate(opts, kDecay, 0.0, 1.0, x);
+  EXPECT_NEAR(x[0], std::exp(-1.0), 1e-10);
+}
+
+TEST(Integrator, Rk4LandsExactlyOnEndTime) {
+  // Interval not divisible by max_step: final partial step must be taken.
+  IntegratorOptions opts;
+  opts.max_step = 0.3;
+  std::vector<double> x{1.0};
+  integrate(opts, kDecay, 0.0, 1.0, x);
+  EXPECT_NEAR(x[0], std::exp(-1.0), 1e-4);
+}
+
+TEST(Integrator, Rkf45AdaptsAndMeetsTolerance) {
+  IntegratorOptions opts;
+  opts.kind = IntegratorKind::kRkf45;
+  opts.max_step = 0.5;
+  opts.rel_tol = 1e-9;
+  opts.abs_tol = 1e-12;
+  std::vector<double> x{1.0};
+  integrate(opts, kDecay, 0.0, 2.0, x);
+  EXPECT_NEAR(x[0], std::exp(-2.0), 1e-7);
+}
+
+TEST(Integrator, HarmonicOscillatorEnergyPreserved) {
+  const DerivFn osc = [](Time, const std::vector<double>& x,
+                         std::vector<double>& dx) {
+    dx[0] = x[1];
+    dx[1] = -x[0];
+  };
+  IntegratorOptions opts;
+  opts.max_step = 1e-3;
+  std::vector<double> x{1.0, 0.0};
+  integrate(opts, osc, 0.0, 2.0 * std::numbers::pi, x);
+  EXPECT_NEAR(x[0], 1.0, 1e-8);
+  EXPECT_NEAR(x[1], 0.0, 1e-8);
+}
+
+TEST(Integrator, TimeDependentDerivative) {
+  // dx/dt = t -> x(T) = T^2/2
+  const DerivFn ramp = [](Time t, const std::vector<double>&,
+                          std::vector<double>& dx) { dx[0] = t; };
+  IntegratorOptions opts;
+  opts.max_step = 1e-2;
+  std::vector<double> x{0.0};
+  integrate(opts, ramp, 0.0, 3.0, x);
+  EXPECT_NEAR(x[0], 4.5, 1e-9);
+}
+
+TEST(Integrator, EmptyStateIsNoOp) {
+  IntegratorOptions opts;
+  std::vector<double> x;
+  integrate(opts, kDecay, 0.0, 1.0, x);  // must not call dxdt
+  EXPECT_TRUE(x.empty());
+}
+
+TEST(Integrator, BackwardIntervalThrows) {
+  IntegratorOptions opts;
+  std::vector<double> x{1.0};
+  EXPECT_THROW(integrate(opts, kDecay, 1.0, 0.0, x), std::invalid_argument);
+}
+
+TEST(Integrator, ZeroLengthIntervalLeavesStateUntouched) {
+  IntegratorOptions opts;
+  std::vector<double> x{3.0};
+  integrate(opts, kDecay, 1.0, 1.0, x);
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+}
+
+}  // namespace
+}  // namespace ecsim::sim

@@ -1,0 +1,55 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecsim::sim {
+namespace {
+
+Trace sample_trace() {
+  Trace t;
+  t.record_event(0.1, 3, 0, "a");
+  t.record_event(0.2, 3, 1, "a");
+  t.record_event(0.3, 4, 0, "b");
+  t.record_event(0.4, 3, 0, "a");
+  t.record_signal(0.0, 7, {1.0, 2.0});
+  t.record_signal(0.5, 7, {3.0, 4.0});
+  t.record_signal(0.5, 8, {9.0});
+  return t;
+}
+
+TEST(Trace, ActivationTimesByBlockAndPort) {
+  const Trace t = sample_trace();
+  EXPECT_EQ(t.activation_times(3).size(), 3u);  // any port
+  EXPECT_EQ(t.activation_times(3, 0), (std::vector<Time>{0.1, 0.4}));
+  EXPECT_EQ(t.activation_times(3, 1), (std::vector<Time>{0.2}));
+  EXPECT_TRUE(t.activation_times(9).empty());
+}
+
+TEST(Trace, ActivationTimesByName) {
+  const Trace t = sample_trace();
+  EXPECT_EQ(t.activation_times_by_name("a", 0), (std::vector<Time>{0.1, 0.4}));
+  EXPECT_EQ(t.activation_times_by_name("b").size(), 1u);
+  EXPECT_TRUE(t.activation_times_by_name("zzz").empty());
+}
+
+TEST(Trace, SeriesSelectsBlockAndComponent) {
+  const Trace t = sample_trace();
+  const auto s0 = t.series(7, 0);
+  ASSERT_EQ(s0.size(), 2u);
+  EXPECT_DOUBLE_EQ(s0[1].second, 3.0);
+  const auto s1 = t.series(7, 1);
+  EXPECT_DOUBLE_EQ(s1[0].second, 2.0);
+  // Out-of-range component yields an empty series rather than UB.
+  EXPECT_TRUE(t.series(7, 5).empty());
+  EXPECT_EQ(t.series(8).size(), 1u);
+}
+
+TEST(Trace, ClearEmptiesBothStreams) {
+  Trace t = sample_trace();
+  t.clear();
+  EXPECT_TRUE(t.events().empty());
+  EXPECT_TRUE(t.signals().empty());
+}
+
+}  // namespace
+}  // namespace ecsim::sim

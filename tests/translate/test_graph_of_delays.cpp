@@ -1,0 +1,179 @@
+// Validates the core claim of the paper's §3.2 translation rules: the event
+// network built from the SynDEx schedule reproduces, inside the hybrid
+// simulation, the exact completion instants of every operation (sequencing,
+// Fig. 4), joins inter-processor communications correctly (synchronization)
+// and exhibits conditioning jitter (Fig. 5).
+#include "translate/graph_of_delays.hpp"
+
+#include <gtest/gtest.h>
+
+#include "aaa/adequation.hpp"
+#include "blocks/discrete.hpp"
+#include "mathlib/stats.hpp"
+#include "sim/simulator.hpp"
+
+namespace ecsim::translate {
+namespace {
+
+struct DistributedChain {
+  aaa::AlgorithmGraph alg{"chain", 0.01};
+  aaa::ArchitectureGraph arch{
+      aaa::ArchitectureGraph::bus_architecture(2, 1e4, 1e-5)};
+  aaa::Schedule sched{0, 0};
+
+  DistributedChain() {
+    const aaa::OpId s =
+        alg.add_simple("sense", aaa::OpKind::kSensor, 1e-4, "P0");
+    const aaa::OpId c =
+        alg.add_simple("ctrl", aaa::OpKind::kCompute, 5e-4, "P1");
+    const aaa::OpId a =
+        alg.add_simple("act", aaa::OpKind::kActuator, 1e-4, "P0");
+    alg.add_dependency(s, c, 8.0);
+    alg.add_dependency(c, a, 8.0);
+    sched = aaa::adequate(alg, arch);
+  }
+};
+
+std::vector<sim::Time> run_and_collect(sim::Model& m, const std::string& name,
+                                       double t_end, std::uint64_t seed = 1) {
+  sim::SimOptions opts;
+  opts.end_time = t_end;
+  opts.seed = seed;
+  sim::Simulator s(m, opts);
+  s.run();
+  return s.trace().activation_times_by_name(name);
+}
+
+TEST(GraphOfDelays, EventChainReproducesScheduleInstantsExactly) {
+  DistributedChain f;
+  sim::Model m;
+  auto& probe = m.add<blocks::EventCounter>("act_done");
+  const GraphOfDelays god =
+      build_graph_of_delays(m, f.alg, f.arch, f.sched, {});
+  wire_completion(m, god, f.alg.find("act"), probe, 0);
+
+  const auto times = run_and_collect(m, "act_done", 0.0499);
+  const double expect = f.sched.of_op(f.alg.find("act")).end;
+  ASSERT_EQ(times.size(), 5u);
+  for (std::size_t k = 0; k < times.size(); ++k) {
+    EXPECT_NEAR(times[k], expect + 0.01 * static_cast<double>(k), 1e-12);
+  }
+}
+
+TEST(GraphOfDelays, AllOpsGetCompletionSources) {
+  DistributedChain f;
+  sim::Model m;
+  const GraphOfDelays god =
+      build_graph_of_delays(m, f.alg, f.arch, f.sched, {});
+  EXPECT_EQ(god.op_completion.size(), 3u);
+  EXPECT_NE(god.clock, nullptr);
+}
+
+TEST(GraphOfDelays, TimetableModeMatchesEventChainUnderWcet) {
+  DistributedChain f;
+  sim::Model m1, m2;
+  auto& n1 = m1.add<blocks::EventCounter>("done");
+  auto& n2 = m2.add<blocks::EventCounter>("done");
+  GodOptions chain_opts;
+  chain_opts.mode = GodMode::kEventChain;
+  GodOptions tt_opts;
+  tt_opts.mode = GodMode::kTimetable;
+  const GraphOfDelays god1 =
+      build_graph_of_delays(m1, f.alg, f.arch, f.sched, chain_opts);
+  const GraphOfDelays god2 =
+      build_graph_of_delays(m2, f.alg, f.arch, f.sched, tt_opts);
+  wire_completion(m1, god1, f.alg.find("ctrl"), n1, 0);
+  wire_completion(m2, god2, f.alg.find("ctrl"), n2, 0);
+  const auto t1 = run_and_collect(m1, "done", 0.0399);
+  const auto t2 = run_and_collect(m2, "done", 0.0399);
+  ASSERT_EQ(t1.size(), t2.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_NEAR(t1[i], t2[i], 1e-12);
+  }
+}
+
+TEST(GraphOfDelays, ExecutionTimeVariationOnlyEverEarlier) {
+  DistributedChain f;
+  sim::Model m;
+  auto& n = m.add<blocks::EventCounter>("done");
+  GodOptions opts;
+  opts.bcet_fraction = 0.2;
+  const GraphOfDelays god =
+      build_graph_of_delays(m, f.alg, f.arch, f.sched, opts);
+  wire_completion(m, god, f.alg.find("act"), n, 0);
+  const auto times = run_and_collect(m, "done", 0.0999, 5);
+  const double wcet_end = f.sched.of_op(f.alg.find("act")).end;
+  ASSERT_EQ(times.size(), 10u);
+  bool any_strictly_earlier = false;
+  for (std::size_t k = 0; k < times.size(); ++k) {
+    const double offset = times[k] - 0.01 * static_cast<double>(k);
+    EXPECT_LE(offset, wcet_end + 1e-12);
+    EXPECT_GT(offset, 0.0);
+    if (offset < wcet_end - 1e-6) any_strictly_earlier = true;
+  }
+  EXPECT_TRUE(any_strictly_earlier);
+}
+
+TEST(GraphOfDelays, ConditioningProducesJitter) {
+  // Conditional controller: branch WCETs 1e-4 vs 4e-3 on one processor.
+  aaa::AlgorithmGraph alg("cond", 0.01);
+  const aaa::OpId s = alg.add_simple("sense", aaa::OpKind::kSensor, 1e-4);
+  aaa::Operation mode;
+  mode.name = "ctrl";
+  mode.kind = aaa::OpKind::kCompute;
+  mode.branches = {aaa::Branch{"fast", {{"cpu", 1e-4}}},
+                   aaa::Branch{"slow", {{"cpu", 4e-3}}}};
+  const aaa::OpId c = alg.add_operation(std::move(mode));
+  const aaa::OpId a = alg.add_simple("act", aaa::OpKind::kActuator, 1e-4);
+  alg.add_dependency(s, c, 1.0);
+  alg.add_dependency(c, a, 1.0);
+  const auto arch = aaa::ArchitectureGraph::bus_architecture(1, 1.0);
+  const aaa::Schedule sched = aaa::adequate(alg, arch);
+
+  sim::Model m;
+  auto& n = m.add<blocks::EventCounter>("done");
+  GodOptions opts;
+  opts.random_branches = true;
+  const GraphOfDelays god = build_graph_of_delays(m, alg, arch, sched, opts);
+  wire_completion(m, god, a, n, 0);
+  const auto times = run_and_collect(m, "done", 0.999, 7);
+  ASSERT_GE(times.size(), 50u);
+  std::vector<double> offsets;
+  for (std::size_t k = 0; k < times.size(); ++k) {
+    offsets.push_back(times[k] - 0.01 * static_cast<double>(k));
+  }
+  const double jitter = math::peak_to_peak(offsets);
+  EXPECT_NEAR(jitter, 4e-3 - 1e-4, 1e-9);  // branch asymmetry shows up fully
+}
+
+TEST(GraphOfDelays, OverloadedScheduleRejected) {
+  aaa::AlgorithmGraph alg("slow", 0.001);  // period shorter than makespan
+  alg.add_simple("sense", aaa::OpKind::kSensor, 1e-2);
+  const auto arch = aaa::ArchitectureGraph::bus_architecture(1, 1.0);
+  const aaa::Schedule sched = aaa::adequate(alg, arch);
+  sim::Model m;
+  EXPECT_THROW(build_graph_of_delays(m, alg, arch, sched, {}),
+               std::runtime_error);
+}
+
+TEST(GraphOfDelays, MissingPeriodRejected) {
+  aaa::AlgorithmGraph alg("np", 0.0);
+  alg.add_simple("sense", aaa::OpKind::kSensor, 1e-4);
+  const auto arch = aaa::ArchitectureGraph::bus_architecture(1, 1.0);
+  const aaa::Schedule sched = aaa::adequate(alg, arch);
+  sim::Model m;
+  EXPECT_THROW(build_graph_of_delays(m, alg, arch, sched, {}),
+               std::runtime_error);
+}
+
+TEST(GraphOfDelays, WireCompletionUnknownOpThrows) {
+  DistributedChain f;
+  sim::Model m;
+  auto& n = m.add<blocks::EventCounter>("n");
+  const GraphOfDelays god =
+      build_graph_of_delays(m, f.alg, f.arch, f.sched, {});
+  EXPECT_THROW(wire_completion(m, god, 99, n, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ecsim::translate

@@ -1,0 +1,154 @@
+// ecsim_flow — command-line driver for the AAA flow on text specs:
+//
+//   ecsim_flow schedule  spec.txt   static schedule + makespan/utilization
+//   ecsim_flow codegen   spec.txt   generated distributed executives (C-like)
+//   ecsim_flow simulate  spec.txt   executive VM run: latencies + conformance
+//   ecsim_flow validate  spec.txt   exit 0 iff schedulable within the period
+//   ecsim_flow dot-alg   spec.txt   Graphviz DOT of the algorithm graph
+//   ecsim_flow dot-arch  spec.txt   Graphviz DOT of the architecture
+//   ecsim_flow dot-gantt spec.txt   Graphviz DOT of the schedule
+//
+// The spec format is documented in src/io/spec.hpp; see
+// examples/specs/*.spec for ready-to-run inputs.
+#include <cstdio>
+
+#include "aaa/adequation.hpp"
+#include "aaa/codegen.hpp"
+#include "exec/conformance.hpp"
+#include "io/dot.hpp"
+#include "io/spec.hpp"
+#include "latency/latency.hpp"
+
+using namespace ecsim;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ecsim_flow <schedule|codegen|simulate|validate|"
+               "dot-alg|dot-arch|dot-gantt> <spec-file>\n");
+  return 2;
+}
+
+struct Flow {
+  io::ParsedSpec spec;
+  aaa::Schedule sched{0, 0};
+
+  explicit Flow(const std::string& path) : spec(io::load_spec(path)) {
+    if (!spec.has_algorithm) {
+      throw std::runtime_error("spec has no [algorithm] section");
+    }
+    if (!spec.has_architecture) {
+      throw std::runtime_error("spec has no [architecture] section");
+    }
+    sched = aaa::adequate(spec.algorithm, spec.architecture);
+    sched.validate(spec.algorithm, spec.architecture);
+  }
+};
+
+int cmd_schedule(const Flow& f) {
+  std::printf("%s", f.sched.to_string(f.spec.algorithm, f.spec.architecture)
+                        .c_str());
+  const double period = f.spec.algorithm.period();
+  if (period > 0.0) {
+    std::printf("period %.6g, utilization %.1f%%%s\n", period,
+                100.0 * f.sched.makespan() / period,
+                f.sched.makespan() > period ? "  ** OVER PERIOD **" : "");
+  }
+  return 0;
+}
+
+int cmd_codegen(const Flow& f) {
+  const aaa::GeneratedCode code =
+      aaa::generate_executives(f.spec.algorithm, f.spec.architecture, f.sched);
+  std::printf("%s", code.source.c_str());
+  return 0;
+}
+
+int cmd_simulate(const Flow& f) {
+  const aaa::GeneratedCode code =
+      aaa::generate_executives(f.spec.algorithm, f.spec.architecture, f.sched);
+  const double period = f.spec.algorithm.period() > 0.0
+                            ? f.spec.algorithm.period()
+                            : f.sched.makespan();
+  exec::VmOptions opts;
+  opts.iterations = 50;
+  opts.period = period;
+  opts.branch_chooser = exec::worst_case_branch_chooser();
+  const exec::VmResult wcet_run = exec::run_executives(
+      f.spec.algorithm, f.spec.architecture, f.sched, code, opts);
+  const exec::ConformanceReport conf = exec::check_wcet_conformance(
+      f.spec.algorithm, f.spec.architecture, f.sched, wcet_run, period);
+  std::printf("WCET run: deadlock=%s conformance=%s (max error %.2e)\n",
+              wcet_run.deadlock ? "YES" : "no", conf.ok ? "exact" : "VIOLATED",
+              conf.max_time_error);
+
+  exec::VmOptions rnd = opts;
+  rnd.exec_time = exec::uniform_fraction_exec_time(0.5);
+  rnd.branch_chooser = exec::uniform_branch_chooser();
+  const exec::VmResult rnd_run = exec::run_executives(
+      f.spec.algorithm, f.spec.architecture, f.sched, code, rnd);
+  std::printf("random-times run: deadlock=%s, order preserved=%s\n",
+              rnd_run.deadlock ? "YES" : "no",
+              exec::check_order_preservation(f.spec.algorithm,
+                                             f.spec.architecture, f.sched,
+                                             rnd_run)
+                      .ok
+                  ? "yes"
+                  : "NO");
+  for (aaa::OpId op = 0; op < f.spec.algorithm.num_operations(); ++op) {
+    const aaa::Operation& o = f.spec.algorithm.op(op);
+    if (o.kind == aaa::OpKind::kCompute) continue;
+    const auto series = latency::analyze_instants(
+        o.name, rnd_run.completions(op), period);
+    std::printf("%-12s %s latency: mean=%.6f max=%.6f jitter=%.6f\n",
+                o.name.c_str(),
+                o.kind == aaa::OpKind::kSensor ? "sampling " : "actuation",
+                series.summary.mean, series.summary.max, series.jitter);
+  }
+  return 0;
+}
+
+int cmd_validate(const Flow& f) {
+  const double period = f.spec.algorithm.period();
+  if (period > 0.0 && f.sched.makespan() > period) {
+    std::printf("INVALID: makespan %.6g exceeds period %.6g\n",
+                f.sched.makespan(), period);
+    return 1;
+  }
+  std::printf("OK: makespan %.6g within period %.6g\n", f.sched.makespan(),
+              period);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) return usage();
+  const std::string command = argv[1];
+  try {
+    const Flow flow(argv[2]);
+    if (command == "schedule") return cmd_schedule(flow);
+    if (command == "codegen") return cmd_codegen(flow);
+    if (command == "simulate") return cmd_simulate(flow);
+    if (command == "validate") return cmd_validate(flow);
+    if (command == "dot-alg") {
+      std::printf("%s", io::to_dot(flow.spec.algorithm).c_str());
+      return 0;
+    }
+    if (command == "dot-arch") {
+      std::printf("%s", io::to_dot(flow.spec.architecture).c_str());
+      return 0;
+    }
+    if (command == "dot-gantt") {
+      std::printf("%s", io::schedule_to_dot(flow.spec.algorithm,
+                                            flow.spec.architecture, flow.sched)
+                            .c_str());
+      return 0;
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ecsim_flow: %s\n", e.what());
+    return 1;
+  }
+}
