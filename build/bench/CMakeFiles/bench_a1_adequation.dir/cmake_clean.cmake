@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_adequation.dir/bench_a1_adequation.cpp.o"
+  "CMakeFiles/bench_a1_adequation.dir/bench_a1_adequation.cpp.o.d"
+  "bench_a1_adequation"
+  "bench_a1_adequation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_adequation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c1_timing_sensitivity.dir/bench_c1_timing_sensitivity.cpp.o"
+  "CMakeFiles/bench_c1_timing_sensitivity.dir/bench_c1_timing_sensitivity.cpp.o.d"
+  "bench_c1_timing_sensitivity"
+  "bench_c1_timing_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c1_timing_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_sequencing.dir/bench_fig4_sequencing.cpp.o"
+  "CMakeFiles/bench_fig4_sequencing.dir/bench_fig4_sequencing.cpp.o.d"
+  "bench_fig4_sequencing"
+  "bench_fig4_sequencing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_sequencing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

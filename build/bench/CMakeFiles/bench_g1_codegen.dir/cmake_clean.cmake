@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_g1_codegen.dir/bench_g1_codegen.cpp.o"
+  "CMakeFiles/bench_g1_codegen.dir/bench_g1_codegen.cpp.o.d"
+  "bench_g1_codegen"
+  "bench_g1_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_g1_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_m1_design_cycle.dir/bench_m1_design_cycle.cpp.o"
+  "CMakeFiles/bench_m1_design_cycle.dir/bench_m1_design_cycle.cpp.o.d"
+  "bench_m1_design_cycle"
+  "bench_m1_design_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_m1_design_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_m1_design_cycle.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mr1_multirate.dir/bench_mr1_multirate.cpp.o"
+  "CMakeFiles/bench_mr1_multirate.dir/bench_mr1_multirate.cpp.o.d"
+  "bench_mr1_multirate"
+  "bench_mr1_multirate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mr1_multirate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

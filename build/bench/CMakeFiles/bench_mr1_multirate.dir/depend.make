@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_mr1_multirate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_p1_engine_perf.dir/bench_p1_engine_perf.cpp.o"
+  "CMakeFiles/bench_p1_engine_perf.dir/bench_p1_engine_perf.cpp.o.d"
+  "bench_p1_engine_perf"
+  "bench_p1_engine_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_p1_engine_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

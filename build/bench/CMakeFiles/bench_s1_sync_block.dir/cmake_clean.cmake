@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s1_sync_block.dir/bench_s1_sync_block.cpp.o"
+  "CMakeFiles/bench_s1_sync_block.dir/bench_s1_sync_block.cpp.o.d"
+  "bench_s1_sync_block"
+  "bench_s1_sync_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s1_sync_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_servo.dir/distributed_servo.cpp.o"
+  "CMakeFiles/distributed_servo.dir/distributed_servo.cpp.o.d"
+  "distributed_servo"
+  "distributed_servo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_servo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/networked_observer.dir/networked_observer.cpp.o"
+  "CMakeFiles/networked_observer.dir/networked_observer.cpp.o.d"
+  "networked_observer"
+  "networked_observer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/networked_observer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pendulum_conditioning.dir/pendulum_conditioning.cpp.o"
+  "CMakeFiles/pendulum_conditioning.dir/pendulum_conditioning.cpp.o.d"
+  "pendulum_conditioning"
+  "pendulum_conditioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pendulum_conditioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pendulum_conditioning.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suspension_codesign.dir/suspension_codesign.cpp.o"
+  "CMakeFiles/suspension_codesign.dir/suspension_codesign.cpp.o.d"
+  "suspension_codesign"
+  "suspension_codesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suspension_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aaa/adequation.cpp" "src/CMakeFiles/ecsim_aaa.dir/aaa/adequation.cpp.o" "gcc" "src/CMakeFiles/ecsim_aaa.dir/aaa/adequation.cpp.o.d"
+  "/root/repo/src/aaa/algorithm_graph.cpp" "src/CMakeFiles/ecsim_aaa.dir/aaa/algorithm_graph.cpp.o" "gcc" "src/CMakeFiles/ecsim_aaa.dir/aaa/algorithm_graph.cpp.o.d"
+  "/root/repo/src/aaa/architecture_graph.cpp" "src/CMakeFiles/ecsim_aaa.dir/aaa/architecture_graph.cpp.o" "gcc" "src/CMakeFiles/ecsim_aaa.dir/aaa/architecture_graph.cpp.o.d"
+  "/root/repo/src/aaa/codegen.cpp" "src/CMakeFiles/ecsim_aaa.dir/aaa/codegen.cpp.o" "gcc" "src/CMakeFiles/ecsim_aaa.dir/aaa/codegen.cpp.o.d"
+  "/root/repo/src/aaa/multirate.cpp" "src/CMakeFiles/ecsim_aaa.dir/aaa/multirate.cpp.o" "gcc" "src/CMakeFiles/ecsim_aaa.dir/aaa/multirate.cpp.o.d"
+  "/root/repo/src/aaa/routing.cpp" "src/CMakeFiles/ecsim_aaa.dir/aaa/routing.cpp.o" "gcc" "src/CMakeFiles/ecsim_aaa.dir/aaa/routing.cpp.o.d"
+  "/root/repo/src/aaa/schedule.cpp" "src/CMakeFiles/ecsim_aaa.dir/aaa/schedule.cpp.o" "gcc" "src/CMakeFiles/ecsim_aaa.dir/aaa/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ecsim_mathlib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecsim_aaa.dir/aaa/adequation.cpp.o"
+  "CMakeFiles/ecsim_aaa.dir/aaa/adequation.cpp.o.d"
+  "CMakeFiles/ecsim_aaa.dir/aaa/algorithm_graph.cpp.o"
+  "CMakeFiles/ecsim_aaa.dir/aaa/algorithm_graph.cpp.o.d"
+  "CMakeFiles/ecsim_aaa.dir/aaa/architecture_graph.cpp.o"
+  "CMakeFiles/ecsim_aaa.dir/aaa/architecture_graph.cpp.o.d"
+  "CMakeFiles/ecsim_aaa.dir/aaa/codegen.cpp.o"
+  "CMakeFiles/ecsim_aaa.dir/aaa/codegen.cpp.o.d"
+  "CMakeFiles/ecsim_aaa.dir/aaa/multirate.cpp.o"
+  "CMakeFiles/ecsim_aaa.dir/aaa/multirate.cpp.o.d"
+  "CMakeFiles/ecsim_aaa.dir/aaa/routing.cpp.o"
+  "CMakeFiles/ecsim_aaa.dir/aaa/routing.cpp.o.d"
+  "CMakeFiles/ecsim_aaa.dir/aaa/schedule.cpp.o"
+  "CMakeFiles/ecsim_aaa.dir/aaa/schedule.cpp.o.d"
+  "libecsim_aaa.a"
+  "libecsim_aaa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecsim_aaa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ecsim_aaa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blocks/continuous.cpp" "src/CMakeFiles/ecsim_blocks.dir/blocks/continuous.cpp.o" "gcc" "src/CMakeFiles/ecsim_blocks.dir/blocks/continuous.cpp.o.d"
+  "/root/repo/src/blocks/discrete.cpp" "src/CMakeFiles/ecsim_blocks.dir/blocks/discrete.cpp.o" "gcc" "src/CMakeFiles/ecsim_blocks.dir/blocks/discrete.cpp.o.d"
+  "/root/repo/src/blocks/event_blocks.cpp" "src/CMakeFiles/ecsim_blocks.dir/blocks/event_blocks.cpp.o" "gcc" "src/CMakeFiles/ecsim_blocks.dir/blocks/event_blocks.cpp.o.d"
+  "/root/repo/src/blocks/math_blocks.cpp" "src/CMakeFiles/ecsim_blocks.dir/blocks/math_blocks.cpp.o" "gcc" "src/CMakeFiles/ecsim_blocks.dir/blocks/math_blocks.cpp.o.d"
+  "/root/repo/src/blocks/probe.cpp" "src/CMakeFiles/ecsim_blocks.dir/blocks/probe.cpp.o" "gcc" "src/CMakeFiles/ecsim_blocks.dir/blocks/probe.cpp.o.d"
+  "/root/repo/src/blocks/sample_hold.cpp" "src/CMakeFiles/ecsim_blocks.dir/blocks/sample_hold.cpp.o" "gcc" "src/CMakeFiles/ecsim_blocks.dir/blocks/sample_hold.cpp.o.d"
+  "/root/repo/src/blocks/sources.cpp" "src/CMakeFiles/ecsim_blocks.dir/blocks/sources.cpp.o" "gcc" "src/CMakeFiles/ecsim_blocks.dir/blocks/sources.cpp.o.d"
+  "/root/repo/src/blocks/synchronization.cpp" "src/CMakeFiles/ecsim_blocks.dir/blocks/synchronization.cpp.o" "gcc" "src/CMakeFiles/ecsim_blocks.dir/blocks/synchronization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ecsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_mathlib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecsim_blocks.dir/blocks/continuous.cpp.o"
+  "CMakeFiles/ecsim_blocks.dir/blocks/continuous.cpp.o.d"
+  "CMakeFiles/ecsim_blocks.dir/blocks/discrete.cpp.o"
+  "CMakeFiles/ecsim_blocks.dir/blocks/discrete.cpp.o.d"
+  "CMakeFiles/ecsim_blocks.dir/blocks/event_blocks.cpp.o"
+  "CMakeFiles/ecsim_blocks.dir/blocks/event_blocks.cpp.o.d"
+  "CMakeFiles/ecsim_blocks.dir/blocks/math_blocks.cpp.o"
+  "CMakeFiles/ecsim_blocks.dir/blocks/math_blocks.cpp.o.d"
+  "CMakeFiles/ecsim_blocks.dir/blocks/probe.cpp.o"
+  "CMakeFiles/ecsim_blocks.dir/blocks/probe.cpp.o.d"
+  "CMakeFiles/ecsim_blocks.dir/blocks/sample_hold.cpp.o"
+  "CMakeFiles/ecsim_blocks.dir/blocks/sample_hold.cpp.o.d"
+  "CMakeFiles/ecsim_blocks.dir/blocks/sources.cpp.o"
+  "CMakeFiles/ecsim_blocks.dir/blocks/sources.cpp.o.d"
+  "CMakeFiles/ecsim_blocks.dir/blocks/synchronization.cpp.o"
+  "CMakeFiles/ecsim_blocks.dir/blocks/synchronization.cpp.o.d"
+  "libecsim_blocks.a"
+  "libecsim_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecsim_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/c2d.cpp" "src/CMakeFiles/ecsim_control.dir/control/c2d.cpp.o" "gcc" "src/CMakeFiles/ecsim_control.dir/control/c2d.cpp.o.d"
+  "/root/repo/src/control/delay_compensation.cpp" "src/CMakeFiles/ecsim_control.dir/control/delay_compensation.cpp.o" "gcc" "src/CMakeFiles/ecsim_control.dir/control/delay_compensation.cpp.o.d"
+  "/root/repo/src/control/kalman.cpp" "src/CMakeFiles/ecsim_control.dir/control/kalman.cpp.o" "gcc" "src/CMakeFiles/ecsim_control.dir/control/kalman.cpp.o.d"
+  "/root/repo/src/control/lqr.cpp" "src/CMakeFiles/ecsim_control.dir/control/lqr.cpp.o" "gcc" "src/CMakeFiles/ecsim_control.dir/control/lqr.cpp.o.d"
+  "/root/repo/src/control/metrics.cpp" "src/CMakeFiles/ecsim_control.dir/control/metrics.cpp.o" "gcc" "src/CMakeFiles/ecsim_control.dir/control/metrics.cpp.o.d"
+  "/root/repo/src/control/pid.cpp" "src/CMakeFiles/ecsim_control.dir/control/pid.cpp.o" "gcc" "src/CMakeFiles/ecsim_control.dir/control/pid.cpp.o.d"
+  "/root/repo/src/control/state_space.cpp" "src/CMakeFiles/ecsim_control.dir/control/state_space.cpp.o" "gcc" "src/CMakeFiles/ecsim_control.dir/control/state_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ecsim_mathlib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecsim_control.dir/control/c2d.cpp.o"
+  "CMakeFiles/ecsim_control.dir/control/c2d.cpp.o.d"
+  "CMakeFiles/ecsim_control.dir/control/delay_compensation.cpp.o"
+  "CMakeFiles/ecsim_control.dir/control/delay_compensation.cpp.o.d"
+  "CMakeFiles/ecsim_control.dir/control/kalman.cpp.o"
+  "CMakeFiles/ecsim_control.dir/control/kalman.cpp.o.d"
+  "CMakeFiles/ecsim_control.dir/control/lqr.cpp.o"
+  "CMakeFiles/ecsim_control.dir/control/lqr.cpp.o.d"
+  "CMakeFiles/ecsim_control.dir/control/metrics.cpp.o"
+  "CMakeFiles/ecsim_control.dir/control/metrics.cpp.o.d"
+  "CMakeFiles/ecsim_control.dir/control/pid.cpp.o"
+  "CMakeFiles/ecsim_control.dir/control/pid.cpp.o.d"
+  "CMakeFiles/ecsim_control.dir/control/state_space.cpp.o"
+  "CMakeFiles/ecsim_control.dir/control/state_space.cpp.o.d"
+  "libecsim_control.a"
+  "libecsim_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecsim_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/channel.cpp" "src/CMakeFiles/ecsim_exec.dir/exec/channel.cpp.o" "gcc" "src/CMakeFiles/ecsim_exec.dir/exec/channel.cpp.o.d"
+  "/root/repo/src/exec/conformance.cpp" "src/CMakeFiles/ecsim_exec.dir/exec/conformance.cpp.o" "gcc" "src/CMakeFiles/ecsim_exec.dir/exec/conformance.cpp.o.d"
+  "/root/repo/src/exec/executive_vm.cpp" "src/CMakeFiles/ecsim_exec.dir/exec/executive_vm.cpp.o" "gcc" "src/CMakeFiles/ecsim_exec.dir/exec/executive_vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ecsim_aaa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_mathlib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

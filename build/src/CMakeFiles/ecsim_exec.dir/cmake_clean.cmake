@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecsim_exec.dir/exec/channel.cpp.o"
+  "CMakeFiles/ecsim_exec.dir/exec/channel.cpp.o.d"
+  "CMakeFiles/ecsim_exec.dir/exec/conformance.cpp.o"
+  "CMakeFiles/ecsim_exec.dir/exec/conformance.cpp.o.d"
+  "CMakeFiles/ecsim_exec.dir/exec/executive_vm.cpp.o"
+  "CMakeFiles/ecsim_exec.dir/exec/executive_vm.cpp.o.d"
+  "libecsim_exec.a"
+  "libecsim_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecsim_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/csv.cpp" "src/CMakeFiles/ecsim_io.dir/io/csv.cpp.o" "gcc" "src/CMakeFiles/ecsim_io.dir/io/csv.cpp.o.d"
+  "/root/repo/src/io/dot.cpp" "src/CMakeFiles/ecsim_io.dir/io/dot.cpp.o" "gcc" "src/CMakeFiles/ecsim_io.dir/io/dot.cpp.o.d"
+  "/root/repo/src/io/spec.cpp" "src/CMakeFiles/ecsim_io.dir/io/spec.cpp.o" "gcc" "src/CMakeFiles/ecsim_io.dir/io/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ecsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_aaa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_latency.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_mathlib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

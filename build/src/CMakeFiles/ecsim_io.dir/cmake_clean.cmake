@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecsim_io.dir/io/csv.cpp.o"
+  "CMakeFiles/ecsim_io.dir/io/csv.cpp.o.d"
+  "CMakeFiles/ecsim_io.dir/io/dot.cpp.o"
+  "CMakeFiles/ecsim_io.dir/io/dot.cpp.o.d"
+  "CMakeFiles/ecsim_io.dir/io/spec.cpp.o"
+  "CMakeFiles/ecsim_io.dir/io/spec.cpp.o.d"
+  "libecsim_io.a"
+  "libecsim_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecsim_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecsim_latency.dir/latency/latency.cpp.o"
+  "CMakeFiles/ecsim_latency.dir/latency/latency.cpp.o.d"
+  "libecsim_latency.a"
+  "libecsim_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecsim_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

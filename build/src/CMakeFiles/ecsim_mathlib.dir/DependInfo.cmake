@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mathlib/expm.cpp" "src/CMakeFiles/ecsim_mathlib.dir/mathlib/expm.cpp.o" "gcc" "src/CMakeFiles/ecsim_mathlib.dir/mathlib/expm.cpp.o.d"
+  "/root/repo/src/mathlib/linalg.cpp" "src/CMakeFiles/ecsim_mathlib.dir/mathlib/linalg.cpp.o" "gcc" "src/CMakeFiles/ecsim_mathlib.dir/mathlib/linalg.cpp.o.d"
+  "/root/repo/src/mathlib/matrix.cpp" "src/CMakeFiles/ecsim_mathlib.dir/mathlib/matrix.cpp.o" "gcc" "src/CMakeFiles/ecsim_mathlib.dir/mathlib/matrix.cpp.o.d"
+  "/root/repo/src/mathlib/riccati.cpp" "src/CMakeFiles/ecsim_mathlib.dir/mathlib/riccati.cpp.o" "gcc" "src/CMakeFiles/ecsim_mathlib.dir/mathlib/riccati.cpp.o.d"
+  "/root/repo/src/mathlib/rng.cpp" "src/CMakeFiles/ecsim_mathlib.dir/mathlib/rng.cpp.o" "gcc" "src/CMakeFiles/ecsim_mathlib.dir/mathlib/rng.cpp.o.d"
+  "/root/repo/src/mathlib/stats.cpp" "src/CMakeFiles/ecsim_mathlib.dir/mathlib/stats.cpp.o" "gcc" "src/CMakeFiles/ecsim_mathlib.dir/mathlib/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

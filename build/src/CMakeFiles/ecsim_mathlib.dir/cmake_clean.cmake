@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecsim_mathlib.dir/mathlib/expm.cpp.o"
+  "CMakeFiles/ecsim_mathlib.dir/mathlib/expm.cpp.o.d"
+  "CMakeFiles/ecsim_mathlib.dir/mathlib/linalg.cpp.o"
+  "CMakeFiles/ecsim_mathlib.dir/mathlib/linalg.cpp.o.d"
+  "CMakeFiles/ecsim_mathlib.dir/mathlib/matrix.cpp.o"
+  "CMakeFiles/ecsim_mathlib.dir/mathlib/matrix.cpp.o.d"
+  "CMakeFiles/ecsim_mathlib.dir/mathlib/riccati.cpp.o"
+  "CMakeFiles/ecsim_mathlib.dir/mathlib/riccati.cpp.o.d"
+  "CMakeFiles/ecsim_mathlib.dir/mathlib/rng.cpp.o"
+  "CMakeFiles/ecsim_mathlib.dir/mathlib/rng.cpp.o.d"
+  "CMakeFiles/ecsim_mathlib.dir/mathlib/stats.cpp.o"
+  "CMakeFiles/ecsim_mathlib.dir/mathlib/stats.cpp.o.d"
+  "libecsim_mathlib.a"
+  "libecsim_mathlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecsim_mathlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ecsim_mathlib.
+# This may be replaced when dependencies are built.

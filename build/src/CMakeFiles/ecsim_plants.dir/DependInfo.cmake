@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plants/coupled_tanks.cpp" "src/CMakeFiles/ecsim_plants.dir/plants/coupled_tanks.cpp.o" "gcc" "src/CMakeFiles/ecsim_plants.dir/plants/coupled_tanks.cpp.o.d"
+  "/root/repo/src/plants/dc_servo.cpp" "src/CMakeFiles/ecsim_plants.dir/plants/dc_servo.cpp.o" "gcc" "src/CMakeFiles/ecsim_plants.dir/plants/dc_servo.cpp.o.d"
+  "/root/repo/src/plants/inverted_pendulum.cpp" "src/CMakeFiles/ecsim_plants.dir/plants/inverted_pendulum.cpp.o" "gcc" "src/CMakeFiles/ecsim_plants.dir/plants/inverted_pendulum.cpp.o.d"
+  "/root/repo/src/plants/quarter_car.cpp" "src/CMakeFiles/ecsim_plants.dir/plants/quarter_car.cpp.o" "gcc" "src/CMakeFiles/ecsim_plants.dir/plants/quarter_car.cpp.o.d"
+  "/root/repo/src/plants/two_mass.cpp" "src/CMakeFiles/ecsim_plants.dir/plants/two_mass.cpp.o" "gcc" "src/CMakeFiles/ecsim_plants.dir/plants/two_mass.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ecsim_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_mathlib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecsim_plants.dir/plants/coupled_tanks.cpp.o"
+  "CMakeFiles/ecsim_plants.dir/plants/coupled_tanks.cpp.o.d"
+  "CMakeFiles/ecsim_plants.dir/plants/dc_servo.cpp.o"
+  "CMakeFiles/ecsim_plants.dir/plants/dc_servo.cpp.o.d"
+  "CMakeFiles/ecsim_plants.dir/plants/inverted_pendulum.cpp.o"
+  "CMakeFiles/ecsim_plants.dir/plants/inverted_pendulum.cpp.o.d"
+  "CMakeFiles/ecsim_plants.dir/plants/quarter_car.cpp.o"
+  "CMakeFiles/ecsim_plants.dir/plants/quarter_car.cpp.o.d"
+  "CMakeFiles/ecsim_plants.dir/plants/two_mass.cpp.o"
+  "CMakeFiles/ecsim_plants.dir/plants/two_mass.cpp.o.d"
+  "libecsim_plants.a"
+  "libecsim_plants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecsim_plants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/block.cpp" "src/CMakeFiles/ecsim_sim.dir/sim/block.cpp.o" "gcc" "src/CMakeFiles/ecsim_sim.dir/sim/block.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/ecsim_sim.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/ecsim_sim.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/integrator.cpp" "src/CMakeFiles/ecsim_sim.dir/sim/integrator.cpp.o" "gcc" "src/CMakeFiles/ecsim_sim.dir/sim/integrator.cpp.o.d"
+  "/root/repo/src/sim/model.cpp" "src/CMakeFiles/ecsim_sim.dir/sim/model.cpp.o" "gcc" "src/CMakeFiles/ecsim_sim.dir/sim/model.cpp.o.d"
+  "/root/repo/src/sim/port.cpp" "src/CMakeFiles/ecsim_sim.dir/sim/port.cpp.o" "gcc" "src/CMakeFiles/ecsim_sim.dir/sim/port.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/ecsim_sim.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/ecsim_sim.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/ecsim_sim.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/ecsim_sim.dir/sim/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ecsim_mathlib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecsim_sim.dir/sim/block.cpp.o"
+  "CMakeFiles/ecsim_sim.dir/sim/block.cpp.o.d"
+  "CMakeFiles/ecsim_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/ecsim_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/ecsim_sim.dir/sim/integrator.cpp.o"
+  "CMakeFiles/ecsim_sim.dir/sim/integrator.cpp.o.d"
+  "CMakeFiles/ecsim_sim.dir/sim/model.cpp.o"
+  "CMakeFiles/ecsim_sim.dir/sim/model.cpp.o.d"
+  "CMakeFiles/ecsim_sim.dir/sim/port.cpp.o"
+  "CMakeFiles/ecsim_sim.dir/sim/port.cpp.o.d"
+  "CMakeFiles/ecsim_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/ecsim_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/ecsim_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/ecsim_sim.dir/sim/trace.cpp.o.d"
+  "libecsim_sim.a"
+  "libecsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecsim_translate.dir/translate/cosim.cpp.o"
+  "CMakeFiles/ecsim_translate.dir/translate/cosim.cpp.o.d"
+  "CMakeFiles/ecsim_translate.dir/translate/extract.cpp.o"
+  "CMakeFiles/ecsim_translate.dir/translate/extract.cpp.o.d"
+  "CMakeFiles/ecsim_translate.dir/translate/graph_of_delays.cpp.o"
+  "CMakeFiles/ecsim_translate.dir/translate/graph_of_delays.cpp.o.d"
+  "libecsim_translate.a"
+  "libecsim_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecsim_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

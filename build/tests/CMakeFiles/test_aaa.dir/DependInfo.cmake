@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aaa/test_adequation.cpp" "tests/CMakeFiles/test_aaa.dir/aaa/test_adequation.cpp.o" "gcc" "tests/CMakeFiles/test_aaa.dir/aaa/test_adequation.cpp.o.d"
+  "/root/repo/tests/aaa/test_algorithm_graph.cpp" "tests/CMakeFiles/test_aaa.dir/aaa/test_algorithm_graph.cpp.o" "gcc" "tests/CMakeFiles/test_aaa.dir/aaa/test_algorithm_graph.cpp.o.d"
+  "/root/repo/tests/aaa/test_architecture_graph.cpp" "tests/CMakeFiles/test_aaa.dir/aaa/test_architecture_graph.cpp.o" "gcc" "tests/CMakeFiles/test_aaa.dir/aaa/test_architecture_graph.cpp.o.d"
+  "/root/repo/tests/aaa/test_codegen.cpp" "tests/CMakeFiles/test_aaa.dir/aaa/test_codegen.cpp.o" "gcc" "tests/CMakeFiles/test_aaa.dir/aaa/test_codegen.cpp.o.d"
+  "/root/repo/tests/aaa/test_multirate.cpp" "tests/CMakeFiles/test_aaa.dir/aaa/test_multirate.cpp.o" "gcc" "tests/CMakeFiles/test_aaa.dir/aaa/test_multirate.cpp.o.d"
+  "/root/repo/tests/aaa/test_routing.cpp" "tests/CMakeFiles/test_aaa.dir/aaa/test_routing.cpp.o" "gcc" "tests/CMakeFiles/test_aaa.dir/aaa/test_routing.cpp.o.d"
+  "/root/repo/tests/aaa/test_schedule.cpp" "tests/CMakeFiles/test_aaa.dir/aaa/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/test_aaa.dir/aaa/test_schedule.cpp.o.d"
+  "/root/repo/tests/aaa/test_selection_rule.cpp" "tests/CMakeFiles/test_aaa.dir/aaa/test_selection_rule.cpp.o" "gcc" "tests/CMakeFiles/test_aaa.dir/aaa/test_selection_rule.cpp.o.d"
+  "/root/repo/tests/aaa/test_tdma.cpp" "tests/CMakeFiles/test_aaa.dir/aaa/test_tdma.cpp.o" "gcc" "tests/CMakeFiles/test_aaa.dir/aaa/test_tdma.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ecsim_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_blocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_plants.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_aaa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_latency.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_mathlib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

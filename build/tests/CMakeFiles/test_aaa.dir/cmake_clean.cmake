@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aaa.dir/aaa/test_adequation.cpp.o"
+  "CMakeFiles/test_aaa.dir/aaa/test_adequation.cpp.o.d"
+  "CMakeFiles/test_aaa.dir/aaa/test_algorithm_graph.cpp.o"
+  "CMakeFiles/test_aaa.dir/aaa/test_algorithm_graph.cpp.o.d"
+  "CMakeFiles/test_aaa.dir/aaa/test_architecture_graph.cpp.o"
+  "CMakeFiles/test_aaa.dir/aaa/test_architecture_graph.cpp.o.d"
+  "CMakeFiles/test_aaa.dir/aaa/test_codegen.cpp.o"
+  "CMakeFiles/test_aaa.dir/aaa/test_codegen.cpp.o.d"
+  "CMakeFiles/test_aaa.dir/aaa/test_multirate.cpp.o"
+  "CMakeFiles/test_aaa.dir/aaa/test_multirate.cpp.o.d"
+  "CMakeFiles/test_aaa.dir/aaa/test_routing.cpp.o"
+  "CMakeFiles/test_aaa.dir/aaa/test_routing.cpp.o.d"
+  "CMakeFiles/test_aaa.dir/aaa/test_schedule.cpp.o"
+  "CMakeFiles/test_aaa.dir/aaa/test_schedule.cpp.o.d"
+  "CMakeFiles/test_aaa.dir/aaa/test_selection_rule.cpp.o"
+  "CMakeFiles/test_aaa.dir/aaa/test_selection_rule.cpp.o.d"
+  "CMakeFiles/test_aaa.dir/aaa/test_tdma.cpp.o"
+  "CMakeFiles/test_aaa.dir/aaa/test_tdma.cpp.o.d"
+  "test_aaa"
+  "test_aaa.pdb"
+  "test_aaa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aaa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

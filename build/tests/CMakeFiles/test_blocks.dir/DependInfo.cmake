@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/blocks/test_continuous.cpp" "tests/CMakeFiles/test_blocks.dir/blocks/test_continuous.cpp.o" "gcc" "tests/CMakeFiles/test_blocks.dir/blocks/test_continuous.cpp.o.d"
+  "/root/repo/tests/blocks/test_discrete.cpp" "tests/CMakeFiles/test_blocks.dir/blocks/test_discrete.cpp.o" "gcc" "tests/CMakeFiles/test_blocks.dir/blocks/test_discrete.cpp.o.d"
+  "/root/repo/tests/blocks/test_event_blocks.cpp" "tests/CMakeFiles/test_blocks.dir/blocks/test_event_blocks.cpp.o" "gcc" "tests/CMakeFiles/test_blocks.dir/blocks/test_event_blocks.cpp.o.d"
+  "/root/repo/tests/blocks/test_math_blocks.cpp" "tests/CMakeFiles/test_blocks.dir/blocks/test_math_blocks.cpp.o" "gcc" "tests/CMakeFiles/test_blocks.dir/blocks/test_math_blocks.cpp.o.d"
+  "/root/repo/tests/blocks/test_sample_hold.cpp" "tests/CMakeFiles/test_blocks.dir/blocks/test_sample_hold.cpp.o" "gcc" "tests/CMakeFiles/test_blocks.dir/blocks/test_sample_hold.cpp.o.d"
+  "/root/repo/tests/blocks/test_sources.cpp" "tests/CMakeFiles/test_blocks.dir/blocks/test_sources.cpp.o" "gcc" "tests/CMakeFiles/test_blocks.dir/blocks/test_sources.cpp.o.d"
+  "/root/repo/tests/blocks/test_synchronization.cpp" "tests/CMakeFiles/test_blocks.dir/blocks/test_synchronization.cpp.o" "gcc" "tests/CMakeFiles/test_blocks.dir/blocks/test_synchronization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ecsim_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_blocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_plants.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_aaa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_latency.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_mathlib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blocks.dir/blocks/test_continuous.cpp.o"
+  "CMakeFiles/test_blocks.dir/blocks/test_continuous.cpp.o.d"
+  "CMakeFiles/test_blocks.dir/blocks/test_discrete.cpp.o"
+  "CMakeFiles/test_blocks.dir/blocks/test_discrete.cpp.o.d"
+  "CMakeFiles/test_blocks.dir/blocks/test_event_blocks.cpp.o"
+  "CMakeFiles/test_blocks.dir/blocks/test_event_blocks.cpp.o.d"
+  "CMakeFiles/test_blocks.dir/blocks/test_math_blocks.cpp.o"
+  "CMakeFiles/test_blocks.dir/blocks/test_math_blocks.cpp.o.d"
+  "CMakeFiles/test_blocks.dir/blocks/test_sample_hold.cpp.o"
+  "CMakeFiles/test_blocks.dir/blocks/test_sample_hold.cpp.o.d"
+  "CMakeFiles/test_blocks.dir/blocks/test_sources.cpp.o"
+  "CMakeFiles/test_blocks.dir/blocks/test_sources.cpp.o.d"
+  "CMakeFiles/test_blocks.dir/blocks/test_synchronization.cpp.o"
+  "CMakeFiles/test_blocks.dir/blocks/test_synchronization.cpp.o.d"
+  "test_blocks"
+  "test_blocks.pdb"
+  "test_blocks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/control/test_c2d.cpp" "tests/CMakeFiles/test_control.dir/control/test_c2d.cpp.o" "gcc" "tests/CMakeFiles/test_control.dir/control/test_c2d.cpp.o.d"
+  "/root/repo/tests/control/test_delay_compensation.cpp" "tests/CMakeFiles/test_control.dir/control/test_delay_compensation.cpp.o" "gcc" "tests/CMakeFiles/test_control.dir/control/test_delay_compensation.cpp.o.d"
+  "/root/repo/tests/control/test_kalman.cpp" "tests/CMakeFiles/test_control.dir/control/test_kalman.cpp.o" "gcc" "tests/CMakeFiles/test_control.dir/control/test_kalman.cpp.o.d"
+  "/root/repo/tests/control/test_lqr.cpp" "tests/CMakeFiles/test_control.dir/control/test_lqr.cpp.o" "gcc" "tests/CMakeFiles/test_control.dir/control/test_lqr.cpp.o.d"
+  "/root/repo/tests/control/test_metrics.cpp" "tests/CMakeFiles/test_control.dir/control/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_control.dir/control/test_metrics.cpp.o.d"
+  "/root/repo/tests/control/test_pid.cpp" "tests/CMakeFiles/test_control.dir/control/test_pid.cpp.o" "gcc" "tests/CMakeFiles/test_control.dir/control/test_pid.cpp.o.d"
+  "/root/repo/tests/control/test_state_space.cpp" "tests/CMakeFiles/test_control.dir/control/test_state_space.cpp.o" "gcc" "tests/CMakeFiles/test_control.dir/control/test_state_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ecsim_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_blocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_plants.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_aaa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_latency.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_mathlib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_control.dir/control/test_c2d.cpp.o"
+  "CMakeFiles/test_control.dir/control/test_c2d.cpp.o.d"
+  "CMakeFiles/test_control.dir/control/test_delay_compensation.cpp.o"
+  "CMakeFiles/test_control.dir/control/test_delay_compensation.cpp.o.d"
+  "CMakeFiles/test_control.dir/control/test_kalman.cpp.o"
+  "CMakeFiles/test_control.dir/control/test_kalman.cpp.o.d"
+  "CMakeFiles/test_control.dir/control/test_lqr.cpp.o"
+  "CMakeFiles/test_control.dir/control/test_lqr.cpp.o.d"
+  "CMakeFiles/test_control.dir/control/test_metrics.cpp.o"
+  "CMakeFiles/test_control.dir/control/test_metrics.cpp.o.d"
+  "CMakeFiles/test_control.dir/control/test_pid.cpp.o"
+  "CMakeFiles/test_control.dir/control/test_pid.cpp.o.d"
+  "CMakeFiles/test_control.dir/control/test_state_space.cpp.o"
+  "CMakeFiles/test_control.dir/control/test_state_space.cpp.o.d"
+  "test_control"
+  "test_control.pdb"
+  "test_control[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

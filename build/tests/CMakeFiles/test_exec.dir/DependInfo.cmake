@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/exec/test_conformance.cpp" "tests/CMakeFiles/test_exec.dir/exec/test_conformance.cpp.o" "gcc" "tests/CMakeFiles/test_exec.dir/exec/test_conformance.cpp.o.d"
+  "/root/repo/tests/exec/test_deadlines.cpp" "tests/CMakeFiles/test_exec.dir/exec/test_deadlines.cpp.o" "gcc" "tests/CMakeFiles/test_exec.dir/exec/test_deadlines.cpp.o.d"
+  "/root/repo/tests/exec/test_executive_vm.cpp" "tests/CMakeFiles/test_exec.dir/exec/test_executive_vm.cpp.o" "gcc" "tests/CMakeFiles/test_exec.dir/exec/test_executive_vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ecsim_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_blocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_plants.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_aaa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_latency.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_mathlib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exec.dir/exec/test_conformance.cpp.o"
+  "CMakeFiles/test_exec.dir/exec/test_conformance.cpp.o.d"
+  "CMakeFiles/test_exec.dir/exec/test_deadlines.cpp.o"
+  "CMakeFiles/test_exec.dir/exec/test_deadlines.cpp.o.d"
+  "CMakeFiles/test_exec.dir/exec/test_executive_vm.cpp.o"
+  "CMakeFiles/test_exec.dir/exec/test_executive_vm.cpp.o.d"
+  "test_exec"
+  "test_exec.pdb"
+  "test_exec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mathlib.dir/mathlib/test_expm.cpp.o"
+  "CMakeFiles/test_mathlib.dir/mathlib/test_expm.cpp.o.d"
+  "CMakeFiles/test_mathlib.dir/mathlib/test_linalg.cpp.o"
+  "CMakeFiles/test_mathlib.dir/mathlib/test_linalg.cpp.o.d"
+  "CMakeFiles/test_mathlib.dir/mathlib/test_matrix.cpp.o"
+  "CMakeFiles/test_mathlib.dir/mathlib/test_matrix.cpp.o.d"
+  "CMakeFiles/test_mathlib.dir/mathlib/test_riccati.cpp.o"
+  "CMakeFiles/test_mathlib.dir/mathlib/test_riccati.cpp.o.d"
+  "CMakeFiles/test_mathlib.dir/mathlib/test_rng.cpp.o"
+  "CMakeFiles/test_mathlib.dir/mathlib/test_rng.cpp.o.d"
+  "CMakeFiles/test_mathlib.dir/mathlib/test_stats.cpp.o"
+  "CMakeFiles/test_mathlib.dir/mathlib/test_stats.cpp.o.d"
+  "test_mathlib"
+  "test_mathlib.pdb"
+  "test_mathlib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mathlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

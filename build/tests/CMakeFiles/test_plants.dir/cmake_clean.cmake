@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plants.dir/plants/test_plants.cpp.o"
+  "CMakeFiles/test_plants.dir/plants/test_plants.cpp.o.d"
+  "test_plants"
+  "test_plants.pdb"
+  "test_plants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

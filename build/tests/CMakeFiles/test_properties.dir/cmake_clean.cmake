@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties.dir/properties/test_property_adequation.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_property_adequation.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_property_multirate.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_property_multirate.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_property_numerics.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_property_numerics.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_property_sync.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_property_sync.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_property_timing.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_property_timing.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/test_property_vm.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/test_property_vm.cpp.o.d"
+  "test_properties"
+  "test_properties.pdb"
+  "test_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/translate/test_conditioning.cpp" "tests/CMakeFiles/test_translate.dir/translate/test_conditioning.cpp.o" "gcc" "tests/CMakeFiles/test_translate.dir/translate/test_conditioning.cpp.o.d"
+  "/root/repo/tests/translate/test_cosim.cpp" "tests/CMakeFiles/test_translate.dir/translate/test_cosim.cpp.o" "gcc" "tests/CMakeFiles/test_translate.dir/translate/test_cosim.cpp.o.d"
+  "/root/repo/tests/translate/test_extract.cpp" "tests/CMakeFiles/test_translate.dir/translate/test_extract.cpp.o" "gcc" "tests/CMakeFiles/test_translate.dir/translate/test_extract.cpp.o.d"
+  "/root/repo/tests/translate/test_graph_of_delays.cpp" "tests/CMakeFiles/test_translate.dir/translate/test_graph_of_delays.cpp.o" "gcc" "tests/CMakeFiles/test_translate.dir/translate/test_graph_of_delays.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ecsim_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_blocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_plants.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_aaa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_latency.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ecsim_mathlib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_translate.dir/translate/test_conditioning.cpp.o"
+  "CMakeFiles/test_translate.dir/translate/test_conditioning.cpp.o.d"
+  "CMakeFiles/test_translate.dir/translate/test_cosim.cpp.o"
+  "CMakeFiles/test_translate.dir/translate/test_cosim.cpp.o.d"
+  "CMakeFiles/test_translate.dir/translate/test_extract.cpp.o"
+  "CMakeFiles/test_translate.dir/translate/test_extract.cpp.o.d"
+  "CMakeFiles/test_translate.dir/translate/test_graph_of_delays.cpp.o"
+  "CMakeFiles/test_translate.dir/translate/test_graph_of_delays.cpp.o.d"
+  "test_translate"
+  "test_translate.pdb"
+  "test_translate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

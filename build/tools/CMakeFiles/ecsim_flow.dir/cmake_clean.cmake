@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecsim_flow.dir/ecsim_flow.cpp.o"
+  "CMakeFiles/ecsim_flow.dir/ecsim_flow.cpp.o.d"
+  "ecsim_flow"
+  "ecsim_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecsim_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
