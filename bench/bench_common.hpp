@@ -6,6 +6,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "control/c2d.hpp"
 #include "control/delay_compensation.hpp"
@@ -57,6 +59,64 @@ inline void banner(const char* exp_id, const char* paper_anchor,
   std::printf("%s — %s\n%s\n", exp_id, paper_anchor, description);
   std::printf("================================================================\n\n");
 }
+
+/// Minimal machine-readable perf report: written as BENCH_<id>.json next to
+/// the bench binary's working directory so the perf trajectory of an
+/// experiment can be diffed across PRs. Usage:
+///   JsonReport r("EXP-P1");
+///   r.begin_array("event_dispatch");
+///   r.begin_object(); r.field("chains", 200); ...; r.end_object();
+///   r.end_array();
+///   r.write("BENCH_p1.json");
+class JsonReport {
+ public:
+  explicit JsonReport(const std::string& experiment) {
+    out_ = "{\n  \"experiment\": \"" + experiment + "\"";
+  }
+  void begin_array(const std::string& name) {
+    out_ += ",\n  \"" + name + "\": [";
+    first_in_array_ = true;
+  }
+  void begin_object() {
+    out_ += first_in_array_ ? "\n    {" : ",\n    {";
+    first_in_array_ = false;
+    first_in_object_ = true;
+  }
+  void field(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    raw_field(key, buf);
+  }
+  void field(const std::string& key, std::size_t v) {
+    raw_field(key, std::to_string(v));
+  }
+  void field(const std::string& key, const std::string& v) {
+    raw_field(key, "\"" + v + "\"");  // keys/values must not need escaping
+  }
+  void end_object() { out_ += "}"; }
+  void end_array() { out_ += "\n  ]"; }
+
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fputs(out_.c_str(), f);
+    std::fputs("\n}\n", f);
+    std::fclose(f);
+    std::printf("wrote %s\n\n", path.c_str());
+    return true;
+  }
+
+ private:
+  void raw_field(const std::string& key, const std::string& value) {
+    out_ += first_in_object_ ? "\"" : ", \"";
+    first_in_object_ = false;
+    out_ += key + "\": " + value;
+  }
+
+  std::string out_;
+  bool first_in_array_ = true;
+  bool first_in_object_ = true;
+};
 
 /// Print the table, then hand over to google-benchmark.
 inline int run_benchmarks(int argc, char** argv) {

@@ -2,7 +2,15 @@
 // dispatch rate, ODE integration cost, and scaling with model size. Not a
 // paper figure; establishes that the co-simulation methodology is cheap
 // enough to sit inside a design loop.
+//
+// The event-dispatch workload is measured under both refresh strategies:
+// full_refresh=true re-evaluates the whole feedthrough network after every
+// event (the pre-CompiledModel behaviour), the default incremental path
+// refreshes only the dispatched block's feedthrough cone. Both numbers (and
+// the bit-identical-trace check between them) go to BENCH_p1.json so the
+// perf trajectory is machine-readable across PRs.
 #include <chrono>
+#include <utility>
 
 #include "bench_common.hpp"
 #include "blocks/continuous.hpp"
@@ -10,50 +18,93 @@
 #include "blocks/event_blocks.hpp"
 #include "blocks/math_blocks.hpp"
 #include "blocks/sources.hpp"
+#include "sim/compiled_model.hpp"
 #include "sim/simulator.hpp"
 
 using namespace ecsim;
 
 namespace {
 
+/// The EXP-P1 event workload: one clock fanning out to `chains` independent
+/// delay chains (clock -> d1 -> d2 -> counter), 1 ms tick over 1 s.
+sim::Model make_chains(std::size_t chains) {
+  sim::Model m;
+  auto& clk = m.add<blocks::Clock>("clk", 1e-3);
+  for (std::size_t c = 0; c < chains; ++c) {
+    auto& d1 = m.add<blocks::EventDelay>("d1_" + std::to_string(c), 1e-4);
+    auto& d2 = m.add<blocks::EventDelay>("d2_" + std::to_string(c), 2e-4);
+    auto& n = m.add<blocks::EventCounter>("n_" + std::to_string(c));
+    m.connect_event(clk, 0, d1, d1.event_in());
+    m.connect_event(d1, d1.event_out(), d2, d2.event_in());
+    m.connect_event(d2, d2.event_out(), n, 0);
+  }
+  return m;
+}
+
+struct ModeResult {
+  std::size_t events = 0;
+  double events_per_s = 0.0;
+};
+
+ModeResult timed_run(sim::Simulator& s) {
+  const auto t0 = std::chrono::steady_clock::now();
+  s.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  return ModeResult{s.events_dispatched(),
+                    static_cast<double>(s.events_dispatched()) / secs};
+}
+
 void experiment() {
   bench::banner("EXP-P1", "(engine throughput, supporting)",
-                "Hybrid engine scaling: events/s and continuous states "
-                "integrated, vs model size.");
-  std::printf("%12s %12s %14s %16s\n", "chains", "events", "wall time [ms]",
-              "events/second");
+                "Hybrid engine scaling: events/s under full-network refresh "
+                "vs incremental cone refresh, vs model size.");
+  bench::JsonReport report("EXP-P1");
+  report.begin_array("event_dispatch");
+  std::printf("%8s %10s %15s %15s %9s %10s\n", "chains", "events",
+              "full [ev/s]", "incr [ev/s]", "speedup", "traces");
   for (const std::size_t chains : {1u, 10u, 50u, 200u}) {
-    sim::Model m;
-    auto& clk = m.add<blocks::Clock>("clk", 1e-3);
-    for (std::size_t c = 0; c < chains; ++c) {
-      auto& d1 = m.add<blocks::EventDelay>("d1_" + std::to_string(c), 1e-4);
-      auto& d2 = m.add<blocks::EventDelay>("d2_" + std::to_string(c), 2e-4);
-      auto& n = m.add<blocks::EventCounter>("n_" + std::to_string(c));
-      m.connect_event(clk, 0, d1, d1.event_in());
-      m.connect_event(d1, d1.event_out(), d2, d2.event_in());
-      m.connect_event(d2, d2.event_out(), n, 0);
-    }
-    sim::Simulator s(m, sim::SimOptions{.end_time = 1.0});
-    const auto t0 = std::chrono::steady_clock::now();
-    s.run();
-    const auto t1 = std::chrono::steady_clock::now();
-    const double ms =
-        std::chrono::duration<double, std::milli>(t1 - t0).count();
-    std::printf("%12zu %12zu %14.2f %16.0f\n", chains, s.events_dispatched(),
-                ms, 1e3 * static_cast<double>(s.events_dispatched()) / ms);
+    sim::Model m = make_chains(chains);
+    sim::CompiledModel compiled(m);
+    sim::SimOptions full_opts{.end_time = 1.0, .full_refresh = true};
+    sim::Simulator full(compiled, full_opts);
+    const ModeResult fr = timed_run(full);
+    const sim::Trace full_trace = full.trace();
+
+    sim::Simulator incr(std::move(compiled), sim::SimOptions{.end_time = 1.0});
+    const ModeResult ir = timed_run(incr);
+    const bool identical = incr.trace() == full_trace;
+
+    std::printf("%8zu %10zu %15.0f %15.0f %8.1fx %10s\n", chains, ir.events,
+                fr.events_per_s, ir.events_per_s,
+                ir.events_per_s / fr.events_per_s,
+                identical ? "identical" : "DIVERGED");
+    report.begin_object();
+    report.field("chains", chains);
+    report.field("events", ir.events);
+    report.field("full_refresh_events_per_s", fr.events_per_s);
+    report.field("incremental_events_per_s", ir.events_per_s);
+    report.field("speedup", ir.events_per_s / fr.events_per_s);
+    report.field("traces_identical", std::string(identical ? "yes" : "NO"));
+    report.end_object();
   }
+  report.end_array();
   std::printf("\n");
+  report.write("BENCH_p1.json");
 }
 
 void BM_EventDispatch(benchmark::State& state) {
   const auto chains = static_cast<std::size_t>(state.range(0));
+  const bool full_refresh = state.range(1) != 0;
   sim::Model m;
   auto& clk = m.add<blocks::Clock>("clk", 1e-3);
   for (std::size_t c = 0; c < chains; ++c) {
     auto& d = m.add<blocks::EventDelay>("d" + std::to_string(c), 1e-4);
     m.connect_event(clk, 0, d, d.event_in());
   }
-  sim::Simulator s(m, sim::SimOptions{.end_time = 1.0});
+  sim::SimOptions opts{.end_time = 1.0};
+  opts.full_refresh = full_refresh;
+  sim::Simulator s(sim::CompiledModel(m), opts);
   for (auto _ : state) {
     s.run();
   }
@@ -61,7 +112,9 @@ void BM_EventDispatch(benchmark::State& state) {
       static_cast<double>(s.events_dispatched() * state.iterations()),
       benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_EventDispatch)->Arg(1)->Arg(16)->Arg(64)
+BENCHMARK(BM_EventDispatch)
+    ->ArgsProduct({{1, 16, 64, 200}, {0, 1}})
+    ->ArgNames({"chains", "full"})
     ->Unit(benchmark::kMillisecond);
 
 void BM_OdeIntegration(benchmark::State& state) {
@@ -83,7 +136,7 @@ void BM_OdeIntegration(benchmark::State& state) {
   sim::SimOptions opts;
   opts.end_time = 0.1;
   opts.integrator.max_step = 1e-4;
-  sim::Simulator s(m, opts);
+  sim::Simulator s(sim::CompiledModel(m), opts);
   for (auto _ : state) {
     s.run();
     benchmark::DoNotOptimize(s.output_value(plant, 0));
@@ -109,7 +162,7 @@ void BM_CombinationalRefresh(benchmark::State& state) {
   sim::SimOptions opts;
   opts.end_time = 0.01;
   opts.integrator.max_step = 1e-5;
-  sim::Simulator s(m, opts);
+  sim::Simulator s(sim::CompiledModel(m), opts);
   for (auto _ : state) {
     s.run();
     benchmark::DoNotOptimize(s.output_value(x, 0));
@@ -117,6 +170,18 @@ void BM_CombinationalRefresh(benchmark::State& state) {
 }
 BENCHMARK(BM_CombinationalRefresh)->Arg(8)->Arg(64)->Arg(256)
     ->Unit(benchmark::kMillisecond);
+
+/// Compile cost itself: flattening + cone construction for the chain
+/// workload (must stay negligible next to a run).
+void BM_Compile(benchmark::State& state) {
+  const auto chains = static_cast<std::size_t>(state.range(0));
+  sim::Model m = make_chains(chains);
+  for (auto _ : state) {
+    sim::CompiledModel compiled(m);
+    benchmark::DoNotOptimize(compiled.arena_size());
+  }
+}
+BENCHMARK(BM_Compile)->Arg(1)->Arg(64)->Arg(200)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

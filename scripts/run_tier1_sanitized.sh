@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Configure a dedicated ASan+UBSan build tree and run the tier-1 test suite
+# under it. Any sanitizer report fails the run (-fno-sanitize-recover=all).
+#
+# Usage: scripts/run_tier1_sanitized.sh [ctest args...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-asan"
+
+cmake -S "${repo_root}" -B "${build_dir}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DECSIM_SANITIZE=ON
+cmake --build "${build_dir}" -j "$(nproc)"
+
+# halt_on_error is implied by -fno-sanitize-recover; detect_leaks stays on so
+# ownership bugs in the block/model layer surface here rather than in prod.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_stack_use_after_return=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+
+ctest --test-dir "${build_dir}" --output-on-failure "$@"

@@ -69,6 +69,7 @@ class Step : public Block {
   Step(std::string name, double initial, double final_value, Time step_time);
 
   void compute_outputs(Context& ctx) override;
+  bool output_depends_on_time() const override { return true; }
 
  private:
   double initial_;
@@ -83,6 +84,7 @@ class Sine : public Block {
        double bias = 0.0);
 
   void compute_outputs(Context& ctx) override;
+  bool output_depends_on_time() const override { return true; }
 
  private:
   double amplitude_, frequency_, phase_, bias_;
@@ -95,6 +97,7 @@ class Pulse : public Block {
   Pulse(std::string name, double low, double high, Time period, double duty);
 
   void compute_outputs(Context& ctx) override;
+  bool output_depends_on_time() const override { return true; }
 
  private:
   double low_, high_;

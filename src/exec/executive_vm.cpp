@@ -67,6 +67,45 @@ struct Cursor {
   }
 };
 
+/// Per-instruction compile artifact: WCETs resolved against the host
+/// processor type once, so the interpreter loop never touches the
+/// string-keyed WCET maps (mirrors sim::CompiledModel — compile the
+/// structure, interpret only the dynamics).
+struct CompiledInstr {
+  bool release_gated = false;       // sensor or multirate release offset
+  Time release = 0.0;
+  Time wcet = 0.0;                  // unconditional ops
+  std::vector<Time> branch_wcets;   // conditional ops (empty otherwise)
+};
+
+std::vector<std::vector<CompiledInstr>> compile_programs(
+    const AlgorithmGraph& alg, const ArchitectureGraph& arch,
+    const GeneratedCode& code) {
+  std::vector<std::vector<CompiledInstr>> compiled(code.programs.size());
+  for (std::size_t pi = 0; pi < code.programs.size(); ++pi) {
+    const ExecutiveProgram& prog = code.programs[pi];
+    const std::string& type = arch.processor(prog.proc).type;
+    compiled[pi].resize(prog.instrs.size());
+    for (std::size_t ic = 0; ic < prog.instrs.size(); ++ic) {
+      const aaa::Instr& ins = prog.instrs[ic];
+      if (ins.kind != aaa::InstrKind::kCompute) continue;
+      const Operation& op = alg.op(ins.op);
+      CompiledInstr& ci = compiled[pi][ic];
+      ci.release_gated = op.kind == aaa::OpKind::kSensor || op.release > 0.0;
+      ci.release = op.release;
+      if (op.is_conditional()) {
+        ci.branch_wcets.reserve(op.branches.size());
+        for (const aaa::Branch& br : op.branches) {
+          ci.branch_wcets.push_back(br.wcet.at(type));
+        }
+      } else {
+        ci.wcet = op.wcet.at(type);
+      }
+    }
+  }
+  return compiled;
+}
+
 }  // namespace
 
 VmResult run_executives(const AlgorithmGraph& alg,
@@ -79,6 +118,8 @@ VmResult run_executives(const AlgorithmGraph& alg,
   std::vector<Channel> channels(sched.comms().size(), Channel(iters));
   std::vector<Cursor> proc_cur(code.programs.size());
   std::vector<Cursor> medium_cur(code.communicators.size());
+  const std::vector<std::vector<CompiledInstr>> compiled =
+      compile_programs(alg, arch, code);
 
   // Pre-sample execution times and branches would couple RNG draws to the
   // interleaving of the advancing loop; instead draw on first execution of
@@ -95,24 +136,23 @@ VmResult run_executives(const AlgorithmGraph& alg,
     switch (ins.kind) {
       case aaa::InstrKind::kCompute: {
         const Operation& op = alg.op(ins.op);
+        const CompiledInstr& ci = compiled[pi][cur.pc];
         Time start = cur.t;
         // Release gating: sensors wait for the period tick; any op with a
         // release offset (multirate instances) additionally waits for
         // k*period + release.
-        if (opts.period > 0.0 &&
-            (op.kind == aaa::OpKind::kSensor || op.release > 0.0)) {
+        if (opts.period > 0.0 && ci.release_gated) {
           start = std::max(start, static_cast<Time>(cur.iter) * opts.period +
-                                      op.release);
+                                      ci.release);
         }
         std::size_t branch = kNone;
         Time wcet;
-        const std::string& type = arch.processor(prog.proc).type;
         if (op.is_conditional()) {
           branch = opts.branch_chooser ? opts.branch_chooser(op, cur.iter, rng)
                                        : 0;
-          wcet = op.branches.at(branch).wcet.at(type);
+          wcet = ci.branch_wcets.at(branch);
         } else {
-          wcet = op.wcet.at(type);
+          wcet = ci.wcet;
         }
         const Time dur = exec_time(op, wcet);
         result.ops.push_back(

@@ -124,6 +124,16 @@ class Block {
     return false;
   }
 
+  /// True if compute_outputs() reads ctx.time() — i.e. outputs drift as time
+  /// advances even with unchanged inputs and state (signal generators such
+  /// as Sine/Step/Pulse). Together with input_feedthrough() this drives the
+  /// incremental re-evaluation cones: a block that reads the clock without
+  /// declaring it here will hold stale outputs between events under the
+  /// default incremental refresh (SimOptions::full_refresh restores the
+  /// whole-network sweep). Blocks with continuous state are implicitly
+  /// treated as time-varying and need not override this.
+  virtual bool output_depends_on_time() const { return false; }
+
  protected:
   std::size_t add_input(std::size_t width = 1) {
     inputs_.push_back(PortSpec{width});

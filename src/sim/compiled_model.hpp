@@ -1,0 +1,148 @@
+// CompiledModel: the immutable compile artifact sitting between the
+// structural Model and the executing Simulator. Compilation flattens the
+// diagram into index tables so the simulation hot path is all contiguous
+// loads:
+//  - one output arena layout: every (block, output port) owns a contiguous
+//    [offset, offset+width) slice of a single double array (the Simulator
+//    allocates the array; a zero prefix backs unconnected inputs);
+//  - an input-span table: every (block, input port) resolves to the
+//    producer's arena slice (or the zero prefix) in one indexed load;
+//  - packed continuous-state offsets and the list of stateful blocks;
+//  - flattened event fan-out (CSR over event wires);
+//  - the feedthrough topological order, plus — the semantic core — per-block
+//    *feedthrough cones*: for each block b, the topologically ordered
+//    downstream direct-feedthrough closure of b (b included). After an event
+//    is dispatched on b only cone(b) needs re-evaluation; between events only
+//    the *dynamic cone* (union of the cones of blocks whose outputs drift
+//    with time or continuous state) needs re-evaluation. This is what turns
+//    per-event refresh cost from O(model) into O(affected blocks).
+//
+// A CompiledModel is immutable after construction and holds no run state, so
+// one compile can back any number of Simulator runs. The Model must outlive
+// it and must not be structurally modified afterwards.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sim/model.hpp"
+#include "sim/port.hpp"
+
+namespace ecsim::sim {
+
+/// Addresses one contiguous slice of the output arena.
+struct ArenaSlice {
+  std::size_t offset = 0;
+  std::size_t width = 0;
+};
+
+class CompiledModel {
+ public:
+  /// Compiles `model`: validates wire widths (throws std::invalid_argument
+  /// naming the offending blocks), lays out the arena, orders the
+  /// feedthrough network (throws std::runtime_error on algebraic loops) and
+  /// precomputes the re-evaluation cones.
+  explicit CompiledModel(Model& model);
+
+  Model& model() const { return model_; }
+  std::size_t num_blocks() const { return num_blocks_; }
+
+  // --- flat arena layout ----------------------------------------------------
+
+  /// Total arena length in doubles (zero prefix + all output slices).
+  std::size_t arena_size() const { return arena_size_; }
+
+  ArenaSlice output_slice(std::size_t block, std::size_t port) const {
+    bounds_check(port, out_base_[block + 1] - out_base_[block],
+                 "CompiledModel: output port out of range");
+    return out_slices_[out_base_[block] + port];
+  }
+
+  /// The arena slice a data input reads: its producer's output slice, or a
+  /// slice of the never-written zero prefix when unconnected.
+  ArenaSlice input_slice(std::size_t block, std::size_t port) const {
+    bounds_check(port, in_base_[block + 1] - in_base_[block],
+                 "CompiledModel: input port out of range");
+    return in_slices_[in_base_[block] + port];
+  }
+
+  // --- packed continuous state ----------------------------------------------
+
+  std::size_t state_offset(std::size_t block) const {
+    return state_offset_[block];
+  }
+  std::size_t total_state() const { return total_state_; }
+  /// Blocks with continuous_state_size() > 0, in block-index order.
+  const std::vector<std::size_t>& stateful_blocks() const {
+    return stateful_blocks_;
+  }
+
+  // --- evaluation orders ----------------------------------------------------
+
+  /// All blocks in feedthrough-topological order (the full-network sweep).
+  const std::vector<std::size_t>& eval_order() const { return eval_order_; }
+
+  /// Downstream direct-feedthrough closure of `block` (itself included),
+  /// topologically ordered. Refreshing exactly these blocks restores output
+  /// consistency after `block`'s outputs or discrete state changed.
+  std::span<const std::size_t> cone(std::size_t block) const {
+    return {cone_blocks_.data() + cone_base_[block],
+            cone_base_[block + 1] - cone_base_[block]};
+  }
+
+  /// Union of the cones of every block whose outputs drift between events —
+  /// blocks with continuous state and blocks declaring
+  /// output_depends_on_time() — topologically ordered. Refreshing exactly
+  /// these blocks restores consistency after time advances or the continuous
+  /// state moves (integration stages included).
+  const std::vector<std::size_t>& dynamic_cone() const { return dynamic_cone_; }
+
+  // --- event fan-out --------------------------------------------------------
+
+  /// Destinations wired to (block, event_out).
+  std::span<const PortRef> event_sinks(std::size_t block,
+                                       std::size_t event_out) const {
+    bounds_check(event_out, sink_base_[block + 1] - sink_base_[block],
+                 "CompiledModel: event output out of range");
+    const std::size_t slot = sink_base_[block] + event_out;
+    return {event_sinks_.data() + sink_ptr_[slot],
+            sink_ptr_[slot + 1] - sink_ptr_[slot]};
+  }
+
+ private:
+  static void bounds_check(std::size_t index, std::size_t count,
+                           const char* what);
+
+  void layout_arena();
+  void resolve_inputs();
+  void pack_states();
+  void flatten_event_wires();
+  void order_feedthrough();
+  void build_cones();
+
+  Model& model_;
+  std::size_t num_blocks_ = 0;
+
+  std::size_t arena_size_ = 0;
+  std::vector<std::size_t> out_base_;   // [num_blocks + 1]
+  std::vector<ArenaSlice> out_slices_;  // out_base_[b] + port
+  std::vector<std::size_t> in_base_;    // [num_blocks + 1]
+  std::vector<ArenaSlice> in_slices_;   // in_base_[b] + port
+
+  std::vector<std::size_t> state_offset_;  // [num_blocks]
+  std::size_t total_state_ = 0;
+  std::vector<std::size_t> stateful_blocks_;
+
+  std::vector<std::size_t> eval_order_;  // full feedthrough topo order
+  std::vector<std::size_t> topo_pos_;    // inverse of eval_order_
+  std::vector<std::size_t> cone_base_;   // [num_blocks + 1]
+  std::vector<std::size_t> cone_blocks_;
+  std::vector<std::size_t> dynamic_cone_;
+
+  std::vector<std::size_t> sink_base_;  // [num_blocks + 1]
+  std::vector<std::size_t> sink_ptr_;   // CSR over event_sinks_
+  std::vector<PortRef> event_sinks_;
+};
+
+}  // namespace ecsim::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace ecsim::sim {
 
@@ -48,97 +49,29 @@ Trace& Context::trace() { return sim_->trace_; }
 // ---- Simulator ---------------------------------------------------------------
 
 Simulator::Simulator(Model& model, SimOptions opts)
-    : model_(model), opts_(opts), rng_(opts.seed) {
-  compile();
-}
+    : Simulator(CompiledModel(model), opts) {}
 
-void Simulator::compile() {
-  const std::size_t n = model_.num_blocks();
-  input_sources_.assign(n, {});
-  outputs_.assign(n, {});
-  event_sinks_.assign(n, {});
-  state_offset_.assign(n, 0);
-
-  std::size_t max_width = 1;
-  for (std::size_t b = 0; b < n; ++b) {
-    const Block& blk = model_.block(b);
-    input_sources_[b].resize(blk.num_inputs());
-    for (std::size_t p = 0; p < blk.num_inputs(); ++p) {
-      input_sources_[b][p] =
-          InputSource{kUnconnected, 0, blk.input_width(p)};
-      max_width = std::max(max_width, blk.input_width(p));
-    }
-    outputs_[b].resize(blk.num_outputs());
-    for (std::size_t p = 0; p < blk.num_outputs(); ++p) {
-      outputs_[b][p].assign(blk.output_width(p), 0.0);
-    }
-    event_sinks_[b].resize(blk.num_event_outputs());
-    state_offset_[b] = total_state_;
-    total_state_ += blk.continuous_state_size();
-  }
-  zeros_.assign(max_width, 0.0);
-
-  for (const DataWire& w : model_.data_wires()) {
-    input_sources_[w.to.block][w.to.port] = InputSource{
-        w.from.block, w.from.port, model_.block(w.to.block).input_width(w.to.port)};
-  }
-  for (const EventWire& w : model_.event_wires()) {
-    event_sinks_[w.from.block][w.from.port].push_back(w.to);
-  }
-
-  // Feedthrough topological order (Kahn). Edge producer -> consumer when the
-  // consumer's input has direct feedthrough.
-  std::vector<std::vector<std::size_t>> succ(n);
-  std::vector<std::size_t> indeg(n, 0);
-  for (const DataWire& w : model_.data_wires()) {
-    if (model_.block(w.to.block).input_feedthrough(w.to.port)) {
-      succ[w.from.block].push_back(w.to.block);
-      ++indeg[w.to.block];
-    }
-  }
-  eval_order_.clear();
-  eval_order_.reserve(n);
-  std::vector<std::size_t> ready;
-  for (std::size_t b = 0; b < n; ++b) {
-    if (indeg[b] == 0) ready.push_back(b);
-  }
-  while (!ready.empty()) {
-    const std::size_t b = ready.back();
-    ready.pop_back();
-    eval_order_.push_back(b);
-    for (std::size_t s : succ[b]) {
-      if (--indeg[s] == 0) ready.push_back(s);
-    }
-  }
-  if (eval_order_.size() != n) {
-    std::string loop_members;
-    for (std::size_t b = 0; b < n; ++b) {
-      if (indeg[b] != 0) loop_members += " '" + model_.block(b).name() + "'";
-    }
-    throw std::runtime_error("Simulator: algebraic loop involving:" +
-                             loop_members);
-  }
-}
+Simulator::Simulator(CompiledModel compiled, SimOptions opts)
+    : compiled_(std::move(compiled)),
+      model_(compiled_.model()),
+      opts_(opts),
+      rng_(opts.seed),
+      arena_(compiled_.arena_size(), 0.0) {}
 
 std::span<const double> Simulator::ctx_input(std::size_t block,
                                              std::size_t port) const {
-  const InputSource& src = input_sources_.at(block).at(port);
-  if (src.block == kUnconnected) {
-    return std::span<const double>(zeros_.data(), src.width);
-  }
-  const auto& buf = outputs_[src.block][src.port];
-  return std::span<const double>(buf.data(), buf.size());
+  const ArenaSlice s = compiled_.input_slice(block, port);
+  return std::span<const double>(arena_.data() + s.offset, s.width);
 }
 
 std::span<double> Simulator::ctx_output(std::size_t block, std::size_t port) {
-  auto& buf = outputs_.at(block).at(port);
-  return std::span<double>(buf.data(), buf.size());
+  const ArenaSlice s = compiled_.output_slice(block, port);
+  return std::span<double>(arena_.data() + s.offset, s.width);
 }
 
 std::span<const double> Simulator::ctx_state(std::size_t block) const {
-  const Block& blk = model_.block(block);
-  return std::span<const double>(active_x_ + state_offset_[block],
-                                 blk.continuous_state_size());
+  return std::span<const double>(active_x_ + compiled_.state_offset(block),
+                                 model_.block(block).continuous_state_size());
 }
 
 std::span<double> Simulator::ctx_state_mut(std::size_t block) {
@@ -146,13 +79,12 @@ std::span<double> Simulator::ctx_state_mut(std::size_t block) {
     throw std::logic_error(
         "Context::state_mut: continuous state is read-only during integration");
   }
-  const Block& blk = model_.block(block);
-  return std::span<double>(x_.data() + state_offset_[block],
-                           blk.continuous_state_size());
+  return std::span<double>(x_.data() + compiled_.state_offset(block),
+                           model_.block(block).continuous_state_size());
 }
 
 void Simulator::ctx_emit(std::size_t block, std::size_t event_out, Time at) {
-  for (const PortRef& sink : event_sinks_.at(block).at(event_out)) {
+  for (const PortRef& sink : compiled_.event_sinks(block, event_out)) {
     queue_.push(at, sink.block, sink.port);
   }
 }
@@ -165,11 +97,17 @@ void Simulator::ctx_schedule_self(std::size_t block, std::size_t event_in,
   queue_.push(at, block, event_in);
 }
 
-void Simulator::refresh_outputs(Time t) {
-  for (std::size_t b : eval_order_) {
+void Simulator::refresh_blocks(std::span<const std::size_t> order, Time t) {
+  for (std::size_t b : order) {
     Context ctx(this, b, t, /*in_event=*/false);
     model_.block(b).compute_outputs(ctx);
   }
+}
+
+void Simulator::refresh_dynamic(Time t) {
+  refresh_blocks(
+      opts_.full_refresh ? compiled_.eval_order() : compiled_.dynamic_cone(),
+      t);
 }
 
 void Simulator::dispatch(const ScheduledEvent& e) {
@@ -182,14 +120,14 @@ void Simulator::dispatch(const ScheduledEvent& e) {
 void Simulator::evaluate_derivatives(Time t, const std::vector<double>& x,
                                      std::vector<double>& dx) {
   active_x_ = x.data();
-  refresh_outputs(t);
+  refresh_dynamic(t);
   std::fill(dx.begin(), dx.end(), 0.0);
-  for (std::size_t b = 0; b < model_.num_blocks(); ++b) {
+  for (std::size_t b : compiled_.stateful_blocks()) {
     Block& blk = model_.block(b);
-    const std::size_t nx = blk.continuous_state_size();
-    if (nx == 0) continue;
     Context ctx(this, b, t, /*in_event=*/false);
-    blk.derivatives(ctx, std::span<double>(dx.data() + state_offset_[b], nx));
+    blk.derivatives(ctx,
+                    std::span<double>(dx.data() + compiled_.state_offset(b),
+                                      blk.continuous_state_size()));
   }
 }
 
@@ -197,21 +135,22 @@ Trace& Simulator::run() {
   // Reset run state (including the RNG: same seed => same realization).
   rng_ = math::Rng(opts_.seed);
   time_ = 0.0;
-  x_.assign(total_state_, 0.0);
+  x_.assign(compiled_.total_state(), 0.0);
   active_x_ = x_.data();
   queue_.clear();
   trace_.clear();
   events_dispatched_ = 0;
-  for (auto& per_block : outputs_) {
-    for (auto& buf : per_block) std::fill(buf.begin(), buf.end(), 0.0);
-  }
+  std::fill(arena_.begin(), arena_.end(), 0.0);
 
-  // Initialize every block (may write state/outputs and schedule events).
+  // Initialize every block (may write state/outputs and schedule events),
+  // then establish output consistency with one full sweep. From here on the
+  // incremental path refreshes exactly the blocks whose value sources
+  // (time, continuous state, discrete activations) changed.
   for (std::size_t b = 0; b < model_.num_blocks(); ++b) {
     Context ctx(this, b, 0.0, /*in_event=*/true);
     model_.block(b).initialize(ctx);
   }
-  refresh_outputs(0.0);
+  refresh_blocks(compiled_.eval_order(), 0.0);
 
   const Time t_end = opts_.end_time;
   while (true) {
@@ -222,7 +161,7 @@ Trace& Simulator::run() {
       have_event = true;
     }
     if (t_next > time_) {
-      if (total_state_ > 0) {
+      if (compiled_.total_state() > 0) {
         in_integration_ = true;
         integrate(
             opts_.integrator,
@@ -233,14 +172,16 @@ Trace& Simulator::run() {
         active_x_ = x_.data();
       }
       time_ = t_next;
-      refresh_outputs(time_);
+      refresh_dynamic(time_);
     }
     if (!have_event) break;
     // Dispatch exactly one event, then re-examine the queue: zero-delay
     // emissions land behind already-pending simultaneous events (FIFO seq).
     const ScheduledEvent e = queue_.pop();
     dispatch(e);
-    refresh_outputs(time_);
+    refresh_blocks(opts_.full_refresh ? compiled_.eval_order()
+                                      : compiled_.cone(e.block),
+                   time_);
     if (++events_dispatched_ > opts_.max_events) {
       throw std::runtime_error("Simulator: max_events exceeded (runaway loop?)");
     }
@@ -251,7 +192,11 @@ Trace& Simulator::run() {
 double Simulator::output_value(const Block& b, std::size_t port,
                                std::size_t lane) const {
   const std::size_t idx = model_.index_of(b);
-  return outputs_.at(idx).at(port).at(lane);
+  const ArenaSlice s = compiled_.output_slice(idx, port);
+  if (lane >= s.width) {
+    throw std::out_of_range("Simulator::output_value: lane out of range");
+  }
+  return arena_[s.offset + lane];
 }
 
 }  // namespace ecsim::sim

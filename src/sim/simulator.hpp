@@ -6,6 +6,14 @@
 //  - at an event instant, pending events are dispatched one at a time and the
 //    combinational network is refreshed after each, so zero-delay event
 //    chains (the paper's graph of delays) see causally consistent values.
+//
+// The structural work (wiring resolution, arena layout, topological orders,
+// re-evaluation cones) lives in CompiledModel; the Simulator owns only the
+// run state (arena values, continuous state, event queue, trace). By default
+// re-evaluation is *incremental*: after dispatching an event on block b only
+// b's feedthrough cone is refreshed, and between events only the dynamic
+// (time/state-dependent) cone is refreshed. SimOptions::full_refresh
+// restores the whole-network sweep for A/B equivalence checking.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +21,7 @@
 #include <vector>
 
 #include "mathlib/rng.hpp"
+#include "sim/compiled_model.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/integrator.hpp"
 #include "sim/model.hpp"
@@ -27,14 +36,25 @@ struct SimOptions {
   /// Hard cap on dispatched events; exceeding it aborts the run with an
   /// exception (guards against runaway zero-delay loops).
   std::size_t max_events = 20'000'000;
+  /// Debug flag: re-evaluate the whole feedthrough network at every refresh
+  /// point (the pre-compiled-core behaviour) instead of only the affected
+  /// cone. The two paths must produce bit-identical traces; keeping the old
+  /// sweep behind a flag makes that an assertable property.
+  bool full_refresh = false;
 };
 
 class Simulator {
  public:
-  /// Compiles the model: resolves wiring, orders the feedthrough network
-  /// (throws on algebraic loops), packs continuous states. The model must
-  /// outlive the simulator and must not be structurally modified afterwards.
+  /// Compiles the model (see CompiledModel for what that entails; throws on
+  /// algebraic loops and width mismatches) and prepares a runner. The model
+  /// must outlive the simulator and must not be structurally modified
+  /// afterwards.
   explicit Simulator(Model& model, SimOptions opts = {});
+
+  /// Run against an existing compile artifact (moved in). Lets callers
+  /// compile once and build any number of runners from copies of the
+  /// artifact without re-deriving orders and cones.
+  Simulator(CompiledModel compiled, SimOptions opts = {});
 
   /// Run from t=0 to opts.end_time. May be called repeatedly; each call
   /// restarts from a clean initial state (blocks re-initialize).
@@ -49,19 +69,16 @@ class Simulator {
   double output_value(const Block& b, std::size_t port,
                       std::size_t lane = 0) const;
 
-  const Model& model() const { return model_; }
+  const Model& model() const { return compiled_.model(); }
+  const CompiledModel& compiled() const { return compiled_; }
 
  private:
   friend class Context;
 
-  struct InputSource {
-    std::size_t block = kUnconnected;  // producer block (kUnconnected: none)
-    std::size_t port = 0;
-    std::size_t width = 0;
-  };
-
-  void compile();
-  void refresh_outputs(Time t);
+  void refresh_blocks(std::span<const std::size_t> order, Time t);
+  /// Refresh everything whose value can have drifted since the last refresh:
+  /// the full network under full_refresh, the dynamic cone otherwise.
+  void refresh_dynamic(Time t);
   void dispatch(const ScheduledEvent& e);
   void evaluate_derivatives(Time t, const std::vector<double>& x,
                             std::vector<double>& dx);
@@ -74,28 +91,20 @@ class Simulator {
   void ctx_emit(std::size_t block, std::size_t event_out, Time at);
   void ctx_schedule_self(std::size_t block, std::size_t event_in, Time at);
 
+  CompiledModel compiled_;
   Model& model_;
   SimOptions opts_;
   math::Rng rng_;
   Trace trace_;
   EventQueue queue_;
 
-  // Compiled structure.
-  std::vector<std::vector<InputSource>> input_sources_;  // [block][input]
-  std::vector<std::vector<std::vector<double>>> outputs_;  // [block][port][lane]
-  std::vector<std::size_t> eval_order_;                   // feedthrough topo
-  std::vector<std::size_t> state_offset_;                 // [block]
-  std::size_t total_state_ = 0;
-  // Event fan-out: [block][event_out] -> list of (block, event_in).
-  std::vector<std::vector<std::vector<PortRef>>> event_sinks_;
-
   // Run state.
+  std::vector<double> arena_;           // all output values (flat)
   Time time_ = 0.0;
   std::vector<double> x_;               // committed continuous state
   const double* active_x_ = nullptr;    // state viewed by blocks right now
   bool in_integration_ = false;
   std::size_t events_dispatched_ = 0;
-  std::vector<double> zeros_;           // backing for unconnected inputs
 };
 
 }  // namespace ecsim::sim

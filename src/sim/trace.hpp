@@ -17,6 +17,8 @@ struct EventRecord {
   std::size_t block = 0;      // block index in the model
   std::size_t event_in = 0;   // which event input fired
   std::string block_name;     // convenience copy for reporting
+
+  friend bool operator==(const EventRecord&, const EventRecord&) = default;
 };
 
 /// One probed signal sample.
@@ -24,6 +26,8 @@ struct SignalRecord {
   Time time = 0.0;
   std::size_t block = 0;  // index of the probing block
   std::vector<double> values;
+
+  friend bool operator==(const SignalRecord&, const SignalRecord&) = default;
 };
 
 /// Append-only trace populated by the simulator during a run.
@@ -52,6 +56,10 @@ class Trace {
                                               std::size_t component = 0) const;
 
   void clear();
+
+  /// Exact (bitwise on times/values) equality — the A/B oracle for the
+  /// incremental-vs-full-refresh equivalence property.
+  friend bool operator==(const Trace&, const Trace&) = default;
 
  private:
   std::vector<EventRecord> events_;

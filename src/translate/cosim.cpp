@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "blocks/continuous.hpp"
 #include "blocks/discrete.hpp"
@@ -193,7 +194,11 @@ CosimOutcome simulate_and_measure(LoopModel& lm, const LoopSpec& spec) {
   opts.seed = spec.seed;
   opts.integrator.kind = sim::IntegratorKind::kRk4;
   opts.integrator.max_step = spec.integrator_max_step;
-  sim::Simulator simulator(lm.model, opts);
+  // Compile explicitly: wiring/width errors in an assembled loop surface
+  // here, before any run state exists, and the artifact could be reused
+  // across parameter sweeps on the same loop structure.
+  sim::CompiledModel compiled(lm.model);
+  sim::Simulator simulator(std::move(compiled), opts);
   const sim::Trace& trace = simulator.run();
 
   CosimOutcome out;

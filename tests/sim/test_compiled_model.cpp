@@ -1,0 +1,224 @@
+// CompiledModel: the flat compile artifact — arena layout, input resolution,
+// feedthrough cones, event CSR — independent of any Simulator run.
+#include "sim/compiled_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "blocks/continuous.hpp"
+#include "blocks/discrete.hpp"
+#include "blocks/event_blocks.hpp"
+#include "blocks/math_blocks.hpp"
+#include "blocks/sources.hpp"
+#include "sim/model.hpp"
+#include "sim/simulator.hpp"
+
+namespace ecsim::sim {
+namespace {
+
+bool contains(std::span<const std::size_t> xs, std::size_t v) {
+  return std::find(xs.begin(), xs.end(), v) != xs.end();
+}
+
+TEST(CompiledModel, ArenaSlicesAreDisjointAndCoverAllOutputs) {
+  Model m;
+  auto& c = m.add<blocks::Constant>("c", std::vector<double>{1.0, 2.0, 3.0});
+  auto& g = m.add<blocks::Gain>("g", math::Matrix{{1.0, 0.0, 0.0}});
+  auto& i = m.add<blocks::Integrator>("i", std::vector<double>{0.0, 0.0});
+  m.connect(c, 0, g, 0);
+  const CompiledModel cm(m);
+
+  const ArenaSlice sc = cm.output_slice(m.index_of(c), 0);
+  const ArenaSlice sg = cm.output_slice(m.index_of(g), 0);
+  const ArenaSlice si = cm.output_slice(m.index_of(i), 0);
+  EXPECT_EQ(sc.width, 3u);
+  EXPECT_EQ(sg.width, 1u);
+  EXPECT_EQ(si.width, 2u);
+
+  // The zero prefix (≥ widest input) comes first; slices never overlap.
+  std::vector<std::pair<std::size_t, std::size_t>> spans;
+  for (const ArenaSlice& s : {sc, sg, si}) {
+    EXPECT_GE(s.offset, 3u);  // zero prefix must fit g's width-3 input
+    spans.emplace_back(s.offset, s.offset + s.width);
+  }
+  std::sort(spans.begin(), spans.end());
+  for (std::size_t k = 1; k < spans.size(); ++k) {
+    EXPECT_LE(spans[k - 1].second, spans[k].first);
+  }
+  EXPECT_LE(spans.back().second, cm.arena_size());
+}
+
+TEST(CompiledModel, ConnectedInputAliasesProducerSlice) {
+  Model m;
+  auto& c = m.add<blocks::Constant>("c", 2.5);
+  auto& g = m.add<blocks::Gain>("g", 3.0);
+  m.connect(c, 0, g, 0);
+  const CompiledModel cm(m);
+
+  const ArenaSlice producer = cm.output_slice(m.index_of(c), 0);
+  const ArenaSlice consumer = cm.input_slice(m.index_of(g), 0);
+  EXPECT_EQ(consumer.offset, producer.offset);
+  EXPECT_EQ(consumer.width, producer.width);
+}
+
+TEST(CompiledModel, UnconnectedInputReadsZeroPrefix) {
+  Model m;
+  auto& g = m.add<blocks::Gain>("g", math::Matrix{{1.0, 1.0}});
+  const CompiledModel cm(m);
+  const ArenaSlice in = cm.input_slice(m.index_of(g), 0);
+  EXPECT_EQ(in.offset, 0u);
+  EXPECT_EQ(in.width, 2u);
+
+  // And the simulator actually treats it as zero.
+  Simulator s(m, SimOptions{.end_time = 0.01});
+  s.run();
+  EXPECT_EQ(s.output_value(g, 0), 0.0);
+}
+
+TEST(CompiledModel, ConeIsDownstreamFeedthroughClosureInTopoOrder) {
+  // c -> g1 -> g2, plus an unrelated branch c2 -> g3.
+  Model m;
+  auto& c = m.add<blocks::Constant>("c", 1.0);
+  auto& g1 = m.add<blocks::Gain>("g1", 2.0);
+  auto& g2 = m.add<blocks::Gain>("g2", 2.0);
+  auto& c2 = m.add<blocks::Constant>("c2", 1.0);
+  auto& g3 = m.add<blocks::Gain>("g3", 2.0);
+  m.connect(c, 0, g1, 0);
+  m.connect(g1, 0, g2, 0);
+  m.connect(c2, 0, g3, 0);
+  const CompiledModel cm(m);
+
+  const auto cone = cm.cone(m.index_of(g1));
+  EXPECT_EQ(cone.size(), 2u);
+  EXPECT_TRUE(contains(cone, m.index_of(g1)));
+  EXPECT_TRUE(contains(cone, m.index_of(g2)));
+  EXPECT_FALSE(contains(cone, m.index_of(g3)));
+  // Topological: g1 strictly before g2.
+  EXPECT_EQ(cone.front(), m.index_of(g1));
+
+  // The head of the chain sees everything downstream of it.
+  const auto head = cm.cone(m.index_of(c));
+  EXPECT_EQ(head.size(), 3u);
+  EXPECT_EQ(head.front(), m.index_of(c));
+}
+
+TEST(CompiledModel, ConeStopsAtNonFeedthroughBoundary) {
+  // g -> integrator -> g2: the integrator's *input* side consumes g, but its
+  // output changes only via state, so g's cone must not cross into g2.
+  Model m;
+  auto& src = m.add<blocks::Constant>("src", 1.0);
+  auto& g = m.add<blocks::Gain>("g", 2.0);
+  auto& x = m.add<blocks::Integrator>("x", 0.0);
+  auto& g2 = m.add<blocks::Gain>("g2", 2.0);
+  m.connect(src, 0, g, 0);
+  m.connect(g, 0, x, 0);
+  m.connect(x, 0, g2, 0);
+  const CompiledModel cm(m);
+
+  const auto cone = cm.cone(m.index_of(g));
+  EXPECT_TRUE(contains(cone, m.index_of(g)));
+  EXPECT_FALSE(contains(cone, m.index_of(x)))
+      << "integrator output is state-driven, not feedthrough";
+  EXPECT_FALSE(contains(cone, m.index_of(g2)));
+
+  // The integrator's own cone covers its feedthrough downstream.
+  const auto xc = cm.cone(m.index_of(x));
+  EXPECT_TRUE(contains(xc, m.index_of(x)));
+  EXPECT_TRUE(contains(xc, m.index_of(g2)));
+}
+
+TEST(CompiledModel, PureEventBlockConeIsSelf) {
+  Model m;
+  auto& clk = m.add<blocks::Clock>("clk", 0.1);
+  auto& d = m.add<blocks::EventDelay>("d", 0.01);
+  auto& n = m.add<blocks::EventCounter>("n");
+  m.connect_event(clk, 0, d, d.event_in());
+  m.connect_event(d, d.event_out(), n, 0);
+  const CompiledModel cm(m);
+
+  // Event wires carry no data: each block's cone is just itself.
+  EXPECT_EQ(cm.cone(m.index_of(d)).size(), 1u);
+  EXPECT_EQ(cm.cone(m.index_of(d)).front(), m.index_of(d));
+}
+
+TEST(CompiledModel, DynamicConeContainsTimeSourcesAndStatefulButNotStatic) {
+  Model m;
+  auto& sine = m.add<blocks::Sine>("sine", 1.0, 1.0);
+  auto& gs = m.add<blocks::Gain>("gs", 2.0);     // downstream of sine
+  auto& x = m.add<blocks::Integrator>("x", 0.0);
+  auto& cst = m.add<blocks::Constant>("cst", 1.0);
+  auto& gc = m.add<blocks::Gain>("gc", 2.0);     // downstream of constant only
+  m.connect(sine, 0, gs, 0);
+  m.connect(sine, 0, x, 0);
+  m.connect(cst, 0, gc, 0);
+  const CompiledModel cm(m);
+
+  const auto& dyn = cm.dynamic_cone();
+  EXPECT_TRUE(contains(dyn, m.index_of(sine)));
+  EXPECT_TRUE(contains(dyn, m.index_of(gs)));
+  EXPECT_TRUE(contains(dyn, m.index_of(x)));
+  EXPECT_FALSE(contains(dyn, m.index_of(cst)))
+      << "static subgraphs stay fresh from initialization";
+  EXPECT_FALSE(contains(dyn, m.index_of(gc)));
+}
+
+TEST(CompiledModel, EventSinksMatchWiring) {
+  Model m;
+  auto& clk = m.add<blocks::Clock>("clk", 0.1);
+  auto& d1 = m.add<blocks::EventDelay>("d1", 0.01);
+  auto& d2 = m.add<blocks::EventDelay>("d2", 0.01);
+  m.connect_event(clk, 0, d1, d1.event_in());
+  m.connect_event(clk, 0, d2, d2.event_in());
+  const CompiledModel cm(m);
+
+  const auto sinks = cm.event_sinks(m.index_of(clk), 0);
+  ASSERT_EQ(sinks.size(), 2u);
+  EXPECT_EQ(sinks[0], (PortRef{m.index_of(d1), d1.event_in()}));
+  EXPECT_EQ(sinks[1], (PortRef{m.index_of(d2), d2.event_in()}));
+  EXPECT_TRUE(cm.event_sinks(m.index_of(d1), d1.event_out()).empty());
+}
+
+TEST(CompiledModel, AlgebraicLoopThrows) {
+  Model m;
+  auto& g1 = m.add<blocks::Gain>("g1", 0.5);
+  auto& g2 = m.add<blocks::Gain>("g2", 0.5);
+  m.connect(g1, 0, g2, 0);
+  m.connect(g2, 0, g1, 0);
+  EXPECT_THROW(CompiledModel cm(m), std::runtime_error);
+}
+
+TEST(CompiledModel, StatePackingIsContiguous) {
+  Model m;
+  auto& x1 = m.add<blocks::Integrator>("x1", std::vector<double>{0.0, 0.0});
+  auto& c = m.add<blocks::Constant>("c", std::vector<double>{1.0, 1.0});
+  auto& x2 = m.add<blocks::Integrator>("x2", 0.0);
+  m.connect(c, 0, x1, 0);
+  const CompiledModel cm(m);
+
+  EXPECT_EQ(cm.total_state(), 3u);
+  EXPECT_EQ(cm.state_offset(m.index_of(x1)), 0u);
+  EXPECT_EQ(cm.state_offset(m.index_of(x2)), 2u);
+  const std::vector<std::size_t> expect = {m.index_of(x1), m.index_of(x2)};
+  EXPECT_EQ(cm.stateful_blocks(), expect);
+}
+
+TEST(CompiledModel, OneCompileBacksManyRunners) {
+  Model m;
+  auto& c = m.add<blocks::Constant>("c", 2.0);
+  auto& g = m.add<blocks::Gain>("g", 3.0);
+  m.connect(c, 0, g, 0);
+  CompiledModel compiled(m);
+
+  Simulator a(compiled, SimOptions{.end_time = 0.01});
+  Simulator b(std::move(compiled), SimOptions{.end_time = 0.01});
+  a.run();
+  b.run();
+  EXPECT_EQ(a.output_value(g, 0), 6.0);
+  EXPECT_EQ(b.output_value(g, 0), 6.0);
+}
+
+}  // namespace
+}  // namespace ecsim::sim
