@@ -1,0 +1,178 @@
+// EXP-O1 (supporting): cost of the observability layer on the EXP-P1
+// 200-chain event workload. Three modes of the same simulation are timed:
+//
+//   baseline   no tracer, no metrics (SimOptions defaults)
+//   disabled   a Tracer is attached but set_enabled(false) — the price of
+//              *having* the hooks compiled in: one cached bool + branch
+//   enabled    Tracer + MetricsRegistry live — the price of actually
+//              recording every dispatch into the ring buffer
+//
+// The three simulators are timed interleaved (one rep each, repeated), and
+// the best-of-N time per mode is compared so single-core scheduling noise
+// does not masquerade as overhead. The bench FAILS (non-zero exit) if the
+// disabled-mode throughput regresses more than kMaxDisabledOverheadPct
+// against baseline — observability must be free when it is off.
+#include <chrono>
+#include <cstdlib>
+
+#include "bench_common.hpp"
+#include "blocks/discrete.hpp"
+#include "blocks/event_blocks.hpp"
+#include "blocks/sources.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+#include "sim/compiled_model.hpp"
+#include "sim/simulator.hpp"
+
+using namespace ecsim;
+
+namespace {
+
+constexpr std::size_t kChains = 200;
+constexpr int kReps = 7;
+constexpr double kMaxDisabledOverheadPct = 2.0;
+
+/// Same workload as EXP-P1: clock -> (d1 -> d2 -> counter) x kChains,
+/// 1 ms tick over 1 s (~601k events).
+sim::Model make_chains(std::size_t chains) {
+  sim::Model m;
+  auto& clk = m.add<blocks::Clock>("clk", 1e-3);
+  for (std::size_t c = 0; c < chains; ++c) {
+    auto& d1 = m.add<blocks::EventDelay>("d1_" + std::to_string(c), 1e-4);
+    auto& d2 = m.add<blocks::EventDelay>("d2_" + std::to_string(c), 2e-4);
+    auto& n = m.add<blocks::EventCounter>("n_" + std::to_string(c));
+    m.connect_event(clk, 0, d1, d1.event_in());
+    m.connect_event(d1, d1.event_out(), d2, d2.event_in());
+    m.connect_event(d2, d2.event_out(), n, 0);
+  }
+  return m;
+}
+
+double run_once(sim::Simulator& s) {
+  const auto t0 = std::chrono::steady_clock::now();
+  s.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+int experiment() {
+  bench::banner("EXP-O1", "(observability overhead, supporting)",
+                "Tracing/metrics cost on the EXP-P1 200-chain workload: "
+                "baseline vs attached-but-disabled vs fully enabled.");
+
+  sim::Model m = make_chains(kChains);
+
+  sim::SimOptions base_opts{.end_time = 1.0};
+  sim::Simulator s_base(sim::CompiledModel(m), base_opts);
+
+  obs::Tracer tr_off;
+  tr_off.set_enabled(false);
+  sim::SimOptions off_opts = base_opts;
+  off_opts.tracer = &tr_off;
+  sim::Simulator s_off(sim::CompiledModel(m), off_opts);
+
+  obs::Tracer tr_on;
+  tr_on.set_enabled(true);
+  obs::MetricsRegistry mx;
+  sim::SimOptions on_opts = base_opts;
+  on_opts.tracer = &tr_on;
+  on_opts.metrics = &mx;
+  sim::Simulator s_on(sim::CompiledModel(m), on_opts);
+
+  // Warm-up (page in code + queues), then interleaved best-of-N.
+  run_once(s_base);
+  run_once(s_off);
+  run_once(s_on);
+  double t_base = 1e300, t_off = 1e300, t_on = 1e300;
+  for (int r = 0; r < kReps; ++r) {
+    t_base = std::min(t_base, run_once(s_base));
+    t_off = std::min(t_off, run_once(s_off));
+    t_on = std::min(t_on, run_once(s_on));
+  }
+
+  const auto events = static_cast<double>(s_base.events_dispatched());
+  const double eps_base = events / t_base;
+  const double eps_off = events / t_off;
+  const double eps_on = events / t_on;
+  const double ovh_off = 100.0 * (t_off - t_base) / t_base;
+  const double ovh_on = 100.0 * (t_on - t_base) / t_base;
+  const bool pass = ovh_off <= kMaxDisabledOverheadPct;
+
+  std::printf("%-10s %12s %14s %10s\n", "mode", "events", "events/s",
+              "overhead");
+  std::printf("%-10s %12.0f %14.0f %9s\n", "baseline", events, eps_base, "-");
+  std::printf("%-10s %12.0f %14.0f %+8.2f%%\n", "disabled", events, eps_off,
+              ovh_off);
+  std::printf("%-10s %12.0f %14.0f %+8.2f%%\n", "enabled", events, eps_on,
+              ovh_on);
+  std::printf("\nring: capacity=%zu recorded=%zu dropped=%zu (oldest "
+              "overwritten)\n",
+              tr_on.capacity(), tr_on.size(), tr_on.dropped());
+  std::printf("guard: disabled overhead %.2f%% vs limit %.1f%% -> %s\n\n",
+              ovh_off, kMaxDisabledOverheadPct, pass ? "PASS" : "FAIL");
+
+  bench::JsonReport report("EXP-O1");
+  report.begin_array("obs_overhead");
+  report.begin_object();
+  report.field("chains", kChains);
+  report.field("events", s_base.events_dispatched());
+  report.field("reps", static_cast<std::size_t>(kReps));
+  report.field("baseline_events_per_s", eps_base);
+  report.field("disabled_events_per_s", eps_off);
+  report.field("enabled_events_per_s", eps_on);
+  report.field("disabled_overhead_pct", ovh_off);
+  report.field("enabled_overhead_pct", ovh_on);
+  report.field("ring_capacity", tr_on.capacity());
+  report.field("ring_dropped", tr_on.dropped());
+  report.field("guard_limit_pct", kMaxDisabledOverheadPct);
+  report.field("guard", std::string(pass ? "pass" : "FAIL"));
+  report.end_object();
+  report.end_array();
+  report.write("BENCH_o1.json");
+  return pass ? 0 : 1;
+}
+
+void BM_DispatchObs(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  sim::Model m = make_chains(16);
+  obs::Tracer tracer;
+  tracer.set_enabled(mode == 2);
+  obs::MetricsRegistry metrics;
+  sim::SimOptions opts{.end_time = 1.0};
+  if (mode >= 1) opts.tracer = &tracer;
+  if (mode == 2) opts.metrics = &metrics;
+  sim::Simulator s(sim::CompiledModel(m), opts);
+  for (auto _ : state) {
+    s.run();
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(s.events_dispatched() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DispatchObs)
+    ->Arg(0)->Arg(1)->Arg(2)
+    ->ArgName("mode")  // 0=baseline 1=disabled 2=enabled
+    ->Unit(benchmark::kMillisecond);
+
+/// Raw ring-buffer record cost, isolated from the simulator.
+void BM_TracerRecord(benchmark::State& state) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  const std::uint32_t name = tracer.intern("ev");
+  const std::uint32_t track = tracer.track("bench", obs::Domain::kSim);
+  double t = 0.0;
+  for (auto _ : state) {
+    tracer.instant(name, track, t);
+    t += 1.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TracerRecord);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rc = experiment();
+  const int bench_rc = bench::run_benchmarks(argc, argv);
+  return rc != 0 ? rc : bench_rc;
+}

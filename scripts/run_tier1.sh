@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 verification, exactly the ROADMAP.md line: configure, build, and run
+# the full ctest suite. Run from anywhere; operates on the repo checkout that
+# contains this script. Exit status is ctest's.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B build -S .
+cmake --build build -j"${JOBS}"
+cd build
+exec ctest --output-on-failure -j"${JOBS}"

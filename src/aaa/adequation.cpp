@@ -52,6 +52,17 @@ class Timeline {
 
 Schedule adequate(const AlgorithmGraph& alg, const ArchitectureGraph& arch,
                   const AdequationOptions& opts) {
+  obs::ScopedSpan span(opts.tracer, "aaa.adequate", obs::Domain::kWall,
+                       "runtime/aaa");
+  obs::Counter* c_candidates = nullptr;
+  obs::Counter* c_ops = nullptr;
+  obs::Counter* c_comms = nullptr;
+  if (opts.metrics != nullptr) {
+    c_candidates = &opts.metrics->counter("aaa.candidates_evaluated");
+    c_ops = &opts.metrics->counter("aaa.ops_scheduled");
+    c_comms = &opts.metrics->counter("aaa.comms_committed");
+  }
+
   const std::size_t n_ops = alg.num_operations();
   const std::size_t n_procs = arch.num_processors();
   const RouteTable routes(arch);
@@ -95,6 +106,7 @@ Schedule adequate(const AlgorithmGraph& alg, const ArchitectureGraph& arch,
           if (commit) {
             sched.add_comm(ScheduledComm{di, hop, hop_index, start, end});
             medium_busy[hop.medium].insert(start, end);
+            if (c_comms != nullptr) c_comms->add();
           }
           t = end;
           ++hop_index;
@@ -144,6 +156,7 @@ Schedule adequate(const AlgorithmGraph& alg, const ArchitectureGraph& arch,
         const Time est = proc_busy[p].fit(ready, wcet);
         const Time eft = est + wcet;
         if (eft < best.eft) best = Placement{p, est, eft};
+        if (c_candidates != nullptr) c_candidates->add();
       }
       if (best.proc == kNone) {
         throw std::runtime_error("adequate: no feasible processor for '" +
@@ -174,6 +187,7 @@ Schedule adequate(const AlgorithmGraph& alg, const ArchitectureGraph& arch,
     const Time start = proc_busy[p].fit(ready_at, wcet);
     const Time end = start + wcet;
     sched.add_op(ScheduledOp{chosen, p, start, end});
+    if (c_ops != nullptr) c_ops->add();
     proc_busy[p].insert(start, end);
     placed[chosen] = p;
     op_end[chosen] = end;

@@ -10,6 +10,8 @@
 
 #include "aaa/routing.hpp"
 #include "aaa/schedule.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 
 namespace ecsim::aaa {
 
@@ -31,6 +33,11 @@ struct AdequationOptions {
   /// Per-data-unit weight added to edges when computing urgency levels.
   double tail_comm_weight = 0.0;
   SelectionRule rule = SelectionRule::kSchedulePressure;
+  /// Observability (borrowed, may be null): a wall-clock "aaa.adequate"
+  /// span, and aaa.candidates_evaluated / aaa.ops_scheduled /
+  /// aaa.comms_committed counters measuring how much work the heuristic did.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Compute the static schedule. Throws std::runtime_error if some operation

@@ -80,7 +80,8 @@ struct CompiledInstr {
 
 std::vector<std::vector<CompiledInstr>> compile_programs(
     const AlgorithmGraph& alg, const ArchitectureGraph& arch,
-    const GeneratedCode& code) {
+    const GeneratedCode& code, obs::Counter* wcet_lookups) {
+  std::size_t lookups = 0;
   std::vector<std::vector<CompiledInstr>> compiled(code.programs.size());
   for (std::size_t pi = 0; pi < code.programs.size(); ++pi) {
     const ExecutiveProgram& prog = code.programs[pi];
@@ -98,11 +99,14 @@ std::vector<std::vector<CompiledInstr>> compile_programs(
         for (const aaa::Branch& br : op.branches) {
           ci.branch_wcets.push_back(br.wcet.at(type));
         }
+        lookups += op.branches.size();
       } else {
         ci.wcet = op.wcet.at(type);
+        ++lookups;
       }
     }
   }
+  if (wcet_lookups != nullptr) wcet_lookups->add(lookups);
   return compiled;
 }
 
@@ -115,11 +119,55 @@ VmResult run_executives(const AlgorithmGraph& alg,
   math::Rng rng(opts.seed);
   const std::size_t iters = opts.iterations;
 
+  // Observability: resolve metric instruments and intern track/name ids up
+  // front so the interpreter loop only tests cached pointers.
+  obs::Counter* c_ops = nullptr;
+  obs::Counter* c_comms = nullptr;
+  obs::Counter* c_wcet = nullptr;
+  if (opts.metrics != nullptr) {
+    c_ops = &opts.metrics->counter("exec.ops_executed");
+    c_comms = &opts.metrics->counter("exec.comms_executed");
+    c_wcet = &opts.metrics->counter("exec.wcet_lookups");
+  }
+  obs::ScopedSpan vm_span(opts.tracer, "vm.run", obs::Domain::kWall,
+                          "runtime/vm");
+  const bool tracing = obs::active(opts.tracer);
+  std::vector<std::uint32_t> proc_track, op_name, medium_track, comm_name;
+  std::uint32_t a_iter = 0;
+  if (tracing) {
+    obs::Tracer& t = *opts.tracer;
+    a_iter = t.intern("iteration");
+    proc_track.resize(code.programs.size());
+    for (std::size_t pi = 0; pi < code.programs.size(); ++pi) {
+      proc_track[pi] =
+          t.track(opts.track_prefix + "proc/" +
+                      arch.processor(code.programs[pi].proc).name,
+                  obs::Domain::kSim);
+    }
+    op_name.resize(alg.num_operations());
+    for (OpId op = 0; op < alg.num_operations(); ++op) {
+      op_name[op] = t.intern(alg.op(op).name);
+    }
+    medium_track.resize(code.communicators.size());
+    for (std::size_t mi = 0; mi < code.communicators.size(); ++mi) {
+      medium_track[mi] =
+          t.track(opts.track_prefix + "medium/" +
+                      arch.medium(code.communicators[mi].medium).name,
+                  obs::Domain::kSim);
+    }
+    comm_name.resize(sched.comms().size());
+    for (std::size_t ci = 0; ci < sched.comms().size(); ++ci) {
+      const DataDep& dep = alg.dependencies()[sched.comms()[ci].dep_index];
+      comm_name[ci] =
+          t.intern(alg.op(dep.from).name + "->" + alg.op(dep.to).name);
+    }
+  }
+
   std::vector<Channel> channels(sched.comms().size(), Channel(iters));
   std::vector<Cursor> proc_cur(code.programs.size());
   std::vector<Cursor> medium_cur(code.communicators.size());
   const std::vector<std::vector<CompiledInstr>> compiled =
-      compile_programs(alg, arch, code);
+      compile_programs(alg, arch, code, c_wcet);
 
   // Pre-sample execution times and branches would couple RNG draws to the
   // interleaving of the advancing loop; instead draw on first execution of
@@ -157,6 +205,12 @@ VmResult run_executives(const AlgorithmGraph& alg,
         const Time dur = exec_time(op, wcet);
         result.ops.push_back(
             OpInstance{ins.op, cur.iter, prog.proc, start, start + dur, branch});
+        if (tracing) {
+          opts.tracer->span(op_name[ins.op], proc_track[pi],
+                            obs::sim_us(start), obs::sim_us(start + dur),
+                            a_iter, static_cast<double>(cur.iter));
+        }
+        if (c_ops != nullptr) c_ops->add();
         cur.t = start + dur;
         break;
       }
@@ -210,6 +264,12 @@ VmResult run_executives(const AlgorithmGraph& alg,
     const Time end = start + medium.transfer_time(dep.size);
     channels[ci].mark_delivered(cur.iter, end);
     result.comms.push_back(CommInstance{ci, cur.iter, start, end});
+    if (tracing) {
+      opts.tracer->span(comm_name[ci], medium_track[mi], obs::sim_us(start),
+                        obs::sim_us(end), a_iter,
+                        static_cast<double>(cur.iter));
+    }
+    if (c_comms != nullptr) c_comms->add();
     cur.t = end;
     if (++cur.pc == prog.comms.size()) {
       cur.pc = 0;

@@ -12,6 +12,8 @@
 
 #include "aaa/codegen.hpp"
 #include "mathlib/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 
 namespace ecsim::exec {
 
@@ -41,6 +43,17 @@ struct VmOptions {
   std::uint64_t seed = 1;
   ExecTimeFn exec_time;     // null => WCET
   BranchFn branch_chooser;  // null => always branch 0
+  /// Observability (borrowed, may be null). The tracer receives every
+  /// operation instance as a sim-time span on its processor's track and
+  /// every communication on its medium's track, plus a wall-clock "vm.run"
+  /// span; the registry receives exec.ops_executed / exec.comms_executed /
+  /// exec.wcet_lookups counters.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Prepended to "proc/..." and "medium/..." track names so several VM
+  /// runs (e.g. a WCET run and an actual-times run) can share one trace
+  /// file without their tracks colliding.
+  std::string track_prefix;
 };
 
 struct OpInstance {

@@ -1,0 +1,153 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace ecsim::obs {
+
+void Histogram::observe(double v) {
+  if (v < 0.0) v = 0.0;
+  std::size_t b = 0;
+  if (v > 1.0) {
+    b = static_cast<std::size_t>(std::ceil(std::log2(v)));
+    if (b >= kBuckets) b = kBuckets - 1;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0 || v < min_) min_ = v;
+  if (count_ == 0 || v > max_) max_ = v;
+  ++count_;
+  sum_ += v;
+  ++buckets_[b];
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+std::uint64_t Histogram::bucket(std::size_t i) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buckets_[i];
+}
+
+double Histogram::bucket_bound(std::size_t i) {
+  return std::ldexp(1.0, static_cast<int>(i));  // 2^i; bucket 0 covers <= 1
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+  for (auto& b : buckets_) b = 0;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return histograms_[name];
+}
+
+namespace {
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": " << c.value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "\n" : ",\n") << "    \"" << name
+       << "\": " << num(g.value());
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": {\"count\": "
+       << h.count() << ", \"sum\": " << num(h.sum()) << ", \"min\": "
+       << num(h.min()) << ", \"max\": " << num(h.max()) << ", \"mean\": "
+       << num(h.mean()) << ", \"buckets\": [";
+    bool fb = true;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t n = h.bucket(i);
+      if (n == 0) continue;
+      os << (fb ? "" : ", ") << "{\"le\": " << num(Histogram::bucket_bound(i))
+         << ", \"count\": " << n << "}";
+      fb = false;
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+std::string MetricsRegistry::to_csv() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "kind,name,count,sum,min,max,mean\n";
+  for (const auto& [name, c] : counters_) {
+    os << "counter," << name << ",," << c.value() << ",,,\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << "gauge," << name << ",," << num(g.value()) << ",,,\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << "histogram," << name << "," << h.count() << "," << num(h.sum())
+       << "," << num(h.min()) << "," << num(h.max()) << "," << num(h.mean())
+       << "\n";
+  }
+  return os.str();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+}  // namespace ecsim::obs

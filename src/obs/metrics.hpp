@@ -1,0 +1,102 @@
+// Named runtime metrics shared by the simulator, the executive VM and the
+// adequation heuristic: monotonically increasing counters (events dispatched,
+// eval calls, WCET-table lookups), gauges (queue high-water mark), and
+// log2-bucketed histograms (cone refresh sizes, eval calls per block).
+//
+// Instruments are created on first lookup and their addresses are stable for
+// the registry's lifetime (node-based map), so hot paths resolve a name to a
+// pointer once and then touch only the instrument. Counters and gauges are
+// lock-free; histograms take an uncontended per-instrument mutex.
+//
+// Snapshots serialize to JSON (machine-diffable, BENCH-style) or CSV.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace ecsim::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  /// Ratchet upward — for high-water marks.
+  void max_of(double v) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Power-of-two bucket histogram for non-negative samples: bucket i counts
+/// samples in (2^(i-1), 2^i], bucket 0 counts samples <= 1.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+
+  void observe(double v);
+  std::uint64_t count() const;
+  double sum() const;
+  double min() const;
+  double max() const;
+  double mean() const;
+  std::uint64_t bucket(std::size_t i) const;
+  /// Inclusive upper bound of bucket i (1, 2, 4, ...).
+  static double bucket_bound(std::size_t i);
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t buckets_[kBuckets] = {};
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create; returned references stay valid for the registry's life.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Snapshot of every instrument. JSON shape:
+  ///   {"counters": {...}, "gauges": {...},
+  ///    "histograms": {"name": {"count":..,"sum":..,"min":..,"max":..,
+  ///                            "mean":..,"buckets":[{"le":..,"count":..}]}}}
+  /// (histogram buckets with zero count are omitted).
+  std::string to_json() const;
+  /// CSV rows: kind,name,count,sum,min,max,mean (counters/gauges fill the
+  /// value into `sum`).
+  std::string to_csv() const;
+
+  /// Zero every instrument (instruments themselves stay registered).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace ecsim::obs

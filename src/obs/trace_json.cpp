@@ -1,0 +1,166 @@
+#include "obs/trace_json.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace ecsim::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+constexpr int kWallPid = 1;
+constexpr int kSimPid = 2;
+
+int pid_of(Domain d) { return d == Domain::kWall ? kWallPid : kSimPid; }
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::uint32_t JsonTraceWriter::track_id(const std::string& name,
+                                        Domain domain) {
+  for (std::uint32_t i = 0; i < tracks_.size(); ++i) {
+    if (tracks_[i].name == name && tracks_[i].domain == domain) return i;
+  }
+  tracks_.push_back(Track{name, domain});
+  return static_cast<std::uint32_t>(tracks_.size() - 1);
+}
+
+void JsonTraceWriter::add(const Tracer& tracer) {
+  // Tracer track ids are tracer-local; remap into this writer's table so
+  // multiple sources can share a file without colliding.
+  std::vector<std::uint32_t> remap(tracer.num_tracks());
+  for (std::uint32_t t = 0; t < remap.size(); ++t) {
+    remap[t] = track_id(tracer.track_name(t), tracer.track_domain(t));
+  }
+  for (const TraceEvent& e : tracer.snapshot()) {
+    const Track& trk = tracks_[remap[e.track]];
+    std::ostringstream os;
+    os << "{\"name\": \"" << json_escape(tracer.name(e.name)) << "\", \"pid\": "
+       << pid_of(trk.domain) << ", \"tid\": " << remap[e.track] + 1
+       << ", \"ts\": " << num(e.ts);
+    switch (e.phase) {
+      case Phase::kSpan:
+        os << ", \"ph\": \"X\", \"dur\": " << num(e.dur);
+        if (e.arg_name != kNoArg) {
+          os << ", \"args\": {\"" << json_escape(tracer.name(e.arg_name))
+             << "\": " << num(e.arg) << "}";
+        }
+        break;
+      case Phase::kInstant:
+        os << ", \"ph\": \"i\", \"s\": \"t\"";
+        if (e.arg_name != kNoArg) {
+          os << ", \"args\": {\"" << json_escape(tracer.name(e.arg_name))
+             << "\": " << num(e.arg) << "}";
+        }
+        break;
+      case Phase::kCounter:
+        os << ", \"ph\": \"C\", \"args\": {\"value\": " << num(e.arg) << "}";
+        break;
+    }
+    os << "}";
+    events_.push_back(os.str());
+  }
+}
+
+void JsonTraceWriter::add_slices(const std::vector<TimelineSlice>& slices) {
+  for (const TimelineSlice& s : slices) {
+    const std::uint32_t t = track_id(s.track, Domain::kSim);
+    std::ostringstream os;
+    os << "{\"name\": \"" << json_escape(s.name) << "\", \"ph\": \"X\""
+       << ", \"pid\": " << kSimPid << ", \"tid\": " << t + 1
+       << ", \"ts\": " << num(sim_us(s.start))
+       << ", \"dur\": " << num(sim_us(s.end - s.start));
+    if (!s.args.empty()) {
+      os << ", \"args\": {";
+      for (std::size_t i = 0; i < s.args.size(); ++i) {
+        os << (i == 0 ? "" : ", ") << "\"" << json_escape(s.args[i].first)
+           << "\": " << num(s.args[i].second);
+      }
+      os << "}";
+    }
+    os << "}";
+    events_.push_back(os.str());
+  }
+}
+
+void JsonTraceWriter::add_instant(const std::string& track,
+                                 const std::string& name, double t_seconds,
+                                 double arg_value,
+                                 const std::string& arg_name) {
+  const std::uint32_t t = track_id(track, Domain::kSim);
+  std::ostringstream os;
+  os << "{\"name\": \"" << json_escape(name) << "\", \"ph\": \"i\", \"s\": "
+     << "\"t\", \"pid\": " << kSimPid << ", \"tid\": " << t + 1
+     << ", \"ts\": " << num(sim_us(t_seconds)) << ", \"args\": {\""
+     << json_escape(arg_name) << "\": " << num(arg_value) << "}}";
+  events_.push_back(os.str());
+}
+
+std::string JsonTraceWriter::str() const {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool saw_wall = false, saw_sim = false;
+  for (const Track& t : tracks_) {
+    (t.domain == Domain::kWall ? saw_wall : saw_sim) = true;
+  }
+  bool first = true;
+  auto emit = [&](const std::string& line) {
+    os << (first ? "  " : ",\n  ") << line;
+    first = false;
+  };
+  if (saw_wall) {
+    emit("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"args\": "
+         "{\"name\": \"runtime (wall clock)\"}}");
+  }
+  if (saw_sim) {
+    emit("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 2, \"args\": "
+         "{\"name\": \"timeline (sim time)\"}}");
+  }
+  for (std::uint32_t t = 0; t < tracks_.size(); ++t) {
+    emit("{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " +
+         std::to_string(pid_of(tracks_[t].domain)) + ", \"tid\": " +
+         std::to_string(t + 1) + ", \"args\": {\"name\": \"" +
+         json_escape(tracks_[t].name) + "\"}}");
+  }
+  for (const std::string& e : events_) emit(e);
+  os << "\n]}\n";
+  return os.str();
+}
+
+bool JsonTraceWriter::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string doc = str();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace ecsim::obs

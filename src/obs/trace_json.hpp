@@ -1,0 +1,70 @@
+// Chrome trace-event (Perfetto / chrome://tracing loadable) JSON export.
+//
+// The emitted file is the JSON-object form of the trace-event format:
+//   {"displayTimeUnit": "ms", "traceEvents": [ ... ]}
+// with "M" metadata records naming processes and threads, "X" complete
+// events for spans, "i" instants, and "C" counters. Two synthetic processes
+// separate the clock domains (obs::Domain): pid 1 carries wall-clock runtime
+// spans in real microseconds, pid 2 carries the simulated/scheduled timeline
+// with sim seconds mapped to microseconds — so a schedule Gantt (paper
+// Figs. 3-4), a VM run and a simulation event log all render as timelines.
+//
+// Sources: a Tracer ring (JsonTraceWriter::add) and/or plain TimelineSlice
+// lists (add_slices) produced e.g. by translate::schedule_to_timeline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/tracer.hpp"
+
+namespace ecsim::obs {
+
+/// One ready-made span on a named sim-time track — the exporter-agnostic
+/// form used for static artifacts (adequation schedules, VM results) that
+/// were not recorded through a live Tracer.
+struct TimelineSlice {
+  std::string track;  // e.g. "proc/P0" or "medium/can"
+  std::string name;   // e.g. "ctrl" or "sense->ctrl"
+  double start = 0.0;  // seconds (sim/schedule time)
+  double end = 0.0;
+  std::vector<std::pair<std::string, double>> args;
+};
+
+class JsonTraceWriter {
+ public:
+  /// Append every retained record of `tracer` (snapshot; call when no writer
+  /// is active).
+  void add(const Tracer& tracer);
+
+  /// Append slices onto sim-domain tracks.
+  void add_slices(const std::vector<TimelineSlice>& slices);
+
+  /// Append one standalone instant (sim-domain track).
+  void add_instant(const std::string& track, const std::string& name,
+                   double t_seconds, double arg_value,
+                   const std::string& arg_name);
+
+  std::size_t num_events() const { return events_.size(); }
+
+  /// Final document (includes process/thread metadata for every track seen).
+  std::string str() const;
+
+  /// Write to `path`; returns false on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  std::uint32_t track_id(const std::string& name, Domain domain);
+
+  struct Track {
+    std::string name;
+    Domain domain = Domain::kWall;
+  };
+  std::vector<Track> tracks_;
+  std::vector<std::string> events_;  // serialized record objects
+};
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string json_escape(const std::string& s);
+
+}  // namespace ecsim::obs

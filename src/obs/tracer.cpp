@@ -1,0 +1,101 @@
+#include "obs/tracer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ecsim::obs {
+
+Tracer::Tracer(std::size_t capacity) : ring_(std::max<std::size_t>(capacity, 1)) {}
+
+std::uint32_t Tracer::intern(std::string_view s) {
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  const auto it = name_ids_.find(std::string(s));
+  if (it != name_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(s);
+  name_ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::uint32_t Tracer::track(std::string_view name, Domain domain) {
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  for (std::uint32_t i = 0; i < tracks_.size(); ++i) {
+    if (tracks_[i].name == name && tracks_[i].domain == domain) return i;
+  }
+  tracks_.push_back(TrackInfo{std::string(name), domain});
+  return static_cast<std::uint32_t>(tracks_.size() - 1);
+}
+
+std::size_t Tracer::num_tracks() const {
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  return tracks_.size();
+}
+
+const std::string& Tracer::track_name(std::uint32_t id) const {
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  return tracks_.at(id).name;
+}
+
+Domain Tracer::track_domain(std::uint32_t id) const {
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  return tracks_.at(id).domain;
+}
+
+double Tracer::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::record(const TraceEvent& e) {
+  if (!enabled()) return;
+  const std::uint64_t slot = count_.fetch_add(1, std::memory_order_relaxed);
+  ring_[slot % ring_.size()] = e;
+}
+
+void Tracer::span(std::uint32_t name, std::uint32_t track, double start_us,
+                  double end_us, std::uint32_t arg_name, double arg) {
+  record(TraceEvent{start_us, end_us - start_us, name, track, arg_name,
+                    Phase::kSpan, arg});
+}
+
+void Tracer::instant(std::uint32_t name, std::uint32_t track, double ts_us,
+                     std::uint32_t arg_name, double arg) {
+  record(TraceEvent{ts_us, 0.0, name, track, arg_name, Phase::kInstant, arg});
+}
+
+void Tracer::counter(std::uint32_t name, std::uint32_t track, double ts_us,
+                     double value) {
+  record(TraceEvent{ts_us, 0.0, name, track, kNoArg, Phase::kCounter, value});
+}
+
+std::size_t Tracer::size() const {
+  return std::min<std::uint64_t>(count_.load(std::memory_order_relaxed),
+                                 ring_.size());
+}
+
+std::size_t Tracer::dropped() const {
+  const std::uint64_t n = count_.load(std::memory_order_relaxed);
+  return n > ring_.size() ? n - ring_.size() : 0;
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  const std::uint64_t n = count_.load(std::memory_order_relaxed);
+  std::vector<TraceEvent> out;
+  if (n <= ring_.size()) {
+    out.assign(ring_.begin(), ring_.begin() + static_cast<std::ptrdiff_t>(n));
+  } else {
+    // Ring wrapped: oldest retained record sits at count % capacity.
+    const std::size_t head = n % ring_.size();
+    out.reserve(ring_.size());
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(head));
+  }
+  return out;
+}
+
+void Tracer::clear() { count_.store(0, std::memory_order_relaxed); }
+
+}  // namespace ecsim::obs

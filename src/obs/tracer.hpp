@@ -1,0 +1,179 @@
+// Structured runtime tracing for the whole tool chain (DESIGN.md §3.2).
+//
+// A Tracer is a fixed-capacity ring buffer of timestamped records shared by
+// the simulator, the executive VM and the adequation heuristic. Two clock
+// domains coexist:
+//  - kWall  — wall-clock microseconds since the tracer's construction
+//             (spans around compile / adequation / integration segments /
+//             cone refreshes: "why was this run slow?");
+//  - kSim   — simulated/scheduled time in seconds (instants of event
+//             dispatches and S/H activations, spans of VM operation and
+//             communication instances: "when did the implementation act?").
+// The exporter in obs/trace_json.hpp renders each domain as its own process
+// in the Chrome trace-event / Perfetto timeline format.
+//
+// Cost model: everything is pay-for-what-you-use. A null Tracer* costs one
+// pointer test on the instrumented path; an attached-but-disabled tracer one
+// extra load+branch; recording is a relaxed fetch_add plus a slot write (the
+// ring overwrites its oldest records instead of allocating). Defining
+// ECSIM_OBS_DISABLED at compile time constant-folds obs::active() to false so
+// the instrumentation compiles out entirely.
+//
+// Names and tracks are interned once (mutex-protected, cold path) and passed
+// around as integer ids; the hot path never hashes or copies strings.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ecsim::obs {
+
+/// Record flavour, mirroring the Chrome trace-event phases used on export:
+/// kSpan -> "X" (complete event), kInstant -> "i", kCounter -> "C".
+enum class Phase : std::uint8_t { kSpan, kInstant, kCounter };
+
+/// Clock domain of a track (see file comment).
+enum class Domain : std::uint8_t { kWall, kSim };
+
+/// One ring slot. `ts`/`dur` are microseconds in the track's domain (sim
+/// seconds are converted on record so the exporter is domain-agnostic).
+struct TraceEvent {
+  double ts = 0.0;
+  double dur = 0.0;
+  std::uint32_t name = 0;      // interned via Tracer::intern
+  std::uint32_t track = 0;     // from Tracer::track
+  std::uint32_t arg_name = 0;  // interned key of `arg`; kNoArg when absent
+  Phase phase = Phase::kSpan;
+  double arg = 0.0;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+inline constexpr std::uint32_t kNoArg = 0xffffffffu;
+
+class Tracer {
+ public:
+  /// `capacity` slots are allocated up front; recording never allocates.
+  explicit Tracer(std::size_t capacity = 1u << 16);
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Intern a name (idempotent). Cold path: callers cache the id.
+  std::uint32_t intern(std::string_view s);
+  const std::string& name(std::uint32_t id) const { return names_.at(id); }
+
+  /// Register (or find) a track. Tracks map to Perfetto threads; the domain
+  /// picks the process (wall-clock runtime vs sim-time timeline).
+  std::uint32_t track(std::string_view name, Domain domain);
+  std::size_t num_tracks() const;
+  const std::string& track_name(std::uint32_t id) const;
+  Domain track_domain(std::uint32_t id) const;
+
+  /// Wall-clock microseconds since construction (steady clock).
+  double now_us() const;
+
+  // Recording (no-ops while disabled; `_us` timestamps are in the track's
+  // domain — wall spans pass now_us(), sim-domain records pass seconds*1e6).
+  void span(std::uint32_t name, std::uint32_t track, double start_us,
+            double end_us, std::uint32_t arg_name = kNoArg, double arg = 0.0);
+  void instant(std::uint32_t name, std::uint32_t track, double ts_us,
+               std::uint32_t arg_name = kNoArg, double arg = 0.0);
+  void counter(std::uint32_t name, std::uint32_t track, double ts_us,
+               double value);
+
+  /// Records retained (<= capacity) and records overwritten by ring wrap.
+  std::size_t size() const;
+  std::size_t dropped() const;
+  std::size_t capacity() const { return ring_.size(); }
+
+  /// Chronological copy of the retained records. Call only while no writer
+  /// is active (end of run); concurrent recording may tear slots.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Drop all records (names/tracks stay interned).
+  void clear();
+
+ private:
+  void record(const TraceEvent& e);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> count_{0};
+  std::vector<TraceEvent> ring_;
+
+  mutable std::mutex intern_mu_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::uint32_t> name_ids_;
+  struct TrackInfo {
+    std::string name;
+    Domain domain = Domain::kWall;
+  };
+  std::vector<TrackInfo> tracks_;
+
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+};
+
+/// The single hot-path test: compiled in? attached? enabled?
+inline bool active(const Tracer* t) {
+#ifdef ECSIM_OBS_DISABLED
+  (void)t;
+  return false;
+#else
+  return t != nullptr && t->enabled();
+#endif
+}
+
+/// Sim-time seconds -> track-domain microseconds.
+inline double sim_us(double seconds) { return seconds * 1e6; }
+
+/// RAII wall-clock span: times its scope and records on destruction. Safe to
+/// construct with a null/disabled tracer (records nothing).
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, std::uint32_t name, std::uint32_t track,
+             std::uint32_t arg_name = kNoArg, double arg = 0.0)
+      : tracer_(active(tracer) ? tracer : nullptr),
+        name_(name),
+        track_(track),
+        arg_name_(arg_name),
+        arg_(arg),
+        start_us_(tracer_ != nullptr ? tracer_->now_us() : 0.0) {}
+
+  /// Convenience: interns both names (cold paths only).
+  ScopedSpan(Tracer* tracer, std::string_view name, Domain domain,
+             std::string_view track_name)
+      : ScopedSpan(tracer, active(tracer) ? tracer->intern(name) : 0,
+                   active(tracer) ? tracer->track(track_name, domain) : 0) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void set_arg(std::uint32_t arg_name, double arg) {
+    arg_name_ = arg_name;
+    arg_ = arg;
+  }
+
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->span(name_, track_, start_us_, tracer_->now_us(), arg_name_,
+                    arg_);
+    }
+  }
+
+ private:
+  Tracer* tracer_;
+  std::uint32_t name_ = 0;
+  std::uint32_t track_ = 0;
+  std::uint32_t arg_name_ = kNoArg;
+  double arg_ = 0.0;
+  double start_us_ = 0.0;
+};
+
+}  // namespace ecsim::obs

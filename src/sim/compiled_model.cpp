@@ -8,6 +8,10 @@ namespace ecsim::sim {
 
 CompiledModel::CompiledModel(Model& model)
     : model_(model), num_blocks_(model.num_blocks()) {
+  block_names_.reserve(num_blocks_);
+  for (std::size_t b = 0; b < num_blocks_; ++b) {
+    block_names_.push_back(model_.block(b).name());
+  }
   layout_arena();
   resolve_inputs();
   pack_states();

@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "sim/model.hpp"
@@ -47,6 +48,11 @@ class CompiledModel {
 
   Model& model() const { return model_; }
   std::size_t num_blocks() const { return num_blocks_; }
+
+  /// Block-index -> name table, interned once at compile. The Simulator
+  /// installs it into the Trace so event records carry only indices and
+  /// names are resolved on demand.
+  const std::vector<std::string>& block_names() const { return block_names_; }
 
   // --- flat arena layout ----------------------------------------------------
 
@@ -123,6 +129,7 @@ class CompiledModel {
 
   Model& model_;
   std::size_t num_blocks_ = 0;
+  std::vector<std::string> block_names_;
 
   std::size_t arena_size_ = 0;
   std::vector<std::size_t> out_base_;   // [num_blocks + 1]

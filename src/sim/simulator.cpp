@@ -48,15 +48,58 @@ Trace& Context::trace() { return sim_->trace_; }
 
 // ---- Simulator ---------------------------------------------------------------
 
+namespace {
+
+// Wrap the compile in a wall-clock span (the span closes after the compile
+// artifact is constructed, before the delegated constructor runs).
+CompiledModel compile_traced(Model& model, const SimOptions& opts) {
+  obs::ScopedSpan span(opts.tracer, "sim.compile", obs::Domain::kWall,
+                       "runtime/sim");
+  return CompiledModel(model);
+}
+
+}  // namespace
+
 Simulator::Simulator(Model& model, SimOptions opts)
-    : Simulator(CompiledModel(model), opts) {}
+    : Simulator(compile_traced(model, opts), opts) {}
 
 Simulator::Simulator(CompiledModel compiled, SimOptions opts)
     : compiled_(std::move(compiled)),
       model_(compiled_.model()),
       opts_(opts),
       rng_(opts.seed),
-      arena_(compiled_.arena_size(), 0.0) {}
+      arena_(compiled_.arena_size(), 0.0) {
+  trace_.register_block_names(compiled_.block_names());
+  init_obs();
+}
+
+void Simulator::init_obs() {
+#ifdef ECSIM_OBS_DISABLED
+  return;
+#else
+  if (obs::Tracer* t = opts_.tracer; t != nullptr) {
+    obs_.trk_runtime = t->track("runtime/sim", obs::Domain::kWall);
+    obs_.trk_events = t->track("sim/events", obs::Domain::kSim);
+    obs_.n_run = t->intern("sim.run");
+    obs_.n_integrate = t->intern("sim.integrate");
+    obs_.n_cone = t->intern("sim.cone_refresh");
+    obs_.a_cone_size = t->intern("cone_size");
+    obs_.a_port = t->intern("event_in");
+    obs_.block_names.reserve(compiled_.num_blocks());
+    for (const std::string& name : compiled_.block_names()) {
+      obs_.block_names.push_back(t->intern(name));
+    }
+  }
+  if (obs::MetricsRegistry* m = opts_.metrics; m != nullptr) {
+    obs_.events = &m->counter("sim.events_dispatched");
+    obs_.evals = &m->counter("sim.eval_calls");
+    obs_.queue_hwm = &m->gauge("sim.queue_high_water");
+    obs_.cone_sizes = &m->histogram("sim.cone_refresh_size");
+    obs_.evals_per_block = &m->histogram("sim.eval_calls_per_block");
+    obs_.per_block_evals.assign(compiled_.num_blocks(), 0);
+  }
+#endif
+}
 
 std::span<const double> Simulator::ctx_input(std::size_t block,
                                              std::size_t port) const {
@@ -102,6 +145,10 @@ void Simulator::refresh_blocks(std::span<const std::size_t> order, Time t) {
     Context ctx(this, b, t, /*in_event=*/false);
     model_.block(b).compute_outputs(ctx);
   }
+  if (obs_.evals != nullptr) {
+    obs_.evals->add(order.size());
+    for (std::size_t b : order) ++obs_.per_block_evals[b];
+  }
 }
 
 void Simulator::refresh_dynamic(Time t) {
@@ -112,7 +159,13 @@ void Simulator::refresh_dynamic(Time t) {
 
 void Simulator::dispatch(const ScheduledEvent& e) {
   Block& blk = model_.block(e.block);
-  trace_.record_event(e.time, e.block, e.event_in, blk.name());
+  trace_.record_event(e.time, e.block, e.event_in);
+  if (obs_.tracing) {
+    opts_.tracer->instant(obs_.block_names[e.block], obs_.trk_events,
+                          obs::sim_us(e.time), obs_.a_port,
+                          static_cast<double>(e.event_in));
+  }
+  if (obs_.events != nullptr) obs_.events->add();
   Context ctx(this, e.block, e.time, /*in_event=*/true);
   blk.on_event(ctx, e.event_in);
 }
@@ -132,6 +185,11 @@ void Simulator::evaluate_derivatives(Time t, const std::vector<double>& x,
 }
 
 Trace& Simulator::run() {
+  // Latch tracing for this run: one branch on the hot paths from here on.
+  obs_.tracing = obs::active(opts_.tracer);
+  obs::ScopedSpan run_span(obs_.tracing ? opts_.tracer : nullptr, obs_.n_run,
+                           obs_.trk_runtime);
+
   // Reset run state (including the RNG: same seed => same realization).
   rng_ = math::Rng(opts_.seed);
   time_ = 0.0;
@@ -139,6 +197,7 @@ Trace& Simulator::run() {
   active_x_ = x_.data();
   queue_.clear();
   trace_.clear();
+  trace_.reserve(opts_.reserve_events, opts_.reserve_signals);
   events_dispatched_ = 0;
   std::fill(arena_.begin(), arena_.end(), 0.0);
 
@@ -162,6 +221,8 @@ Trace& Simulator::run() {
     }
     if (t_next > time_) {
       if (compiled_.total_state() > 0) {
+        const double span_t0 =
+            obs_.tracing ? opts_.tracer->now_us() : 0.0;
         in_integration_ = true;
         integrate(
             opts_.integrator,
@@ -170,6 +231,10 @@ Trace& Simulator::run() {
             time_, t_next, x_);
         in_integration_ = false;
         active_x_ = x_.data();
+        if (obs_.tracing) {
+          opts_.tracer->span(obs_.n_integrate, obs_.trk_runtime, span_t0,
+                             opts_.tracer->now_us());
+        }
       }
       time_ = t_next;
       refresh_dynamic(time_);
@@ -179,11 +244,32 @@ Trace& Simulator::run() {
     // emissions land behind already-pending simultaneous events (FIFO seq).
     const ScheduledEvent e = queue_.pop();
     dispatch(e);
-    refresh_blocks(opts_.full_refresh ? compiled_.eval_order()
-                                      : compiled_.cone(e.block),
-                   time_);
+    const std::span<const std::size_t> cone =
+        opts_.full_refresh ? std::span<const std::size_t>(compiled_.eval_order())
+                           : compiled_.cone(e.block);
+    if (obs_.tracing) {
+      const double span_t0 = opts_.tracer->now_us();
+      refresh_blocks(cone, time_);
+      opts_.tracer->span(obs_.n_cone, obs_.trk_runtime, span_t0,
+                         opts_.tracer->now_us(), obs_.a_cone_size,
+                         static_cast<double>(cone.size()));
+    } else {
+      refresh_blocks(cone, time_);
+    }
+    if (obs_.cone_sizes != nullptr) {
+      obs_.cone_sizes->observe(static_cast<double>(cone.size()));
+      obs_.queue_hwm->max_of(static_cast<double>(queue_.size()));
+    }
     if (++events_dispatched_ > opts_.max_events) {
       throw std::runtime_error("Simulator: max_events exceeded (runaway loop?)");
+    }
+  }
+  if (obs_.evals_per_block != nullptr) {
+    // Distribution of eval calls across blocks for this run (hot blocks sit
+    // in the top buckets); per-run counts then reset.
+    for (std::uint64_t& n : obs_.per_block_evals) {
+      if (n > 0) obs_.evals_per_block->observe(static_cast<double>(n));
+      n = 0;
     }
   }
   return trace_;

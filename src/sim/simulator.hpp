@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "mathlib/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "sim/compiled_model.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/integrator.hpp"
@@ -41,6 +43,20 @@ struct SimOptions {
   /// cone. The two paths must produce bit-identical traces; keeping the old
   /// sweep behind a flag makes that an assertable property.
   bool full_refresh = false;
+  /// Trace capacity hints so long runs don't reallocate mid-trace. Size
+  /// them from the horizon and activation periods (e.g. end_time / tick
+  /// period x event fan-out). 0 keeps whatever capacity the trace has.
+  std::size_t reserve_events = 0;
+  std::size_t reserve_signals = 0;
+  /// Observability (both borrowed, may be null; see DESIGN.md §3.2). The
+  /// tracer receives wall-clock spans (compile, integration segments, cone
+  /// refreshes) and sim-time instants (event dispatches, incl. S/H
+  /// activations); the registry receives counters/gauges/histograms
+  /// (sim.events_dispatched, sim.eval_calls, sim.cone_refresh_size,
+  /// sim.queue_high_water, sim.eval_calls_per_block). A null pointer costs
+  /// one branch on the hot path.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class Simulator {
@@ -75,6 +91,7 @@ class Simulator {
  private:
   friend class Context;
 
+  void init_obs();
   void refresh_blocks(std::span<const std::size_t> order, Time t);
   /// Refresh everything whose value can have drifted since the last refresh:
   /// the full network under full_refresh, the dynamic cone otherwise.
@@ -105,6 +122,24 @@ class Simulator {
   const double* active_x_ = nullptr;    // state viewed by blocks right now
   bool in_integration_ = false;
   std::size_t events_dispatched_ = 0;
+
+  // Observability wiring: names interned and metric instruments resolved
+  // once (init_obs), so the hot path touches only cached ids/pointers.
+  // `tracing` is re-latched at every run() so enable toggles take effect.
+  struct ObsHooks {
+    bool tracing = false;
+    std::uint32_t trk_runtime = 0;      // wall-clock spans
+    std::uint32_t trk_events = 0;       // sim-time event instants
+    std::uint32_t n_run = 0, n_integrate = 0, n_cone = 0, n_compile = 0;
+    std::uint32_t a_cone_size = 0, a_port = 0;
+    std::vector<std::uint32_t> block_names;
+    obs::Counter* events = nullptr;
+    obs::Counter* evals = nullptr;
+    obs::Gauge* queue_hwm = nullptr;
+    obs::Histogram* cone_sizes = nullptr;
+    obs::Histogram* evals_per_block = nullptr;
+    std::vector<std::uint64_t> per_block_evals;
+  } obs_;
 };
 
 }  // namespace ecsim::sim

@@ -2,14 +2,39 @@
 
 namespace ecsim::sim {
 
+void Trace::record_event(Time t, std::size_t block, std::size_t event_in) {
+  events_.push_back(EventRecord{t, block, event_in});
+}
+
 void Trace::record_event(Time t, std::size_t block, std::size_t event_in,
                          const std::string& name) {
-  events_.push_back(EventRecord{t, block, event_in, name});
+  if (block >= names_.size()) names_.resize(block + 1);
+  if (names_[block].empty()) names_[block] = name;
+  events_.push_back(EventRecord{t, block, event_in});
 }
 
 void Trace::record_signal(Time t, std::size_t block,
                           std::vector<double> values) {
   signals_.push_back(SignalRecord{t, block, std::move(values)});
+}
+
+void Trace::register_block_names(std::vector<std::string> names) {
+  names_ = std::move(names);
+}
+
+void Trace::set_block_name(std::size_t block, std::string_view name) {
+  if (block >= names_.size()) names_.resize(block + 1);
+  names_[block] = name;
+}
+
+std::string_view Trace::block_name(std::size_t block) const {
+  return block < names_.size() ? std::string_view(names_[block])
+                               : std::string_view();
+}
+
+void Trace::reserve(std::size_t events, std::size_t signals) {
+  events_.reserve(events);
+  signals_.reserve(signals);
 }
 
 std::vector<Time> Trace::activation_times(std::size_t block,
@@ -28,7 +53,7 @@ std::vector<Time> Trace::activation_times_by_name(const std::string& name,
                                                   std::size_t event_in) const {
   std::vector<Time> out;
   for (const auto& e : events_) {
-    if (e.block_name == name &&
+    if (block_name(e.block) == name &&
         (event_in == static_cast<std::size_t>(-1) || e.event_in == event_in)) {
       out.push_back(e.time);
     }
@@ -41,6 +66,17 @@ std::vector<std::pair<Time, double>> Trace::series(std::size_t block,
   std::vector<std::pair<Time, double>> out;
   for (const auto& s : signals_) {
     if (s.block == block && component < s.values.size()) {
+      out.emplace_back(s.time, s.values[component]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<Time, double>> Trace::series_by_name(
+    const std::string& name, std::size_t component) const {
+  std::vector<std::pair<Time, double>> out;
+  for (const auto& s : signals_) {
+    if (block_name(s.block) == name && component < s.values.size()) {
       out.emplace_back(s.time, s.values[component]);
     }
   }

@@ -36,6 +36,22 @@ TEST(Latency, RoundingAssignmentHandlesSkippedPeriods) {
   EXPECT_NEAR(s.latencies[1], 0.0005, 1e-9);
 }
 
+TEST(Latency, RoundingAssignmentAtHalfPeriodBoundary) {
+  // ts and the instants are exact binary fractions, so the division is
+  // exact: 0.375/0.25 == 1.5 lands precisely on a half-period boundary.
+  // floor-assignment (with its +1e-9 guard against representation error)
+  // must bin it into period 1, not round up to period 2 — a latency of
+  // half a period is legal and must not be normalized to -ts/2.
+  const double ts = 0.25;
+  const LatencySeries s = analyze_instants(
+      "boundary", {0.375, 0.5, 1.125}, ts, /*assign_by_rounding=*/true);
+  ASSERT_EQ(s.latencies.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.latencies[0], 0.125);  // period 1: 0.375 - 0.25
+  EXPECT_DOUBLE_EQ(s.latencies[1], 0.0);    // exact boundary -> period 2
+  EXPECT_DOUBLE_EQ(s.latencies[2], 0.125);  // period 4: 1.125 - 1.0
+  EXPECT_GE(s.summary.min, 0.0);            // no negative "latency"
+}
+
 TEST(Latency, Validation) {
   EXPECT_THROW(analyze_instants("x", {0.0}, 0.0), std::invalid_argument);
 }
@@ -60,6 +76,41 @@ TEST(Latency, TableRendering) {
   EXPECT_NE(table.find("u0 actuation"), std::string::npos);
   EXPECT_NE(table.find("(25 more)"), std::string::npos);
   EXPECT_NE(table.find("jitter"), std::string::npos);
+}
+
+TEST(Latency, TableTruncatesExactlyAtMaxRows) {
+  std::vector<Time> instants;
+  for (int k = 0; k < 5; ++k) instants.push_back(k * 0.01 + 0.002);
+  const LatencySeries s = analyze_instants("trunc", instants, 0.01);
+
+  // Exactly max_rows entries: every row printed, no ellipsis.
+  const std::string full = to_table(s, 5);
+  EXPECT_EQ(full.find("more)"), std::string::npos);
+  EXPECT_NE(full.find("\n     4"), std::string::npos);  // last row k=4
+
+  // One fewer row than entries: ellipsis counts the single hidden row.
+  const std::string cut = to_table(s, 4);
+  EXPECT_NE(cut.find("... (1 more)"), std::string::npos);
+  EXPECT_EQ(cut.find("\n     4"), std::string::npos);
+
+  // max_rows of zero degenerates to just header + summary.
+  const std::string none = to_table(s, 0);
+  EXPECT_NE(none.find("... (5 more)"), std::string::npos);
+}
+
+TEST(Latency, TableSummaryRow) {
+  const LatencySeries s =
+      analyze_instants("summ", {0.002, 0.012, 0.022}, 0.01);
+  const std::string table = to_table(s, 10);
+  // The summary row carries all five aggregates on one line.
+  const std::size_t pos = table.find("mean=");
+  ASSERT_NE(pos, std::string::npos);
+  const std::string tail = table.substr(pos);
+  EXPECT_NE(tail.find("mean=0.002000"), std::string::npos);
+  EXPECT_NE(tail.find("min=0.002000"), std::string::npos);
+  EXPECT_NE(tail.find("max=0.002000"), std::string::npos);
+  EXPECT_NE(tail.find("stddev="), std::string::npos);
+  EXPECT_NE(tail.find("jitter(p2p)=0.000000"), std::string::npos);
 }
 
 TEST(IoLatency, DifferenceOfInstantSeries) {

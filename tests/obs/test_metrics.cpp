@@ -1,0 +1,99 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecsim::obs {
+namespace {
+
+TEST(Metrics, CounterAddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, GaugeMaxOfRatchetsUpward) {
+  Gauge g;
+  g.max_of(3.0);
+  g.max_of(1.0);  // lower: ignored
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.max_of(7.5);
+  EXPECT_DOUBLE_EQ(g.value(), 7.5);
+  g.set(2.0);  // plain set overrides
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+}
+
+TEST(Metrics, HistogramPowerOfTwoBuckets) {
+  Histogram h;
+  h.observe(1.0);   // bucket 0 (<= 1)
+  h.observe(2.0);   // bucket 1 ((1, 2])
+  h.observe(3.0);   // bucket 2 ((2, 4])
+  h.observe(4.0);   // bucket 2
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_bound(0), 1.0);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_bound(3), 8.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket(2), 0u);
+}
+
+TEST(Metrics, RegistryReturnsStableInstruments) {
+  MetricsRegistry r;
+  Counter& a = r.counter("sim.events_dispatched");
+  a.add(5);
+  // Same name -> same instrument; address stability is the hot-path contract.
+  EXPECT_EQ(&r.counter("sim.events_dispatched"), &a);
+  EXPECT_EQ(r.counter("sim.events_dispatched").value(), 5u);
+  Gauge& g = r.gauge("sim.queue_high_water");
+  EXPECT_EQ(&r.gauge("sim.queue_high_water"), &g);
+  Histogram& h = r.histogram("sim.cone_refresh_size");
+  EXPECT_EQ(&r.histogram("sim.cone_refresh_size"), &h);
+}
+
+TEST(Metrics, JsonSnapshotShape) {
+  MetricsRegistry r;
+  r.counter("ev").add(3);
+  r.gauge("hwm").max_of(9.0);
+  r.histogram("sizes").observe(2.0);
+  const std::string j = r.to_json();
+  EXPECT_NE(j.find("\"counters\""), std::string::npos);
+  EXPECT_NE(j.find("\"ev\": 3"), std::string::npos);
+  EXPECT_NE(j.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(j.find("\"hwm\""), std::string::npos);
+  EXPECT_NE(j.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(j.find("\"sizes\""), std::string::npos);
+  EXPECT_NE(j.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(j.find("\"le\""), std::string::npos);
+}
+
+TEST(Metrics, CsvSnapshotShape) {
+  MetricsRegistry r;
+  r.counter("ev").add(3);
+  r.histogram("sizes").observe(2.0);
+  const std::string csv = r.to_csv();
+  EXPECT_NE(csv.find("kind,name,count,sum,min,max,mean"), std::string::npos);
+  EXPECT_NE(csv.find("counter,ev,"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,sizes,1,"), std::string::npos);
+}
+
+TEST(Metrics, ResetZeroesButKeepsRegistration) {
+  MetricsRegistry r;
+  Counter& c = r.counter("n");
+  c.add(10);
+  r.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(&r.counter("n"), &c);
+}
+
+}  // namespace
+}  // namespace ecsim::obs

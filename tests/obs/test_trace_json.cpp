@@ -1,0 +1,109 @@
+#include "obs/trace_json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecsim::obs {
+namespace {
+
+TEST(JsonEscape, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonTraceWriter, EmptyWriterIsStillAValidDocument) {
+  JsonTraceWriter w;
+  EXPECT_EQ(w.num_events(), 0u);
+  const std::string doc = w.str();
+  EXPECT_NE(doc.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(doc.find("\"traceEvents\": ["), std::string::npos);
+}
+
+TEST(JsonTraceWriter, TracerRecordsBecomeTraceEvents) {
+  Tracer t;
+  t.set_enabled(true);
+  const std::uint32_t n = t.intern("sim.run");
+  const std::uint32_t arg = t.intern("cone_size");
+  const std::uint32_t wall = t.track("runtime/sim", Domain::kWall);
+  const std::uint32_t sim = t.track("sim/events", Domain::kSim);
+  t.span(n, wall, 100.0, 250.0, arg, 5.0);
+  t.instant(t.intern("clk"), sim, sim_us(0.25));
+  t.counter(t.intern("queue"), sim, sim_us(0.5), 12.0);
+
+  JsonTraceWriter w;
+  w.add(t);
+  EXPECT_EQ(w.num_events(), 3u);
+  const std::string doc = w.str();
+
+  // Two processes: wall-clock runtime (pid 1) and sim timeline (pid 2).
+  EXPECT_NE(doc.find("\"name\": \"runtime (wall clock)\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\": \"timeline (sim time)\""), std::string::npos);
+  // Track metadata.
+  EXPECT_NE(doc.find("\"name\": \"runtime/sim\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\": \"sim/events\""), std::string::npos);
+  // Span with duration and args.
+  EXPECT_NE(doc.find("\"ph\": \"X\", \"dur\": 150"), std::string::npos);
+  EXPECT_NE(doc.find("\"cone_size\": 5"), std::string::npos);
+  // Instant (thread-scoped) at sim 0.25 s -> 250000 us.
+  EXPECT_NE(doc.find("\"ts\": 250000, \"ph\": \"i\", \"s\": \"t\""),
+            std::string::npos);
+  // Counter record.
+  EXPECT_NE(doc.find("\"ph\": \"C\", \"args\": {\"value\": 12}"),
+            std::string::npos);
+}
+
+TEST(JsonTraceWriter, SlicesLandOnSimProcessTracks) {
+  JsonTraceWriter w;
+  w.add_slices({TimelineSlice{"proc/P0", "ctrl", 0.001, 0.003,
+                              {{"op", 2.0}, {"iteration", 0.0}}},
+                TimelineSlice{"medium/can", "sense->ctrl", 0.0005, 0.001, {}}});
+  w.add_instant("proc/P0", "deadline", 0.004, 1.0, "period");
+  EXPECT_EQ(w.num_events(), 3u);
+  const std::string doc = w.str();
+  EXPECT_NE(doc.find("\"name\": \"proc/P0\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\": \"medium/can\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\": \"ctrl\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\": \"sense->ctrl\""), std::string::npos);
+  // 0.001 s -> 1000 us start, 2000 us duration; everything on pid 2.
+  EXPECT_NE(doc.find("\"ts\": 1000, \"dur\": 2000"), std::string::npos);
+  EXPECT_NE(doc.find("\"op\": 2, \"iteration\": 0"), std::string::npos);
+  EXPECT_EQ(doc.find("\"pid\": 1,"), std::string::npos);  // no wall process
+  EXPECT_NE(doc.find("\"period\": 1"), std::string::npos);
+}
+
+TEST(JsonTraceWriter, MergesTracksFromMultipleSources) {
+  Tracer t;
+  t.set_enabled(true);
+  t.instant(t.intern("ev"), t.track("proc/P0", Domain::kSim), 0.0);
+
+  JsonTraceWriter w;
+  // Same track name from a slice and a tracer must collapse to one tid.
+  w.add_slices({TimelineSlice{"proc/P0", "op", 0.0, 1.0, {}}});
+  w.add(t);
+  const std::string doc = w.str();
+  // Exactly one thread_name metadata record for proc/P0.
+  const std::size_t first = doc.find("{\"name\": \"proc/P0\"}");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(doc.find("{\"name\": \"proc/P0\"}", first + 1), std::string::npos);
+}
+
+TEST(JsonTraceWriter, WriteRoundTrips) {
+  JsonTraceWriter w;
+  w.add_slices({TimelineSlice{"proc/P0", "op", 0.0, 1.0, {}}});
+  const std::string path = ::testing::TempDir() + "ecsim_trace_json_test.json";
+  ASSERT_TRUE(w.write(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) contents.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(contents, w.str());
+}
+
+}  // namespace
+}  // namespace ecsim::obs

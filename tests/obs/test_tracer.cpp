@@ -1,0 +1,142 @@
+#include "obs/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecsim::obs {
+namespace {
+
+TEST(Tracer, DisabledByDefaultRecordsNothing) {
+  Tracer t;
+  EXPECT_FALSE(t.enabled());
+  EXPECT_FALSE(active(&t));
+  EXPECT_FALSE(active(nullptr));
+  const std::uint32_t n = t.intern("ev");
+  const std::uint32_t trk = t.track("trk", Domain::kSim);
+  t.instant(n, trk, 1.0);
+  t.span(n, trk, 0.0, 2.0);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+  EXPECT_TRUE(t.snapshot().empty());
+}
+
+TEST(Tracer, InternIsIdempotentAndResolvable) {
+  Tracer t;
+  const std::uint32_t a = t.intern("alpha");
+  const std::uint32_t b = t.intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.intern("alpha"), a);
+  EXPECT_EQ(t.name(a), "alpha");
+  EXPECT_EQ(t.name(b), "beta");
+}
+
+TEST(Tracer, TracksDedupeByNameAndDomain) {
+  Tracer t;
+  const std::uint32_t wall = t.track("runtime/sim", Domain::kWall);
+  const std::uint32_t sim = t.track("sim/events", Domain::kSim);
+  EXPECT_NE(wall, sim);
+  EXPECT_EQ(t.track("runtime/sim", Domain::kWall), wall);
+  // Same name, other domain: a distinct track.
+  EXPECT_NE(t.track("runtime/sim", Domain::kSim), wall);
+  EXPECT_EQ(t.num_tracks(), 3u);
+  EXPECT_EQ(t.track_name(sim), "sim/events");
+  EXPECT_EQ(t.track_domain(sim), Domain::kSim);
+}
+
+TEST(Tracer, RecordsAllPhases) {
+  Tracer t;
+  t.set_enabled(true);
+  const std::uint32_t n = t.intern("x");
+  const std::uint32_t arg = t.intern("k");
+  const std::uint32_t trk = t.track("trk", Domain::kSim);
+  t.span(n, trk, 10.0, 25.0, arg, 3.0);
+  t.instant(n, trk, 30.0);
+  t.counter(n, trk, 40.0, 7.0);
+  const auto snap = t.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].phase, Phase::kSpan);
+  EXPECT_DOUBLE_EQ(snap[0].ts, 10.0);
+  EXPECT_DOUBLE_EQ(snap[0].dur, 15.0);
+  EXPECT_EQ(snap[0].arg_name, arg);
+  EXPECT_DOUBLE_EQ(snap[0].arg, 3.0);
+  EXPECT_EQ(snap[1].phase, Phase::kInstant);
+  EXPECT_EQ(snap[1].arg_name, kNoArg);
+  EXPECT_EQ(snap[2].phase, Phase::kCounter);
+  EXPECT_DOUBLE_EQ(snap[2].arg, 7.0);
+}
+
+TEST(Tracer, RingWrapsOverwritingOldest) {
+  Tracer t(4);
+  t.set_enabled(true);
+  EXPECT_EQ(t.capacity(), 4u);
+  const std::uint32_t n = t.intern("e");
+  const std::uint32_t trk = t.track("trk", Domain::kSim);
+  for (int i = 0; i < 6; ++i) {
+    t.instant(n, trk, static_cast<double>(i));
+  }
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.dropped(), 2u);
+  const auto snap = t.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  // Oldest-first chronological order, events 2..5 retained.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(snap[static_cast<std::size_t>(i)].ts,
+                     static_cast<double>(i + 2));
+  }
+}
+
+TEST(Tracer, ClearDropsRecordsKeepsInterning) {
+  Tracer t;
+  t.set_enabled(true);
+  const std::uint32_t n = t.intern("keep");
+  t.instant(n, t.track("trk", Domain::kWall), 1.0);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.intern("keep"), n);  // id stable across clear
+  EXPECT_EQ(t.num_tracks(), 1u);
+}
+
+TEST(ScopedSpan, RecordsOnDestruction) {
+  Tracer t;
+  t.set_enabled(true);
+  const std::uint32_t n = t.intern("scope");
+  const std::uint32_t trk = t.track("runtime/x", Domain::kWall);
+  const std::uint32_t arg = t.intern("sz");
+  {
+    ScopedSpan span(&t, n, trk);
+    span.set_arg(arg, 42.0);
+    EXPECT_EQ(t.size(), 0u);  // nothing until scope exit
+  }
+  const auto snap = t.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].phase, Phase::kSpan);
+  EXPECT_EQ(snap[0].name, n);
+  EXPECT_GE(snap[0].dur, 0.0);
+  EXPECT_EQ(snap[0].arg_name, arg);
+  EXPECT_DOUBLE_EQ(snap[0].arg, 42.0);
+}
+
+TEST(ScopedSpan, NullAndDisabledTracersAreSafe) {
+  { ScopedSpan span(nullptr, "a", Domain::kWall, "trk"); }
+  Tracer off;  // attached but disabled
+  { ScopedSpan span(&off, "a", Domain::kWall, "trk"); }
+  EXPECT_EQ(off.size(), 0u);
+}
+
+TEST(ScopedSpan, ConvenienceCtorInternsNameAndTrack) {
+  Tracer t;
+  t.set_enabled(true);
+  { ScopedSpan span(&t, "work", Domain::kWall, "runtime/unit"); }
+  const auto snap = t.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(t.name(snap[0].name), "work");
+  EXPECT_EQ(t.track_name(snap[0].track), "runtime/unit");
+  EXPECT_EQ(t.track_domain(snap[0].track), Domain::kWall);
+}
+
+TEST(Tracer, SimUsConversion) {
+  EXPECT_DOUBLE_EQ(sim_us(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(sim_us(1.5), 1.5e6);
+}
+
+}  // namespace
+}  // namespace ecsim::obs

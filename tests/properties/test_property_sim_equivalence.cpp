@@ -35,9 +35,9 @@ std::string describe_divergence(const Trace& incr, const Trace& full) {
   for (std::size_t i = 0; i < ie.size() && i < fe.size(); ++i) {
     if (!(ie[i] == fe[i])) {
       os << "event[" << i << "] incr=(t=" << ie[i].time << ", "
-         << ie[i].block_name << "#" << ie[i].event_in
-         << ") full=(t=" << fe[i].time << ", " << fe[i].block_name << "#"
-         << fe[i].event_in << ")";
+         << incr.block_name(ie[i].block) << "#" << ie[i].event_in
+         << ") full=(t=" << fe[i].time << ", " << full.block_name(fe[i].block)
+         << "#" << fe[i].event_in << ")";
       return os.str();
     }
   }

@@ -44,11 +44,60 @@ TEST(Trace, SeriesSelectsBlockAndComponent) {
   EXPECT_EQ(t.series(8).size(), 1u);
 }
 
+TEST(Trace, SeriesByName) {
+  Trace t = sample_trace();
+  t.set_block_name(7, "probe");
+  t.set_block_name(8, "scalar");
+  const auto s = t.series_by_name("probe", 1);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s[0].second, 2.0);
+  EXPECT_DOUBLE_EQ(s[1].second, 4.0);
+  EXPECT_EQ(t.series_by_name("scalar").size(), 1u);
+  EXPECT_TRUE(t.series_by_name("nope").empty());
+}
+
+TEST(Trace, BlockNamesInternedNotCopiedPerRecord) {
+  const Trace t = sample_trace();
+  // Records carry indices only; names resolve through the table.
+  EXPECT_EQ(t.block_name(3), "a");
+  EXPECT_EQ(t.block_name(4), "b");
+  EXPECT_EQ(t.block_name(99), "");
+
+  // First registration wins on the compat path (names are structural).
+  Trace u;
+  u.record_event(0.1, 3, 0, "first");
+  u.record_event(0.2, 3, 0, "second");
+  EXPECT_EQ(u.block_name(3), "first");
+  EXPECT_EQ(u.activation_times_by_name("first").size(), 2u);
+}
+
+TEST(Trace, RegisterBlockNamesTableAffectsEquality) {
+  Trace a, b;
+  a.record_event(0.1, 0, 0);
+  b.record_event(0.1, 0, 0);
+  a.register_block_names({"x"});
+  b.register_block_names({"x"});
+  EXPECT_TRUE(a == b);  // same streams + same table
+  b.register_block_names({"y"});
+  EXPECT_FALSE(a == b);  // identity oracle sees the renamed table
+}
+
+TEST(Trace, ReserveNeverLosesRecords) {
+  Trace t = sample_trace();
+  t.reserve(1000, 1000);
+  EXPECT_EQ(t.events().size(), 4u);
+  EXPECT_EQ(t.signals().size(), 3u);
+  t.record_event(0.9, 3, 0);
+  EXPECT_EQ(t.events().back().time, 0.9);
+}
+
 TEST(Trace, ClearEmptiesBothStreams) {
   Trace t = sample_trace();
   t.clear();
   EXPECT_TRUE(t.events().empty());
   EXPECT_TRUE(t.signals().empty());
+  // The name table is structural and survives a per-run clear.
+  EXPECT_EQ(t.block_name(3), "a");
 }
 
 }  // namespace

@@ -8,9 +8,19 @@
 //   ecsim_flow dot-arch  spec.txt   Graphviz DOT of the architecture
 //   ecsim_flow dot-gantt spec.txt   Graphviz DOT of the schedule
 //
+// Observability flags (any command, order-free after the spec):
+//   --trace-out=FILE    Chrome trace-event / Perfetto JSON: the adequation
+//                       schedule as a proc/medium Gantt, executive-VM runs
+//                       (simulate: "wcet/..." and "actual/..." tracks), and
+//                       the wall-clock runtime spans of the flow itself.
+//                       Load via https://ui.perfetto.dev or chrome://tracing.
+//   --metrics-out=FILE  obs::MetricsRegistry snapshot; .csv extension
+//                       selects CSV, anything else JSON.
+//
 // The spec format is documented in src/io/spec.hpp; see
 // examples/specs/*.spec for ready-to-run inputs.
 #include <cstdio>
+#include <string>
 
 #include "aaa/adequation.hpp"
 #include "aaa/codegen.hpp"
@@ -18,6 +28,10 @@
 #include "io/dot.hpp"
 #include "io/spec.hpp"
 #include "latency/latency.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_json.hpp"
+#include "obs/tracer.hpp"
+#include "translate/schedule_export.hpp"
 
 using namespace ecsim;
 
@@ -26,22 +40,29 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: ecsim_flow <schedule|codegen|simulate|validate|"
-               "dot-alg|dot-arch|dot-gantt> <spec-file>\n");
+               "dot-alg|dot-arch|dot-gantt> <spec-file>\n"
+               "                  [--trace-out=FILE] [--metrics-out=FILE]\n");
   return 2;
 }
 
 struct Flow {
   io::ParsedSpec spec;
   aaa::Schedule sched{0, 0};
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 
-  explicit Flow(const std::string& path) : spec(io::load_spec(path)) {
+  Flow(const std::string& path, obs::Tracer* tr, obs::MetricsRegistry* mx)
+      : spec(io::load_spec(path)), tracer(tr), metrics(mx) {
     if (!spec.has_algorithm) {
       throw std::runtime_error("spec has no [algorithm] section");
     }
     if (!spec.has_architecture) {
       throw std::runtime_error("spec has no [architecture] section");
     }
-    sched = aaa::adequate(spec.algorithm, spec.architecture);
+    aaa::AdequationOptions opts;
+    opts.tracer = tracer;
+    opts.metrics = metrics;
+    sched = aaa::adequate(spec.algorithm, spec.architecture, opts);
     sched.validate(spec.algorithm, spec.architecture);
   }
 };
@@ -75,6 +96,9 @@ int cmd_simulate(const Flow& f) {
   opts.iterations = 50;
   opts.period = period;
   opts.branch_chooser = exec::worst_case_branch_chooser();
+  opts.tracer = f.tracer;
+  opts.metrics = f.metrics;
+  opts.track_prefix = "wcet/";
   const exec::VmResult wcet_run = exec::run_executives(
       f.spec.algorithm, f.spec.architecture, f.sched, code, opts);
   const exec::ConformanceReport conf = exec::check_wcet_conformance(
@@ -86,6 +110,7 @@ int cmd_simulate(const Flow& f) {
   exec::VmOptions rnd = opts;
   rnd.exec_time = exec::uniform_fraction_exec_time(0.5);
   rnd.branch_chooser = exec::uniform_branch_chooser();
+  rnd.track_prefix = "actual/";
   const exec::VmResult rnd_run = exec::run_executives(
       f.spec.algorithm, f.spec.architecture, f.sched, code, rnd);
   std::printf("random-times run: deadlock=%s, order preserved=%s\n",
@@ -121,32 +146,91 @@ int cmd_validate(const Flow& f) {
   return 0;
 }
 
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 3) return usage();
+  if (argc < 3) return usage();
   const std::string command = argv[1];
+  const std::string spec_path = argv[2];
+  std::string trace_out, metrics_out;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(12);
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(14);
+    } else {
+      return usage();
+    }
+  }
+
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  tracer.set_enabled(!trace_out.empty());
+  obs::Tracer* tr = trace_out.empty() ? nullptr : &tracer;
+  obs::MetricsRegistry* mx = metrics_out.empty() ? nullptr : &metrics;
+
   try {
-    const Flow flow(argv[2]);
-    if (command == "schedule") return cmd_schedule(flow);
-    if (command == "codegen") return cmd_codegen(flow);
-    if (command == "simulate") return cmd_simulate(flow);
-    if (command == "validate") return cmd_validate(flow);
-    if (command == "dot-alg") {
+    const Flow flow(spec_path, tr, mx);
+    int rc;
+    if (command == "schedule") {
+      rc = cmd_schedule(flow);
+    } else if (command == "codegen") {
+      rc = cmd_codegen(flow);
+    } else if (command == "simulate") {
+      rc = cmd_simulate(flow);
+    } else if (command == "validate") {
+      rc = cmd_validate(flow);
+    } else if (command == "dot-alg") {
       std::printf("%s", io::to_dot(flow.spec.algorithm).c_str());
-      return 0;
-    }
-    if (command == "dot-arch") {
+      rc = 0;
+    } else if (command == "dot-arch") {
       std::printf("%s", io::to_dot(flow.spec.architecture).c_str());
-      return 0;
-    }
-    if (command == "dot-gantt") {
+      rc = 0;
+    } else if (command == "dot-gantt") {
       std::printf("%s", io::schedule_to_dot(flow.spec.algorithm,
                                             flow.spec.architecture, flow.sched)
                             .c_str());
-      return 0;
+      rc = 0;
+    } else {
+      return usage();
     }
-    return usage();
+
+    if (!trace_out.empty()) {
+      obs::JsonTraceWriter w;
+      // The static schedule Gantt (paper Figs. 3-4) plus whatever the run
+      // recorded live (adequation span, VM op/comm instances).
+      w.add_slices(translate::schedule_to_timeline(
+          flow.spec.algorithm, flow.spec.architecture, flow.sched));
+      w.add(tracer);
+      if (!w.write(trace_out)) {
+        std::fprintf(stderr, "ecsim_flow: cannot write %s\n",
+                     trace_out.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "trace: %s (%zu records)\n", trace_out.c_str(),
+                   w.num_events());
+    }
+    if (!metrics_out.empty()) {
+      const std::string doc = ends_with(metrics_out, ".csv")
+                                  ? metrics.to_csv()
+                                  : metrics.to_json();
+      std::FILE* fp = std::fopen(metrics_out.c_str(), "w");
+      if (fp == nullptr) {
+        std::fprintf(stderr, "ecsim_flow: cannot write %s\n",
+                     metrics_out.c_str());
+        return 1;
+      }
+      std::fputs(doc.c_str(), fp);
+      std::fclose(fp);
+      std::fprintf(stderr, "metrics: %s\n", metrics_out.c_str());
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ecsim_flow: %s\n", e.what());
     return 1;
