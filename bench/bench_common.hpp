@@ -7,39 +7,29 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "control/c2d.hpp"
 #include "control/delay_compensation.hpp"
 #include "control/lqr.hpp"
 #include "plants/dc_servo.hpp"
 #include "latency/latency.hpp"
+#include "par/sweep.hpp"
 #include "translate/cosim.hpp"
 
 namespace ecsim::bench {
 
 /// Standard workload: LQR state feedback on the Cervin DC servo
 /// G(s) = 1000/(s(s+1)) at Ts = 10 ms, unit position step over 1 s.
+/// (Shared with the sweep engine — sweep grids and serial benches must
+/// measure the exact same loop.)
 inline translate::LoopSpec servo_loop(double ts = 0.01, double t_end = 1.0) {
-  control::StateSpace servo = plants::dc_servo();
-  servo.c = math::Matrix::identity(2);
-  servo.d = math::Matrix::zeros(2, 1);
-  const control::StateSpace servo_d = control::c2d(servo, ts);
-  const control::LqrResult lqr = control::dlqr(
-      servo_d, math::Matrix::diag({100.0, 0.01}), math::Matrix{{1e-3}});
-  control::StateSpace pos = servo_d;
-  pos.c = math::Matrix{{1.0, 0.0}};
-  pos.d = math::Matrix{{0.0}};
-  const double nbar = control::reference_gain(pos, lqr.k);
-
-  translate::LoopSpec spec;
-  spec.plant = servo;
-  spec.controller = control::state_feedback_controller(lqr.k, nbar, ts);
-  spec.ts = ts;
-  spec.t_end = t_end;
-  spec.ref = 1.0;
-  spec.input = translate::ControllerInput::kStateRef;
-  return spec;
+  return sweep::servo_loop(ts, t_end);
 }
 
 /// Format a performance metric, collapsing diverged (unstable-loop) values
@@ -72,6 +62,12 @@ class JsonReport {
  public:
   explicit JsonReport(const std::string& experiment) {
     out_ = "{\n  \"experiment\": \"" + experiment + "\"";
+    // Perf numbers are meaningless without the machine that produced them:
+    // stamp every report with host, core count and compiler.
+    raw_top_field("host", "\"" + hostname() + "\"");
+    raw_top_field("hardware_concurrency",
+                  std::to_string(std::thread::hardware_concurrency()));
+    raw_top_field("compiler", "\"" + compiler() + "\"");
   }
   void begin_array(const std::string& name) {
     out_ += ",\n  \"" + name + "\": [";
@@ -106,7 +102,29 @@ class JsonReport {
     return true;
   }
 
+  static std::string hostname() {
+#if defined(__unix__) || defined(__APPLE__)
+    char buf[256] = {};
+    if (gethostname(buf, sizeof buf - 1) == 0 && buf[0] != '\0') return buf;
+#endif
+    return "unknown";
+  }
+
+  static std::string compiler() {
+#if defined(__clang__)
+    return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+    return std::string("gcc ") + __VERSION__;
+#else
+    return "unknown";
+#endif
+  }
+
  private:
+  void raw_top_field(const std::string& key, const std::string& value) {
+    out_ += ",\n  \"" + key + "\": " + value;
+  }
+
   void raw_field(const std::string& key, const std::string& value) {
     out_ += first_in_object_ ? "\"" : ", \"";
     first_in_object_ = false;

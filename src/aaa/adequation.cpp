@@ -138,41 +138,68 @@ Schedule adequate(const AlgorithmGraph& alg, const ArchitectureGraph& arch,
     return out;
   };
 
+  // Best placement + selection score of one ready operation against the
+  // *committed* timelines only (commit=false throughout), so concurrent
+  // evaluations of different operations never touch shared mutable state.
+  auto evaluate = [&](OpId op) -> std::pair<Placement, double> {
+    const Operation& o = alg.op(op);
+    Placement best;
+    best.eft = std::numeric_limits<double>::infinity();
+    for (ProcId p : feasible_procs(op)) {
+      const Time ready = data_ready(op, p, /*commit=*/false,
+                                    /*charge_comms=*/opts.comm_aware);
+      const Time wcet = o.wcet_on(arch.processor(p).type);
+      const Time est = proc_busy[p].fit(ready, wcet);
+      const Time eft = est + wcet;
+      if (eft < best.eft) best = Placement{p, est, eft};
+      if (c_candidates != nullptr) c_candidates->add();
+    }
+    if (best.proc == kNone) {
+      throw std::runtime_error("adequate: no feasible processor for '" +
+                               o.name + "'");
+    }
+    // Selection score (higher = scheduled first). Schedule pressure:
+    // projected completion of the critical path through this operation if
+    // placed now on its best processor. Earliest-finish: negated EFT.
+    const double pressure = opts.rule == SelectionRule::kSchedulePressure
+                                ? best.est + level[op]
+                                : -best.eft;
+    return {best, pressure};
+  };
+
+  std::vector<OpId> frontier;
+  std::vector<std::pair<Placement, double>> scored;
   std::size_t remaining = n_ops;
   while (remaining > 0) {
-    // Evaluate every ready candidate on its best processor.
+    // Evaluate every ready candidate on its best processor. The frontier is
+    // ascending by operation id; the evaluations are independent, so they
+    // can fan out on the borrowed pool.
+    frontier.clear();
+    for (OpId op = 0; op < n_ops; ++op) {
+      if (ready[op] && !done[op]) frontier.push_back(op);
+    }
+    scored.assign(frontier.size(), {});
+    if (opts.pool != nullptr && frontier.size() >= opts.parallel_min_ready) {
+      opts.pool->for_each(frontier.size(),
+                          [&](std::size_t i, std::size_t /*worker*/) {
+                            scored[i] = evaluate(frontier[i]);
+                          });
+    } else {
+      for (std::size_t i = 0; i < frontier.size(); ++i) {
+        scored[i] = evaluate(frontier[i]);
+      }
+    }
+    // Serial reduction in ascending operation order: strict > keeps the
+    // lowest-id operation among equal pressures — the exact serial
+    // tie-break — regardless of how the evaluations were scheduled.
     OpId chosen = kNone;
     Placement chosen_place;
     double chosen_pressure = -std::numeric_limits<double>::infinity();
-    for (OpId op = 0; op < n_ops; ++op) {
-      if (!ready[op] || done[op]) continue;
-      const Operation& o = alg.op(op);
-      Placement best;
-      best.eft = std::numeric_limits<double>::infinity();
-      for (ProcId p : feasible_procs(op)) {
-        const Time ready = data_ready(op, p, /*commit=*/false,
-                                      /*charge_comms=*/opts.comm_aware);
-        const Time wcet = o.wcet_on(arch.processor(p).type);
-        const Time est = proc_busy[p].fit(ready, wcet);
-        const Time eft = est + wcet;
-        if (eft < best.eft) best = Placement{p, est, eft};
-        if (c_candidates != nullptr) c_candidates->add();
-      }
-      if (best.proc == kNone) {
-        throw std::runtime_error("adequate: no feasible processor for '" +
-                                 o.name + "'");
-      }
-      // Selection score (higher = scheduled first). Schedule pressure:
-      // projected completion of the critical path through this operation if
-      // placed now on its best processor. Earliest-finish: negated EFT.
-      const double pressure = opts.rule == SelectionRule::kSchedulePressure
-                                  ? best.est + level[op]
-                                  : -best.eft;
-      if (pressure > chosen_pressure ||
-          (pressure == chosen_pressure && op < chosen)) {
-        chosen = op;
-        chosen_place = best;
-        chosen_pressure = pressure;
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      if (scored[i].second > chosen_pressure) {
+        chosen = frontier[i];
+        chosen_place = scored[i].first;
+        chosen_pressure = scored[i].second;
       }
     }
 

@@ -33,6 +33,19 @@ class Rng {
   /// Pick an index in [0, weights.size()) with probability ~ weights[i].
   std::size_t categorical(const std::vector<double>& weights);
 
+  /// Advance the state by 2^128 next_u64() calls (the xoshiro256** jump
+  /// polynomial). Partitions the generator's 2^256-1 period into
+  /// non-overlapping subsequences of length 2^128: streams separated by
+  /// jumps never collide for any realistic draw count. Discards a pending
+  /// Box-Muller spare so jumped streams start from a clean state.
+  void jump();
+
+  /// `n` decorrelated streams for parallel tasks: stream 0 is a copy of
+  /// *this, stream i is i jumps ahead. Pure function of the current state —
+  /// deterministic, does not advance *this — so a batch seeded once yields
+  /// the same per-task streams regardless of how tasks are scheduled.
+  std::vector<Rng> split(std::size_t n) const;
+
  private:
   std::uint64_t s_[4];
   bool have_spare_ = false;

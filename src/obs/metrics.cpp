@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 namespace ecsim::obs {
 
@@ -53,6 +55,29 @@ std::uint64_t Histogram::bucket(std::size_t i) const {
 
 double Histogram::bucket_bound(std::size_t i) {
   return std::ldexp(1.0, static_cast<int>(i));  // 2^i; bucket 0 covers <= 1
+}
+
+void Histogram::merge(const Histogram& other) {
+  // Snapshot `other` under its own lock first so the two locks are never
+  // held together (lock-order safety when registries merge disjoint peers).
+  std::uint64_t ocount;
+  double osum, omin, omax;
+  std::uint64_t obuckets[kBuckets];
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    ocount = other.count_;
+    osum = other.sum_;
+    omin = other.min_;
+    omax = other.max_;
+    for (std::size_t i = 0; i < kBuckets; ++i) obuckets[i] = other.buckets_[i];
+  }
+  if (ocount == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0 || omin < min_) min_ = omin;
+  if (count_ == 0 || omax > max_) max_ = omax;
+  count_ += ocount;
+  sum_ += osum;
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += obuckets[i];
 }
 
 void Histogram::reset() {
@@ -141,6 +166,30 @@ std::string MetricsRegistry::to_csv() const {
        << "\n";
   }
   return os.str();
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  // Snapshot the other registry's instrument list under its lock, then
+  // apply without it: counter()/gauge()/histogram() take this->mu_ and the
+  // instrument addresses in the node-based maps are stable.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, const Histogram*>> hists;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    for (const auto& [name, c] : other.counters_) {
+      counters.emplace_back(name, c.value());
+    }
+    for (const auto& [name, g] : other.gauges_) {
+      gauges.emplace_back(name, g.value());
+    }
+    for (const auto& [name, h] : other.histograms_) {
+      hists.emplace_back(name, &h);
+    }
+  }
+  for (const auto& [name, v] : counters) counter(name).add(v);
+  for (const auto& [name, v] : gauges) gauge(name).max_of(v);
+  for (const auto& [name, h] : hists) histogram(name).merge(*h);
 }
 
 void MetricsRegistry::reset() {

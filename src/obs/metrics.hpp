@@ -61,6 +61,10 @@ class Histogram {
   std::uint64_t bucket(std::size_t i) const;
   /// Inclusive upper bound of bucket i (1, 2, 4, ...).
   static double bucket_bound(std::size_t i);
+  /// Fold `other`'s samples into this histogram (counts, sums and buckets
+  /// add; min/max combine). `other` must outlive the call; merging two
+  /// histograms into each other concurrently is not supported.
+  void merge(const Histogram& other);
   void reset();
 
  private:
@@ -88,6 +92,16 @@ class MetricsRegistry {
   /// CSV rows: kind,name,count,sum,min,max,mean (counters/gauges fill the
   /// value into `sum`).
   std::string to_csv() const;
+
+  /// Fold another registry's instruments into this one, creating missing
+  /// instruments on the fly: counters and histograms combine additively,
+  /// gauges ratchet upward (registry gauges are high-water marks by
+  /// convention — see Gauge::max_of). Used to recombine the per-task shards
+  /// of a parallel batch; merging shards in task-index order yields a
+  /// snapshot independent of thread count and scheduling. `other` must not
+  /// be written concurrently, and two registries must not merge each other
+  /// at the same time.
+  void merge(const MetricsRegistry& other);
 
   /// Zero every instrument (instruments themselves stay registered).
   void reset();

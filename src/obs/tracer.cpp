@@ -96,6 +96,32 @@ std::vector<TraceEvent> Tracer::snapshot() const {
   return out;
 }
 
+void Tracer::append(const Tracer& other) {
+  const std::vector<TraceEvent> events = other.snapshot();
+  std::vector<std::string> other_names;
+  std::vector<TrackInfo> other_tracks;
+  {
+    std::lock_guard<std::mutex> lock(other.intern_mu_);
+    other_names = other.names_;
+    other_tracks = other.tracks_;
+  }
+  std::vector<std::uint32_t> name_map(other_names.size());
+  for (std::size_t i = 0; i < other_names.size(); ++i) {
+    name_map[i] = intern(other_names[i]);
+  }
+  std::vector<std::uint32_t> track_map(other_tracks.size());
+  for (std::size_t i = 0; i < other_tracks.size(); ++i) {
+    track_map[i] = track(other_tracks[i].name, other_tracks[i].domain);
+  }
+  for (TraceEvent e : events) {
+    e.name = name_map.at(e.name);
+    e.track = track_map.at(e.track);
+    if (e.arg_name != kNoArg) e.arg_name = name_map.at(e.arg_name);
+    const std::uint64_t slot = count_.fetch_add(1, std::memory_order_relaxed);
+    ring_[slot % ring_.size()] = e;
+  }
+}
+
 void Tracer::clear() { count_.store(0, std::memory_order_relaxed); }
 
 }  // namespace ecsim::obs

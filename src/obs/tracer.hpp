@@ -97,6 +97,17 @@ class Tracer {
   /// is active (end of run); concurrent recording may tear slots.
   std::vector<TraceEvent> snapshot() const;
 
+  /// Shard merge: re-intern `other`'s names and tracks into this tracer and
+  /// append its retained records in their chronological order. Appending
+  /// ignores this tracer's enabled flag (merging is an explicit request, not
+  /// hot-path instrumentation) but still honours ring capacity — the oldest
+  /// records are overwritten on overflow. Appending shards in task-index
+  /// order yields a stable record order independent of thread scheduling.
+  /// Wall-clock timestamps stay relative to each shard's own epoch;
+  /// sim-domain records are epoch-free. Call only while neither tracer has
+  /// an active writer.
+  void append(const Tracer& other);
+
   /// Drop all records (names/tracks stay interned).
   void clear();
 

@@ -1,0 +1,153 @@
+#include "par/sweep.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "control/c2d.hpp"
+#include "control/delay_compensation.hpp"
+#include "control/lqr.hpp"
+#include "plants/dc_servo.hpp"
+
+namespace ecsim::sweep {
+
+namespace {
+
+/// Divergence threshold shared with bench::metric: IAE beyond this means
+/// the closed loop ran away and the raw number is meaningless.
+constexpr double kUnstableIae = 1e3;
+
+SweepCell measure(const translate::CosimOutcome& out) {
+  SweepCell cell;
+  cell.iae = out.iae;
+  cell.ise = out.ise;
+  cell.itae = out.itae;
+  cell.cost = out.cost;
+  cell.overshoot_pct = out.step.overshoot_pct;
+  cell.act_latency_mean = out.act_latency.summary.mean;
+  cell.act_jitter = out.act_latency.jitter;
+  cell.stable = out.iae < kUnstableIae;
+  return cell;
+}
+
+}  // namespace
+
+SweepRunner::SweepRunner(par::BatchOptions opts) : opts_(opts) {
+  threads_ = par::BatchRunner(opts_).threads();
+}
+
+std::vector<SweepCell> SweepRunner::run(const TimingGrid& grid) const {
+  const std::size_t cols = grid.jitter_fracs.size();
+  const std::size_t n = grid.latency_fracs.size() * cols;
+  par::BatchRunner runner(opts_);
+  return runner.map<SweepCell>(n, [&](par::TaskContext& ctx) {
+    const double la_frac = grid.latency_fracs[ctx.index / cols];
+    const double jitter_frac = grid.jitter_fracs[ctx.index % cols];
+    const translate::CosimOutcome out = translate::run_latency_loop(
+        grid.loop, 0.0, la_frac * grid.loop.ts, jitter_frac * grid.loop.ts);
+    SweepCell cell = measure(out);
+    cell.la_frac = la_frac;
+    cell.jitter_frac = jitter_frac;
+    return cell;
+  });
+}
+
+std::vector<SweepCell> SweepRunner::run(const ArchitectureGrid& grid) const {
+  const std::size_t cols = grid.wcet_scales.size();
+  const std::size_t n = grid.bus_bandwidths.size() * cols;
+  par::BatchRunner runner(opts_);
+  return runner.map<SweepCell>(n, [&](par::TaskContext& ctx) {
+    const double bandwidth = grid.bus_bandwidths[ctx.index / cols];
+    const double scale = grid.wcet_scales[ctx.index % cols];
+    translate::DistributedSpec dist = grid.dist;
+    dist.arch =
+        aaa::ArchitectureGraph::bus_architecture(grid.processors, bandwidth);
+    dist.wcet_ctrl *= scale;
+    for (double& w : dist.ctrl_branch_wcets) w *= scale;
+    const translate::CosimOutcome out =
+        translate::run_distributed_loop(grid.loop, dist);
+    SweepCell cell = measure(out);
+    cell.bus_bandwidth = bandwidth;
+    cell.wcet_scale = scale;
+    return cell;
+  });
+}
+
+std::string to_csv(const std::vector<SweepCell>& cells) {
+  std::string out =
+      "la_frac,jitter_frac,bus_bandwidth,wcet_scale,iae,ise,itae,cost,"
+      "overshoot_pct,act_latency_mean,act_jitter,stable\n";
+  char buf[320];
+  for (const SweepCell& c : cells) {
+    std::snprintf(buf, sizeof buf,
+                  "%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,"
+                  "%.17g,%.17g,%d\n",
+                  c.la_frac, c.jitter_frac, c.bus_bandwidth, c.wcet_scale,
+                  c.iae, c.ise, c.itae, c.cost, c.overshoot_pct,
+                  c.act_latency_mean, c.act_jitter, c.stable ? 1 : 0);
+    out += buf;
+  }
+  return out;
+}
+
+std::string heatmap(const std::vector<SweepCell>& cells,
+                    const std::vector<double>& rows,
+                    const std::vector<double>& cols, const char* row_label,
+                    const char* col_label, double SweepCell::*metric,
+                    const char* title) {
+  if (cells.size() != rows.size() * cols.size()) {
+    throw std::invalid_argument("heatmap: cells != rows x cols");
+  }
+  std::string out = title;
+  out += " (rows: ";
+  out += row_label;
+  out += ", columns: ";
+  out += col_label;
+  out += ")\n";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%12s", row_label);
+  out += buf;
+  for (const double c : cols) {
+    std::snprintf(buf, sizeof buf, " %10.3g", c);
+    out += buf;
+  }
+  out += "\n";
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::snprintf(buf, sizeof buf, "%12.3g", rows[r]);
+    out += buf;
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      const SweepCell& cell = cells[r * cols.size() + c];
+      if (cell.stable) {
+        std::snprintf(buf, sizeof buf, " %10.4g", cell.*metric);
+      } else {
+        std::snprintf(buf, sizeof buf, " %10s", "unstable");
+      }
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+translate::LoopSpec servo_loop(double ts, double t_end) {
+  control::StateSpace servo = plants::dc_servo();
+  servo.c = math::Matrix::identity(2);
+  servo.d = math::Matrix::zeros(2, 1);
+  const control::StateSpace servo_d = control::c2d(servo, ts);
+  const control::LqrResult lqr = control::dlqr(
+      servo_d, math::Matrix::diag({100.0, 0.01}), math::Matrix{{1e-3}});
+  control::StateSpace pos = servo_d;
+  pos.c = math::Matrix{{1.0, 0.0}};
+  pos.d = math::Matrix{{0.0}};
+  const double nbar = control::reference_gain(pos, lqr.k);
+
+  translate::LoopSpec spec;
+  spec.plant = servo;
+  spec.controller = control::state_feedback_controller(lqr.k, nbar, ts);
+  spec.ts = ts;
+  spec.t_end = t_end;
+  spec.ref = 1.0;
+  spec.input = translate::ControllerInput::kStateRef;
+  return spec;
+}
+
+}  // namespace ecsim::sweep

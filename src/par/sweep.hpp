@@ -1,0 +1,86 @@
+// Design-space sweeps over the co-simulation driver (DESIGN.md §3.3): the
+// latency × jitter grids of EXP-C1 and the bus-bandwidth × WCET grids of
+// EXP-F3, evaluated concurrently on a par::BatchRunner with serial-identical
+// results. Each grid cell assembles its own loop model and simulator, so the
+// cells are embarrassingly parallel; the cell order in the returned vector
+// is row-major over the grid axes regardless of thread count.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "par/batch_runner.hpp"
+#include "translate/cosim.hpp"
+
+namespace ecsim::sweep {
+
+/// One evaluated point of the design space. Grid coordinates the sweep did
+/// not vary stay 0.
+struct SweepCell {
+  double la_frac = 0.0;      // constant actuation latency / Ts
+  double jitter_frac = 0.0;  // actuation jitter peak-to-peak / Ts
+  double bus_bandwidth = 0.0;  // architecture axis: bus data units per s
+  double wcet_scale = 0.0;     // architecture axis: controller WCET multiplier
+  double iae = 0.0;
+  double ise = 0.0;
+  double itae = 0.0;
+  double cost = 0.0;  // time-averaged quadratic cost
+  double overshoot_pct = 0.0;
+  double act_latency_mean = 0.0;  // measured La mean (eq. 2)
+  double act_jitter = 0.0;        // measured La peak-to-peak
+  bool stable = true;             // closed loop did not diverge
+};
+
+/// EXP-C1 shape: constant-latency × jitter grid via run_latency_loop.
+/// Every cell simulates with loop.seed (same contract as the serial
+/// benches: cells differ by their grid point, not by their noise draw).
+struct TimingGrid {
+  translate::LoopSpec loop;
+  std::vector<double> latency_fracs;  // La/Ts values (rows)
+  std::vector<double> jitter_fracs;   // jitter p2p/Ts values (columns)
+};
+
+/// EXP-F3 shape: bus-bandwidth × controller-WCET grid through the full AAA
+/// flow (adequation -> graph of delays -> co-simulation).
+struct ArchitectureGrid {
+  translate::LoopSpec loop;
+  translate::DistributedSpec dist;  // base; arch/wcet replaced per cell
+  std::size_t processors = 2;
+  std::vector<double> bus_bandwidths;  // data units per s (rows)
+  std::vector<double> wcet_scales;     // multiplies dist.wcet_ctrl (columns)
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(par::BatchOptions opts = {});
+
+  std::size_t threads() const { return threads_; }
+
+  /// Row-major over latency_fracs × jitter_fracs, bit-identical for any
+  /// thread count.
+  std::vector<SweepCell> run(const TimingGrid& grid) const;
+  /// Row-major over bus_bandwidths × wcet_scales.
+  std::vector<SweepCell> run(const ArchitectureGrid& grid) const;
+
+ private:
+  par::BatchOptions opts_;
+  std::size_t threads_ = 1;
+};
+
+/// Machine-readable dump, one row per cell, header included.
+std::string to_csv(const std::vector<SweepCell>& cells);
+
+/// Text heatmap of one metric over a 2-D grid: `cells` must be row-major
+/// rows × cols. Diverged cells print "unstable".
+std::string heatmap(const std::vector<SweepCell>& cells,
+                    const std::vector<double>& rows,
+                    const std::vector<double>& cols, const char* row_label,
+                    const char* col_label, double SweepCell::*metric,
+                    const char* title);
+
+/// Standard sweep workload: LQR state feedback on the Cervin DC servo
+/// G(s) = 1000/(s(s+1)) at Ts = 10 ms, unit position step (the loop every
+/// experiment in EXPERIMENTS.md is measured against).
+translate::LoopSpec servo_loop(double ts = 0.01, double t_end = 1.0);
+
+}  // namespace ecsim::sweep

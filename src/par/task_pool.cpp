@@ -1,0 +1,155 @@
+#include "par/task_pool.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace ecsim::par {
+
+namespace {
+thread_local bool tls_in_worker = false;
+}  // namespace
+
+std::size_t TaskPool::default_threads() {
+  if (const char* env = std::getenv("ECSIM_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+TaskPool::TaskPool(std::size_t threads) {
+  const std::size_t n = threads == 0 ? default_threads() : threads;
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void TaskPool::for_each(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  if (tls_in_worker) {
+    // Nested submission from a task body: run inline on this worker.
+    // Exceptions propagate directly (serial order == lowest index first).
+    for (std::size_t i = 0; i < n; ++i) body(i, 0);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    first_error_ = nullptr;
+    first_error_task_ = 0;
+  }
+  // Fill the shards round-robin before arming: workers cannot pop yet
+  // (armed_ is false), so body_/remaining_ are always published first.
+  for (std::size_t w = 0; w < shards_.size(); ++w) {
+    std::lock_guard<std::mutex> lock(shards_[w]->mu);
+    for (std::size_t i = w; i < n; i += shards_.size()) {
+      shards_[w]->tasks.push_back(i);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    body_ = &body;
+    remaining_ = n;
+    ++generation_;
+    armed_.store(true, std::memory_order_release);
+  }
+  work_cv_.notify_all();
+
+  {
+    std::unique_lock<std::mutex> lock(batch_mu_);
+    done_cv_.wait(lock, [&] { return remaining_ == 0; });
+    body_ = nullptr;
+  }
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    if (first_error_) std::rethrow_exception(first_error_);
+  }
+}
+
+void TaskPool::worker_loop(std::size_t worker) {
+  tls_in_worker = true;
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(batch_mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    std::size_t task = 0;
+    while (pop_task(worker, task)) execute(task, worker);
+  }
+}
+
+bool TaskPool::pop_task(std::size_t worker, std::size_t& task) {
+  if (!armed_.load(std::memory_order_acquire)) return false;
+  // Own shard first: pop from the front (submission order within the shard).
+  {
+    Shard& own = *shards_[worker];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      task = own.tasks.front();
+      own.tasks.pop_front();
+      return true;
+    }
+  }
+  // Steal from the back of the fullest sibling.
+  std::size_t victim = shards_.size();
+  std::size_t victim_depth = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (s == worker) continue;
+    std::lock_guard<std::mutex> lock(shards_[s]->mu);
+    if (shards_[s]->tasks.size() > victim_depth) {
+      victim = s;
+      victim_depth = shards_[s]->tasks.size();
+    }
+  }
+  if (victim == shards_.size()) return false;
+  Shard& v = *shards_[victim];
+  std::lock_guard<std::mutex> lock(v.mu);
+  if (v.tasks.empty()) return false;  // lost the race to another thief
+  task = v.tasks.back();
+  v.tasks.pop_back();
+  return true;
+}
+
+void TaskPool::execute(std::size_t task, std::size_t worker) {
+  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    body = body_;
+  }
+  try {
+    (*body)(task, worker);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    if (!first_error_ || task < first_error_task_) {
+      first_error_ = std::current_exception();
+      first_error_task_ = task;
+    }
+  }
+  std::lock_guard<std::mutex> lock(batch_mu_);
+  if (--remaining_ == 0) {
+    armed_.store(false, std::memory_order_release);
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace ecsim::par

@@ -1,0 +1,102 @@
+// Work-stealing thread pool for the design-space exploration layer
+// (DESIGN.md §3.3). Tasks are submitted as whole batches — "run body(i) for
+// every i in [0, n)" — which is exactly the shape of a parameter sweep, a
+// Monte Carlo trial set, or one frontier of adequation candidates.
+//
+// Scheduling: a sharded task queue. Each worker owns a deque seeded
+// round-robin with the batch's task indices; it pops from the front of its
+// own shard and, when empty, steals from the back of the busiest sibling.
+// Shards are mutex-protected — tasks here are coarse (an entire simulation
+// or VM run, microseconds to milliseconds), so queue overhead is noise and
+// the simple locking discipline keeps the pool trivially TSan-clean.
+//
+// Determinism contract: the pool schedules *independent* tasks. It promises
+// nothing about execution order; callers that need serial-identical results
+// write each task's output into a pre-sized slot indexed by task id and
+// reduce in submission order afterwards (par::BatchRunner packages that
+// pattern, including RNG stream splitting and observability shard merging).
+//
+// Exceptions: the batch always drains; the pending exception of the
+// *lowest-indexed* failing task is rethrown to the submitter afterwards, so
+// even error reporting is independent of thread interleaving.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ecsim::par {
+
+class TaskPool {
+ public:
+  /// `threads == 0` resolves to default_threads(). The workers are created
+  /// once and persist for the pool's lifetime (batch submission only pays a
+  /// wake-up, not thread creation).
+  explicit TaskPool(std::size_t threads = 0);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  std::size_t num_workers() const { return workers_.size(); }
+
+  /// Execute body(task, worker) for every task in [0, n); worker is the
+  /// index (< num_workers()) of the executing worker — callers use it for
+  /// per-worker scratch. Blocks until the batch drains, then rethrows the
+  /// lowest-indexed task exception if any task threw.
+  ///
+  /// Reentrancy: calling for_each from inside a task body runs the nested
+  /// batch inline on the calling worker (worker index 0 for the nested
+  /// tasks) instead of deadlocking on the pool's own capacity.
+  ///
+  /// One batch at a time per pool: for_each is not itself thread-safe —
+  /// concurrent submitters must use separate pools.
+  void for_each(std::size_t n,
+                const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// std::thread::hardware_concurrency(), overridable by the ECSIM_THREADS
+  /// environment variable (useful for pinning CI and benchmarks); at least 1.
+  static std::size_t default_threads();
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::deque<std::size_t> tasks;
+  };
+
+  void worker_loop(std::size_t worker);
+  bool pop_task(std::size_t worker, std::size_t& task);
+  void execute(std::size_t task, std::size_t worker);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> workers_;
+
+  // Batch state, guarded by batch_mu_ (generation / body handoff) and an
+  // atomic-free remaining counter folded into the same mutex for simplicity:
+  // batches are coarse, contention on batch_mu_ is negligible.
+  std::mutex batch_mu_;
+  std::condition_variable work_cv_;   // workers wait here between batches
+  std::condition_variable done_cv_;   // submitter waits here
+  const std::function<void(std::size_t, std::size_t)>* body_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::size_t remaining_ = 0;
+  bool stop_ = false;
+  /// Gate between shard filling and batch activation: a worker lingering
+  /// from the previous batch must not pop freshly-filled tasks before
+  /// body_/remaining_ are armed under batch_mu_.
+  std::atomic<bool> armed_{false};
+
+  std::mutex error_mu_;
+  std::exception_ptr first_error_;
+  std::size_t first_error_task_ = 0;
+};
+
+}  // namespace ecsim::par

@@ -1,0 +1,140 @@
+// The pooled candidate-evaluation path of the adequation must produce a
+// schedule bit-identical to the serial path: same operation order, same
+// placements, same instants, same committed communications — including when
+// many ready operations tie on schedule pressure.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "aaa/adequation.hpp"
+#include "obs/metrics.hpp"
+#include "par/task_pool.hpp"
+
+namespace ecsim::aaa {
+namespace {
+
+/// Fan graph: one sensor feeding `width` independent compute stages that all
+/// join into one actuator. With `width` >= parallel_min_ready the middle
+/// frontier exercises the pooled evaluation; equal WCETs make every middle
+/// operation tie on pressure, stressing the lowest-id tie-break.
+AlgorithmGraph fan_graph(std::size_t width, bool equal_wcets) {
+  AlgorithmGraph g("fan", 0.01);
+  const OpId src = g.add_simple("src", OpKind::kSensor, 1e-4);
+  const OpId sink = g.add_simple("sink", OpKind::kActuator, 1e-4);
+  for (std::size_t i = 0; i < width; ++i) {
+    const double wcet = equal_wcets ? 5e-4 : 1e-4 * static_cast<double>(
+                                                 1 + (i * 7) % 13);
+    const OpId mid =
+        g.add_simple("mid" + std::to_string(i), OpKind::kCompute, wcet);
+    g.add_dependency(src, mid, 4.0 + static_cast<double>(i % 3));
+    g.add_dependency(mid, sink, 8.0);
+  }
+  return g;
+}
+
+bool same_schedule(const Schedule& a, const Schedule& b) {
+  if (a.ops().size() != b.ops().size() ||
+      a.comms().size() != b.comms().size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.ops().size(); ++i) {
+    const ScheduledOp& x = a.ops()[i];
+    const ScheduledOp& y = b.ops()[i];
+    if (x.op != y.op || x.proc != y.proc || x.start != y.start ||
+        x.end != y.end) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < a.comms().size(); ++i) {
+    const ScheduledComm& x = a.comms()[i];
+    const ScheduledComm& y = b.comms()[i];
+    if (x.dep_index != y.dep_index || x.hop.medium != y.hop.medium ||
+        x.hop_index != y.hop_index || x.start != y.start || x.end != y.end) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(AdequationParallel, PooledScheduleBitIdenticalToSerial) {
+  for (const bool equal : {false, true}) {
+    const AlgorithmGraph alg = fan_graph(40, equal);
+    const auto arch = ArchitectureGraph::bus_architecture(3, 1e4);
+    const Schedule serial = adequate(alg, arch);
+    serial.validate(alg, arch);
+    for (const std::size_t threads : {2u, 7u}) {
+      par::TaskPool pool(threads);
+      AdequationOptions opts;
+      opts.pool = &pool;
+      const Schedule pooled = adequate(alg, arch, opts);
+      pooled.validate(alg, arch);
+      EXPECT_TRUE(same_schedule(serial, pooled))
+          << "threads=" << threads << " equal_wcets=" << equal;
+    }
+  }
+}
+
+TEST(AdequationParallel, CandidateCountersExactUnderPool) {
+  const AlgorithmGraph alg = fan_graph(32, /*equal_wcets=*/false);
+  const auto arch = ArchitectureGraph::bus_architecture(2, 1e4);
+  obs::MetricsRegistry serial_metrics, pooled_metrics;
+  AdequationOptions serial_opts;
+  serial_opts.metrics = &serial_metrics;
+  adequate(alg, arch, serial_opts);
+
+  par::TaskPool pool(3);
+  AdequationOptions pooled_opts;
+  pooled_opts.metrics = &pooled_metrics;
+  pooled_opts.pool = &pool;
+  adequate(alg, arch, pooled_opts);
+
+  EXPECT_EQ(serial_metrics.counter("aaa.candidates_evaluated").value(),
+            pooled_metrics.counter("aaa.candidates_evaluated").value());
+  EXPECT_EQ(serial_metrics.counter("aaa.ops_scheduled").value(),
+            pooled_metrics.counter("aaa.ops_scheduled").value());
+  EXPECT_EQ(serial_metrics.counter("aaa.comms_committed").value(),
+            pooled_metrics.counter("aaa.comms_committed").value());
+}
+
+TEST(AdequationParallel, SmallFrontierStaysSerialButPoolIsHarmless) {
+  // Three-op chain: frontier never reaches parallel_min_ready, so the pool
+  // is never engaged; result must still match the default path.
+  AlgorithmGraph g("chain", 0.01);
+  const OpId s = g.add_simple("sense", OpKind::kSensor, 1e-4);
+  const OpId c = g.add_simple("ctrl", OpKind::kCompute, 5e-4);
+  const OpId a = g.add_simple("act", OpKind::kActuator, 1e-4);
+  g.add_dependency(s, c, 8.0);
+  g.add_dependency(c, a, 8.0);
+  const auto arch = ArchitectureGraph::bus_architecture(2, 1e5);
+
+  const Schedule serial = adequate(g, arch);
+  par::TaskPool pool(4);
+  AdequationOptions opts;
+  opts.pool = &pool;
+  const Schedule pooled = adequate(g, arch, opts);
+  EXPECT_TRUE(same_schedule(serial, pooled));
+}
+
+TEST(AdequationParallel, InfeasibleOperationStillThrowsWithPool) {
+  AlgorithmGraph g("bad", 0.01);
+  g.add_operation([] {
+    Operation o;
+    o.name = "alien";
+    o.kind = OpKind::kCompute;
+    o.wcet["dsp"] = 1e-4;  // no such processor type in the architecture
+    return o;
+  }());
+  for (std::size_t i = 0; i < 20; ++i) {
+    g.add_simple("ok" + std::to_string(i), OpKind::kCompute, 1e-4);
+  }
+  const auto arch = ArchitectureGraph::bus_architecture(2, 1e4);
+  par::TaskPool pool(3);
+  AdequationOptions opts;
+  opts.pool = &pool;
+  opts.parallel_min_ready = 4;
+  EXPECT_THROW(adequate(g, arch, opts), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ecsim::aaa

@@ -1,0 +1,153 @@
+// Shard recombination for parallel batches: MetricsRegistry::merge folds
+// counters/gauges/histograms across per-task registries, Tracer::append
+// re-interns names/tracks and appends records in stable order. Both must be
+// order-stable so a batch merged in task-index order snapshots identically
+// regardless of thread count.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
+namespace ecsim::obs {
+namespace {
+
+TEST(MetricsMerge, CountersAdd) {
+  MetricsRegistry a, b;
+  a.counter("shared").add(10);
+  b.counter("shared").add(32);
+  b.counter("only_b").add(5);
+  a.merge(b);
+  EXPECT_EQ(a.counter("shared").value(), 42u);
+  EXPECT_EQ(a.counter("only_b").value(), 5u);
+  // b is untouched.
+  EXPECT_EQ(b.counter("shared").value(), 32u);
+}
+
+TEST(MetricsMerge, GaugesRatchetToMax) {
+  MetricsRegistry a, b;
+  a.gauge("hwm").set(7.0);
+  b.gauge("hwm").set(3.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.gauge("hwm").value(), 7.0);
+  b.gauge("hwm").set(11.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.gauge("hwm").value(), 11.0);
+}
+
+TEST(MetricsMerge, HistogramsCombineCountsSumsMinMaxBuckets) {
+  MetricsRegistry a, b;
+  a.histogram("h").observe(1.0);
+  a.histogram("h").observe(4.0);
+  b.histogram("h").observe(0.5);
+  b.histogram("h").observe(100.0);
+  a.merge(b);
+  const Histogram& h = a.histogram("h");
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 105.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_EQ(h.bucket(0), 2u);  // 1.0 and 0.5
+  EXPECT_EQ(h.bucket(2), 1u);  // 4.0
+  EXPECT_EQ(h.bucket(7), 1u);  // 100.0 in (64, 128]
+}
+
+TEST(MetricsMerge, MergeIntoEmptyHistogramPreservesMinMax) {
+  MetricsRegistry a, b;
+  b.histogram("h").observe(3.0);
+  b.histogram("h").observe(9.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.histogram("h").min(), 3.0);
+  EXPECT_DOUBLE_EQ(a.histogram("h").max(), 9.0);
+  EXPECT_EQ(a.histogram("h").count(), 2u);
+}
+
+TEST(MetricsMerge, ShardMergeSnapshotIsOrderStable) {
+  // Simulate three task shards and merge in task-index order twice; the
+  // JSON snapshot must be identical — this is the determinism contract the
+  // parallel batch runner relies on.
+  auto fill_shard = [](MetricsRegistry& r, int i) {
+    r.counter("sim.events").add(static_cast<std::uint64_t>(10 * (i + 1)));
+    r.gauge("queue.hwm").set(static_cast<double>(i));
+    r.histogram("cone").observe(static_cast<double>(i + 1));
+  };
+  std::string first, second;
+  for (int round = 0; round < 2; ++round) {
+    MetricsRegistry merged;
+    for (int i = 0; i < 3; ++i) {
+      MetricsRegistry shard;
+      fill_shard(shard, i);
+      merged.merge(shard);
+    }
+    (round == 0 ? first : second) = merged.to_json();
+  }
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("\"sim.events\": 60"), std::string::npos);
+}
+
+TEST(TracerAppend, RemapsNamesAndTracksAcrossShards) {
+  Tracer shard1(64), shard2(64), merged(256);
+  shard1.set_enabled(true);
+  shard2.set_enabled(true);
+  // Interning order differs between the shards on purpose: the ids must be
+  // remapped, not copied.
+  const std::uint32_t s1_ev = shard1.intern("ev/a");
+  const std::uint32_t s1_trk = shard1.track("task0", Domain::kSim);
+  shard1.instant(s1_ev, s1_trk, 1.0);
+  const std::uint32_t s2_other = shard2.intern("ev/b");
+  const std::uint32_t s2_ev = shard2.intern("ev/a");
+  const std::uint32_t s2_trk = shard2.track("task1", Domain::kSim);
+  shard2.instant(s2_other, s2_trk, 2.0);
+  shard2.instant(s2_ev, s2_trk, 3.0);
+
+  merged.append(shard1);
+  merged.append(shard2);
+  const auto events = merged.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(merged.name(events[0].name), "ev/a");
+  EXPECT_EQ(merged.track_name(events[0].track), "task0");
+  EXPECT_EQ(merged.name(events[1].name), "ev/b");
+  EXPECT_EQ(merged.name(events[2].name), "ev/a");
+  EXPECT_EQ(merged.track_name(events[2].track), "task1");
+  EXPECT_EQ(merged.track_domain(events[2].track), Domain::kSim);
+  // Same semantic name interned once in the destination.
+  EXPECT_EQ(events[0].name, events[2].name);
+}
+
+TEST(TracerAppend, WorksIntoDisabledTracerAndKeepsOrder) {
+  // The merge destination is typically a cold aggregator that never records
+  // live; append must not be gated on enabled().
+  Tracer shard(64), merged(64);
+  shard.set_enabled(true);
+  const std::uint32_t ev = shard.intern("e");
+  const std::uint32_t trk = shard.track("t", Domain::kWall);
+  for (int i = 0; i < 5; ++i) shard.instant(ev, trk, static_cast<double>(i));
+  ASSERT_FALSE(merged.enabled());
+  merged.append(shard);
+  const auto events = merged.snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(events[static_cast<std::size_t>(i)].ts,
+                     static_cast<double>(i));
+  }
+}
+
+TEST(TracerAppend, PreservesArgNamesAndValues) {
+  Tracer shard(16), merged(16);
+  shard.set_enabled(true);
+  const std::uint32_t ev = shard.intern("span");
+  const std::uint32_t arg = shard.intern("cone_size");
+  const std::uint32_t trk = shard.track("t", Domain::kWall);
+  shard.span(ev, trk, 1.0, 5.0, arg, 17.0);
+  merged.append(shard);
+  const auto events = merged.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(merged.name(events[0].arg_name), "cone_size");
+  EXPECT_DOUBLE_EQ(events[0].arg, 17.0);
+  EXPECT_DOUBLE_EQ(events[0].dur, 4.0);
+}
+
+}  // namespace
+}  // namespace ecsim::obs

@@ -1,0 +1,178 @@
+#include "par/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "aaa/adequation.hpp"
+#include "aaa/codegen.hpp"
+#include "par/monte_carlo.hpp"
+#include "translate/cosim.hpp"
+
+namespace ecsim::sweep {
+namespace {
+
+TimingGrid small_timing_grid() {
+  TimingGrid grid;
+  grid.loop = servo_loop(0.01, 0.12);  // short horizon: this is a unit test
+  grid.latency_fracs = {0.0, 0.2, 0.4};
+  grid.jitter_fracs = {0.0, 0.3};
+  return grid;
+}
+
+// Exact (bitwise, not approximate) equality of every cell field. A
+// field-by-field compare rather than memcmp: struct padding is
+// indeterminate.
+bool bit_identical(const std::vector<SweepCell>& a,
+                   const std::vector<SweepCell>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const SweepCell& x = a[i];
+    const SweepCell& y = b[i];
+    if (x.la_frac != y.la_frac || x.jitter_frac != y.jitter_frac ||
+        x.bus_bandwidth != y.bus_bandwidth || x.wcet_scale != y.wcet_scale ||
+        x.iae != y.iae || x.ise != y.ise || x.itae != y.itae ||
+        x.cost != y.cost || x.overshoot_pct != y.overshoot_pct ||
+        x.act_latency_mean != y.act_latency_mean ||
+        x.act_jitter != y.act_jitter || x.stable != y.stable) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(Sweep, TimingGridRowMajorAndPopulated) {
+  const TimingGrid grid = small_timing_grid();
+  par::BatchOptions batch;
+  batch.threads = 1;
+  const auto cells = SweepRunner(batch).run(grid);
+  ASSERT_EQ(cells.size(), 6u);
+  EXPECT_DOUBLE_EQ(cells[0].la_frac, 0.0);
+  EXPECT_DOUBLE_EQ(cells[0].jitter_frac, 0.0);
+  EXPECT_DOUBLE_EQ(cells[1].jitter_frac, 0.3);
+  EXPECT_DOUBLE_EQ(cells[4].la_frac, 0.4);
+  for (const SweepCell& c : cells) {
+    EXPECT_GT(c.iae, 0.0);
+    EXPECT_TRUE(c.stable);
+  }
+  // Latency degrades performance monotonically on this grid (EXP-C1 shape).
+  EXPECT_GT(cells[4].iae, cells[0].iae);
+}
+
+TEST(Sweep, TimingGridBitIdenticalAcrossThreadCounts) {
+  const TimingGrid grid = small_timing_grid();
+  std::vector<SweepCell> reference;
+  for (const std::size_t threads : {1u, 2u, 7u}) {
+    par::BatchOptions batch;
+    batch.threads = threads;
+    const auto cells = SweepRunner(batch).run(grid);
+    if (threads == 1u) {
+      reference = cells;
+    } else {
+      EXPECT_TRUE(bit_identical(reference, cells))
+          << "threads=" << threads << " diverged from serial";
+    }
+  }
+}
+
+TEST(Sweep, ArchitectureGridThroughFullFlow) {
+  ArchitectureGrid grid;
+  grid.loop = servo_loop(0.01, 0.12);
+  grid.processors = 2;
+  grid.bus_bandwidths = {1e5, 1e3};
+  grid.wcet_scales = {1.0, 3.0};
+  par::BatchOptions batch;
+  batch.threads = 2;
+  const auto cells = SweepRunner(batch).run(grid);
+  ASSERT_EQ(cells.size(), 4u);
+  // Heavier controller on a slower bus cannot beat the light/fast corner.
+  EXPECT_GE(cells[3].act_latency_mean, cells[0].act_latency_mean);
+  for (const SweepCell& c : cells) EXPECT_GT(c.bus_bandwidth, 0.0);
+}
+
+TEST(Sweep, CsvAndHeatmapRender) {
+  const TimingGrid grid = small_timing_grid();
+  par::BatchOptions batch;
+  batch.threads = 2;
+  const auto cells = SweepRunner(batch).run(grid);
+  const std::string csv = to_csv(cells);
+  EXPECT_NE(csv.find("la_frac,jitter_frac"), std::string::npos);
+  // Header + one line per cell.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(csv.begin(), csv.end(), '\n')),
+            cells.size() + 1);
+  const std::string map =
+      heatmap(cells, grid.latency_fracs, grid.jitter_fracs, "La/Ts",
+              "jitter/Ts", &SweepCell::cost, "control cost");
+  EXPECT_NE(map.find("control cost"), std::string::npos);
+  EXPECT_NE(map.find("0.4"), std::string::npos);
+  EXPECT_THROW(heatmap(cells, grid.latency_fracs, {0.1}, "r", "c",
+                       &SweepCell::iae, "t"),
+               std::invalid_argument);
+}
+
+TEST(MonteCarlo, DeterministicAcrossThreadCountsAndJitterAppears) {
+  // Two-processor loop with the controller across the bus: actual times
+  // below WCET make latencies vary per trial.
+  const translate::LoopSpec loop = servo_loop(0.01, 0.1);
+  translate::DistributedSpec dist;
+  dist.bind_ctrl = "P1";  // force the controller onto the second processor
+  const aaa::AlgorithmGraph alg = translate::make_loop_algorithm(loop, dist);
+  const aaa::Schedule sched = aaa::adequate(alg, dist.arch);
+  const aaa::GeneratedCode code =
+      aaa::generate_executives(alg, dist.arch, sched);
+
+  MonteCarloSpec spec;
+  spec.trials = 24;
+  spec.iterations = 10;
+  spec.bcet_fraction = 0.4;
+  auto run_with = [&](std::size_t threads) {
+    par::BatchOptions batch;
+    batch.threads = threads;
+    batch.seed = 7;
+    return run_monte_carlo(alg, dist.arch, sched, code, spec, batch);
+  };
+  const MonteCarloResult serial = run_with(1);
+  EXPECT_EQ(serial.deadlocks, 0u);
+  ASSERT_EQ(serial.io_ops.size(), 2u);  // sense + act
+  EXPECT_EQ(serial.io_ops[0].name, "sense");
+  EXPECT_EQ(serial.io_ops[1].name, "act");
+  // Random execution times make the actuation instant move per period.
+  EXPECT_GT(serial.io_ops[1].jitter.mean, 0.0);
+  EXPECT_GT(serial.makespan.max, 0.0);
+
+  for (const std::size_t threads : {2u, 7u}) {
+    const MonteCarloResult par_run = run_with(threads);
+    for (std::size_t k = 0; k < serial.io_ops.size(); ++k) {
+      EXPECT_EQ(serial.io_ops[k].mean_latency.mean,
+                par_run.io_ops[k].mean_latency.mean);
+      EXPECT_EQ(serial.io_ops[k].jitter.p95, par_run.io_ops[k].jitter.p95);
+      EXPECT_EQ(serial.io_ops[k].max_latency.max,
+                par_run.io_ops[k].max_latency.max);
+    }
+    EXPECT_EQ(serial.makespan.mean, par_run.makespan.mean);
+  }
+  EXPECT_NE(to_string(serial).find("sense"), std::string::npos);
+}
+
+TEST(MonteCarlo, DifferentSeedsDifferentDistributions) {
+  const translate::LoopSpec loop = servo_loop(0.01, 0.1);
+  translate::DistributedSpec dist;
+  dist.bind_ctrl = "P1";
+  const aaa::AlgorithmGraph alg = translate::make_loop_algorithm(loop, dist);
+  const aaa::Schedule sched = aaa::adequate(alg, dist.arch);
+  const aaa::GeneratedCode code =
+      aaa::generate_executives(alg, dist.arch, sched);
+  MonteCarloSpec spec;
+  spec.trials = 8;
+  spec.iterations = 8;
+  par::BatchOptions a, b;
+  a.seed = 1;
+  b.seed = 2;
+  const auto ra = run_monte_carlo(alg, dist.arch, sched, code, spec, a);
+  const auto rb = run_monte_carlo(alg, dist.arch, sched, code, spec, b);
+  EXPECT_NE(ra.io_ops[1].mean_latency.mean, rb.io_ops[1].mean_latency.mean);
+}
+
+}  // namespace
+}  // namespace ecsim::sweep

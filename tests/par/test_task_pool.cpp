@@ -1,0 +1,120 @@
+#include "par/task_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace ecsim::par {
+namespace {
+
+TEST(TaskPool, ExecutesEveryTaskExactlyOnce) {
+  TaskPool pool(4);
+  EXPECT_EQ(pool.num_workers(), 4u);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.for_each(1000, [&](std::size_t i, std::size_t) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(TaskPool, WorkerIndexInRange) {
+  TaskPool pool(3);
+  std::atomic<bool> ok{true};
+  pool.for_each(200, [&](std::size_t, std::size_t worker) {
+    if (worker >= 3) ok = false;
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST(TaskPool, ReusableAcrossBatches) {
+  TaskPool pool(2);
+  std::atomic<int> total{0};
+  for (int batch = 0; batch < 50; ++batch) {
+    pool.for_each(20, [&](std::size_t, std::size_t) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 50 * 20);
+}
+
+TEST(TaskPool, EmptyBatchReturnsImmediately) {
+  TaskPool pool(2);
+  pool.for_each(0, [](std::size_t, std::size_t) { FAIL(); });
+}
+
+TEST(TaskPool, RethrowsLowestIndexedTaskException) {
+  TaskPool pool(4);
+  // Several tasks throw; the submitter must always see the lowest index,
+  // independent of which worker hit its failure first.
+  for (int round = 0; round < 5; ++round) {
+    try {
+      pool.for_each(100, [&](std::size_t i, std::size_t) {
+        if (i % 13 == 4) {  // 4, 17, 30, ...
+          throw std::runtime_error("task " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task 4");
+    }
+  }
+}
+
+TEST(TaskPool, BatchDrainsDespiteExceptions) {
+  TaskPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  EXPECT_THROW(pool.for_each(64,
+                             [&](std::size_t i, std::size_t) {
+                               ++hits[i];
+                               if (i == 0) throw std::runtime_error("boom");
+                             }),
+               std::runtime_error);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(TaskPool, StealingBalancesUnevenTasks) {
+  // Shard 0 gets all the slow tasks (round-robin: tasks 0, 4, 8, ... with 4
+  // workers). With stealing the batch finishes close to the serial-slow-work
+  // / num_workers bound; without it, worker 0 would serialize them. We only
+  // assert completion + a loose wall-clock sanity bound to stay robust on
+  // loaded CI machines.
+  TaskPool pool(4);
+  std::atomic<int> done{0};
+  pool.for_each(16, [&](std::size_t i, std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(i % 4 == 0 ? 20 : 1));
+    ++done;
+  });
+  EXPECT_EQ(done.load(), 16);
+}
+
+TEST(TaskPool, NestedForEachRunsInline) {
+  TaskPool pool(2);
+  std::vector<std::atomic<int>> hits(8 * 8);
+  pool.for_each(8, [&](std::size_t outer, std::size_t) {
+    pool.for_each(8, [&](std::size_t inner, std::size_t worker) {
+      EXPECT_EQ(worker, 0u);  // nested batches run inline
+      ++hits[outer * 8 + inner];
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(TaskPool, DefaultThreadsHonoursEnvOverride) {
+  setenv("ECSIM_THREADS", "3", 1);
+  EXPECT_EQ(TaskPool::default_threads(), 3u);
+  setenv("ECSIM_THREADS", "garbage", 1);
+  EXPECT_GE(TaskPool::default_threads(), 1u);
+  unsetenv("ECSIM_THREADS");
+  EXPECT_GE(TaskPool::default_threads(), 1u);
+}
+
+TEST(TaskPool, MoreWorkersThanTasks) {
+  TaskPool pool(8);
+  std::atomic<int> total{0};
+  pool.for_each(3, [&](std::size_t, std::size_t) { ++total; });
+  EXPECT_EQ(total.load(), 3);
+}
+
+}  // namespace
+}  // namespace ecsim::par

@@ -8,6 +8,20 @@
 //   ecsim_flow dot-arch  spec.txt   Graphviz DOT of the architecture
 //   ecsim_flow dot-gantt spec.txt   Graphviz DOT of the schedule
 //
+// Parallel design-space exploration (src/par, DESIGN.md §3.3):
+//   ecsim_flow sweep timing|arch    latency×jitter (or bus×WCET) grid over
+//                                   the standard DC-servo loop, evaluated on
+//                                   the work-stealing pool; prints a
+//                                   control-cost heatmap. Results are
+//                                   bit-identical for any --threads.
+//   ecsim_flow montecarlo spec.txt  Monte Carlo execution-time trials of the
+//                                   spec's schedule on the executive VM:
+//                                   per-operation latency/jitter
+//                                   distributions across decorrelated
+//                                   random-execution-time draws.
+// Extra flags: --threads=N (0 = hardware), sweep: --csv-out=FILE,
+// montecarlo: --trials=N --iterations=N --seed=N.
+//
 // Observability flags (any command, order-free after the spec):
 //   --trace-out=FILE    Chrome trace-event / Perfetto JSON: the adequation
 //                       schedule as a proc/medium Gantt, executive-VM runs
@@ -19,6 +33,7 @@
 //
 // The spec format is documented in src/io/spec.hpp; see
 // examples/specs/*.spec for ready-to-run inputs.
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
@@ -31,6 +46,8 @@
 #include "obs/metrics.hpp"
 #include "obs/trace_json.hpp"
 #include "obs/tracer.hpp"
+#include "par/monte_carlo.hpp"
+#include "par/sweep.hpp"
 #include "translate/schedule_export.hpp"
 
 using namespace ecsim;
@@ -41,7 +58,11 @@ int usage() {
   std::fprintf(stderr,
                "usage: ecsim_flow <schedule|codegen|simulate|validate|"
                "dot-alg|dot-arch|dot-gantt> <spec-file>\n"
-               "                  [--trace-out=FILE] [--metrics-out=FILE]\n");
+               "                  [--trace-out=FILE] [--metrics-out=FILE]\n"
+               "       ecsim_flow sweep <timing|arch> [--threads=N] "
+               "[--csv-out=FILE]\n"
+               "       ecsim_flow montecarlo <spec-file> [--threads=N] "
+               "[--trials=N] [--iterations=N] [--seed=N]\n");
   return 2;
 }
 
@@ -151,21 +172,109 @@ bool ends_with(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
+bool write_file(const std::string& path, const std::string& doc) {
+  std::FILE* fp = std::fopen(path.c_str(), "w");
+  if (fp == nullptr) return false;
+  std::fputs(doc.c_str(), fp);
+  std::fclose(fp);
+  return true;
+}
+
+int cmd_sweep(const std::string& kind, std::size_t threads,
+              const std::string& csv_out) {
+  par::BatchOptions batch;
+  batch.threads = threads;
+  const sweep::SweepRunner runner(batch);
+  std::vector<sweep::SweepCell> cells;
+  std::string map;
+  if (kind == "timing") {
+    sweep::TimingGrid grid;
+    grid.loop = sweep::servo_loop();
+    grid.latency_fracs = {0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 0.95};
+    grid.jitter_fracs = {0.0, 0.1, 0.2, 0.3, 0.5};
+    cells = runner.run(grid);
+    map = sweep::heatmap(cells, grid.latency_fracs, grid.jitter_fracs,
+                         "La/Ts", "jitter/Ts", &sweep::SweepCell::cost,
+                         "control cost (time-averaged quadratic)");
+  } else if (kind == "arch") {
+    sweep::ArchitectureGrid grid;
+    grid.loop = sweep::servo_loop();
+    grid.bus_bandwidths = {1e5, 1e4, 4e3, 2e3, 1e3};
+    grid.wcet_scales = {0.5, 1.0, 2.0, 4.0};
+    grid.dist.bind_ctrl = "P1";  // controller across the bus
+    cells = runner.run(grid);
+    map = sweep::heatmap(cells, grid.bus_bandwidths, grid.wcet_scales,
+                         "bus bw", "WCET scale", &sweep::SweepCell::cost,
+                         "control cost (time-averaged quadratic)");
+  } else {
+    return usage();
+  }
+  std::printf("%zu cells on %zu worker(s)\n%s", cells.size(),
+              runner.threads(), map.c_str());
+  if (!csv_out.empty()) {
+    if (!write_file(csv_out, sweep::to_csv(cells))) {
+      std::fprintf(stderr, "ecsim_flow: cannot write %s\n", csv_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "csv: %s\n", csv_out.c_str());
+  }
+  return 0;
+}
+
+int cmd_montecarlo(const Flow& f, std::size_t threads, std::size_t trials,
+                   std::size_t iterations, std::uint64_t seed) {
+  const aaa::GeneratedCode code =
+      aaa::generate_executives(f.spec.algorithm, f.spec.architecture, f.sched);
+  sweep::MonteCarloSpec spec;
+  spec.trials = trials;
+  spec.iterations = iterations;
+  par::BatchOptions batch;
+  batch.threads = threads;
+  batch.seed = seed;
+  batch.tracer = f.tracer;
+  batch.metrics = f.metrics;
+  const sweep::MonteCarloResult result = sweep::run_monte_carlo(
+      f.spec.algorithm, f.spec.architecture, f.sched, code, spec, batch);
+  std::printf("%s", sweep::to_string(result).c_str());
+  return result.deadlocks == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string command = argv[1];
   const std::string spec_path = argv[2];
-  std::string trace_out, metrics_out;
+  std::string trace_out, metrics_out, csv_out;
+  std::size_t threads = 0, trials = 200, iterations = 50;
+  std::uint64_t seed = 1;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out = arg.substr(12);
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       metrics_out = arg.substr(14);
+    } else if (arg.rfind("--csv-out=", 0) == 0) {
+      csv_out = arg.substr(10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::stoul(arg.substr(10));
+    } else if (arg.rfind("--trials=", 0) == 0) {
+      trials = std::stoul(arg.substr(9));
+    } else if (arg.rfind("--iterations=", 0) == 0) {
+      iterations = std::stoul(arg.substr(13));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::stoull(arg.substr(7));
     } else {
       return usage();
+    }
+  }
+
+  if (command == "sweep") {
+    try {
+      return cmd_sweep(spec_path, threads, csv_out);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ecsim_flow: %s\n", e.what());
+      return 1;
     }
   }
 
@@ -197,6 +306,8 @@ int main(int argc, char** argv) {
                                             flow.spec.architecture, flow.sched)
                             .c_str());
       rc = 0;
+    } else if (command == "montecarlo") {
+      rc = cmd_montecarlo(flow, threads, trials, iterations, seed);
     } else {
       return usage();
     }
