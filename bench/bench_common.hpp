@@ -20,6 +20,7 @@
 #include "plants/dc_servo.hpp"
 #include "latency/latency.hpp"
 #include "par/sweep.hpp"
+#include "support/alloc_counter.hpp"
 #include "translate/cosim.hpp"
 
 namespace ecsim::bench {
@@ -63,11 +64,15 @@ class JsonReport {
   explicit JsonReport(const std::string& experiment) {
     out_ = "{\n  \"experiment\": \"" + experiment + "\"";
     // Perf numbers are meaningless without the machine that produced them:
-    // stamp every report with host, core count and compiler.
+    // stamp every report with host, core count and compiler. Allocation
+    // counts are only live under -DECSIM_ALLOC_GUARD=ON; the stamp lets a
+    // reader tell "0 allocs" apart from "not counted".
     raw_top_field("host", "\"" + hostname() + "\"");
     raw_top_field("hardware_concurrency",
                   std::to_string(std::thread::hardware_concurrency()));
     raw_top_field("compiler", "\"" + compiler() + "\"");
+    raw_top_field("alloc_counting",
+                  testing::alloc_guard_enabled() ? "\"on\"" : "\"off\"");
   }
   void begin_array(const std::string& name) {
     out_ += ",\n  \"" + name + "\": [";
@@ -135,6 +140,20 @@ class JsonReport {
   bool first_in_array_ = true;
   bool first_in_object_ = true;
 };
+
+/// Emit a measured phase's allocation counts next to its timing fields so
+/// BENCH_*.json files track allocs/event across PRs. `probe` brackets the
+/// phase (testing::AllocProbe); counts read 0 in ordinary builds — check the
+/// report's top-level "alloc_counting" stamp before interpreting them.
+inline void alloc_fields(JsonReport& r, const testing::AllocProbe& probe,
+                         std::size_t events) {
+  r.field("allocs", probe.allocations());
+  r.field("allocs_per_event",
+          events > 0
+              ? static_cast<double>(probe.allocations()) /
+                    static_cast<double>(events)
+              : 0.0);
+}
 
 /// Print the table, then hand over to google-benchmark.
 inline int run_benchmarks(int argc, char** argv) {

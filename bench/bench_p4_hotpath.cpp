@@ -1,0 +1,268 @@
+// EXP-P4: zero-allocation steady-state hot path (DESIGN.md §3.4). Measures
+// the PR-4 optimisation — integrator workspaces + function_ref dispatch,
+// flat 4-ary event queue with batched tie draining, preallocated block/
+// matrix scratch — against the pre-change allocating path kept alive inside
+// this binary behind SimOptions::legacy_integrator_alloc /
+// legacy_event_queue. Same compiled model, same binary, interleaved
+// repetitions, so the A/B is apples-to-apples.
+//
+// GUARD: the 200-chain event workload (the EXP-P1 scenario) must run
+// >= 1.25x the legacy events/s. The guard runs via `ctest -C bench`
+// (bench_p4_hotpath_guard); the process exits nonzero on failure.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "blocks/continuous.hpp"
+#include "blocks/discrete.hpp"
+#include "blocks/event_blocks.hpp"
+#include "blocks/math_blocks.hpp"
+#include "blocks/probe.hpp"
+#include "blocks/sample_hold.hpp"
+#include "blocks/sources.hpp"
+#include "sim/compiled_model.hpp"
+#include "sim/simulator.hpp"
+
+using namespace ecsim;
+
+namespace {
+
+/// The EXP-P1/EXP-P4 event workload: one clock fanning out to `chains`
+/// delay chains (clock -> d1 -> d2 -> counter), 1 ms tick. Large
+/// simultaneous batches, no continuous state: isolates queue + dispatch.
+sim::Model make_chains(std::size_t chains) {
+  sim::Model m;
+  auto& clk = m.add<blocks::Clock>("clk", 1e-3);
+  for (std::size_t c = 0; c < chains; ++c) {
+    auto& d1 = m.add<blocks::EventDelay>("d1_" + std::to_string(c), 1e-4);
+    auto& d2 = m.add<blocks::EventDelay>("d2_" + std::to_string(c), 2e-4);
+    auto& n = m.add<blocks::EventCounter>("n_" + std::to_string(c));
+    m.connect_event(clk, 0, d1, d1.event_in());
+    m.connect_event(d1, d1.event_out(), d2, d2.event_in());
+    m.connect_event(d2, d2.event_out(), n, 0);
+  }
+  return m;
+}
+
+/// Sampled-data servo loop (continuous plant + S/H + discrete controller +
+/// probe): integration-dominated, exercises the workspace/function_ref path
+/// and the trace signal pool.
+sim::Model make_servo() {
+  sim::Model m;
+  auto& plant = m.add<blocks::StateSpaceCont>(
+      "plant", math::Matrix{{0.0, 1.0}, {-4.0, -1.2}},
+      math::Matrix{{0.0}, {4.0}}, math::Matrix{{1.0, 0.0}},
+      math::Matrix{{0.0}});
+  auto& ref = m.add<blocks::Step>("ref", 0.0, 1.0, 0.0);
+  auto& sense = m.add<blocks::SampleHold>("sense", 1);
+  m.connect(plant, 0, sense, 0);
+  auto& err = m.add<blocks::Sum>("err", std::vector<double>{1.0, -1.0}, 1);
+  m.connect(ref, 0, err, 0);
+  m.connect(sense, 0, err, 1);
+  auto& ctrl = m.add<blocks::StateSpaceDisc>(
+      "ctrl", math::Matrix{{1.0}}, math::Matrix{{0.02}}, math::Matrix{{1.0}},
+      math::Matrix{{1.8}});
+  m.connect(err, 0, ctrl, 0);
+  auto& act = m.add<blocks::SampleHold>("act", 1);
+  m.connect(ctrl, 0, act, 0);
+  m.connect(act, 0, plant, 0);
+  auto& probe_y = m.add<blocks::Probe>("probe_y", 1, 1e-3);
+  m.connect(plant, 0, probe_y, 0);
+  auto& clock = m.add<blocks::Clock>("clock", 1e-3);
+  m.connect_event(clock, clock.event_out(), sense, sense.event_in());
+  m.connect_event(sense, sense.done_event_out(), ctrl, ctrl.event_in());
+  m.connect_event(ctrl, ctrl.done_event_out(), act, act.event_in());
+  return m;
+}
+
+struct ModeStats {
+  std::size_t events = 0;
+  double best_events_per_s = 0.0;
+  std::size_t allocs_steady = 0;  // one post-warm-up run, ECSIM_ALLOC_GUARD
+};
+
+double timed_events_per_s(sim::Simulator& s) {
+  const auto t0 = std::chrono::steady_clock::now();
+  s.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  return static_cast<double>(s.events_dispatched()) / secs;
+}
+
+/// Best-of-`reps`, strictly interleaved (legacy, hot, legacy, hot, ...) so
+/// thermal/frequency drift hits both modes equally. Both simulators share
+/// one compiled model; each gets a warm-up run before timing.
+void ab_compare(const sim::CompiledModel& compiled, const sim::SimOptions& base,
+                int reps, ModeStats& legacy, ModeStats& hot,
+                bool& traces_identical) {
+  sim::SimOptions legacy_opts = base;
+  legacy_opts.legacy_integrator_alloc = true;
+  legacy_opts.legacy_event_queue = true;
+  sim::Simulator sl(compiled, legacy_opts);
+  sim::Simulator sh(compiled, base);
+
+  sl.run();
+  const sim::Trace hot_trace = sh.run();  // copy for the A/B check below
+  traces_identical = sl.trace() == hot_trace;
+  legacy.events = sl.events_dispatched();
+  hot.events = sh.events_dispatched();
+  {
+    testing::AllocProbe probe;
+    sl.run();
+    legacy.allocs_steady = probe.allocations();
+  }
+  {
+    testing::AllocProbe probe;
+    sh.run();
+    hot.allocs_steady = probe.allocations();
+  }
+  for (int r = 0; r < reps; ++r) {
+    legacy.best_events_per_s =
+        std::max(legacy.best_events_per_s, timed_events_per_s(sl));
+    hot.best_events_per_s =
+        std::max(hot.best_events_per_s, timed_events_per_s(sh));
+  }
+}
+
+void report_mode(bench::JsonReport& report, const char* scenario,
+                 const char* mode, const ModeStats& s) {
+  report.begin_object();
+  report.field("scenario", std::string(scenario));
+  report.field("mode", std::string(mode));
+  report.field("events", s.events);
+  report.field("best_events_per_s", s.best_events_per_s);
+  report.field("allocs_steady_state_run", s.allocs_steady);
+  report.field("allocs_per_event",
+               s.events > 0 ? static_cast<double>(s.allocs_steady) /
+                                  static_cast<double>(s.events)
+                            : 0.0);
+  report.end_object();
+}
+
+int experiment() {
+  bench::banner("EXP-P4", "(hot-path memory discipline, DESIGN.md §3.4)",
+                "Steady-state throughput: workspace integrator + 4-ary "
+                "batched event queue vs the legacy allocating path, A/B in "
+                "one binary.");
+  bench::JsonReport report("EXP-P4");
+  report.begin_array("hot_path");
+  std::printf("%-18s %10s %15s %15s %9s %10s %12s\n", "scenario", "events",
+              "legacy [ev/s]", "hot [ev/s]", "speedup", "traces",
+              "hot allocs");
+
+  constexpr int kReps = 7;
+  constexpr double kGuard = 1.25;
+  double chains_speedup = 0.0;
+  bool all_identical = true;
+
+  {
+    sim::Model m = make_chains(200);
+    const sim::CompiledModel compiled(m);
+    sim::SimOptions opts;
+    opts.end_time = 1.0;
+    opts.reserve_queue = 1024;
+    ModeStats legacy, hot;
+    bool identical = false;
+    ab_compare(compiled, opts, kReps, legacy, hot, identical);
+    all_identical = all_identical && identical;
+    chains_speedup = hot.best_events_per_s / legacy.best_events_per_s;
+    std::printf("%-18s %10zu %15.0f %15.0f %8.2fx %10s %12zu\n",
+                "chains_200", hot.events, legacy.best_events_per_s,
+                hot.best_events_per_s, chains_speedup,
+                identical ? "identical" : "DIVERGED", hot.allocs_steady);
+    report_mode(report, "chains_200", "legacy", legacy);
+    report_mode(report, "chains_200", "hot", hot);
+  }
+  {
+    sim::Model m = make_servo();
+    const sim::CompiledModel compiled(m);
+    sim::SimOptions opts;
+    opts.end_time = 5.0;
+    opts.integrator.kind = sim::IntegratorKind::kRk4;
+    opts.integrator.max_step = 2e-4;
+    ModeStats legacy, hot;
+    bool identical = false;
+    ab_compare(compiled, opts, kReps, legacy, hot, identical);
+    all_identical = all_identical && identical;
+    const double speedup = hot.best_events_per_s / legacy.best_events_per_s;
+    std::printf("%-18s %10zu %15.0f %15.0f %8.2fx %10s %12zu\n",
+                "servo_rk4", hot.events, legacy.best_events_per_s,
+                hot.best_events_per_s, speedup,
+                identical ? "identical" : "DIVERGED", hot.allocs_steady);
+    report_mode(report, "servo_rk4", "legacy", legacy);
+    report_mode(report, "servo_rk4", "hot", hot);
+  }
+  report.end_array();
+  report.begin_array("guard");
+  report.begin_object();
+  report.field("scenario", std::string("chains_200"));
+  report.field("min_speedup", kGuard);
+  report.field("measured_speedup", chains_speedup);
+  report.field("traces_identical", std::string(all_identical ? "yes" : "NO"));
+  report.field("pass",
+               std::string(chains_speedup >= kGuard && all_identical ? "yes"
+                                                                     : "NO"));
+  report.end_object();
+  report.end_array();
+  std::printf("\nguard: chains_200 speedup %.2fx (need >= %.2fx) — %s\n\n",
+              chains_speedup, kGuard,
+              chains_speedup >= kGuard && all_identical ? "PASS" : "FAIL");
+  report.write("BENCH_p4.json");
+  return chains_speedup >= kGuard && all_identical ? 0 : 1;
+}
+
+void BM_SteadyStateRun(benchmark::State& state) {
+  const bool legacy = state.range(0) != 0;
+  sim::Model m = make_chains(static_cast<std::size_t>(state.range(1)));
+  sim::SimOptions opts;
+  opts.end_time = 1.0;
+  opts.legacy_integrator_alloc = legacy;
+  opts.legacy_event_queue = legacy;
+  sim::Simulator s(sim::CompiledModel(m), opts);
+  s.run();  // warm capacities out of the measurement
+  for (auto _ : state) {
+    s.run();
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(s.events_dispatched() * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SteadyStateRun)
+    ->ArgsProduct({{0, 1}, {16, 200}})
+    ->ArgNames({"legacy", "chains"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto impl = state.range(0) == 0 ? sim::EventQueue::Impl::kQuad
+                                        : sim::EventQueue::Impl::kLegacyBinary;
+  const auto depth = static_cast<std::size_t>(state.range(1));
+  sim::EventQueue q;
+  q.set_impl(impl);
+  q.reserve(depth);
+  // Steady churn at constant depth: push a scattered time, pop the min.
+  std::uint64_t s = 0x2545f4914f6cdd1dull;
+  for (std::size_t i = 0; i < depth; ++i) {
+    q.push(static_cast<sim::Time>(i % 97), i, 0);
+  }
+  for (auto _ : state) {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    q.push(static_cast<sim::Time>(s % 97), 0, 0);
+    benchmark::DoNotOptimize(q.pop());
+  }
+}
+BENCHMARK(BM_EventQueuePushPop)
+    ->ArgsProduct({{0, 1}, {64, 4096}})
+    ->ArgNames({"legacy", "depth"});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int guard = experiment();
+  const int bench_rc = bench::run_benchmarks(argc, argv);
+  return guard != 0 ? guard : bench_rc;
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Zero-allocation steady-state guard (DESIGN.md §3.4): build with the
+# counting operator new/delete enabled and run the hot-path suites that
+# assert 0 heap allocations after warm-up, plus the queue/integrator
+# equivalence properties in the same instrumented binary set. Uses its own
+# build tree so the ordinary tier-1 build stays uninstrumented.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B build-allocguard -S . -DECSIM_ALLOC_GUARD=ON
+cmake --build build-allocguard -j"${JOBS}" --target test_hotpath test_sim test_properties
+cd build-allocguard
+exec ctest --output-on-failure -j"${JOBS}" \
+  -R 'AllocGuard|EventQueue|Integrator|HotPathProperty'

@@ -67,26 +67,16 @@ void StateSpaceCont::initialize(Context& ctx) {
 }
 
 void StateSpaceCont::compute_outputs(Context& ctx) {
-  auto x = ctx.state();
-  auto u = ctx.input(0);
-  auto y = ctx.output(0);
-  for (std::size_t r = 0; r < c_.rows(); ++r) {
-    double s = 0.0;
-    for (std::size_t k = 0; k < c_.cols(); ++k) s += c_(r, k) * x[k];
-    for (std::size_t k = 0; k < d_.cols(); ++k) s += d_(r, k) * u[k];
-    y[r] = s;
-  }
+  // y = C x + D u via the in-place kernels: same accumulation order as the
+  // old fused loops (C terms then D terms into one per-row accumulator), no
+  // temporaries — this runs at every integration stage.
+  math::multiply_into(ctx.output(0), c_, ctx.state());
+  math::multiply_add_into(ctx.output(0), d_, ctx.input(0));
 }
 
 void StateSpaceCont::derivatives(Context& ctx, std::span<double> dx) {
-  auto x = ctx.state();
-  auto u = ctx.input(0);
-  for (std::size_t r = 0; r < a_.rows(); ++r) {
-    double s = 0.0;
-    for (std::size_t k = 0; k < a_.cols(); ++k) s += a_(r, k) * x[k];
-    for (std::size_t k = 0; k < b_.cols(); ++k) s += b_(r, k) * u[k];
-    dx[r] = s;
-  }
+  math::multiply_into(dx, a_, ctx.state());
+  math::multiply_add_into(dx, b_, ctx.input(0));
 }
 
 TransferFunction::Canon TransferFunction::realize(

@@ -29,27 +29,21 @@ StateSpaceDisc::StateSpaceDisc(std::string name, math::Matrix a, math::Matrix b,
 
 void StateSpaceDisc::initialize(Context& ctx) {
   x_ = x0_;
+  next_.resize(x_.size());  // per-activation scratch, sized once per run
   auto y = ctx.output(0);
   std::fill(y.begin(), y.end(), 0.0);
 }
 
 void StateSpaceDisc::on_event(Context& ctx, std::size_t) {
   auto u = ctx.input(0);
-  auto y = ctx.output(0);
-  for (std::size_t r = 0; r < c_.rows(); ++r) {
-    double s = 0.0;
-    for (std::size_t k = 0; k < c_.cols(); ++k) s += c_(r, k) * x_[k];
-    for (std::size_t k = 0; k < d_.cols(); ++k) s += d_(r, k) * u[k];
-    y[r] = s;
-  }
-  std::vector<double> next(x_.size(), 0.0);
-  for (std::size_t r = 0; r < a_.rows(); ++r) {
-    double s = 0.0;
-    for (std::size_t k = 0; k < a_.cols(); ++k) s += a_(r, k) * x_[k];
-    for (std::size_t k = 0; k < b_.cols(); ++k) s += b_(r, k) * u[k];
-    next[r] = s;
-  }
-  x_ = std::move(next);
+  // Same accumulation order as the old fused loops (C/A terms then D/B
+  // terms into one per-row accumulator); the next-state vector is a member
+  // scratch swapped into place, so a steady-state activation is heap-free.
+  math::multiply_into(ctx.output(0), c_, x_);
+  math::multiply_add_into(ctx.output(0), d_, u);
+  math::multiply_into(next_, a_, x_);
+  math::multiply_add_into(next_, b_, u);
+  std::swap(x_, next_);
   ctx.emit(0, 0.0);
 }
 

@@ -31,6 +31,7 @@ class StateSpaceDisc : public Block {
   math::Matrix a_, b_, c_, d_;
   std::vector<double> x0_;
   std::vector<double> x_;
+  std::vector<double> next_;  // next-state scratch, swapped with x_ per step
 };
 
 /// Discrete PID with filtered derivative and optional anti-windup clamping:

@@ -15,13 +15,8 @@ Gain::Gain(std::string name, math::Matrix k)
 }
 
 void Gain::compute_outputs(Context& ctx) {
-  auto u = ctx.input(0);
-  auto y = ctx.output(0);
-  for (std::size_t r = 0; r < k_.rows(); ++r) {
-    double s = 0.0;
-    for (std::size_t c = 0; c < k_.cols(); ++c) s += k_(r, c) * u[c];
-    y[r] = s;
-  }
+  // Same accumulation order as the old fused loop, via the shared kernel.
+  math::multiply_into(ctx.output(0), k_, ctx.input(0));
 }
 
 Sum::Sum(std::string name, std::vector<double> signs, std::size_t width)

@@ -18,9 +18,9 @@ void Probe::initialize(Context& ctx) {
 }
 
 void Probe::on_event(Context& ctx, std::size_t) {
-  auto u = ctx.input(0);
-  ctx.trace().record_signal(ctx.time(), ctx.block_index(),
-                            std::vector<double>(u.begin(), u.end()));
+  // Span overload: the trace recycles value buffers across runs, so
+  // steady-state sampling stays allocation-free (DESIGN.md §3.4).
+  ctx.trace().record_signal(ctx.time(), ctx.block_index(), ctx.input(0));
   ++samples_;
   if (period_ > 0.0) ctx.schedule_self(0, period_);
 }

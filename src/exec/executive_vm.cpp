@@ -169,6 +169,19 @@ VmResult run_executives(const AlgorithmGraph& alg,
   const std::vector<std::vector<CompiledInstr>> compiled =
       compile_programs(alg, arch, code, c_wcet);
 
+  // The instance counts are known exactly up front (one op instance per
+  // kCompute instruction per iteration, one comm instance per scheduled
+  // communication per iteration), so reserve once and never grow inside the
+  // sequencer loop (DESIGN.md §3.4).
+  std::size_t compute_instrs = 0;
+  for (const ExecutiveProgram& prog : code.programs) {
+    for (const aaa::Instr& ins : prog.instrs) {
+      if (ins.kind == aaa::InstrKind::kCompute) ++compute_instrs;
+    }
+  }
+  result.ops.reserve(compute_instrs * iters);
+  result.comms.reserve(sched.comms().size() * iters);
+
   // Pre-sample execution times and branches would couple RNG draws to the
   // interleaving of the advancing loop; instead draw on first execution of
   // each instance, which happens exactly once.

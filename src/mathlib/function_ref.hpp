@@ -1,0 +1,51 @@
+// Non-owning callable reference: one (object pointer, trampoline) pair, two
+// words, trivially copyable. The steady-state simulation loop hands its
+// derivative evaluator to the integrator through this instead of a
+// std::function, so per-stage dispatch is a plain indirect call with no
+// ownership, no SBO branch and no possibility of a heap-backed target.
+//
+// Lifetime rule (see DESIGN.md §3.4): a function_ref borrows the callable it
+// was constructed from. It is only valid while that callable is alive, so it
+// must not be stored beyond the call that received it; pass it down the
+// stack, never keep it in a member. Binding a prvalue lambda as a call
+// argument is safe (the temporary outlives the full expression).
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace ecsim {
+
+template <typename Signature>
+class function_ref;  // undefined; only the R(Args...) partial specialization
+
+template <typename R, typename... Args>
+class function_ref<R(Args...)> {
+ public:
+  function_ref() = delete;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, function_ref> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, like
+  // std::string_view — call sites pass lambdas/functors directly.
+  function_ref(F&& f) noexcept
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace ecsim

@@ -1,5 +1,6 @@
 #include "mathlib/matrix.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <iomanip>
 #include <sstream>
@@ -76,9 +77,14 @@ Matrix& Matrix::operator/=(double s) {
 
 Matrix Matrix::transpose() const {
   Matrix t(cols_, rows_);
-  for (std::size_t r = 0; r < rows_; ++r)
-    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  transpose_into(t);
   return t;
+}
+
+void Matrix::transpose_into(Matrix& dst) const {
+  dst.resize(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) dst(c, r) = (*this)(r, c);
 }
 
 double Matrix::trace() const {
@@ -143,6 +149,12 @@ std::vector<double> Matrix::row(std::size_t r) const {
   return v;
 }
 
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);  // vector::resize keeps capacity when shrinking
+}
+
 std::string Matrix::to_string(int precision) const {
   std::ostringstream os;
   os << std::setprecision(precision);
@@ -198,13 +210,68 @@ Matrix operator-(Matrix m) {
 }
 
 std::vector<double> operator*(const Matrix& m, const std::vector<double>& v) {
-  if (m.cols() != v.size()) {
-    throw std::invalid_argument("Matrix * vector: dimension mismatch");
-  }
   std::vector<double> out(m.rows(), 0.0);
-  for (std::size_t r = 0; r < m.rows(); ++r)
-    for (std::size_t c = 0; c < m.cols(); ++c) out[r] += m(r, c) * v[c];
+  multiply_into(out, m, v);
   return out;
+}
+
+void multiply_into(std::span<double> dst, const Matrix& m,
+                   std::span<const double> v) {
+  if (m.cols() != v.size()) {
+    throw std::invalid_argument("multiply_into: dimension mismatch");
+  }
+  if (dst.size() != m.rows()) {
+    throw std::invalid_argument("multiply_into: dst size mismatch");
+  }
+  const double* a = m.data();
+  const std::size_t cols = m.cols();
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    // Per-row accumulator in ascending column order: the exact summation
+    // sequence of the allocating operator* and of the fused loops the
+    // state-space blocks used before — bit-identical on purpose.
+    double s = 0.0;
+    const double* row = a + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) s += row[c] * v[c];
+    dst[r] = s;
+  }
+}
+
+void multiply_add_into(std::span<double> dst, const Matrix& m,
+                       std::span<const double> v) {
+  if (m.cols() != v.size()) {
+    throw std::invalid_argument("multiply_add_into: dimension mismatch");
+  }
+  if (dst.size() != m.rows()) {
+    throw std::invalid_argument("multiply_add_into: dst size mismatch");
+  }
+  const double* a = m.data();
+  const std::size_t cols = m.cols();
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    double s = dst[r];
+    const double* row = a + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) s += row[c] * v[c];
+    dst[r] = s;
+  }
+}
+
+void multiply_into(Matrix& dst, const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("multiply_into: inner dimension mismatch");
+  }
+  dst.resize(a.rows(), b.cols());
+  double* out = dst.data();
+  std::fill(out, out + dst.size(), 0.0);
+  // Same loop nest (and zero-skip) as operator*(Matrix, Matrix) for
+  // bit-identical accumulation order.
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double av = a(r, k);
+      if (av == 0.0) continue;
+      double* out_row = out + r * b.cols();
+      const double* b_row = b.data() + k * b.cols();
+      for (std::size_t c = 0; c < b.cols(); ++c) out_row[c] += av * b_row[c];
+    }
+  }
 }
 
 bool approx_equal(const Matrix& a, const Matrix& b, double tol) {
@@ -268,6 +335,13 @@ double vec_norm(const std::vector<double>& a) { return std::sqrt(dot(a, a)); }
 
 double quad_form(const Matrix& m, const std::vector<double>& x) {
   return dot(x, m * x);
+}
+
+double quad_form(const Matrix& m, const std::vector<double>& x,
+                 std::vector<double>& scratch) {
+  scratch.resize(m.rows());
+  multiply_into(scratch, m, x);
+  return dot(x, scratch);
 }
 
 }  // namespace ecsim::math

@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <initializer_list>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,9 @@ class Matrix {
   Matrix& operator/=(double s);
 
   Matrix transpose() const;
+  /// Transpose into caller-owned scratch (resized, capacity-preserving).
+  /// dst must not alias *this.
+  void transpose_into(Matrix& dst) const;
   /// Sum of diagonal entries; requires a square matrix.
   double trace() const;
   /// Frobenius norm.
@@ -66,6 +70,12 @@ class Matrix {
     return rows_ == other.rows_ && cols_ == other.cols_;
   }
 
+  /// Reshape without preserving contents (values are unspecified afterwards;
+  /// callers overwrite). Keeps the backing capacity, so repeated resize to
+  /// the same high-water shape never reallocates — scratch-matrix support
+  /// for the in-place kernels below.
+  void resize(std::size_t rows, std::size_t cols);
+
   std::string to_string(int precision = 6) const;
 
  private:
@@ -83,6 +93,22 @@ Matrix operator-(Matrix m);
 
 /// Matrix * column vector.
 std::vector<double> operator*(const Matrix& m, const std::vector<double>& v);
+
+// ---- in-place hot-path kernels (DESIGN.md §3.4) ---------------------------
+// Allocation-free variants of the operators above for steady-state per-step
+// updates (control laws, state-space blocks). dst must not alias the inputs.
+// The summation order matches the allocating operators exactly, so switching
+// a call site between the two flavours is bit-identical.
+
+/// dst = m * v. dst.size() must equal m.rows(), v.size() must equal m.cols().
+void multiply_into(std::span<double> dst, const Matrix& m,
+                   std::span<const double> v);
+/// dst += m * v (same shape rules as multiply_into).
+void multiply_add_into(std::span<double> dst, const Matrix& m,
+                       std::span<const double> v);
+/// dst = a * b; dst is resized (capacity-preserving) to a.rows() x b.cols().
+/// dst must not alias a or b.
+void multiply_into(Matrix& dst, const Matrix& a, const Matrix& b);
 
 /// Entrywise comparison within absolute tolerance.
 bool approx_equal(const Matrix& a, const Matrix& b, double tol = 1e-9);
@@ -105,5 +131,10 @@ double dot(const std::vector<double>& a, const std::vector<double>& b);
 double vec_norm(const std::vector<double>& a);
 /// x' M x (quadratic form); M must be n x n with n == x.size().
 double quad_form(const Matrix& m, const std::vector<double>& x);
+/// Same, but M*x goes through caller-owned scratch (grown on first use,
+/// reused after) instead of a fresh temporary — allocation-free after
+/// warm-up, bit-identical result.
+double quad_form(const Matrix& m, const std::vector<double>& x,
+                 std::vector<double>& scratch);
 
 }  // namespace ecsim::math

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "mathlib/linalg.hpp"
 
@@ -26,14 +27,30 @@ Matrix solve_dare(const Matrix& a, const Matrix& b, const Matrix& q,
   Matrix ak = a;
   Matrix g = b * solve(r, b.transpose());
   Matrix h = q;
+  // Scratch hoisted out of the doubling loop; the in-place kernels reuse
+  // their high-water capacity, so iterations after the first stop allocating
+  // for the products (solve() still owns its internals).
+  Matrix akt, am, t1, t2, gh;
   // SDA iteration count ~ log2 of the fixed-point count; 100 is generous.
   const int max_doublings = std::min(opts.max_iterations, 100);
   for (int it = 0; it < max_doublings; ++it) {
-    const Matrix m = solve(ident + g * h, ident);  // (I + G H)^-1
-    const Matrix am = ak * m;
-    Matrix h_next = h + ak.transpose() * h * m * ak;
-    Matrix g_next = g + am * g * ak.transpose();
-    Matrix a_next = am * ak;
+    multiply_into(gh, g, h);
+    const Matrix m = solve(ident + gh, ident);  // (I + G H)^-1
+    multiply_into(am, ak, m);
+    ak.transpose_into(akt);
+    // h_next = h + Ak' H M Ak, left-to-right like the old operator chain.
+    multiply_into(t1, akt, h);
+    multiply_into(t2, t1, m);
+    Matrix h_next;
+    multiply_into(h_next, t2, ak);
+    h_next += h;
+    // g_next = g + Am G Ak'.
+    multiply_into(t1, am, g);
+    Matrix g_next;
+    multiply_into(g_next, t1, akt);
+    g_next += g;
+    Matrix a_next;
+    multiply_into(a_next, am, ak);
     // Symmetrize to damp numerical drift.
     h_next = 0.5 * (h_next + h_next.transpose());
     g_next = 0.5 * (g_next + g_next.transpose());
@@ -60,11 +77,15 @@ Matrix solve_dlyap(const Matrix& a, const Matrix& q,
   // X = sum_k A^k Q (A')^k with doubling: X <- X + M X M', M <- M*M.
   Matrix x = q;
   Matrix m = a;
+  Matrix mt, t1, term, m2;  // loop scratch, reused across iterations
   for (int it = 0; it < 200; ++it) {
-    const Matrix term = m * x * m.transpose();
+    m.transpose_into(mt);
+    multiply_into(t1, m, x);
+    multiply_into(term, t1, mt);
     if (term.max_abs() < opts.tolerance) return x;
     x += term;
-    m = m * m;
+    multiply_into(m2, m, m);
+    std::swap(m, m2);
     if (m.max_abs() > 1e12) {
       throw std::runtime_error("solve_dlyap: A is not Schur stable");
     }

@@ -127,6 +127,12 @@ std::span<double> Simulator::ctx_state_mut(std::size_t block) {
 }
 
 void Simulator::ctx_emit(std::size_t block, std::size_t event_out, Time at) {
+  if (lane_active_ && at == time_) {
+    for (const PortRef& sink : compiled_.event_sinks(block, event_out)) {
+      lane_.push_back(ScheduledEvent{at, 0, sink.block, sink.port});
+    }
+    return;
+  }
   for (const PortRef& sink : compiled_.event_sinks(block, event_out)) {
     queue_.push(at, sink.block, sink.port);
   }
@@ -136,6 +142,10 @@ void Simulator::ctx_schedule_self(std::size_t block, std::size_t event_in,
                                   Time at) {
   if (event_in >= model_.block(block).num_event_inputs()) {
     throw std::out_of_range("schedule_self: event input out of range");
+  }
+  if (lane_active_ && at == time_) {
+    lane_.push_back(ScheduledEvent{at, 0, block, event_in});
+    return;
   }
   queue_.push(at, block, event_in);
 }
@@ -155,19 +165,6 @@ void Simulator::refresh_dynamic(Time t) {
   refresh_blocks(
       opts_.full_refresh ? compiled_.eval_order() : compiled_.dynamic_cone(),
       t);
-}
-
-void Simulator::dispatch(const ScheduledEvent& e) {
-  Block& blk = model_.block(e.block);
-  trace_.record_event(e.time, e.block, e.event_in);
-  if (obs_.tracing) {
-    opts_.tracer->instant(obs_.block_names[e.block], obs_.trk_events,
-                          obs::sim_us(e.time), obs_.a_port,
-                          static_cast<double>(e.event_in));
-  }
-  if (obs_.events != nullptr) obs_.events->add();
-  Context ctx(this, e.block, e.time, /*in_event=*/true);
-  blk.on_event(ctx, e.event_in);
 }
 
 void Simulator::evaluate_derivatives(Time t, const std::vector<double>& x,
@@ -196,6 +193,12 @@ Trace& Simulator::run() {
   x_.assign(compiled_.total_state(), 0.0);
   active_x_ = x_.data();
   queue_.clear();
+  lane_.clear();
+  lane_active_ = false;
+  queue_.set_impl(opts_.legacy_event_queue ? EventQueue::Impl::kLegacyBinary
+                                           : EventQueue::Impl::kQuad);
+  if (opts_.reserve_queue > 0) queue_.reserve(opts_.reserve_queue);
+  iws_.resize(compiled_.total_state());
   trace_.clear();
   trace_.reserve(opts_.reserve_events, opts_.reserve_signals);
   events_dispatched_ = 0;
@@ -212,6 +215,16 @@ Trace& Simulator::run() {
   refresh_blocks(compiled_.eval_order(), 0.0);
 
   const Time t_end = opts_.end_time;
+  // Loop-invariant dispatch state, hoisted into locals: the per-event path
+  // must not re-read anything through `this` that the compiler cannot prove
+  // unchanged across the indirect on_event/compute_outputs calls.
+  const bool tracing = obs_.tracing;
+  const bool full_refresh = opts_.full_refresh;
+  const bool legacy_queue = opts_.legacy_event_queue;
+  const std::size_t max_events = opts_.max_events;
+  obs::Gauge* const queue_hwm = obs_.queue_hwm;
+  obs::Counter* const ev_counter = obs_.events;
+  obs::Histogram* const cone_sizes = obs_.cone_sizes;
   while (true) {
     Time t_next = t_end;
     bool have_event = false;
@@ -224,11 +237,23 @@ Trace& Simulator::run() {
         const double span_t0 =
             obs_.tracing ? opts_.tracer->now_us() : 0.0;
         in_integration_ = true;
-        integrate(
-            opts_.integrator,
-            [this](Time t, const std::vector<double>& x,
-                   std::vector<double>& dx) { evaluate_derivatives(t, x, dx); },
-            time_, t_next, x_);
+        if (opts_.legacy_integrator_alloc) {
+          // Bench baseline: std::function built per interval, per-call stage
+          // buffers inside — the pre-workspace cost model.
+          const DerivFn deriv = [this](Time t, const std::vector<double>& x,
+                                       std::vector<double>& dx) {
+            evaluate_derivatives(t, x, dx);
+          };
+          integrate_legacy_alloc(opts_.integrator, deriv, time_, t_next, x_);
+        } else {
+          integrate(
+              opts_.integrator,
+              [this](Time t, const std::vector<double>& x,
+                     std::vector<double>& dx) {
+                evaluate_derivatives(t, x, dx);
+              },
+              time_, t_next, x_, iws_);
+        }
         in_integration_ = false;
         active_x_ = x_.data();
         if (obs_.tracing) {
@@ -240,29 +265,71 @@ Trace& Simulator::run() {
       refresh_dynamic(time_);
     }
     if (!have_event) break;
-    // Dispatch exactly one event, then re-examine the queue: zero-delay
-    // emissions land behind already-pending simultaneous events (FIFO seq).
-    const ScheduledEvent e = queue_.pop();
-    dispatch(e);
-    const std::span<const std::size_t> cone =
-        opts_.full_refresh ? std::span<const std::size_t>(compiled_.eval_order())
-                           : compiled_.cone(e.block);
-    if (obs_.tracing) {
-      const double span_t0 = opts_.tracer->now_us();
-      refresh_blocks(cone, time_);
-      opts_.tracer->span(obs_.n_cone, obs_.trk_runtime, span_t0,
-                         opts_.tracer->now_us(), obs_.a_cone_size,
-                         static_cast<double>(cone.size()));
+    if (queue_hwm != nullptr) {
+      queue_hwm->max_of(static_cast<double>(queue_.size()));
+    }
+    batch_.clear();
+    if (legacy_queue) {
+      // Pre-PR-4 cost model: one event per main-loop pass, re-comparing the
+      // heap top (and re-taking every branch above) for each tie. Dispatch
+      // order is identical — only the per-event overhead differs.
+      batch_.push_back(queue_.pop());
     } else {
-      refresh_blocks(cone, time_);
+      // Drain every event tied at this instant in one batched pop instead of
+      // re-comparing the heap top per event. Dispatch order is unchanged:
+      // ties pop in FIFO seq order, and zero-delay emissions made *during*
+      // this batch carry higher seq values, so they form the next batch —
+      // exactly where one-at-a-time popping would have placed them.
+      queue_.pop_simultaneous(batch_);
     }
-    if (obs_.cone_sizes != nullptr) {
-      obs_.cone_sizes->observe(static_cast<double>(cone.size()));
-      obs_.queue_hwm->max_of(static_cast<double>(queue_.size()));
+    const auto dispatch_one = [&](const ScheduledEvent& e) {
+      trace_.record_event(e.time, e.block, e.event_in);
+      if (tracing) {
+        opts_.tracer->instant(obs_.block_names[e.block], obs_.trk_events,
+                              obs::sim_us(e.time), obs_.a_port,
+                              static_cast<double>(e.event_in));
+      }
+      if (ev_counter != nullptr) ev_counter->add();
+      {
+        Context ctx(this, e.block, e.time, /*in_event=*/true);
+        model_.block(e.block).on_event(ctx, e.event_in);
+      }
+      const std::span<const std::size_t> cone =
+          full_refresh ? std::span<const std::size_t>(compiled_.eval_order())
+                       : compiled_.cone(e.block);
+      if (tracing) {
+        const double span_t0 = opts_.tracer->now_us();
+        refresh_blocks(cone, time_);
+        opts_.tracer->span(obs_.n_cone, obs_.trk_runtime, span_t0,
+                           opts_.tracer->now_us(), obs_.a_cone_size,
+                           static_cast<double>(cone.size()));
+      } else if (!cone.empty() || legacy_queue) {
+        // Empty cones (pure event-plumbing blocks) skip the call outright —
+        // observably identical, and most events in delay-chain workloads
+        // have nothing to refresh. The legacy cost model keeps the seed's
+        // unconditional call.
+        refresh_blocks(cone, time_);
+      }
+      if (cone_sizes != nullptr) {
+        cone_sizes->observe(static_cast<double>(cone.size()));
+      }
+      if (++events_dispatched_ > max_events) {
+        throw std::runtime_error(
+            "Simulator: max_events exceeded (runaway loop?)");
+      }
+    };
+    lane_active_ = !legacy_queue;
+    for (const ScheduledEvent& e : batch_) dispatch_one(e);
+    // Zero-delay cascades landed in the lane instead of the heap (the
+    // heap's ties at this instant are already drained, so append order is
+    // exactly the seq order they would have popped in). Index loop: a
+    // dispatch may append — and reallocate — while we drain.
+    for (std::size_t i = 0; i < lane_.size(); ++i) {
+      const ScheduledEvent e = lane_[i];
+      dispatch_one(e);
     }
-    if (++events_dispatched_ > opts_.max_events) {
-      throw std::runtime_error("Simulator: max_events exceeded (runaway loop?)");
-    }
+    lane_.clear();
+    lane_active_ = false;
   }
   if (obs_.evals_per_block != nullptr) {
     // Distribution of eval calls across blocks for this run (hot blocks sit

@@ -2,10 +2,6 @@
 
 namespace ecsim::sim {
 
-void Trace::record_event(Time t, std::size_t block, std::size_t event_in) {
-  events_.push_back(EventRecord{t, block, event_in});
-}
-
 void Trace::record_event(Time t, std::size_t block, std::size_t event_in,
                          const std::string& name) {
   if (block >= names_.size()) names_.resize(block + 1);
@@ -16,6 +12,34 @@ void Trace::record_event(Time t, std::size_t block, std::size_t event_in,
 void Trace::record_signal(Time t, std::size_t block,
                           std::vector<double> values) {
   signals_.push_back(SignalRecord{t, block, std::move(values)});
+  reserve_pool();
+}
+
+void Trace::record_signal(Time t, std::size_t block,
+                          std::span<const double> values) {
+  SignalRecord& rec = signals_.emplace_back();
+  rec.time = t;
+  rec.block = block;
+  if (!pool_.empty()) {
+    rec.values = std::move(pool_.back());
+    pool_.pop_back();
+  } else {
+    // Pool miss: a genuinely new slot (warm-up). Grow the pool's *capacity*
+    // alongside, so the clear() that recycles every live buffer back — the
+    // first thing a steady-state re-run does — never grows the pool vector
+    // itself. Without this the warmed re-run still pays O(log n) pool
+    // reallocations inside clear(), which the allocation guard counts.
+    reserve_pool();
+  }
+  // assign() reuses the recycled capacity when it suffices — the common
+  // steady-state case, since probes sample fixed-width signals.
+  rec.values.assign(values.begin(), values.end());
+}
+
+void Trace::reserve_pool() {
+  if (pool_.capacity() < pool_.size() + signals_.size()) {
+    pool_.reserve(pool_.size() + signals_.capacity());
+  }
 }
 
 void Trace::register_block_names(std::vector<std::string> names) {
@@ -85,6 +109,12 @@ std::vector<std::pair<Time, double>> Trace::series_by_name(
 
 void Trace::clear() {
   events_.clear();
+  // Recycle the signal value buffers: the next run's record_signal(span)
+  // calls pop them back out and assign() within their capacity, so a warmed
+  // trace re-records without touching the heap.
+  for (SignalRecord& s : signals_) {
+    if (s.values.capacity() > 0) pool_.push_back(std::move(s.values));
+  }
   signals_.clear();
 }
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -40,13 +41,20 @@ struct SignalRecord {
 class Trace {
  public:
   /// Fast path: the block's name must already be registered (the Simulator
-  /// registers the whole model's name table before the run).
-  void record_event(Time t, std::size_t block, std::size_t event_in);
+  /// registers the whole model's name table before the run). Inline — this
+  /// runs once per dispatched event.
+  void record_event(Time t, std::size_t block, std::size_t event_in) {
+    events_.push_back(EventRecord{t, block, event_in});
+  }
   /// Compatibility path for hand-built traces: registers `name` for `block`
   /// on first sight (first registration wins), then records.
   void record_event(Time t, std::size_t block, std::size_t event_in,
                     const std::string& name);
   void record_signal(Time t, std::size_t block, std::vector<double> values);
+  /// Hot-path overload: copies `values` into a vector recycled from the
+  /// clear() pool, so steady-state probing allocates nothing once every
+  /// sample slot has been warmed up (DESIGN.md §3.4).
+  void record_signal(Time t, std::size_t block, std::span<const double> values);
 
   /// Install the block-index -> name table (typically
   /// CompiledModel::block_names()). Replaces any prior table.
@@ -84,18 +92,28 @@ class Trace {
       const std::string& name, std::size_t component = 0) const;
 
   /// Clears the record streams; the name table survives (it is structural,
-  /// not per-run).
+  /// not per-run). Signal value vectors are recycled into an internal pool
+  /// so a re-run records into already-sized buffers without allocating.
   void clear();
 
   /// Exact (bitwise on times/values) equality — the A/B oracle for the
   /// incremental-vs-full-refresh equivalence property. Also compares the
-  /// name tables, so identity by (index, name) is preserved.
-  friend bool operator==(const Trace&, const Trace&) = default;
+  /// name tables, so identity by (index, name) is preserved. The recycling
+  /// pool is deliberately excluded: it is capacity, not content.
+  friend bool operator==(const Trace& a, const Trace& b) {
+    return a.events_ == b.events_ && a.signals_ == b.signals_ &&
+           a.names_ == b.names_;
+  }
 
  private:
+  /// Keep pool_ able to absorb every live signal buffer without growing, so
+  /// clear()'s recycle loop is allocation-free on a warmed trace.
+  void reserve_pool();
+
   std::vector<EventRecord> events_;
   std::vector<SignalRecord> signals_;
   std::vector<std::string> names_;  // block index -> name ("" = unknown)
+  std::vector<std::vector<double>> pool_;  // recycled signal value buffers
 };
 
 }  // namespace ecsim::sim

@@ -1,0 +1,141 @@
+// Zero-allocation steady-state guard (DESIGN.md §3.4, EXP-P4).
+//
+// Strategy: run each scenario once to warm every capacity to its high-water
+// mark (integrator workspace, event-queue heap, trace streams and the signal
+// value pool, block scratch), then assert that an entire *second* run —
+// thousands of steady-state events — performs zero heap allocations. That is
+// strictly stronger than sampling N events mid-run and needs no hooks into
+// the simulation loop.
+//
+// These tests only assert under -DECSIM_ALLOC_GUARD=ON (the counting
+// operator new/delete build); otherwise they GTEST_SKIP, so the tier-1
+// suite is unaffected.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "blocks/continuous.hpp"
+#include "blocks/discrete.hpp"
+#include "blocks/event_blocks.hpp"
+#include "blocks/math_blocks.hpp"
+#include "blocks/probe.hpp"
+#include "blocks/sample_hold.hpp"
+#include "blocks/sources.hpp"
+#include "sim/simulator.hpp"
+#include "support/alloc_counter.hpp"
+
+namespace {
+
+using namespace ecsim;
+namespace et = ecsim::testing;
+
+/// Sampled-data servo loop (the cosim Fig. 2 shape): continuous 2nd-order
+/// plant, S/H sense, discrete PI controller, S/H actuate, clocked at ts,
+/// with a periodic probe recording y. Exercises integration (RK4 between
+/// events), zero-delay event chains, trace signal recording.
+sim::Model servo_loop_model() {
+  sim::Model m;
+  auto& plant = m.add<blocks::StateSpaceCont>(
+      "plant", math::Matrix{{0.0, 1.0}, {-4.0, -1.2}},
+      math::Matrix{{0.0}, {4.0}}, math::Matrix{{1.0, 0.0}},
+      math::Matrix{{0.0}});
+  auto& ref = m.add<blocks::Step>("ref", 0.0, 1.0, 0.0);
+  auto& sense = m.add<blocks::SampleHold>("sense", 1);
+  m.connect(plant, 0, sense, 0);
+  auto& err = m.add<blocks::Sum>("err", std::vector<double>{1.0, -1.0}, 1);
+  m.connect(ref, 0, err, 0);
+  m.connect(sense, 0, err, 1);
+  // Discrete PI as a one-state LTI: x+ = x + ki*ts*e, u = x + kp*e.
+  auto& ctrl = m.add<blocks::StateSpaceDisc>(
+      "ctrl", math::Matrix{{1.0}}, math::Matrix{{0.02}}, math::Matrix{{1.0}},
+      math::Matrix{{1.8}});
+  m.connect(err, 0, ctrl, 0);
+  auto& act = m.add<blocks::SampleHold>("act", 1);
+  m.connect(ctrl, 0, act, 0);
+  m.connect(act, 0, plant, 0);
+  auto& probe_y = m.add<blocks::Probe>("probe_y", 1, 1e-3);
+  m.connect(plant, 0, probe_y, 0);
+
+  auto& clock = m.add<blocks::Clock>("clock", 1e-3);
+  m.connect_event(clock, clock.event_out(), sense, sense.event_in());
+  m.connect_event(sense, sense.done_event_out(), ctrl, ctrl.event_in());
+  m.connect_event(ctrl, ctrl.done_event_out(), act, act.event_in());
+  return m;
+}
+
+/// 200 parallel delay chains off one clock (the bench_p1/bench_p4 event-rate
+/// scenario): pure event traffic with large simultaneous batches.
+sim::Model chains_model(std::size_t n_chains) {
+  sim::Model m;
+  auto& clk = m.add<blocks::Clock>("clk", 1e-3);
+  for (std::size_t i = 0; i < n_chains; ++i) {
+    const std::string tag = std::to_string(i);
+    auto& d1 = m.add<blocks::EventDelay>("d1_" + tag, 1e-4);
+    auto& d2 = m.add<blocks::EventDelay>("d2_" + tag, 2e-4);
+    auto& cnt = m.add<blocks::EventCounter>("cnt_" + tag);
+    m.connect_event(clk, clk.event_out(), d1, d1.event_in());
+    m.connect_event(d1, d1.event_out(), d2, d2.event_in());
+    m.connect_event(d2, d2.event_out(), cnt, 0);
+  }
+  return m;
+}
+
+void expect_second_run_allocation_free(sim::Model& model,
+                                       const sim::SimOptions& opts,
+                                       std::size_t min_events) {
+  if (!et::alloc_guard_enabled()) {
+    GTEST_SKIP() << "build with -DECSIM_ALLOC_GUARD=ON to count allocations";
+  }
+  sim::Simulator simulator(model, opts);
+  simulator.run();  // warm-up: grows every buffer to its high-water mark
+  const std::size_t events = simulator.events_dispatched();
+  ASSERT_GE(events, min_events) << "scenario dispatches too few events to be "
+                                   "a meaningful steady-state guard";
+
+  et::AllocProbe probe;
+  simulator.run();
+  EXPECT_EQ(probe.allocations(), 0u)
+      << "steady-state re-run performed heap allocations (" << events
+      << " events)";
+  EXPECT_EQ(simulator.events_dispatched(), events);
+}
+
+TEST(AllocGuard, ServoLoopSteadyStateIsAllocationFree) {
+  sim::Model m = servo_loop_model();
+  sim::SimOptions opts;
+  opts.end_time = 0.5;
+  opts.integrator.kind = sim::IntegratorKind::kRk4;
+  opts.integrator.max_step = 2e-4;
+  expect_second_run_allocation_free(m, opts, 1500);
+}
+
+TEST(AllocGuard, ServoLoopRkf45SteadyStateIsAllocationFree) {
+  sim::Model m = servo_loop_model();
+  sim::SimOptions opts;
+  opts.end_time = 0.5;
+  opts.integrator.kind = sim::IntegratorKind::kRkf45;
+  opts.integrator.max_step = 5e-4;
+  expect_second_run_allocation_free(m, opts, 1500);
+}
+
+TEST(AllocGuard, TwoHundredBlockChainSteadyStateIsAllocationFree) {
+  sim::Model m = chains_model(200);
+  sim::SimOptions opts;
+  opts.end_time = 0.25;  // ~150k events: plenty of steady state
+  expect_second_run_allocation_free(m, opts, 100'000);
+}
+
+TEST(AllocGuard, CounterSeesOrdinaryAllocations) {
+  if (!et::alloc_guard_enabled()) {
+    GTEST_SKIP() << "build with -DECSIM_ALLOC_GUARD=ON to count allocations";
+  }
+  et::AllocProbe probe;
+  std::vector<double>* v = new std::vector<double>(1024);
+  EXPECT_GE(probe.allocations(), 1u);
+  delete v;
+  EXPECT_GE(probe.deallocations(), 1u);
+}
+
+}  // namespace

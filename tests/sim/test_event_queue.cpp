@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <vector>
+
 namespace ecsim::sim {
 namespace {
 
@@ -57,6 +60,98 @@ TEST(EventQueue, CarriesEventPort) {
   EXPECT_EQ(e.block, 4u);
   EXPECT_EQ(e.event_in, 7u);
   EXPECT_DOUBLE_EQ(e.time, 1.0);
+}
+
+TEST(EventQueue, PopSimultaneousDrainsExactlyTheTies) {
+  EventQueue q;
+  q.push(1.0, 0, 0);
+  q.push(2.0, 9, 0);
+  q.push(1.0, 1, 0);
+  q.push(1.0, 2, 0);
+  std::vector<ScheduledEvent> out;
+  EXPECT_EQ(q.pop_simultaneous(out), 3u);
+  ASSERT_EQ(out.size(), 3u);
+  // FIFO among the ties, exactly like popping one at a time.
+  EXPECT_EQ(out[0].block, 0u);
+  EXPECT_EQ(out[1].block, 1u);
+  EXPECT_EQ(out[2].block, 2u);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+  // Appends to `out` rather than clearing it.
+  EXPECT_EQ(q.pop_simultaneous(out), 1u);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[3].block, 9u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_THROW(q.pop_simultaneous(out), std::logic_error);
+}
+
+TEST(EventQueue, ReservePreventsSteadyStateReallocation) {
+  EventQueue q;
+  q.reserve(1000);
+  const std::size_t cap = q.capacity();
+  ASSERT_GE(cap, 1000u);
+  for (std::size_t i = 0; i < 1000; ++i) q.push(static_cast<Time>(i), i, 0);
+  EXPECT_EQ(q.capacity(), cap);
+  q.clear();
+  // clear() keeps the backing storage, so a re-run re-fills in place.
+  EXPECT_EQ(q.capacity(), cap);
+  for (std::size_t i = 0; i < 1000; ++i) q.push(static_cast<Time>(i), i, 0);
+  EXPECT_EQ(q.capacity(), cap);
+}
+
+TEST(EventQueue, ClearOnMillionEventQueueIsNearInstant) {
+  // Regression: the pre-PR-4 clear() popped elements one at a time through
+  // the heap (O(n log n)) — hundreds of milliseconds at this size. The O(1)
+  // clear must be orders of magnitude under the generous bound below even on
+  // a loaded CI host.
+  constexpr std::size_t kN = 1'000'000;
+  EventQueue q;
+  q.reserve(kN);
+  std::uint64_t s = 0x9e3779b97f4a7c15ull;  // cheap deterministic scatter
+  for (std::size_t i = 0; i < kN; ++i) {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    q.push(static_cast<Time>(s % 4096), i % 64, 0);
+  }
+  ASSERT_EQ(q.size(), kN);
+  const auto t0 = std::chrono::steady_clock::now();
+  q.clear();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  EXPECT_TRUE(q.empty());
+  EXPECT_LT(ms, 50.0) << "clear() took " << ms << " ms on " << kN
+                      << " events — O(n log n) regression?";
+  // Sequence numbers restart, so FIFO order is reproducible run-to-run.
+  q.push(1.0, 42, 0);
+  EXPECT_EQ(q.pop().seq, 0u);
+}
+
+TEST(EventQueue, SetImplRequiresEmptyQueue) {
+  EventQueue q;
+  EXPECT_EQ(q.impl(), EventQueue::Impl::kQuad);
+  q.push(1.0, 0, 0);
+  EXPECT_THROW(q.set_impl(EventQueue::Impl::kLegacyBinary), std::logic_error);
+  q.set_impl(EventQueue::Impl::kQuad);  // no-op on the current impl is fine
+  q.clear();
+  q.set_impl(EventQueue::Impl::kLegacyBinary);
+  EXPECT_EQ(q.impl(), EventQueue::Impl::kLegacyBinary);
+}
+
+TEST(EventQueue, LegacyBinaryModeKeepsOrderAndFifo) {
+  EventQueue q;
+  q.set_impl(EventQueue::Impl::kLegacyBinary);
+  q.push(2.0, 0, 0);
+  q.push(1.0, 1, 0);
+  q.push(1.0, 2, 0);
+  q.push(3.0, 3, 0);
+  EXPECT_EQ(q.pop().block, 1u);
+  EXPECT_EQ(q.pop().block, 2u);
+  std::vector<ScheduledEvent> out;
+  EXPECT_EQ(q.pop_simultaneous(out), 1u);
+  EXPECT_EQ(out[0].block, 0u);
+  EXPECT_EQ(q.pop().block, 3u);
 }
 
 }  // namespace

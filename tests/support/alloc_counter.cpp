@@ -1,0 +1,103 @@
+#include "support/alloc_counter.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+// Relaxed ordering: the guard tests only read the counters before and after
+// a single-threaded region, and TSan builds don't define ECSIM_ALLOC_GUARD.
+std::atomic<std::size_t> g_allocs{0};
+std::atomic<std::size_t> g_frees{0};
+
+}  // namespace
+
+namespace ecsim::testing {
+
+bool alloc_guard_enabled() {
+#ifdef ECSIM_ALLOC_GUARD
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::size_t allocation_count() {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+std::size_t deallocation_count() {
+  return g_frees.load(std::memory_order_relaxed);
+}
+
+}  // namespace ecsim::testing
+
+#ifdef ECSIM_ALLOC_GUARD
+
+// Replace every global allocation entry point. All variants funnel through
+// these helpers; the full set (array, nothrow, aligned, sized) is provided
+// so no call can slip past the counter or pair a counted new with an
+// uncounted delete.
+
+namespace {
+
+void* counted_alloc(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n == 0 ? 1 : n)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_alloc_aligned(std::size_t n, std::size_t align) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(align, (n + align - 1) / align * align)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void counted_free(void* p) {
+  if (p == nullptr) return;
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  return counted_alloc_aligned(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return counted_alloc_aligned(n, static_cast<std::size_t>(a));
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n == 0 ? 1 : n);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n == 0 ? 1 : n);
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+
+#endif  // ECSIM_ALLOC_GUARD

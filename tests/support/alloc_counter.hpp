@@ -1,0 +1,44 @@
+// Test-only global heap-allocation counter backing the zero-allocation
+// guard (DESIGN.md §3.4). When the build is configured with
+// -DECSIM_ALLOC_GUARD=ON, the companion .cpp replaces the global operator
+// new/delete with counting wrappers; without it the counters stay at zero
+// and guard tests GTEST_SKIP so the tier-1 suite is unaffected.
+//
+// Link rule: compile alloc_counter.cpp into the *test executable* itself
+// (not a library that might be dropped) so the replacement operators are
+// guaranteed to win over the default ones.
+#pragma once
+
+#include <cstddef>
+
+namespace ecsim::testing {
+
+/// True when this binary was built with -DECSIM_ALLOC_GUARD=ON (i.e. the
+/// counting operator new/delete are live).
+bool alloc_guard_enabled();
+
+/// Number of global operator new calls (all variants) since process start.
+std::size_t allocation_count();
+/// Number of global operator delete calls on non-null pointers.
+std::size_t deallocation_count();
+
+/// Counts allocations across a scope:
+///   AllocProbe probe;
+///   hot_path();
+///   EXPECT_EQ(probe.allocations(), 0u);
+class AllocProbe {
+ public:
+  AllocProbe()
+      : start_allocs_(allocation_count()),
+        start_frees_(deallocation_count()) {}
+  std::size_t allocations() const { return allocation_count() - start_allocs_; }
+  std::size_t deallocations() const {
+    return deallocation_count() - start_frees_;
+  }
+
+ private:
+  std::size_t start_allocs_;
+  std::size_t start_frees_;
+};
+
+}  // namespace ecsim::testing
