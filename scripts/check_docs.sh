@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Docs rot guard (run in CI, see .github/workflows/ci.yml):
+#   1. every `ecsim_flow` subcommand mentioned in README.md / docs/ exists
+#      in the CLI's usage text;
+#   2. every --flag used on a documented `ecsim_flow` command line exists
+#      in the usage text;
+#   3. every `SimOptions::member` / `VmOptions::member` referenced in the
+#      docs is still a member of the corresponding struct.
+# Usage: scripts/check_docs.sh [path/to/ecsim_flow]
+# Falls back to parsing tools/ecsim_flow.cpp when the binary isn't built.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FLOW_BIN="${1:-build/tools/ecsim_flow}"
+DOCS=(README.md docs/architecture.md docs/tutorial.md docs/benchmarks.md)
+fail=0
+
+if [[ -x "$FLOW_BIN" ]]; then
+  usage_text="$("$FLOW_BIN" 2>&1 || true)"
+else
+  echo "note: $FLOW_BIN not built; parsing usage() from tools/ecsim_flow.cpp"
+  usage_text="$(sed -n '/usage: ecsim_flow/,/return 2;/p' tools/ecsim_flow.cpp)"
+fi
+
+# --- 1. subcommands -------------------------------------------------------
+# Every word directly following an *invocation* of ecsim_flow in the docs
+# (requiring a path prefix like ./build/tools/ecsim_flow filters out prose
+# such as "the ecsim_flow command-line driver"). `sweep` and `fault` take a
+# bare sub-subcommand, so their second word is checked too.
+doc_cmds=$(grep -rhoE "/ecsim_flow[[:space:]]+[a-z][a-z-]*([[:space:]]+[a-z][a-z-]*)?" "${DOCS[@]}" |
+  sed 's|^/ecsim_flow[[:space:]]*||' |
+  awk '{ print $1; if (($1 == "sweep" || $1 == "fault") && NF > 1) print $2 }' |
+  sort -u)
+for cmd in $doc_cmds; do
+  if ! grep -qE "(^|[^a-z-])${cmd}([^a-z-]|$)" <<<"$usage_text"; then
+    echo "FAIL: documented ecsim_flow subcommand '${cmd}' not in usage text"
+    fail=1
+  fi
+done
+
+# --- 2. flags -------------------------------------------------------------
+# Flags on ecsim_flow command lines, including backslash-continuations.
+flow_lines=$(awk '
+  /ecsim_flow/ { active = 1 }
+  active { print; if ($0 !~ /\\$/) active = 0 }
+' "${DOCS[@]}")
+doc_flags=$(grep -oE -- "--[a-z][a-z-]*" <<<"$flow_lines" | sort -u || true)
+for flag in $doc_flags; do
+  if ! grep -qF -- "$flag" <<<"$usage_text"; then
+    echo "FAIL: documented ecsim_flow flag '${flag}' not in usage text"
+    fail=1
+  fi
+done
+
+# --- 3. option-struct members --------------------------------------------
+declare -A HEADER=(
+  [SimOptions]=src/sim/simulator.hpp
+  [VmOptions]=src/exec/executive_vm.hpp
+)
+doc_refs=$(grep -rhoE "(SimOptions|VmOptions)::[a-zA-Z_]+" "${DOCS[@]}" |
+  sort -u || true)
+for ref in $doc_refs; do
+  struct="${ref%%::*}"
+  member="${ref##*::}"
+  header="${HEADER[$struct]}"
+  body=$(awk "/struct ${struct} \\{/,/^\\};/" "$header")
+  if [[ -z "$body" ]]; then
+    echo "FAIL: struct ${struct} not found in ${header}"
+    fail=1
+  elif ! grep -qE "(^|[^a-zA-Z_])${member}([^a-zA-Z_]|$)" <<<"$body"; then
+    echo "FAIL: ${ref} referenced in docs but '${member}' is not a member in ${header}"
+    fail=1
+  fi
+done
+
+if [[ $fail -ne 0 ]]; then
+  echo "check_docs: FAILED"
+  exit 1
+fi
+echo "check_docs: OK (subcommands, flags and option members all exist)"

@@ -107,6 +107,30 @@ EventMerge::EventMerge(std::string name, std::size_t n_inputs)
 
 void EventMerge::on_event(Context& ctx, std::size_t) { ctx.emit(0, 0.0); }
 
+EventFault::EventFault(std::string name, FaultDecider decider)
+    : Block(std::move(name)), decider_(std::move(decider)) {
+  if (!decider_) throw std::invalid_argument("EventFault: null decider");
+  add_event_input();
+  add_event_output();
+}
+
+void EventFault::initialize(Context&) {
+  count_ = 0;
+  drops_ = 0;
+  defers_ = 0;
+}
+
+void EventFault::on_event(Context& ctx, std::size_t) {
+  const FaultAction a = decider_(count_++, ctx.time());
+  if (a.drop) {
+    ++drops_;
+    return;
+  }
+  if (a.defer < 0.0) throw std::runtime_error("EventFault: negative defer");
+  if (a.defer > 0.0) ++defers_;
+  ctx.emit(0, a.defer);
+}
+
 EventDivider::EventDivider(std::string name, std::size_t divisor,
                            std::size_t phase)
     : Block(std::move(name)), divisor_(divisor), phase_(phase) {

@@ -105,6 +105,43 @@ class EventMerge : public Block {
   std::size_t event_out() const { return 0; }
 };
 
+/// What an EventFault does to one activation: swallow it, hold it back for
+/// `defer` time units, or (both fields neutral) forward it unchanged.
+struct FaultAction {
+  bool drop = false;
+  Time defer = 0.0;
+};
+
+/// Decides the fault action for activation number `k` (0-based count since
+/// initialize) arriving at sim time `now`. Pure functions of (k, now) keep
+/// the run deterministic; fault::ArmedFaultPlan provides exactly that.
+using FaultDecider = std::function<FaultAction(std::size_t k, Time now)>;
+
+/// Fault-injection gate for the graph of delays (DESIGN.md §3.5): applies a
+/// FaultDecider to every incoming event. Dropped events model message loss —
+/// the downstream Sample/Hold simply never activates that iteration and
+/// holds its last sample (realistic stale-data degradation). Deferred events
+/// model node outages and delivery delays.
+class EventFault : public Block {
+ public:
+  EventFault(std::string name, FaultDecider decider);
+
+  void initialize(Context& ctx) override;
+  void on_event(Context& ctx, std::size_t event_in) override;
+
+  std::size_t event_in() const { return 0; }
+  std::size_t event_out() const { return 0; }
+  /// Activations swallowed / deferred so far (reset per run).
+  std::size_t drops() const { return drops_; }
+  std::size_t defers() const { return defers_; }
+
+ private:
+  FaultDecider decider_;
+  std::size_t count_ = 0;
+  std::size_t drops_ = 0;
+  std::size_t defers_ = 0;
+};
+
 /// Forwards every n-th incoming event (those with index % n == phase) —
 /// the rate decimator of multirate diagrams.
 class EventDivider : public Block {

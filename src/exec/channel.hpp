@@ -13,22 +13,31 @@ namespace ecsim::exec {
 using aaa::Time;
 
 /// State of one logical channel (one ScheduledComm) across iterations.
+/// Under fault injection (DESIGN.md §3.5) a transfer may instead be marked
+/// *lost*: the frame occupied the medium but never delivers, and the
+/// receiver's degradation policy decides what happens at the Recv.
 class Channel {
  public:
   explicit Channel(std::size_t iterations)
-      : sent_(iterations), delivered_(iterations) {}
+      : sent_(iterations), delivered_(iterations), lost_(iterations) {}
 
   void mark_sent(std::size_t iter, Time t) { sent_.at(iter) = t; }
   void mark_delivered(std::size_t iter, Time t) { delivered_.at(iter) = t; }
+  /// Record that iteration `iter`'s frame was dropped; `t` is the instant
+  /// the loss is knowable (the would-be delivery end — e.g. a CRC failure
+  /// detected when the frame finishes).
+  void mark_lost(std::size_t iter, Time t) { lost_.at(iter) = t; }
 
   std::optional<Time> sent(std::size_t iter) const { return sent_.at(iter); }
   std::optional<Time> delivered(std::size_t iter) const {
     return delivered_.at(iter);
   }
+  std::optional<Time> lost(std::size_t iter) const { return lost_.at(iter); }
 
  private:
   std::vector<std::optional<Time>> sent_;
   std::vector<std::optional<Time>> delivered_;
+  std::vector<std::optional<Time>> lost_;
 };
 
 }  // namespace ecsim::exec

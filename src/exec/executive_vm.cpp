@@ -62,6 +62,9 @@ struct Cursor {
   std::size_t pc = 0;    // instruction / transfer index within one iteration
   std::size_t iter = 0;  // current iteration
   Time t = 0.0;          // local time: everything before this has finished
+  // Iteration being abandoned under DegradationPolicy::kSkipCycle (kNone
+  // when none): computes are suppressed, sends still fire the stale buffer.
+  std::size_t skip_iter = kNone;
   bool done(std::size_t length, std::size_t iterations) const {
     return iter >= iterations || length == 0;
   }
@@ -119,6 +122,15 @@ VmResult run_executives(const AlgorithmGraph& alg,
   math::Rng rng(opts.seed);
   const std::size_t iters = opts.iterations;
 
+  // Fault injection (DESIGN.md §3.5): arm once against this schedule. An
+  // empty plan leaves `armed` inactive and every hook below short-circuits,
+  // keeping the fault-free path bit-identical to a plan-less run.
+  fault::ArmedFaultPlan armed;
+  if (!opts.fault_plan.empty()) {
+    armed = fault::ArmedFaultPlan(opts.fault_plan, alg, arch, sched);
+  }
+  const bool faulting = armed.active();
+
   // Observability: resolve metric instruments and intern track/name ids up
   // front so the interpreter loop only tests cached pointers.
   obs::Counter* c_ops = nullptr;
@@ -134,9 +146,20 @@ VmResult run_executives(const AlgorithmGraph& alg,
   const bool tracing = obs::active(opts.tracer);
   std::vector<std::uint32_t> proc_track, op_name, medium_track, comm_name;
   std::uint32_t a_iter = 0;
+  std::uint32_t n_loss = 0, n_delay = 0, n_dup = 0, n_overrun = 0,
+                 n_stall = 0, n_stale = 0, n_skip = 0;
   if (tracing) {
     obs::Tracer& t = *opts.tracer;
     a_iter = t.intern("iteration");
+    if (faulting) {
+      n_loss = t.intern("fault/loss");
+      n_delay = t.intern("fault/delay");
+      n_dup = t.intern("fault/duplicate");
+      n_overrun = t.intern("fault/overrun");
+      n_stall = t.intern("fault/node-stall");
+      n_stale = t.intern("fault/stale-read");
+      n_skip = t.intern("fault/skip-cycle");
+    }
     proc_track.resize(code.programs.size());
     for (std::size_t pi = 0; pi < code.programs.size(); ++pi) {
       proc_track[pi] =
@@ -196,6 +219,10 @@ VmResult run_executives(const AlgorithmGraph& alg,
     const aaa::Instr& ins = prog.instrs[cur.pc];
     switch (ins.kind) {
       case aaa::InstrKind::kCompute: {
+        // Skip-cycle degradation: the iteration was abandoned at a lost
+        // Recv, so computations are suppressed (no op instance, no time
+        // spent) while the pc still advances toward the next iteration.
+        if (cur.skip_iter == cur.iter) break;
         const Operation& op = alg.op(ins.op);
         const CompiledInstr& ci = compiled[pi][cur.pc];
         Time start = cur.t;
@@ -206,6 +233,23 @@ VmResult run_executives(const AlgorithmGraph& alg,
           start = std::max(start, static_cast<Time>(cur.iter) * opts.period +
                                       ci.release);
         }
+        // Node outage: a start falling inside a stop window defers to the
+        // restart instant.
+        if (faulting && armed.node_has_outages(prog.proc)) {
+          const Time released = armed.node_release(prog.proc, start);
+          if (released > start) {
+            ++result.node_stalls;
+            result.injections.push_back(fault::Injection{
+                fault::FaultKind::kNodeStop, kNone, kNone, ins.op, cur.iter,
+                released});
+            if (tracing) {
+              opts.tracer->instant(n_stall, proc_track[pi],
+                                   obs::sim_us(released), a_iter,
+                                   static_cast<double>(cur.iter));
+            }
+            start = released;
+          }
+        }
         std::size_t branch = kNone;
         Time wcet;
         if (op.is_conditional()) {
@@ -215,7 +259,24 @@ VmResult run_executives(const AlgorithmGraph& alg,
         } else {
           wcet = ci.wcet;
         }
-        const Time dur = exec_time(op, wcet);
+        Time dur = exec_time(op, wcet);
+        // Transient overrun: inflate the actual execution time.
+        if (faulting) {
+          std::size_t fi = kNone;
+          const double factor = armed.op_factor(ins.op, cur.iter, &fi);
+          if (factor > 1.0) {
+            dur *= factor;
+            ++result.op_overruns;
+            result.injections.push_back(fault::Injection{
+                fault::FaultKind::kOpOverrun, fi, kNone, ins.op, cur.iter,
+                start});
+            if (tracing) {
+              opts.tracer->instant(n_overrun, proc_track[pi],
+                                   obs::sim_us(start), a_iter,
+                                   static_cast<double>(cur.iter));
+            }
+          }
+        }
         result.ops.push_back(
             OpInstance{ins.op, cur.iter, prog.proc, start, start + dur, branch});
         if (tracing) {
@@ -228,12 +289,37 @@ VmResult run_executives(const AlgorithmGraph& alg,
         break;
       }
       case aaa::InstrKind::kSend:
+        // Under kSkipCycle the send still fires (with the stale buffer) so
+        // downstream processors and communicators never deadlock on it.
         channels[ins.comm].mark_sent(cur.iter, cur.t);
         break;
       case aaa::InstrKind::kRecv: {
         const auto delivered = channels[ins.comm].delivered(cur.iter);
-        if (!delivered) return false;  // blocked on message
-        cur.t = std::max(cur.t, *delivered);
+        if (delivered) {
+          cur.t = std::max(cur.t, *delivered);
+          break;
+        }
+        const auto lost = channels[ins.comm].lost(cur.iter);
+        if (!lost) return false;  // blocked on message
+        // The message was dropped: degrade instead of deadlocking. Either
+        // way local time advances to the instant the loss is knowable.
+        cur.t = std::max(cur.t, *lost);
+        if (opts.fault_policy == fault::DegradationPolicy::kSkipCycle) {
+          if (cur.skip_iter != cur.iter) {
+            cur.skip_iter = cur.iter;
+            ++result.cycles_skipped;
+            if (tracing) {
+              opts.tracer->instant(n_skip, proc_track[pi], obs::sim_us(cur.t),
+                                   a_iter, static_cast<double>(cur.iter));
+            }
+          }
+        } else {
+          ++result.stale_reads;  // proceed on the held sample
+          if (tracing) {
+            opts.tracer->instant(n_stale, proc_track[pi], obs::sim_us(cur.t),
+                                 a_iter, static_cast<double>(cur.iter));
+          }
+        }
         break;
       }
     }
@@ -266,16 +352,72 @@ VmResult run_executives(const AlgorithmGraph& alg,
     const aaa::CommunicatorProgram& prog = code.communicators[mi];
     if (cur.done(prog.comms.size(), iters)) return false;
     const std::size_t ci = prog.comms[cur.pc];
-    const auto sent = prev_hop[ci] == kNone
-                          ? channels[ci].sent(cur.iter)
-                          : channels[prev_hop[ci]].delivered(cur.iter);
+    auto sent = channels[ci].sent(cur.iter);
+    if (prev_hop[ci] != kNone) {
+      sent = channels[prev_hop[ci]].delivered(cur.iter);
+      if (!sent) {
+        // A hop whose predecessor frame was lost never carries anything:
+        // propagate the loss downstream without occupying this medium.
+        const auto prev_lost = channels[prev_hop[ci]].lost(cur.iter);
+        if (!prev_lost) return false;
+        channels[ci].mark_lost(cur.iter, *prev_lost);
+        if (++cur.pc == prog.comms.size()) {
+          cur.pc = 0;
+          ++cur.iter;
+        }
+        return true;
+      }
+    }
     if (!sent) return false;  // waiting for the sender's signal
     const aaa::ScheduledComm& sc = sched.comms()[ci];
     const DataDep& dep = alg.dependencies()[sc.dep_index];
     const aaa::Medium& medium = arch.medium(prog.medium);
     const Time start = medium.earliest_start(std::max(cur.t, *sent));
-    const Time end = start + medium.transfer_time(dep.size);
-    channels[ci].mark_delivered(cur.iter, end);
+    Time end = start + medium.transfer_time(dep.size);
+    fault::ArmedFaultPlan::CommEffect eff;
+    if (faulting) eff = armed.comm_effect(ci, cur.iter);
+    if (eff.lost) {
+      // The corrupted frame still occupied its slot; the loss is knowable
+      // at the would-be delivery end (e.g. a CRC check failing there).
+      channels[ci].mark_lost(cur.iter, end);
+      ++result.messages_lost;
+      result.injections.push_back(fault::Injection{
+          fault::FaultKind::kMessageLoss, eff.loss_fault, ci, kNone, cur.iter,
+          end});
+      if (tracing) {
+        opts.tracer->instant(n_loss, medium_track[mi], obs::sim_us(end),
+                             a_iter, static_cast<double>(cur.iter));
+      }
+    } else {
+      // Extra copies occupy the medium (retransmissions); extra delay only
+      // postpones the delivery instant (e.g. gateway queueing).
+      if (eff.extra_copies > 0) {
+        end += static_cast<Time>(eff.extra_copies) *
+               medium.transfer_time(dep.size);
+        ++result.messages_duplicated;
+        result.injections.push_back(fault::Injection{
+            fault::FaultKind::kMessageDuplicate, eff.dup_fault, ci, kNone,
+            cur.iter, end});
+        if (tracing) {
+          opts.tracer->instant(n_dup, medium_track[mi], obs::sim_us(end),
+                               a_iter, static_cast<double>(cur.iter));
+        }
+      }
+      Time delivery = end;
+      if (eff.extra_delay > 0.0) {
+        delivery += eff.extra_delay;
+        ++result.messages_delayed;
+        result.injections.push_back(fault::Injection{
+            fault::FaultKind::kMessageDelay, eff.delay_fault, ci, kNone,
+            cur.iter, delivery});
+        if (tracing) {
+          opts.tracer->instant(n_delay, medium_track[mi],
+                               obs::sim_us(delivery), a_iter,
+                               static_cast<double>(cur.iter));
+        }
+      }
+      channels[ci].mark_delivered(cur.iter, delivery);
+    }
     result.comms.push_back(CommInstance{ci, cur.iter, start, end});
     if (tracing) {
       opts.tracer->span(comm_name[ci], medium_track[mi], obs::sim_us(start),
@@ -338,6 +480,14 @@ VmResult run_executives(const AlgorithmGraph& alg,
             [](const CommInstance& a, const CommInstance& b) {
               if (a.start != b.start) return a.start < b.start;
               return a.comm < b.comm;
+            });
+  std::sort(result.injections.begin(), result.injections.end(),
+            [](const fault::Injection& a, const fault::Injection& b) {
+              if (a.iteration != b.iteration) return a.iteration < b.iteration;
+              if (a.at != b.at) return a.at < b.at;
+              if (a.kind != b.kind) return a.kind < b.kind;
+              if (a.comm != b.comm) return a.comm < b.comm;
+              return a.op < b.op;
             });
   return result;
 }

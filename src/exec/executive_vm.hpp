@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "aaa/codegen.hpp"
+#include "fault/fault_plan.hpp"
 #include "mathlib/rng.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
@@ -36,13 +37,28 @@ using BranchFn =
     std::function<std::size_t(const Operation&, std::size_t iter, math::Rng&)>;
 
 struct VmOptions {
+  /// Number of schedule iterations (periods) to execute.
   std::size_t iterations = 1;
   /// Sensor release period: a sensor op of iteration k cannot start before
   /// k * period. 0 disables periodic release (free-running).
   Time period = 0.0;
+  /// Seed of the run's math::Rng (execution-time and branch draws).
   std::uint64_t seed = 1;
-  ExecTimeFn exec_time;     // null => WCET
-  BranchFn branch_chooser;  // null => always branch 0
+  ExecTimeFn exec_time;     ///< null => exactly WCET
+  BranchFn branch_chooser;  ///< null => always branch 0
+  /// Declarative fault schedule (DESIGN.md §3.5). Empty = fault-free and
+  /// bit-identical to a run without a plan. Faults apply at comm/op
+  /// dispatch: message loss/delay/duplication on the media, transient
+  /// execution-time overruns, node stop/restart windows. Every injection
+  /// decision is a pure function of (plan seed, fault, entity, iteration),
+  /// so replays with the same seed produce bit-identical traces.
+  fault::FaultPlan fault_plan;
+  /// What a Recv does when its message is lost: proceed on the held sample
+  /// at the would-be delivery instant (kHoldLastSample), or skip the rest of
+  /// the iteration's computations (kSkipCycle). Either way the executive
+  /// stays live — lost messages never deadlock the VM.
+  fault::DegradationPolicy fault_policy =
+      fault::DegradationPolicy::kHoldLastSample;
   /// Observability (borrowed, may be null). The tracer receives every
   /// operation instance as a sim-time span on its processor's track and
   /// every communication on its medium's track, plus a wall-clock "vm.run"
@@ -77,6 +93,17 @@ struct VmResult {
   std::vector<CommInstance> comms;
   bool deadlock = false;
   std::string deadlock_info;
+
+  /// Every applied fault, sorted by (iteration, at, kind, comm, op) so the
+  /// report order is independent of the interpreter interleaving.
+  std::vector<fault::Injection> injections;
+  std::size_t messages_lost = 0;        ///< transfers dropped
+  std::size_t messages_delayed = 0;     ///< transfers with extra latency
+  std::size_t messages_duplicated = 0;  ///< transfers retransmitted
+  std::size_t op_overruns = 0;          ///< op instances with inflated time
+  std::size_t node_stalls = 0;          ///< op starts deferred past an outage
+  std::size_t stale_reads = 0;          ///< Recvs that held the last sample
+  std::size_t cycles_skipped = 0;       ///< iterations abandoned (kSkipCycle)
 
   /// Completion instants of one operation, ordered by iteration.
   std::vector<Time> completions(OpId op) const;

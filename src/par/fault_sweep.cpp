@@ -1,0 +1,129 @@
+#include "par/fault_sweep.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace ecsim::sweep {
+
+namespace {
+
+/// Same divergence threshold as the design-space sweeps (sweep.cpp).
+constexpr double kUnstableIae = 1e3;
+
+FaultCell evaluate_cell(const translate::LoopSpec& loop,
+                        const translate::DistributedSpec& base,
+                        double loss_rate, double delay,
+                        double delay_probability, const std::string& medium,
+                        std::uint64_t fault_seed) {
+  translate::DistributedSpec dist = base;
+  fault::FaultPlan plan;
+  plan.seed = fault_seed;
+  if (loss_rate > 0.0) plan.message_loss(medium, loss_rate);
+  if (delay > 0.0) plan.message_delay(medium, delay_probability, delay);
+  dist.god.fault_plan = plan;  // empty at (0,0): bit-identical to fault-free
+
+  const translate::CosimOutcome out =
+      translate::run_distributed_loop(loop, dist);
+  FaultCell cell;
+  cell.loss_rate = loss_rate;
+  cell.delay = delay;
+  cell.fault_seed = fault_seed;
+  cell.iae = out.iae;
+  cell.ise = out.ise;
+  cell.itae = out.itae;
+  cell.cost = out.cost;
+  cell.overshoot_pct = out.step.overshoot_pct;
+  cell.messages_lost = out.messages_lost;
+  cell.messages_deferred = out.messages_deferred;
+  cell.stable = out.iae < kUnstableIae;
+  return cell;
+}
+
+}  // namespace
+
+std::vector<FaultCell> run_fault_sweep(const FaultGrid& grid,
+                                       const par::BatchOptions& batch) {
+  if (grid.loss_rates.empty() || grid.delays.empty()) {
+    throw std::invalid_argument("run_fault_sweep: empty grid axis");
+  }
+  const std::size_t cols = grid.delays.size();
+  const std::size_t n = grid.loss_rates.size() * cols;
+  par::BatchRunner runner(batch);
+  return runner.map<FaultCell>(n, [&](par::TaskContext& ctx) {
+    const double loss = grid.loss_rates[ctx.index / cols];
+    const double delay = grid.delays[ctx.index % cols];
+    return evaluate_cell(grid.loop, grid.dist, loss, delay,
+                         grid.delay_probability, grid.medium, grid.fault_seed);
+  });
+}
+
+FaultMonteCarloResult run_fault_monte_carlo(const FaultMonteCarloSpec& spec,
+                                            const par::BatchOptions& batch) {
+  if (spec.trials == 0) {
+    throw std::invalid_argument("run_fault_monte_carlo: zero trials");
+  }
+  par::BatchRunner runner(batch);
+  FaultMonteCarloResult result;
+  result.trials = spec.trials;
+  result.loss_rate = spec.loss_rate;
+  result.cells = runner.map<FaultCell>(spec.trials, [&](par::TaskContext& ctx) {
+    return evaluate_cell(spec.loop, spec.dist, spec.loss_rate, 0.0, 1.0,
+                         spec.medium,
+                         spec.base_seed + static_cast<std::uint64_t>(ctx.index));
+  });
+  std::vector<double> cost, iae, lost;
+  for (const FaultCell& c : result.cells) {
+    lost.push_back(static_cast<double>(c.messages_lost));
+    if (!c.stable) {
+      ++result.unstable_trials;
+      continue;
+    }
+    cost.push_back(c.cost);
+    iae.push_back(c.iae);
+  }
+  result.cost = math::summarize(cost);
+  result.iae = math::summarize(iae);
+  result.messages_lost = math::summarize(lost);
+  return result;
+}
+
+std::string to_csv(const std::vector<FaultCell>& cells) {
+  std::string out =
+      "loss_rate,delay,fault_seed,iae,ise,itae,cost,overshoot_pct,"
+      "messages_lost,messages_deferred,stable\n";
+  char buf[320];
+  for (const FaultCell& c : cells) {
+    std::snprintf(buf, sizeof buf,
+                  "%.17g,%.17g,%llu,%.17g,%.17g,%.17g,%.17g,%.17g,%zu,%zu,"
+                  "%d\n",
+                  c.loss_rate, c.delay,
+                  static_cast<unsigned long long>(c.fault_seed), c.iae, c.ise,
+                  c.itae, c.cost, c.overshoot_pct, c.messages_lost,
+                  c.messages_deferred, c.stable ? 1 : 0);
+    out += buf;
+  }
+  return out;
+}
+
+std::string to_string(const FaultMonteCarloResult& r) {
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof buf,
+                "dropout study: %zu trials at loss rate %.3g (%zu unstable)\n",
+                r.trials, r.loss_rate, r.unstable_trials);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  %-14s %10s %10s %10s %10s\n", "metric",
+                "mean", "stddev", "min", "max");
+  out += buf;
+  const auto row = [&](const char* name, const math::Summary& s) {
+    std::snprintf(buf, sizeof buf, "  %-14s %10.4g %10.4g %10.4g %10.4g\n",
+                  name, s.mean, s.stddev, s.min, s.max);
+    out += buf;
+  };
+  row("cost", r.cost);
+  row("iae", r.iae);
+  row("messages_lost", r.messages_lost);
+  return out;
+}
+
+}  // namespace ecsim::sweep

@@ -89,45 +89,6 @@ std::string to_csv(const std::vector<SweepCell>& cells) {
   return out;
 }
 
-std::string heatmap(const std::vector<SweepCell>& cells,
-                    const std::vector<double>& rows,
-                    const std::vector<double>& cols, const char* row_label,
-                    const char* col_label, double SweepCell::*metric,
-                    const char* title) {
-  if (cells.size() != rows.size() * cols.size()) {
-    throw std::invalid_argument("heatmap: cells != rows x cols");
-  }
-  std::string out = title;
-  out += " (rows: ";
-  out += row_label;
-  out += ", columns: ";
-  out += col_label;
-  out += ")\n";
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%12s", row_label);
-  out += buf;
-  for (const double c : cols) {
-    std::snprintf(buf, sizeof buf, " %10.3g", c);
-    out += buf;
-  }
-  out += "\n";
-  for (std::size_t r = 0; r < rows.size(); ++r) {
-    std::snprintf(buf, sizeof buf, "%12.3g", rows[r]);
-    out += buf;
-    for (std::size_t c = 0; c < cols.size(); ++c) {
-      const SweepCell& cell = cells[r * cols.size() + c];
-      if (cell.stable) {
-        std::snprintf(buf, sizeof buf, " %10.4g", cell.*metric);
-      } else {
-        std::snprintf(buf, sizeof buf, " %10s", "unstable");
-      }
-      out += buf;
-    }
-    out += "\n";
-  }
-  return out;
-}
-
 translate::LoopSpec servo_loop(double ts, double t_end) {
   control::StateSpace servo = plants::dc_servo();
   servo.c = math::Matrix::identity(2);

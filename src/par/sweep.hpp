@@ -6,6 +6,8 @@
 // is row-major over the grid axes regardless of thread count.
 #pragma once
 
+#include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -71,12 +73,48 @@ class SweepRunner {
 std::string to_csv(const std::vector<SweepCell>& cells);
 
 /// Text heatmap of one metric over a 2-D grid: `cells` must be row-major
-/// rows × cols. Diverged cells print "unstable".
-std::string heatmap(const std::vector<SweepCell>& cells,
+/// rows × cols. Works for any cell type with a `bool stable` member
+/// (SweepCell, fault sweeps' FaultCell, ...); diverged cells print
+/// "unstable". Throws std::invalid_argument when cells != rows × cols.
+template <typename Cell>
+std::string heatmap(const std::vector<Cell>& cells,
                     const std::vector<double>& rows,
                     const std::vector<double>& cols, const char* row_label,
-                    const char* col_label, double SweepCell::*metric,
-                    const char* title);
+                    const char* col_label, double Cell::*metric,
+                    const char* title) {
+  if (cells.size() != rows.size() * cols.size()) {
+    throw std::invalid_argument("heatmap: cells != rows x cols");
+  }
+  std::string out = title;
+  out += " (rows: ";
+  out += row_label;
+  out += ", columns: ";
+  out += col_label;
+  out += ")\n";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%12s", row_label);
+  out += buf;
+  for (const double c : cols) {
+    std::snprintf(buf, sizeof buf, " %10.3g", c);
+    out += buf;
+  }
+  out += "\n";
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::snprintf(buf, sizeof buf, "%12.3g", rows[r]);
+    out += buf;
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      const Cell& cell = cells[r * cols.size() + c];
+      if (cell.stable) {
+        std::snprintf(buf, sizeof buf, " %10.4g", cell.*metric);
+      } else {
+        std::snprintf(buf, sizeof buf, " %10s", "unstable");
+      }
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
 
 /// Standard sweep workload: LQR state feedback on the Cervin DC servo
 /// G(s) = 1000/(s(s+1)) at Ts = 10 ms, unit position step (the loop every

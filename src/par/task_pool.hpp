@@ -46,6 +46,9 @@ class TaskPool {
   TaskPool(const TaskPool&) = delete;
   TaskPool& operator=(const TaskPool&) = delete;
 
+  /// Number of worker threads actually created (after the `threads == 0`
+  /// and ECSIM_THREADS resolution) — the exclusive bound on the worker
+  /// index passed to for_each bodies.
   std::size_t num_workers() const { return workers_.size(); }
 
   /// Execute body(task, worker) for every task in [0, n); worker is the

@@ -32,8 +32,14 @@
 namespace ecsim::sim {
 
 struct SimOptions {
+  /// Simulated horizon: run() executes events and integration from t = 0
+  /// until this instant (inclusive of events scheduled exactly at it).
   Time end_time = 1.0;
+  /// Continuous-state integration (method, tolerances, step bounds) applied
+  /// between event instants; see sim/integrator.hpp.
   IntegratorOptions integrator;
+  /// Seed of the run's math::Rng (noise sources and other stochastic
+  /// blocks). Identical seeds give bit-identical runs.
   std::uint64_t seed = 1;
   /// Hard cap on dispatched events; exceeding it aborts the run with an
   /// exception (guards against runaway zero-delay loops).
@@ -60,8 +66,9 @@ struct SimOptions {
   /// implementation was), pops one event per main-loop pass instead of
   /// draining simultaneous ties in a batch, and keeps the seed's
   /// unconditional cone refresh on empty cones. Both produce bit-identical
-  /// traces to the default hot path — asserted by the equivalence property test — and exist so
-  /// bench_p4_hotpath can measure the optimisation inside one binary.
+  /// traces to the default hot path — asserted by the equivalence property
+  /// test — and exist so bench_p4_hotpath can measure the optimisation
+  /// inside one binary.
   bool legacy_integrator_alloc = false;
   bool legacy_event_queue = false;
   /// Observability (both borrowed, may be null; see DESIGN.md §3.2). The
@@ -92,9 +99,13 @@ class Simulator {
   /// restarts from a clean initial state (blocks re-initialize).
   Trace& run();
 
+  /// The recorded signals/events of the latest run (empty before the first).
   Trace& trace() { return trace_; }
   const Trace& trace() const { return trace_; }
+  /// Current simulation time: end_time after a completed run().
   Time current_time() const { return time_; }
+  /// Events dispatched by the latest run (also exported as the
+  /// sim.events_dispatched counter when a MetricsRegistry is attached).
   std::size_t events_dispatched() const { return events_dispatched_; }
 
   /// Final (or current) value of a data output lane — test convenience.

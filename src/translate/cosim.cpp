@@ -333,6 +333,10 @@ CosimOutcome run_distributed_loop(const LoopSpec& spec,
   CosimOutcome out = simulate_and_measure(lm, spec);
   out.makespan = sched.makespan();
   out.schedule_text = sched.to_string(alg, dist.arch);
+  for (const blocks::EventFault* gate : god.fault_gates) {
+    out.messages_lost += gate->drops();
+    out.messages_deferred += gate->defers();
+  }
   return out;
 }
 

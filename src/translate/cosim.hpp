@@ -78,6 +78,10 @@ struct CosimOutcome {
   latency::LatencySeries act_latency;
   double makespan = 0.0;       // distributed runs only
   std::string schedule_text;   // distributed runs only
+  /// Fault accounting (distributed runs with a GodOptions::fault_plan):
+  /// comm events dropped / deferred by the graph-of-delays fault gates.
+  std::size_t messages_lost = 0;
+  std::size_t messages_deferred = 0;
   control::Series y;           // probed output trajectory
   control::Series u;           // probed control trajectory
 };

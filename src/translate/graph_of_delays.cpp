@@ -1,7 +1,9 @@
 #include "translate/graph_of_delays.hpp"
 
 #include <cmath>
+#include <memory>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "blocks/event_blocks.hpp"
@@ -132,19 +134,54 @@ GraphOfDelays build_event_chain(sim::Model& model,
     op_node[so.op] = OpNode{&ed, ed.event_in(), &ed, ed.event_out()};
     god.op_completion[so.op] = CompletionSource{&ed, ed.event_out()};
   }
+  // Arrival source per comm: the transfer's EventDelay, or — under fault
+  // injection — the EventFault gate spliced after it. dep_arrival and
+  // next-hop readiness read from here so a dropped frame never activates
+  // anything downstream (loss propagates across hops), while the
+  // medium-order chain of pass 2b keeps using the EventDelay itself (the
+  // corrupted frame still occupied its slot).
+  std::map<std::size_t, std::pair<const sim::Block*, std::size_t>>
+      comm_arrival;
+  std::shared_ptr<const fault::ArmedFaultPlan> armed;
+  if (!opts.fault_plan.empty()) {
+    armed = std::make_shared<const fault::ArmedFaultPlan>(opts.fault_plan, alg,
+                                                          arch, sched);
+  }
   for (std::size_t ci = 0; ci < sched.comms().size(); ++ci) {
     const aaa::ScheduledComm& sc = sched.comms()[ci];
     const aaa::DataDep& dep = alg.dependencies()[sc.dep_index];
     const aaa::Time dur = arch.medium(sc.hop.medium).transfer_time(dep.size);
-    auto& ed = model.add<blocks::EventDelay>(
-        opts.prefix + "comm/" + alg.op(dep.from).name + ">" +
-            alg.op(dep.to).name + "#" + std::to_string(sc.hop_index),
-        dur);
+    const std::string comm_name = alg.op(dep.from).name + ">" +
+                                  alg.op(dep.to).name + "#" +
+                                  std::to_string(sc.hop_index);
+    auto& ed =
+        model.add<blocks::EventDelay>(opts.prefix + "comm/" + comm_name, dur);
     comm_delay[ci] = &ed;
+    comm_arrival[ci] = {&ed, ed.event_out()};
+    if (armed != nullptr) {
+      // Activation count k of the gate == iteration index (one transfer per
+      // period, order preserved by the busy-queueing EventDelay), so the
+      // decider asks the armed plan the exact same question as the executive
+      // VM and both engines fault the same iterations. Duplication extends
+      // the arrival by extra copies of the transfer time; the medium-
+      // occupancy effect on *later* transfers is not propagated here (a
+      // known graph-of-delays approximation, exact in the VM).
+      auto& gate = model.add<blocks::EventFault>(
+          opts.prefix + "fault/" + comm_name,
+          [armed, ci, dur](std::size_t k, sim::Time) -> blocks::FaultAction {
+            const auto eff = armed->comm_effect(ci, k);
+            if (eff.lost) return {true, 0.0};
+            return {false, eff.extra_delay +
+                               static_cast<sim::Time>(eff.extra_copies) * dur};
+          });
+      model.connect_event(ed, ed.event_out(), gate, gate.event_in());
+      comm_arrival[ci] = {&gate, gate.event_out()};
+      god.fault_gates.push_back(&gate);
+    }
   }
 
   // Completion source of the data of dependency `di` as it arrives at the
-  // consumer: the final hop's delay (cross-processor) or the producer's
+  // consumer: the final hop's arrival (cross-processor) or the producer's
   // delay (same processor).
   auto dep_arrival =
       [&](std::size_t di) -> std::pair<const sim::Block*, std::size_t> {
@@ -157,7 +194,7 @@ GraphOfDelays build_event_chain(sim::Model& model,
       const aaa::ScheduledComm& sc = sched.comms()[ci];
       if (sc.dep_index == di && sc.hop_index >= best_hop) {
         best_hop = sc.hop_index;
-        source = {comm_delay.at(ci), comm_delay.at(ci)->event_out()};
+        source = comm_arrival.at(ci);
       }
     }
     return source;
@@ -229,7 +266,10 @@ GraphOfDelays build_event_chain(sim::Model& model,
           const aaa::ScheduledComm& prev_hop = sched.comms()[cj];
           if (prev_hop.dep_index == sc.dep_index &&
               prev_hop.hop_index + 1 == sc.hop_index) {
-            ready = comm_delay.at(cj);
+            // Arrival source, not the raw delay: a frame lost on the
+            // previous hop must never start this one.
+            ready = comm_arrival.at(cj).first;
+            ready_out = comm_arrival.at(cj).second;
             break;
           }
         }
@@ -286,6 +326,11 @@ GraphOfDelays build_graph_of_delays(sim::Model& model,
         "longer period)");
   }
   if (opts.mode == GodMode::kTimetable) {
+    if (!opts.fault_plan.empty()) {
+      throw std::invalid_argument(
+          "build_graph_of_delays: fault injection requires event-chain mode "
+          "(timetable clocks replay fixed instants)");
+    }
     return build_timetable(model, alg, sched, opts);
   }
   return build_event_chain(model, alg, arch, sched, opts);

@@ -18,9 +18,11 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "aaa/schedule.hpp"
 #include "blocks/event_blocks.hpp"
+#include "fault/fault_plan.hpp"
 #include "sim/model.hpp"
 
 namespace ecsim::translate {
@@ -58,6 +60,14 @@ struct GodOptions {
   /// -> EventMerge, with the select's condition input wired to the bound
   /// signal.
   std::map<std::string, ConditionBinding> conditions;
+  /// Fault schedule (DESIGN.md §3.5): each communication hop gets an
+  /// EventFault gate on its *arrival* path, so lost frames never reach the
+  /// consumer's Synchronization — the S/H fires one period later with the
+  /// next delivered sample (realistic stale-data degradation), while the
+  /// medium-order chain still sees the corrupted frame's occupancy.
+  /// Delay/duplication faults defer the arrival. Event-chain mode only:
+  /// a non-empty plan in timetable mode throws std::invalid_argument.
+  fault::FaultPlan fault_plan;
   /// Name prefix for all generated blocks.
   std::string prefix = "god/";
 };
@@ -71,6 +81,9 @@ struct CompletionSource {
 struct GraphOfDelays {
   const sim::Block* clock = nullptr;  // period clock (event-chain mode only)
   std::map<aaa::OpId, CompletionSource> op_completion;
+  /// Fault gates inserted for GodOptions::fault_plan (empty when fault-free);
+  /// read their drops()/defers() after a run for loss accounting.
+  std::vector<const blocks::EventFault*> fault_gates;
 };
 
 /// Build the graph of delays inside `model`. Throws std::runtime_error if

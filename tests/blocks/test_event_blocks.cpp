@@ -205,6 +205,57 @@ TEST(EventDivider, CounterResetsBetweenRuns) {
   EXPECT_EQ(n.count(), first);
 }
 
+TEST(EventFault, DropsAndDefersPerDecider) {
+  Model m;
+  auto& clk = m.add<Clock>("clk", 1.0);
+  // Drop every even activation, defer every odd one by 0.25 s.
+  auto& gate = m.add<EventFault>("gate", [](std::size_t k, double) {
+    return k % 2 == 0 ? FaultAction{true, 0.0} : FaultAction{false, 0.25};
+  });
+  auto& n = m.add<EventCounter>("n");
+  m.connect_event(clk, 0, gate, gate.event_in());
+  m.connect_event(gate, gate.event_out(), n, 0);
+  Simulator s(m, SimOptions{.end_time = 4.0});
+  s.run();
+  // Ticks 0..4: 0,2,4 dropped; 1,3 forwarded at 1.25 and 3.25.
+  const auto times = s.trace().activation_times_by_name("n");
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_NEAR(times[0], 1.25, 1e-12);
+  EXPECT_NEAR(times[1], 3.25, 1e-12);
+  EXPECT_EQ(gate.drops(), 3u);
+  EXPECT_EQ(gate.defers(), 2u);
+}
+
+TEST(EventFault, PassThroughIsTransparentAndCountersReset) {
+  Model m;
+  auto& clk = m.add<Clock>("clk", 1.0);
+  auto& gate = m.add<EventFault>(
+      "gate", [](std::size_t, double) { return FaultAction{}; });
+  auto& n = m.add<EventCounter>("n");
+  m.connect_event(clk, 0, gate, gate.event_in());
+  m.connect_event(gate, gate.event_out(), n, 0);
+  Simulator s(m, SimOptions{.end_time = 3.0});
+  s.run();
+  EXPECT_EQ(n.count(), 4u);  // 0, 1, 2, 3 — nothing dropped or moved
+  EXPECT_EQ(gate.drops(), 0u);
+  EXPECT_EQ(gate.defers(), 0u);
+  s.run();  // counters are per-run state
+  EXPECT_EQ(gate.drops(), 0u);
+  EXPECT_EQ(n.count(), 4u);
+}
+
+TEST(EventFault, NegativeDeferThrows) {
+  Model m;
+  auto& clk = m.add<Clock>("clk", 1.0);
+  auto& gate = m.add<EventFault>(
+      "gate", [](std::size_t, double) { return FaultAction{false, -1.0}; });
+  auto& n = m.add<EventCounter>("n");
+  m.connect_event(clk, 0, gate, gate.event_in());
+  m.connect_event(gate, gate.event_out(), n, 0);
+  Simulator s(m, SimOptions{.end_time = 1.0});
+  EXPECT_THROW(s.run(), std::exception);
+}
+
 TEST(EventMerge, ForwardsAllInputs) {
   Model m;
   auto& c1 = m.add<Clock>("c1", 1.0);

@@ -19,8 +19,19 @@
 //                                   per-operation latency/jitter
 //                                   distributions across decorrelated
 //                                   random-execution-time draws.
-// Extra flags: --threads=N (0 = hardware), sweep: --csv-out=FILE,
-// montecarlo: --trials=N --iterations=N --seed=N.
+//
+// Robustness evaluation (src/fault, DESIGN.md §3.5):
+//   ecsim_flow fault sweep          loss-rate × delivery-delay grid over the
+//                                   standard DC-servo loop with deterministic
+//                                   fault injection; prints a control-cost
+//                                   heatmap plus loss accounting. Same seed
+//                                   => bit-identical for any --threads.
+//   ecsim_flow fault montecarlo     dropout study: --trials runs at
+//                                   --loss=RATE, each trial re-seeding the
+//                                   fault stream; prints the cost/IAE
+//                                   distribution.
+// Extra flags: --threads=N (0 = hardware), sweep/fault: --csv-out=FILE,
+// montecarlo: --trials=N --iterations=N --seed=N, fault: --loss=RATE.
 //
 // Observability flags (any command, order-free after the spec):
 //   --trace-out=FILE    Chrome trace-event / Perfetto JSON: the adequation
@@ -46,6 +57,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace_json.hpp"
 #include "obs/tracer.hpp"
+#include "par/fault_sweep.hpp"
 #include "par/monte_carlo.hpp"
 #include "par/sweep.hpp"
 #include "translate/schedule_export.hpp"
@@ -62,7 +74,9 @@ int usage() {
                "       ecsim_flow sweep <timing|arch> [--threads=N] "
                "[--csv-out=FILE]\n"
                "       ecsim_flow montecarlo <spec-file> [--threads=N] "
-               "[--trials=N] [--iterations=N] [--seed=N]\n");
+               "[--trials=N] [--iterations=N] [--seed=N]\n"
+               "       ecsim_flow fault <sweep|montecarlo> [--threads=N] "
+               "[--csv-out=FILE] [--loss=RATE] [--trials=N] [--seed=N]\n");
   return 2;
 }
 
@@ -221,6 +235,63 @@ int cmd_sweep(const std::string& kind, std::size_t threads,
   return 0;
 }
 
+int cmd_fault(const std::string& kind, std::size_t threads,
+              const std::string& csv_out, double loss, std::size_t trials,
+              std::uint64_t seed) {
+  par::BatchOptions batch;
+  batch.threads = threads;
+  if (kind == "sweep") {
+    sweep::FaultGrid grid;
+    grid.loop = sweep::servo_loop();
+    grid.dist.bind_ctrl = "P1";  // controller across the bus: real traffic
+    grid.loss_rates = {0.0, 0.05, 0.1, 0.2, 0.4};
+    grid.delays = {0.0, 0.001, 0.002, 0.004};
+    grid.fault_seed = seed;
+    const std::vector<sweep::FaultCell> cells =
+        sweep::run_fault_sweep(grid, batch);
+    const std::string map = sweep::heatmap(
+        cells, grid.loss_rates, grid.delays, "loss rate", "delay (s)",
+        &sweep::FaultCell::cost, "control cost under message faults");
+    std::size_t lost = 0, deferred = 0;
+    for (const sweep::FaultCell& c : cells) {
+      lost += c.messages_lost;
+      deferred += c.messages_deferred;
+    }
+    std::printf("%zu cells (seed %llu)\n%s%zu frames lost, %zu deferred "
+                "across the grid\n",
+                cells.size(), static_cast<unsigned long long>(seed),
+                map.c_str(), lost, deferred);
+    if (!csv_out.empty()) {
+      if (!write_file(csv_out, sweep::to_csv(cells))) {
+        std::fprintf(stderr, "ecsim_flow: cannot write %s\n", csv_out.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "csv: %s\n", csv_out.c_str());
+    }
+    return 0;
+  }
+  if (kind == "montecarlo") {
+    sweep::FaultMonteCarloSpec spec;
+    spec.loop = sweep::servo_loop();
+    spec.dist.bind_ctrl = "P1";
+    spec.loss_rate = loss;
+    spec.trials = trials;
+    spec.base_seed = seed;
+    const sweep::FaultMonteCarloResult result =
+        sweep::run_fault_monte_carlo(spec, batch);
+    std::printf("%s", sweep::to_string(result).c_str());
+    if (!csv_out.empty()) {
+      if (!write_file(csv_out, sweep::to_csv(result.cells))) {
+        std::fprintf(stderr, "ecsim_flow: cannot write %s\n", csv_out.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "csv: %s\n", csv_out.c_str());
+    }
+    return 0;
+  }
+  return usage();
+}
+
 int cmd_montecarlo(const Flow& f, std::size_t threads, std::size_t trials,
                    std::size_t iterations, std::uint64_t seed) {
   const aaa::GeneratedCode code =
@@ -248,6 +319,7 @@ int main(int argc, char** argv) {
   std::string trace_out, metrics_out, csv_out;
   std::size_t threads = 0, trials = 200, iterations = 50;
   std::uint64_t seed = 1;
+  double loss = 0.1;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--trace-out=", 0) == 0) {
@@ -264,6 +336,8 @@ int main(int argc, char** argv) {
       iterations = std::stoul(arg.substr(13));
     } else if (arg.rfind("--seed=", 0) == 0) {
       seed = std::stoull(arg.substr(7));
+    } else if (arg.rfind("--loss=", 0) == 0) {
+      loss = std::stod(arg.substr(7));
     } else {
       return usage();
     }
@@ -272,6 +346,17 @@ int main(int argc, char** argv) {
   if (command == "sweep") {
     try {
       return cmd_sweep(spec_path, threads, csv_out);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ecsim_flow: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (command == "fault") {
+    try {
+      // A full co-simulation per trial: default to 32 trials, not the VM
+      // Monte Carlo's 200, unless the user asked explicitly.
+      return cmd_fault(spec_path, threads, csv_out, loss,
+                       trials == 200 ? 32 : trials, seed);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "ecsim_flow: %s\n", e.what());
       return 1;
