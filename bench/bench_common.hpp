@@ -17,9 +17,11 @@
 #include "control/c2d.hpp"
 #include "control/delay_compensation.hpp"
 #include "control/lqr.hpp"
+#include "ir/ir.hpp"
 #include "plants/dc_servo.hpp"
 #include "latency/latency.hpp"
 #include "par/sweep.hpp"
+#include "sim/build_ir.hpp"
 #include "support/alloc_counter.hpp"
 #include "translate/cosim.hpp"
 
@@ -62,18 +64,35 @@ inline void banner(const char* exp_id, const char* paper_anchor,
 class JsonReport {
  public:
   explicit JsonReport(const std::string& experiment) {
-    out_ = "{\n  \"experiment\": \"" + experiment + "\"";
+    // Sequential += throughout this class: GCC 12's -Wrestrict misfires on
+    // chained std::string operator+ in inlined contexts.
+    out_ = "{\n  \"experiment\": \"";
+    out_ += experiment;
+    out_ += "\"";
     // Perf numbers are meaningless without the machine that produced them:
     // stamp every report with host, core count and compiler. Allocation
     // counts are only live under -DECSIM_ALLOC_GUARD=ON; the stamp lets a
     // reader tell "0 allocs" apart from "not counted".
-    raw_top_field("host", "\"" + hostname() + "\"");
+    raw_top_field("host", quoted(hostname()));
     raw_top_field("hardware_concurrency",
                   std::to_string(std::thread::hardware_concurrency()));
-    raw_top_field("compiler", "\"" + compiler() + "\"");
+    raw_top_field("compiler", quoted(compiler()));
     raw_top_field("alloc_counting",
                   testing::alloc_guard_enabled() ? "\"on\"" : "\"off\"");
   }
+  /// Stamp the canonical Model-IR hash (DESIGN.md §3.6) of a workload model
+  /// so the report names the exact model its numbers were measured on —
+  /// comparable across PRs as long as the hash is unchanged. Call before the
+  /// first begin_array().
+  void model_ir_hash(const std::string& name, const std::string& hash_hex) {
+    std::string key = "model_ir_hash_";
+    key += name;
+    raw_top_field(key, quoted(hash_hex));
+  }
+  void model_ir_hash(const std::string& name, sim::Model& m) {
+    model_ir_hash(name, ir::hash_hex(sim::build_ir(m, name)));
+  }
+
   void begin_array(const std::string& name) {
     out_ += ",\n  \"" + name + "\": [";
     first_in_array_ = true;
@@ -92,7 +111,7 @@ class JsonReport {
     raw_field(key, std::to_string(v));
   }
   void field(const std::string& key, const std::string& v) {
-    raw_field(key, "\"" + v + "\"");  // keys/values must not need escaping
+    raw_field(key, quoted(v));  // keys/values must not need escaping
   }
   void end_object() { out_ += "}"; }
   void end_array() { out_ += "\n  ]"; }
@@ -126,14 +145,26 @@ class JsonReport {
   }
 
  private:
+  static std::string quoted(const std::string& s) {
+    std::string q = "\"";
+    q += s;
+    q += "\"";
+    return q;
+  }
+
   void raw_top_field(const std::string& key, const std::string& value) {
-    out_ += ",\n  \"" + key + "\": " + value;
+    out_ += ",\n  \"";
+    out_ += key;
+    out_ += "\": ";
+    out_ += value;
   }
 
   void raw_field(const std::string& key, const std::string& value) {
     out_ += first_in_object_ ? "\"" : ", \"";
     first_in_object_ = false;
-    out_ += key + "\": " + value;
+    out_ += key;
+    out_ += "\": ";
+    out_ += value;
   }
 
   std::string out_;

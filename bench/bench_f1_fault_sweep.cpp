@@ -162,6 +162,8 @@ int experiment() {
   std::printf("%s\n", sweep::to_string(dropout).c_str());
 
   bench::JsonReport report("EXP-FT1");
+  report.model_ir_hash("servo_loop",
+                       ir::hash_hex(translate::loop_ir(grid.loop)));
   report.begin_array("fault_sweep");
   for (const sweep::FaultCell& c : cells) {
     report.begin_object();

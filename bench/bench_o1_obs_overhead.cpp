@@ -112,6 +112,7 @@ int experiment() {
               ovh_off, kMaxDisabledOverheadPct, pass ? "PASS" : "FAIL");
 
   bench::JsonReport report("EXP-O1");
+  report.model_ir_hash("chains", m);
   report.begin_array("obs_overhead");
   report.begin_object();
   report.field("chains", kChains);

@@ -60,6 +60,10 @@ void experiment() {
                 "Hybrid engine scaling: events/s under full-network refresh "
                 "vs incremental cone refresh, vs model size.");
   bench::JsonReport report("EXP-P1");
+  {
+    sim::Model headline = make_chains(200);
+    report.model_ir_hash("chains_200", headline);
+  }
   report.begin_array("event_dispatch");
   std::printf("%8s %10s %15s %15s %9s %10s\n", "chains", "events",
               "full [ev/s]", "incr [ev/s]", "speedup", "traces");

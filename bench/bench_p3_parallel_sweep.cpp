@@ -91,6 +91,8 @@ int experiment() {
 
   std::printf("%10s %12s %10s\n", "threads", "best [ms]", "speedup");
   bench::JsonReport report("EXP-P3");
+  report.model_ir_hash("servo_loop",
+                       ir::hash_hex(translate::loop_ir(grid.loop)));
   report.begin_array("scaling");
   for (std::size_t c = 0; c < n_configs; ++c) {
     const double speedup = best_ms[0] / best_ms[c];

@@ -148,6 +148,12 @@ int experiment() {
                 "batched event queue vs the legacy allocating path, A/B in "
                 "one binary.");
   bench::JsonReport report("EXP-P4");
+  {
+    sim::Model chains = make_chains(200);
+    report.model_ir_hash("chains_200", chains);
+    sim::Model servo = make_servo();
+    report.model_ir_hash("servo_rk4", servo);
+  }
   report.begin_array("hot_path");
   std::printf("%-18s %10s %15s %15s %9s %10s %12s\n", "scenario", "events",
               "legacy [ev/s]", "hot [ev/s]", "speedup", "traces",

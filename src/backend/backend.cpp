@@ -1,0 +1,143 @@
+#include "backend/backend.hpp"
+
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "backend/native_abi.hpp"
+#include "backend/native_backend.hpp"
+#include "backend/native_codegen.hpp"
+#include "blocks/to_model.hpp"
+#include "sim/build_ir.hpp"
+
+namespace ecsim::backend {
+
+namespace {
+
+void count(obs::MetricsRegistry* m, const std::string& name) {
+  if (m != nullptr) m->counter(name).add();
+}
+
+RunResult run_interp(sim::Model& model, const RunOptions& o) {
+  sim::Simulator s(model, o.sim);
+  s.run();
+  RunResult r;
+  r.trace = std::move(s.trace());
+  r.events_dispatched = s.events_dispatched();
+  r.used = Kind::kInterp;
+  count(o.metrics, "backend.interp.runs");
+  return r;
+}
+
+RunResult run_native_module(const NativeModule& mod, const RunOptions& o) {
+  NativeRunOptions n;
+  n.end_time = o.sim.end_time;
+  n.integrator_kind = static_cast<int>(o.sim.integrator.kind);
+  n.max_step = o.sim.integrator.max_step;
+  n.rel_tol = o.sim.integrator.rel_tol;
+  n.abs_tol = o.sim.integrator.abs_tol;
+  n.min_step = o.sim.integrator.min_step;
+  n.seed = o.sim.seed;
+  n.max_events = o.sim.max_events;
+  n.full_refresh = o.sim.full_refresh ? 1 : 0;
+  n.reserve_events = o.sim.reserve_events;
+  n.reserve_signals = o.sim.reserve_signals;
+  n.reserve_queue = o.sim.reserve_queue;
+
+  RunResult r;
+  std::size_t events = 0;
+  char err[1024] = {0};
+  const int rc = mod.run(&n, &r.trace, &events, err, sizeof err);
+  if (rc != 0) {
+    // A loaded module failing is a model-semantic error (max_events, a
+    // sampler misbehaving, ...) that the interpreter would throw too.
+    throw std::runtime_error(err[0] != '\0' ? err
+                                            : "native model: run failed");
+  }
+  r.events_dispatched = events;
+  r.used = Kind::kNative;
+  count(o.metrics, "backend.native.runs");
+  return r;
+}
+
+/// The native attempt, shared by run() and run_ir(). Returns the result on
+/// success; on any non-semantic obstacle sets `reason` and returns nothing.
+template <class MakeIr>
+std::optional<RunResult> try_native(MakeIr&& make_ir, const RunOptions& o,
+                                    std::string& reason) {
+  if (o.sim.tracer != nullptr || o.sim.metrics != nullptr) {
+    reason = "observability: tracer/metrics attached to sim options";
+    return std::nullopt;
+  }
+  if (o.sim.legacy_integrator_alloc || o.sim.legacy_event_queue) {
+    reason = "legacy_baseline: legacy_* cost model requested";
+    return std::nullopt;
+  }
+  if (native_disabled()) {
+    reason = "disabled: ECSIM_NATIVE_DISABLE is set";
+    return std::nullopt;
+  }
+  const ir::Model* irm = nullptr;
+  try {
+    irm = make_ir();
+  } catch (const std::exception& ex) {
+    reason = std::string("codegen: lowering to IR failed: ") + ex.what();
+    return std::nullopt;
+  }
+  if (!ir::fully_described(*irm)) {
+    reason = "opaque: model contains blocks the IR cannot regenerate";
+    return std::nullopt;
+  }
+  std::string source;
+  try {
+    source = generate_native_source(*irm);
+  } catch (const std::exception& ex) {
+    reason = std::string("codegen: ") + ex.what();
+    return std::nullopt;
+  }
+  const NativeModule* mod = nullptr;
+  try {
+    mod = &load_native_module(*irm, source);
+  } catch (const std::exception& ex) {
+    reason = std::string("toolchain: ") + ex.what();
+    return std::nullopt;
+  }
+  return run_native_module(*mod, o);
+}
+
+std::string category_of(const std::string& reason) {
+  const auto colon = reason.find(':');
+  return colon == std::string::npos ? reason : reason.substr(0, colon);
+}
+
+}  // namespace
+
+RunResult run(sim::Model& model, const RunOptions& opts) {
+  if (opts.kind == Kind::kInterp) return run_interp(model, opts);
+  std::string reason;
+  ir::Model irm;
+  auto make_ir = [&]() -> const ir::Model* {
+    irm = sim::build_ir(model);
+    return &irm;
+  };
+  if (auto r = try_native(make_ir, opts, reason)) return std::move(*r);
+  count(opts.metrics, "backend.fallback." + category_of(reason));
+  RunResult r = run_interp(model, opts);
+  r.fallback_reason = reason;
+  return r;
+}
+
+RunResult run_ir(const ir::Model& irm, const RunOptions& opts) {
+  std::string reason;
+  if (opts.kind == Kind::kNative) {
+    auto make_ir = [&]() -> const ir::Model* { return &irm; };
+    if (auto r = try_native(make_ir, opts, reason)) return std::move(*r);
+    count(opts.metrics, "backend.fallback." + category_of(reason));
+  }
+  sim::Model model = blocks::to_model(irm);
+  RunResult r = run_interp(model, opts);
+  r.fallback_reason = reason;
+  return r;
+}
+
+}  // namespace ecsim::backend

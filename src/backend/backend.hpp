@@ -1,0 +1,57 @@
+// Backend dispatcher (DESIGN.md §3.6): one entry point that runs a model on
+// the requested backend and *always* produces a result. A native request
+// degrades gracefully to the interpreter — never an abort — whenever the
+// model or environment cannot take the codegen path, and the result records
+// why (also counted as backend.fallback.<category> in a MetricsRegistry).
+//
+// Fallback categories:
+//  - observability: a Tracer/MetricsRegistry is attached to the sim options
+//    (the native engine deliberately carries no obs hooks);
+//  - legacy_baseline: a legacy_* A/B cost model was requested;
+//  - disabled: ECSIM_NATIVE_DISABLE is set;
+//  - opaque: the model is not fully described (user closures in the IR);
+//  - codegen: the generator rejected the IR;
+//  - toolchain: compile/dlopen/ABI-verify failed (compiler missing, ...).
+// Model-semantic errors (e.g. max_events exceeded) are NOT fallbacks: both
+// backends throw them identically.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "backend/kind.hpp"
+#include "ir/ir.hpp"
+#include "obs/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace ecsim::backend {
+
+struct RunOptions {
+  sim::SimOptions sim;
+  Kind kind = Kind::kInterp;
+  /// Dispatcher-level metrics (fallback counters, backend.<kind>.runs).
+  /// Distinct from sim.metrics: attaching THIS does not force the
+  /// interpreter. Borrowed, may be null.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+struct RunResult {
+  sim::Trace trace;
+  std::size_t events_dispatched = 0;
+  /// The backend that actually ran (== requested unless a fallback fired).
+  Kind used = Kind::kInterp;
+  /// Empty when the requested backend ran; otherwise
+  /// "<category>: <detail>" explaining the interpreter fallback.
+  std::string fallback_reason;
+};
+
+/// Runs `model` on the requested backend. The model must stay alive and
+/// structurally unchanged for the duration of the call.
+RunResult run(sim::Model& model, const RunOptions& opts);
+
+/// Same, from an already-finalized IR (the model half of the pipeline is
+/// regenerated with blocks::to_model for the interpreter path).
+RunResult run_ir(const ir::Model& irm, const RunOptions& opts);
+
+}  // namespace ecsim::backend

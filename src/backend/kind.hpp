@@ -1,0 +1,31 @@
+// Backend selector shared by the dispatcher, the CLI (--backend=...) and the
+// benches. Header-only so callers that only name a backend don't link the
+// native toolchain machinery.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace ecsim::backend {
+
+/// How a model is executed:
+///  - kInterp: the in-process interpreting sim::Simulator (always available);
+///  - kNative: C++ specialized from the IR, compiled with the host toolchain
+///    into a shared object and dlopen()ed. Falls back to kInterp with a
+///    recorded reason whenever generation, compilation or loading is not
+///    possible (DESIGN.md §3.6).
+enum class Kind { kInterp, kNative };
+
+inline std::string_view to_string(Kind k) {
+  return k == Kind::kNative ? "native" : "interp";
+}
+
+inline Kind parse_kind(std::string_view s) {
+  if (s == "interp" || s == "interpreter") return Kind::kInterp;
+  if (s == "native" || s == "codegen") return Kind::kNative;
+  throw std::invalid_argument("backend: unknown kind '" + std::string(s) +
+                              "' (expected interp|native)");
+}
+
+}  // namespace ecsim::backend

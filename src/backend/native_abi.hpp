@@ -1,0 +1,56 @@
+// The contract between the host process and a generated model .so. Both
+// sides are compiled from this same header, by the same compiler, with the
+// same flags (the build bakes its own toolchain into the backend — see
+// src/CMakeLists.txt), so passing sim::Trace across the boundary is layout-
+// safe. The ABI is versioned anyway: the host refuses a module whose
+// ECSIM_NATIVE_ABI doesn't match, and the hash-keyed .so cache keys on the
+// ABI + flags, so stale artifacts are never loaded.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ecsim::backend {
+
+inline constexpr int kNativeAbiVersion = 1;
+
+/// POD mirror of the sim::SimOptions subset the native backend supports
+/// (observability and the legacy_* bench baselines force interpreter
+/// fallback before this struct is ever built).
+struct NativeRunOptions {
+  double end_time = 1.0;
+  int integrator_kind = 0;  // sim::IntegratorKind numeric value
+  double max_step = 1e-3;
+  double rel_tol = 1e-8;
+  double abs_tol = 1e-10;
+  double min_step = 1e-12;
+  std::uint64_t seed = 1;
+  std::size_t max_events = 20'000'000;
+  int full_refresh = 0;
+  std::size_t reserve_events = 0;
+  std::size_t reserve_signals = 0;
+  std::size_t reserve_queue = 0;
+};
+
+}  // namespace ecsim::backend
+
+extern "C" {
+
+/// ABI version the module was generated against (kNativeAbiVersion).
+/// Symbol: resolved with dlsym; a missing symbol means "not an ecsim model".
+using EcsimNativeAbiFn = int (*)();
+
+/// Canonical IR hash (ir::hash_hex) of the model the module was generated
+/// from. The host refuses a module whose hash differs from the IR in hand.
+using EcsimNativeHashFn = const char* (*)();
+
+/// Run the model: `trace` is an ecsim::sim::Trace* the module clears,
+/// re-registers block names on and fills; `events_out` receives the
+/// dispatched-event count. Returns 0 on success; on failure copies a
+/// NUL-terminated message into err (truncated to errcap) and returns
+/// nonzero. Exceptions never cross the boundary.
+using EcsimNativeRunFn = int (*)(const ecsim::backend::NativeRunOptions* opts,
+                                 void* trace, std::size_t* events_out,
+                                 char* err, std::size_t errcap);
+
+}  // extern "C"

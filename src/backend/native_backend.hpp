@@ -1,0 +1,44 @@
+// Toolchain half of the native backend (DESIGN.md §3.6): compile a generated
+// translation unit with the host C++ compiler into a shared object, cache it
+// keyed on (IR hash, ABI version, toolchain fingerprint), dlopen it and
+// resolve the C ABI of native_abi.hpp. Modules stay loaded for the process
+// lifetime (generated code may be referenced by traces; dlclose buys
+// nothing and invites stale-pointer bugs).
+//
+// Environment knobs:
+//  - ECSIM_NATIVE_CXX     overrides the compiler baked in at build time;
+//  - ECSIM_NATIVE_CACHE   overrides the .so cache directory;
+//  - ECSIM_NATIVE_DISABLE nonempty forces the dispatcher's interpreter
+//    fallback without ever invoking the toolchain.
+#pragma once
+
+#include <string>
+
+#include "backend/native_abi.hpp"
+#include "ir/ir.hpp"
+
+namespace ecsim::backend {
+
+/// A loaded model module: resolved entry points plus the artifact path
+/// (useful in tests and diagnostics).
+struct NativeModule {
+  EcsimNativeAbiFn abi = nullptr;
+  EcsimNativeHashFn hash = nullptr;
+  EcsimNativeRunFn run = nullptr;
+  std::string so_path;
+};
+
+/// True when ECSIM_NATIVE_DISABLE is set non-empty: the dispatcher must not
+/// attempt generation or compilation at all.
+bool native_disabled();
+
+/// Compiles `source` (the output of generate_native_source(m)) and loads it.
+/// Hits the cache when an artifact for this (IR hash, ABI, toolchain) tuple
+/// already exists. Throws std::runtime_error with a one-line reason on any
+/// failure: compiler missing or erroring (the tail of its log is included),
+/// dlopen/dlsym failure, or an ABI/hash mismatch in the loaded module.
+/// The returned reference stays valid for the process lifetime.
+const NativeModule& load_native_module(const ir::Model& m,
+                                       const std::string& source);
+
+}  // namespace ecsim::backend

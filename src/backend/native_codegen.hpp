@@ -1,0 +1,31 @@
+// IR -> C++ specialization (DESIGN.md §3.6). generate_native_source() turns
+// a finalized, fully-described ir::Model into one translation unit: a
+// Program struct whose layout tables are constexpr arrays, whose block
+// parameters are folded into literals (doubles as hexfloats, so the values
+// round-trip exactly) and whose init/compute/on_event/derivatives entry
+// points are switch-dispatched with literal arena offsets — no virtual
+// calls, no slice lookups, no opaque closures. The unit instantiates
+// backend::rt::Engine<Program> and exports the C ABI of
+// backend/native_abi.hpp.
+//
+// Order-sensitive arithmetic is not re-derived: matrix blocks call the same
+// math::multiply_into kernels, samplers the same blocks::sample_duration,
+// fault gates the same fault::comm_gate_decide — statically linked from the
+// ecsim_native_rt archive — so a generated run is bit-identical to the
+// interpreter on the same IR.
+#pragma once
+
+#include <string>
+
+#include "ir/ir.hpp"
+
+namespace ecsim::backend {
+
+/// Emits the full C++ source of the model module. Throws
+/// std::invalid_argument naming the offending block when the model is not
+/// generatable: an opaque block (user closure), an unknown kind tag, or a
+/// missing/mistyped attribute. Requires a finalized layout
+/// (ir::finalize()).
+std::string generate_native_source(const ir::Model& m);
+
+}  // namespace ecsim::backend

@@ -1,0 +1,380 @@
+// Shared runtime for generated model modules (DESIGN.md §3.6). A generated
+// .cpp defines a `Program` — per-block parameters/state as members, the
+// layout tables from ir::LayoutIr as static constexpr arrays, and four
+// specialized entry points (init / compute / on_event / derivatives with
+// literal arena offsets) — and instantiates Engine<Program>.
+//
+// Engine::run() is a line-by-line port of sim::Simulator::run() with the
+// observability hooks and the legacy_* bench baselines removed (the
+// dispatcher falls back to the interpreter whenever those are requested).
+// Everything order-sensitive is either shared (the same same-instant lane,
+// the same sim::integrate() stepping the same workspace, the same math::Rng
+// and the same sim::Trace recording — unity-compiled into the module from
+// the interpreter's own sources) or order-equivalent by construction: the
+// event queue is the LaneQueue below, which pops the identical strict
+// (time, seq) total order sim::EventQueue pops, just without the heap. A
+// native run is therefore bit-identical to an interpreter run of the same
+// IR: identical event sequences, identical RNG draw order, identical
+// doubles in the trace (asserted by the interp-vs-native property suite).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "backend/native_abi.hpp"
+#include "mathlib/rng.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/integrator.hpp"
+#include "sim/trace.hpp"
+
+namespace ecsim::backend::rt {
+
+/// Event queue specialized for generated modules. Engine::emit/schedule_self
+/// compute an event's time as `eval_time_ + delay` where eval_time_ never
+/// decreases across pushes and each call site's delay is (nearly) constant,
+/// so the push stream decomposes into a handful of non-decreasing runs. The
+/// queue exploits that: it keeps a few FIFO lanes, appends each push to the
+/// first lane whose tail is not later than the new event (patience-style run
+/// decomposition — every lane stays sorted in (time, seq) by construction,
+/// no matter how call-site delays round), and pops the minimum among the
+/// lane heads: O(lanes) push and pop with no sifting and no element
+/// movement. A push older than every lane tail opens a new lane; past
+/// kMaxLanes it falls to a conventional binary-heap side channel, so the
+/// structure is exact for arbitrary models, merely fastest for the common
+/// monotone case.
+///
+/// Pop order is bitwise identical to sim::EventQueue's: seq numbers are
+/// assigned in the same global push order, each lane head is its lane's
+/// (time, seq) minimum by the monotone-append invariant, the heap top is the
+/// side channel's minimum, and every pop takes the global minimum across
+/// those candidates — the same strict total order on (time, seq) the 4-ary
+/// heap pops in. The interp-vs-native property suite asserts this trace
+/// identity on every scenario it generates.
+class LaneQueue {
+ public:
+  static constexpr std::size_t kMaxLanes = 16;
+
+  void clear() {
+    // Lanes persist across runs (delay classes are structural, buffers keep
+    // their capacity); only the contents and the FIFO counter reset.
+    for (Lane& l : lanes_) {
+      l.buf.clear();
+      l.head = 0;
+    }
+    heap_.clear();
+    next_seq_ = 0;
+    live_ = 0;
+  }
+  void reserve(std::size_t n) { heap_.reserve(n); }
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+
+  /// Hot path, forced inline into the generated emit/on_event code: scan the
+  /// (few) lanes for one whose tail is not later than the new event — a
+  /// drained lane accepts anything — and append. Lane creation and overflow
+  /// drop to the cold out-of-line push_slow, keeping the inlined footprint
+  /// small enough that the generated switch bodies stay in the I-cache. The
+  /// new event carries the largest seq so far, so "tail not later" reduces
+  /// to a tail-time comparison and the appended lane stays (time, seq)
+  /// sorted.
+  [[gnu::always_inline]] inline void push(sim::Time at, std::size_t block,
+                                          std::size_t event_in) {
+    const sim::ScheduledEvent ev{at, next_seq_++, block, event_in};
+    ++live_;
+    for (Lane& l : lanes_) {
+      if (l.head == l.buf.size()) {
+        l.buf.clear();  // window fully drained: restart the ring
+        l.head = 0;
+      } else if (later(l.buf.back(), ev)) {
+        continue;  // appending here would break the lane's sortedness
+      }
+      l.buf.push_back(ev);
+      return;
+    }
+    push_slow(ev);
+  }
+
+  /// Earliest pending event time; queue must be non-empty.
+  sim::Time next_time() const {
+    const sim::ScheduledEvent* best = nullptr;
+    for (const Lane& l : lanes_) {
+      if (l.head < l.buf.size()) {
+        const sim::ScheduledEvent* h = &l.buf[l.head];
+        if (best == nullptr || later(*best, *h)) best = h;
+      }
+    }
+    if (!heap_.empty()) {
+      const sim::ScheduledEvent* h = &heap_.front();
+      if (best == nullptr || later(*best, *h)) best = h;
+    }
+    if (best == nullptr) throw std::logic_error("LaneQueue::next_time: empty");
+    return best->time;
+  }
+
+  /// Remove the earliest pending event if its time is exactly `t`; one
+  /// argmin scan, no element movement. The engine drains one instant by
+  /// calling this in a loop and dispatching each event as it pops — the
+  /// same (time, seq) sequence sim::EventQueue::pop_simultaneous batches
+  /// up, minus the copy into a batch vector. An event pushed mid-drain
+  /// with a different time fails the exact == t check and waits for the
+  /// next outer engine iteration, exactly as it would miss the batch.
+  bool pop_next_at(sim::Time t, sim::ScheduledEvent& out) {
+    Lane* best_lane = nullptr;
+    const sim::ScheduledEvent* best = nullptr;
+    for (Lane& l : lanes_) {
+      if (l.head < l.buf.size()) {
+        const sim::ScheduledEvent* h = &l.buf[l.head];
+        if (best == nullptr || later(*best, *h)) {
+          best = h;
+          best_lane = &l;
+        }
+      }
+    }
+    if (!heap_.empty() &&
+        (best == nullptr || later(*best, heap_.front()))) [[unlikely]] {
+      if (heap_.front().time != t) return false;
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      out = heap_.back();
+      heap_.pop_back();
+      --live_;
+      return true;
+    }
+    if (best == nullptr || best->time != t) return false;
+    out = *best;
+    ++best_lane->head;
+    --live_;
+    return true;
+  }
+
+ private:
+  struct Lane {
+    std::size_t head = 0;  // buf[head..) is the live FIFO window
+    std::vector<sim::ScheduledEvent> buf;
+  };
+
+  /// a should pop after b.
+  static bool later(const sim::ScheduledEvent& a, const sim::ScheduledEvent& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+  struct Later {
+    bool operator()(const sim::ScheduledEvent& a,
+                    const sim::ScheduledEvent& b) const {
+      return later(a, b);
+    }
+  };
+
+  [[gnu::noinline]] void heap_push(const sim::ScheduledEvent& ev) {
+    heap_.push_back(ev);
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  /// Cold: the event predates every lane tail — open a new run (or overflow
+  /// to the heap past kMaxLanes).
+  [[gnu::noinline]] void push_slow(const sim::ScheduledEvent& ev) {
+    if (lanes_.size() < kMaxLanes) {
+      lanes_.emplace_back();
+      lanes_.back().buf.reserve(64);
+      lanes_.back().buf.push_back(ev);
+      return;
+    }
+    heap_push(ev);
+  }
+
+  std::vector<Lane> lanes_;
+  std::vector<sim::ScheduledEvent> heap_;  // Later{} min-heap side channel
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+template <class Program>
+class Engine {
+ public:
+  Engine() : arena_(Program::kArenaSize, 0.0) {}
+
+  /// The trace to record into (borrowed; typically the host's). run()
+  /// clears it (names survive) and fills it exactly as the interpreter
+  /// would.
+  void bind_trace(sim::Trace* t) { trace_ = t; }
+
+  void run(const NativeRunOptions& o) {
+    // Reset run state (including the RNG: same seed => same realization).
+    rng_ = math::Rng(o.seed);
+    time_ = 0.0;
+    x_.assign(Program::kTotalState, 0.0);
+    active_x_ = x_.data();
+    queue_.clear();
+    lane_.clear();
+    lane_active_ = false;
+    if (o.reserve_queue > 0) queue_.reserve(o.reserve_queue);
+    iws_.resize(Program::kTotalState);
+    trace_->clear();
+    trace_->reserve(o.reserve_events, o.reserve_signals);
+    events_dispatched_ = 0;
+    std::fill(arena_.begin(), arena_.end(), 0.0);
+    full_refresh_ = o.full_refresh != 0;
+
+    sim::IntegratorOptions integ;
+    integ.kind = static_cast<sim::IntegratorKind>(o.integrator_kind);
+    integ.max_step = o.max_step;
+    integ.rel_tol = o.rel_tol;
+    integ.abs_tol = o.abs_tol;
+    integ.min_step = o.min_step;
+
+    // Initialize every block (may write state/outputs and schedule events),
+    // then establish output consistency with one full sweep.
+    eval_time_ = 0.0;
+    prog_.init(*this);
+    refresh_blocks(order_span(Program::kEvalOrder), 0.0);
+
+    const double t_end = o.end_time;
+    const std::size_t max_events = o.max_events;
+    while (true) {
+      double t_next = t_end;
+      bool have_event = false;
+      if (!queue_.empty() && queue_.next_time() <= t_end) {
+        t_next = queue_.next_time();
+        have_event = true;
+      }
+      if (t_next > time_) {
+        if constexpr (Program::kTotalState > 0) {
+          sim::integrate(
+              integ,
+              [this](double t, const std::vector<double>& x,
+                     std::vector<double>& dx) {
+                evaluate_derivatives(t, x, dx);
+              },
+              time_, t_next, x_, iws_);
+          active_x_ = x_.data();
+        }
+        time_ = t_next;
+        refresh_dynamic(time_);
+      }
+      if (!have_event) break;
+      lane_active_ = true;
+      // Drain the instant pop-by-pop: same (time, seq) order the
+      // interpreter's batched pop_simultaneous dispatches in, without
+      // copying the tie set into a batch vector first. Same-instant
+      // cascades emitted during dispatch land in lane_, never the queue,
+      // so the == time_ drain sees exactly the original tie set.
+      sim::ScheduledEvent ev;
+      while (queue_.pop_next_at(time_, ev)) {
+        dispatch_one(ev, max_events);
+      }
+      // Zero-delay cascades landed in the lane instead of the heap; index
+      // loop because a dispatch may append (and reallocate) while we drain.
+      for (std::size_t i = 0; i < lane_.size(); ++i) {
+        const sim::ScheduledEvent e = lane_[i];
+        dispatch_one(e, max_events);
+      }
+      lane_.clear();
+      lane_active_ = false;
+    }
+  }
+
+  std::size_t events_dispatched() const { return events_dispatched_; }
+
+  // ---- services for generated kernels (the Context replacements) ----------
+
+  double* arena() { return arena_.data(); }
+  double time() const { return eval_time_; }
+  math::Rng& rng() { return rng_; }
+  sim::Trace& trace() { return *trace_; }
+  const double* state(std::size_t offset) const { return active_x_ + offset; }
+  double* state_mut(std::size_t offset) { return x_.data() + offset; }
+
+  void emit(std::size_t block, std::size_t event_out, double delay) {
+    const double at = eval_time_ + delay;
+    const std::size_t slot = Program::kSinkBase[block] + event_out;
+    const std::size_t lo = Program::kSinkPtr[slot];
+    const std::size_t hi = Program::kSinkPtr[slot + 1];
+    if (lane_active_ && at == time_) {
+      for (std::size_t s = lo; s < hi; ++s) {
+        lane_.push_back(sim::ScheduledEvent{at, 0, Program::kSinkBlock[s],
+                                            Program::kSinkPort[s]});
+      }
+      return;
+    }
+    for (std::size_t s = lo; s < hi; ++s) {
+      queue_.push(at, Program::kSinkBlock[s], Program::kSinkPort[s]);
+    }
+  }
+
+  void schedule_self(std::size_t block, std::size_t event_in, double delay) {
+    const double at = eval_time_ + delay;
+    if (lane_active_ && at == time_) {
+      lane_.push_back(sim::ScheduledEvent{at, 0, block, event_in});
+      return;
+    }
+    queue_.push(at, block, event_in);
+  }
+
+ private:
+  template <class Arr>
+  static std::span<const std::size_t> order_span(const Arr& a) {
+    return std::span<const std::size_t>(a.data(), a.size());
+  }
+
+  std::span<const std::size_t> cone(std::size_t block) const {
+    return {Program::kConeBlocks.data() + Program::kConeBase[block],
+            Program::kConeBase[block + 1] - Program::kConeBase[block]};
+  }
+
+  void refresh_blocks(std::span<const std::size_t> order, double t) {
+    eval_time_ = t;
+    for (std::size_t b : order) prog_.compute(*this, b);
+  }
+
+  void refresh_dynamic(double t) {
+    refresh_blocks(full_refresh_ ? order_span(Program::kEvalOrder)
+                                 : order_span(Program::kDynamicCone),
+                   t);
+  }
+
+  void evaluate_derivatives(double t, const std::vector<double>& x,
+                            std::vector<double>& dx) {
+    active_x_ = x.data();
+    refresh_dynamic(t);
+    std::fill(dx.begin(), dx.end(), 0.0);
+    for (std::size_t b : Program::kStatefulBlocks) {
+      prog_.derivatives(*this, b, dx.data() + Program::kStateOffset[b]);
+    }
+  }
+
+  void dispatch_one(const sim::ScheduledEvent& e, std::size_t max_events) {
+    trace_->record_event(e.time, e.block, e.event_in);
+    eval_time_ = e.time;
+    prog_.on_event(*this, e.block, e.event_in);
+    const std::span<const std::size_t> c =
+        full_refresh_ ? order_span(Program::kEvalOrder) : cone(e.block);
+    // Empty cones (pure event-plumbing blocks) skip the refresh outright —
+    // same condition as the interpreter's non-traced hot path.
+    if (!c.empty()) refresh_blocks(c, time_);
+    if (++events_dispatched_ > max_events) {
+      throw std::runtime_error(
+          "Simulator: max_events exceeded (runaway loop?)");
+    }
+  }
+
+  Program prog_;
+  math::Rng rng_{1};
+  sim::Trace* trace_ = nullptr;
+  LaneQueue queue_;
+  sim::IntegratorWorkspace iws_;
+  std::vector<sim::ScheduledEvent> lane_;
+  bool lane_active_ = false;
+  bool full_refresh_ = false;
+
+  std::vector<double> arena_;
+  double time_ = 0.0;
+  double eval_time_ = 0.0;
+  std::vector<double> x_;
+  const double* active_x_ = nullptr;
+  std::size_t events_dispatched_ = 0;
+};
+
+}  // namespace ecsim::backend::rt

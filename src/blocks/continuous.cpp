@@ -119,4 +119,31 @@ TransferFunction::TransferFunction(std::string name,
                                    const std::vector<double>& den)
     : TransferFunction(std::move(name), realize(num, den)) {}
 
+
+namespace {
+
+ir::Attr matrix_attr(std::string key, const math::Matrix& m) {
+  return ir::Attr::of_matrix(
+      std::move(key), m.rows(), m.cols(),
+      std::vector<double>(m.data(), m.data() + m.size()));
+}
+
+}  // namespace
+
+void Integrator::describe(ir::BlockIr& out) const {
+  out.kind = "Integrator";
+  out.attrs.push_back(ir::Attr::of_vec("x0", x0_));
+}
+
+// TransferFunction inherits this: it IS its canonical realization, so the
+// IR records the state-space form and regeneration is exact.
+void StateSpaceCont::describe(ir::BlockIr& out) const {
+  out.kind = "StateSpaceCont";
+  out.attrs.push_back(matrix_attr("a", a_));
+  out.attrs.push_back(matrix_attr("b", b_));
+  out.attrs.push_back(matrix_attr("c", c_));
+  out.attrs.push_back(matrix_attr("d", d_));
+  out.attrs.push_back(ir::Attr::of_vec("x0", x0_));
+}
+
 }  // namespace ecsim::blocks

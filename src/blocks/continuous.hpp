@@ -19,6 +19,7 @@ class Integrator : public Block {
   void initialize(Context& ctx) override;
   void compute_outputs(Context& ctx) override;
   void derivatives(Context& ctx, std::span<double> dx) override;
+  void describe(ir::BlockIr& out) const override;
 
  private:
   std::vector<double> x0_;
@@ -34,6 +35,7 @@ class StateSpaceCont : public Block {
   void compute_outputs(Context& ctx) override;
   void derivatives(Context& ctx, std::span<double> dx) override;
   bool input_feedthrough(std::size_t) const override { return has_feedthrough_; }
+  void describe(ir::BlockIr& out) const override;
 
   const math::Matrix& a() const { return a_; }
   const math::Matrix& b() const { return b_; }

@@ -117,4 +117,44 @@ void EventCounter::on_event(Context& ctx, std::size_t) {
   ctx.set_out1(0, static_cast<double>(count_));
 }
 
+
+namespace {
+
+ir::Attr matrix_attr(std::string key, const math::Matrix& m) {
+  return ir::Attr::of_matrix(
+      std::move(key), m.rows(), m.cols(),
+      std::vector<double>(m.data(), m.data() + m.size()));
+}
+
+}  // namespace
+
+void StateSpaceDisc::describe(ir::BlockIr& out) const {
+  out.kind = "StateSpaceDisc";
+  out.attrs.push_back(matrix_attr("a", a_));
+  out.attrs.push_back(matrix_attr("b", b_));
+  out.attrs.push_back(matrix_attr("c", c_));
+  out.attrs.push_back(matrix_attr("d", d_));
+  out.attrs.push_back(ir::Attr::of_vec("x0", x0_));
+}
+
+void PidDiscrete::describe(ir::BlockIr& out) const {
+  out.kind = "PidDiscrete";
+  out.attrs.push_back(ir::Attr::of_real("kp", p_.kp));
+  out.attrs.push_back(ir::Attr::of_real("ki", p_.ki));
+  out.attrs.push_back(ir::Attr::of_real("kd", p_.kd));
+  out.attrs.push_back(ir::Attr::of_real("ts", p_.ts));
+  out.attrs.push_back(ir::Attr::of_real("n", p_.n));
+  out.attrs.push_back(ir::Attr::of_real("u_min", p_.u_min));
+  out.attrs.push_back(ir::Attr::of_real("u_max", p_.u_max));
+}
+
+void UnitDelay::describe(ir::BlockIr& out) const {
+  out.kind = "UnitDelay";
+  out.attrs.push_back(ir::Attr::of_vec("init", init_));
+}
+
+void EventCounter::describe(ir::BlockIr& out) const {
+  out.kind = "EventCounter";
+}
+
 }  // namespace ecsim::blocks

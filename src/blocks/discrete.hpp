@@ -23,6 +23,8 @@ class StateSpaceDisc : public Block {
   void initialize(Context& ctx) override;
   void on_event(Context& ctx, std::size_t event_in) override;
 
+  void describe(ir::BlockIr& out) const override;
+
   std::size_t event_in() const { return 0; }
   std::size_t done_event_out() const { return 0; }
   const std::vector<double>& xk() const { return x_; }
@@ -53,6 +55,7 @@ class PidDiscrete : public Block {
 
   void initialize(Context& ctx) override;
   void on_event(Context& ctx, std::size_t event_in) override;
+  void describe(ir::BlockIr& out) const override;
 
  private:
   Params p_;
@@ -71,6 +74,7 @@ class UnitDelay : public Block {
 
   void initialize(Context& ctx) override;
   void on_event(Context& ctx, std::size_t event_in) override;
+  void describe(ir::BlockIr& out) const override;
 
  private:
   std::vector<double> init_;
@@ -84,6 +88,7 @@ class EventCounter : public Block {
 
   void initialize(Context& ctx) override;
   void on_event(Context& ctx, std::size_t event_in) override;
+  void describe(ir::BlockIr& out) const override;
 
   std::size_t count() const { return count_; }
 

@@ -2,40 +2,65 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace ecsim::blocks {
 
-DurationSampler constant_duration(Time d) {
-  if (d < 0.0) throw std::invalid_argument("constant_duration: negative");
-  return [d](math::Rng&) { return d; };
+namespace {
+
+/// Attribute encoding of a DurationSpec ("dist" tag + per-kind parameters);
+/// blocks::duration_from_attrs is the inverse. kCustom has no encoding —
+/// callers mark the block opaque instead.
+void describe_duration(ir::BlockIr& out, const DurationSpec& s) {
+  out.attrs.push_back(
+      ir::Attr::of_int("dist", static_cast<long long>(s.kind)));
+  switch (s.kind) {
+    case DurationSpec::Kind::kConstant:
+      out.attrs.push_back(ir::Attr::of_real("value", s.value));
+      break;
+    case DurationSpec::Kind::kUniform:
+      out.attrs.push_back(ir::Attr::of_real("bcet", s.bcet));
+      out.attrs.push_back(ir::Attr::of_real("wcet", s.wcet));
+      break;
+    case DurationSpec::Kind::kTruncatedNormal:
+      out.attrs.push_back(ir::Attr::of_real("mean", s.mean));
+      out.attrs.push_back(ir::Attr::of_real("stddev", s.stddev));
+      out.attrs.push_back(ir::Attr::of_real("bcet", s.bcet));
+      out.attrs.push_back(ir::Attr::of_real("wcet", s.wcet));
+      break;
+    case DurationSpec::Kind::kShiftedUniform:
+      out.attrs.push_back(ir::Attr::of_real("base", s.base));
+      out.attrs.push_back(ir::Attr::of_real("jitter", s.jitter));
+      break;
+    case DurationSpec::Kind::kBranches:
+      out.attrs.push_back(ir::Attr::of_vec("branch_wcets", s.branch_wcets));
+      out.attrs.push_back(
+          ir::Attr::of_real("bcet_fraction", s.bcet_fraction));
+      out.attrs.push_back(
+          ir::Attr::of_int("random_branch", s.random_branch ? 1 : 0));
+      break;
+    case DurationSpec::Kind::kCustom:
+      out.opaque = true;
+      break;
+  }
 }
 
-DurationSampler uniform_duration(Time bcet, Time wcet) {
-  if (bcet < 0.0 || wcet < bcet) {
-    throw std::invalid_argument("uniform_duration: need 0 <= bcet <= wcet");
-  }
-  return [bcet, wcet](math::Rng& rng) { return rng.uniform(bcet, wcet); };
-}
-
-DurationSampler truncated_normal_duration(Time mean, Time stddev, Time bcet,
-                                          Time wcet) {
-  if (bcet < 0.0 || wcet < bcet) {
-    throw std::invalid_argument("truncated_normal_duration: bad bounds");
-  }
-  return [=](math::Rng& rng) {
-    return rng.truncated_normal(mean, stddev, bcet, wcet);
-  };
-}
+}  // namespace
 
 EventDelay::EventDelay(std::string name, Time duration)
     : EventDelay(std::move(name), constant_duration(duration)) {}
 
-EventDelay::EventDelay(std::string name, DurationSampler sampler)
-    : Block(std::move(name)), sampler_(std::move(sampler)) {
-  if (!sampler_) throw std::invalid_argument("EventDelay: null sampler");
+EventDelay::EventDelay(std::string name, DurationSpec spec)
+    : Block(std::move(name)), spec_(std::move(spec)) {
+  if (spec_.kind == DurationSpec::Kind::kCustom && !spec_.sampler) {
+    throw std::invalid_argument("EventDelay: null sampler");
+  }
   add_event_input();
   add_event_output();
 }
+
+EventDelay::EventDelay(std::string name, DurationSampler sampler)
+    : EventDelay(std::move(name), custom_duration(std::move(sampler))) {}
 
 void EventDelay::initialize(Context&) {
   busy_until_ = 0.0;
@@ -49,10 +74,15 @@ void EventDelay::on_event(Context& ctx, std::size_t) {
     start = busy_until_;
     ++busy_hits_;
   }
-  const Time d = sampler_(ctx.rng());
+  const Time d = sample_duration(spec_, ctx.rng());
   if (d < 0.0) throw std::runtime_error("EventDelay: sampler returned < 0");
   busy_until_ = start + d;
   ctx.emit(0, busy_until_ - now);
+}
+
+void EventDelay::describe(ir::BlockIr& out) const {
+  out.kind = "EventDelay";
+  describe_duration(out, spec_);
 }
 
 EventSelect::EventSelect(std::string name, std::size_t n_channels,
@@ -82,6 +112,11 @@ void EventSelect::on_event(Context& ctx, std::size_t) {
   ctx.emit(ch, 0.0);
 }
 
+void EventSelect::describe(ir::BlockIr& out) const {
+  out.kind = "EventSelect";
+  out.opaque = true;  // the condition mapping is an arbitrary closure
+}
+
 TdmaGate::TdmaGate(std::string name, Time slot)
     : Block(std::move(name)), slot_(slot) {
   if (slot <= 0.0) throw std::invalid_argument("TdmaGate: slot must be > 0");
@@ -98,6 +133,11 @@ void TdmaGate::on_event(Context& ctx, std::size_t) {
   ctx.emit(0, std::max(0.0, boundary - now));
 }
 
+void TdmaGate::describe(ir::BlockIr& out) const {
+  out.kind = "TdmaGate";
+  out.attrs.push_back(ir::Attr::of_real("slot", slot_));
+}
+
 EventMerge::EventMerge(std::string name, std::size_t n_inputs)
     : Block(std::move(name)) {
   if (n_inputs == 0) throw std::invalid_argument("EventMerge: no inputs");
@@ -107,9 +147,25 @@ EventMerge::EventMerge(std::string name, std::size_t n_inputs)
 
 void EventMerge::on_event(Context& ctx, std::size_t) { ctx.emit(0, 0.0); }
 
+void EventMerge::describe(ir::BlockIr& out) const {
+  out.kind = "EventMerge";
+}
+
 EventFault::EventFault(std::string name, FaultDecider decider)
     : Block(std::move(name)), decider_(std::move(decider)) {
   if (!decider_) throw std::invalid_argument("EventFault: null decider");
+  add_event_input();
+  add_event_output();
+}
+
+EventFault::EventFault(std::string name, fault::CommGate gate)
+    : Block(std::move(name)),
+      gate_(std::make_shared<const fault::CommGate>(std::move(gate))) {
+  const auto g = gate_;
+  decider_ = [g](std::size_t k, Time) -> FaultAction {
+    const fault::CommGateAction a = fault::comm_gate_decide(*g, k);
+    return {a.drop, a.defer};
+  };
   add_event_input();
   add_event_output();
 }
@@ -131,6 +187,37 @@ void EventFault::on_event(Context& ctx, std::size_t) {
   ctx.emit(0, a.defer);
 }
 
+void EventFault::describe(ir::BlockIr& out) const {
+  out.kind = "EventFault";
+  if (gate_ == nullptr) {
+    out.opaque = true;  // arbitrary decider closure
+    return;
+  }
+  const fault::CommGate& g = *gate_;
+  out.attrs.push_back(
+      ir::Attr::of_int("seed", static_cast<long long>(g.seed)));
+  out.attrs.push_back(ir::Attr::of_real("period", g.period));
+  out.attrs.push_back(
+      ir::Attr::of_int("comm_index", static_cast<long long>(g.comm_index)));
+  out.attrs.push_back(
+      ir::Attr::of_real("transfer_duration", g.transfer_duration));
+  // One row per entry: [fault, kind, probability, delay, extra_copies,
+  // t_start, t_stop]. Indices fit doubles exactly for any realistic plan.
+  std::vector<double> rows;
+  rows.reserve(g.entries.size() * 7);
+  for (const fault::CommGateEntry& e : g.entries) {
+    rows.push_back(static_cast<double>(e.fault));
+    rows.push_back(static_cast<double>(e.kind));
+    rows.push_back(e.probability);
+    rows.push_back(e.delay);
+    rows.push_back(static_cast<double>(e.extra_copies));
+    rows.push_back(e.t_start);
+    rows.push_back(e.t_stop);
+  }
+  out.attrs.push_back(
+      ir::Attr::of_matrix("entries", g.entries.size(), 7, std::move(rows)));
+}
+
 EventDivider::EventDivider(std::string name, std::size_t divisor,
                            std::size_t phase)
     : Block(std::move(name)), divisor_(divisor), phase_(phase) {
@@ -147,6 +234,14 @@ void EventDivider::initialize(Context&) { count_ = 0; }
 void EventDivider::on_event(Context& ctx, std::size_t) {
   if (count_ % divisor_ == phase_) ctx.emit(0, 0.0);
   ++count_;
+}
+
+void EventDivider::describe(ir::BlockIr& out) const {
+  out.kind = "EventDivider";
+  out.attrs.push_back(
+      ir::Attr::of_int("divisor", static_cast<long long>(divisor_)));
+  out.attrs.push_back(
+      ir::Attr::of_int("phase", static_cast<long long>(phase_)));
 }
 
 }  // namespace ecsim::blocks

@@ -5,12 +5,20 @@
 //    execution-time distribution (jitter studies);
 //  - EventSelect + a ConditionMapping function model conditioning (§3.2.2);
 //  - EventMerge fans several event streams into one.
+//
+// PR 6: the common duration distributions and the fault gates are now data
+// (blocks::DurationSpec, fault::CommGate) instead of opaque closures, so
+// these blocks describe() themselves into the IR and the native backend can
+// regenerate them. The closure constructors remain as escape hatches; blocks
+// built through them stay opaque and force the interpreter.
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <span>
 
+#include "blocks/duration_spec.hpp"
+#include "fault/comm_gate.hpp"
 #include "mathlib/rng.hpp"
 #include "sim/block.hpp"
 
@@ -20,18 +28,6 @@ using sim::Block;
 using sim::Context;
 using sim::Time;
 
-/// Samples one execution duration. Receives the simulator RNG so runs are
-/// seed-reproducible.
-using DurationSampler = std::function<Time(math::Rng&)>;
-
-/// Constant-duration sampler (WCET mode).
-DurationSampler constant_duration(Time d);
-/// Uniform in [bcet, wcet].
-DurationSampler uniform_duration(Time bcet, Time wcet);
-/// Normal truncated to [bcet, wcet].
-DurationSampler truncated_normal_duration(Time mean, Time stddev, Time bcet,
-                                          Time wcet);
-
 /// Delays each incoming event by a (possibly random) execution duration.
 /// Non-reentrant like a processor operation: if an event arrives while a
 /// previous one is still "executing", the new execution starts when the
@@ -39,18 +35,22 @@ DurationSampler truncated_normal_duration(Time mean, Time stddev, Time bcet,
 class EventDelay : public Block {
  public:
   EventDelay(std::string name, Time duration);
+  EventDelay(std::string name, DurationSpec spec);
+  /// Opaque-sampler escape hatch (wraps the sampler in a kCustom spec).
   EventDelay(std::string name, DurationSampler sampler);
 
   void initialize(Context& ctx) override;
   void on_event(Context& ctx, std::size_t event_in) override;
+  void describe(ir::BlockIr& out) const override;
 
+  const DurationSpec& spec() const { return spec_; }
   std::size_t event_in() const { return 0; }
   std::size_t event_out() const { return 0; }
   /// Number of activations that found the block busy (diagnostic).
   std::size_t busy_hits() const { return busy_hits_; }
 
  private:
-  DurationSampler sampler_;
+  DurationSpec spec_;
   Time busy_until_ = 0.0;
   std::size_t busy_hits_ = 0;
 };
@@ -60,7 +60,8 @@ class EventDelay : public Block {
 using ConditionMapping = std::function<std::size_t(std::span<const double>)>;
 
 /// Routes each incoming event to one of `n_channels` event outputs according
-/// to the condition mapping applied to data input 0.
+/// to the condition mapping applied to data input 0. Always opaque in the
+/// IR: the mapping is an arbitrary user function.
 class EventSelect : public Block {
  public:
   EventSelect(std::string name, std::size_t n_channels, std::size_t cond_width,
@@ -71,6 +72,7 @@ class EventSelect : public Block {
                                                      double threshold);
 
   void on_event(Context& ctx, std::size_t event_in) override;
+  void describe(ir::BlockIr& out) const override;
 
   std::size_t event_in() const { return 0; }
 
@@ -87,6 +89,7 @@ class TdmaGate : public Block {
   TdmaGate(std::string name, Time slot);
 
   void on_event(Context& ctx, std::size_t event_in) override;
+  void describe(ir::BlockIr& out) const override;
 
   std::size_t event_in() const { return 0; }
   std::size_t event_out() const { return 0; }
@@ -101,6 +104,7 @@ class EventMerge : public Block {
   EventMerge(std::string name, std::size_t n_inputs);
 
   void on_event(Context& ctx, std::size_t event_in) override;
+  void describe(ir::BlockIr& out) const override;
 
   std::size_t event_out() const { return 0; }
 };
@@ -124,10 +128,15 @@ using FaultDecider = std::function<FaultAction(std::size_t k, Time now)>;
 /// model node outages and delivery delays.
 class EventFault : public Block {
  public:
+  /// Opaque decider (arbitrary user logic; block stays opaque in the IR).
   EventFault(std::string name, FaultDecider decider);
+  /// Describable gate: decisions replay fault::comm_gate_decide(gate, k),
+  /// which matches ArmedFaultPlan::comm_effect bit-exactly.
+  EventFault(std::string name, fault::CommGate gate);
 
   void initialize(Context& ctx) override;
   void on_event(Context& ctx, std::size_t event_in) override;
+  void describe(ir::BlockIr& out) const override;
 
   std::size_t event_in() const { return 0; }
   std::size_t event_out() const { return 0; }
@@ -137,6 +146,7 @@ class EventFault : public Block {
 
  private:
   FaultDecider decider_;
+  std::shared_ptr<const fault::CommGate> gate_;  // set iff describable
   std::size_t count_ = 0;
   std::size_t drops_ = 0;
   std::size_t defers_ = 0;
@@ -150,6 +160,7 @@ class EventDivider : public Block {
 
   void initialize(Context& ctx) override;
   void on_event(Context& ctx, std::size_t event_in) override;
+  void describe(ir::BlockIr& out) const override;
 
   std::size_t event_in() const { return 0; }
   std::size_t event_out() const { return 0; }

@@ -1,0 +1,59 @@
+#include "blocks/examples.hpp"
+
+#include <string>
+#include <vector>
+
+#include "blocks/continuous.hpp"
+#include "blocks/discrete.hpp"
+#include "blocks/event_blocks.hpp"
+#include "blocks/math_blocks.hpp"
+#include "blocks/probe.hpp"
+#include "blocks/sample_hold.hpp"
+#include "blocks/sources.hpp"
+#include "mathlib/matrix.hpp"
+
+namespace ecsim::blocks::examples {
+
+sim::Model make_chains(std::size_t chains) {
+  sim::Model m;
+  auto& clk = m.add<blocks::Clock>("clk", 1e-3);
+  for (std::size_t c = 0; c < chains; ++c) {
+    auto& d1 = m.add<blocks::EventDelay>("d1_" + std::to_string(c), 1e-4);
+    auto& d2 = m.add<blocks::EventDelay>("d2_" + std::to_string(c), 2e-4);
+    auto& n = m.add<blocks::EventCounter>("n_" + std::to_string(c));
+    m.connect_event(clk, 0, d1, d1.event_in());
+    m.connect_event(d1, d1.event_out(), d2, d2.event_in());
+    m.connect_event(d2, d2.event_out(), n, 0);
+  }
+  return m;
+}
+
+sim::Model make_servo() {
+  sim::Model m;
+  auto& plant = m.add<blocks::StateSpaceCont>(
+      "plant", math::Matrix{{0.0, 1.0}, {-4.0, -1.2}},
+      math::Matrix{{0.0}, {4.0}}, math::Matrix{{1.0, 0.0}},
+      math::Matrix{{0.0}});
+  auto& ref = m.add<blocks::Step>("ref", 0.0, 1.0, 0.0);
+  auto& sense = m.add<blocks::SampleHold>("sense", 1);
+  m.connect(plant, 0, sense, 0);
+  auto& err = m.add<blocks::Sum>("err", std::vector<double>{1.0, -1.0}, 1);
+  m.connect(ref, 0, err, 0);
+  m.connect(sense, 0, err, 1);
+  auto& ctrl = m.add<blocks::StateSpaceDisc>(
+      "ctrl", math::Matrix{{1.0}}, math::Matrix{{0.02}}, math::Matrix{{1.0}},
+      math::Matrix{{1.8}});
+  m.connect(err, 0, ctrl, 0);
+  auto& act = m.add<blocks::SampleHold>("act", 1);
+  m.connect(ctrl, 0, act, 0);
+  m.connect(act, 0, plant, 0);
+  auto& probe_y = m.add<blocks::Probe>("probe_y", 1, 1e-3);
+  m.connect(plant, 0, probe_y, 0);
+  auto& clock = m.add<blocks::Clock>("clock", 1e-3);
+  m.connect_event(clock, clock.event_out(), sense, sense.event_in());
+  m.connect_event(sense, sense.done_event_out(), ctrl, ctrl.event_in());
+  m.connect_event(ctrl, ctrl.done_event_out(), act, act.event_in());
+  return m;
+}
+
+}  // namespace ecsim::blocks::examples

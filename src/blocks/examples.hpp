@@ -1,0 +1,24 @@
+// Canonical example diagrams shared by the CLI (`ecsim_flow ir/simulate
+// --example=...`), the benchmarks and the golden-IR CI guards. Keeping the
+// builders here (instead of copy-pasting them into each bench) means every
+// consumer hashes the SAME model — the committed golden IR and the
+// BENCH_*.json stamps stay comparable across PRs.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/model.hpp"
+
+namespace ecsim::blocks::examples {
+
+/// The EXP-P1/P4/P6 event workload: one 1 ms clock fanning out to `chains`
+/// delay chains (clock -> d1 -> d2 -> counter). Large simultaneous batches,
+/// no continuous state: isolates queue + dispatch cost.
+sim::Model make_chains(std::size_t chains);
+
+/// Sampled-data servo loop (continuous plant + S/H + discrete controller +
+/// probe): integration-dominated, exercises the workspace path and the
+/// trace signal pool.
+sim::Model make_servo();
+
+}  // namespace ecsim::blocks::examples

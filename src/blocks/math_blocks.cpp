@@ -104,4 +104,44 @@ void Demux::compute_outputs(Context& ctx) {
   }
 }
 
+
+namespace {
+
+ir::Attr matrix_attr(std::string key, const math::Matrix& m) {
+  return ir::Attr::of_matrix(
+      std::move(key), m.rows(), m.cols(),
+      std::vector<double>(m.data(), m.data() + m.size()));
+}
+
+}  // namespace
+
+void Gain::describe(ir::BlockIr& out) const {
+  out.kind = "Gain";
+  out.attrs.push_back(matrix_attr("k", k_));
+}
+
+void Sum::describe(ir::BlockIr& out) const {
+  out.kind = "Sum";
+  out.attrs.push_back(ir::Attr::of_vec("signs", signs_));
+}
+
+void Saturation::describe(ir::BlockIr& out) const {
+  out.kind = "Saturation";
+  out.attrs.push_back(ir::Attr::of_real("lo", lo_));
+  out.attrs.push_back(ir::Attr::of_real("hi", hi_));
+}
+
+void Quantizer::describe(ir::BlockIr& out) const {
+  out.kind = "Quantizer";
+  out.attrs.push_back(ir::Attr::of_real("step", step_));
+}
+
+void Mux::describe(ir::BlockIr& out) const {
+  out.kind = "Mux";  // lane widths live in the structural in_widths
+}
+
+void Demux::describe(ir::BlockIr& out) const {
+  out.kind = "Demux";  // lane widths live in the structural out_widths
+}
+
 }  // namespace ecsim::blocks

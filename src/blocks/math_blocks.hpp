@@ -20,6 +20,7 @@ class Gain : public Block {
 
   void compute_outputs(Context& ctx) override;
   bool input_feedthrough(std::size_t) const override { return true; }
+  void describe(ir::BlockIr& out) const override;
 
  private:
   math::Matrix k_;
@@ -32,6 +33,7 @@ class Sum : public Block {
 
   void compute_outputs(Context& ctx) override;
   bool input_feedthrough(std::size_t) const override { return true; }
+  void describe(ir::BlockIr& out) const override;
 
  private:
   std::vector<double> signs_;
@@ -45,6 +47,7 @@ class Saturation : public Block {
 
   void compute_outputs(Context& ctx) override;
   bool input_feedthrough(std::size_t) const override { return true; }
+  void describe(ir::BlockIr& out) const override;
 
  private:
   double lo_, hi_;
@@ -57,6 +60,7 @@ class Quantizer : public Block {
 
   void compute_outputs(Context& ctx) override;
   bool input_feedthrough(std::size_t) const override { return true; }
+  void describe(ir::BlockIr& out) const override;
 
  private:
   double step_;
@@ -69,6 +73,7 @@ class Mux : public Block {
 
   void compute_outputs(Context& ctx) override;
   bool input_feedthrough(std::size_t) const override { return true; }
+  void describe(ir::BlockIr& out) const override;
 
  private:
   std::vector<std::size_t> widths_;
@@ -81,6 +86,7 @@ class Demux : public Block {
 
   void compute_outputs(Context& ctx) override;
   bool input_feedthrough(std::size_t) const override { return true; }
+  void describe(ir::BlockIr& out) const override;
 
  private:
   std::vector<std::size_t> widths_;

@@ -25,4 +25,10 @@ void Probe::on_event(Context& ctx, std::size_t) {
   if (period_ > 0.0) ctx.schedule_self(0, period_);
 }
 
+
+void Probe::describe(ir::BlockIr& out) const {
+  out.kind = "Probe";
+  out.attrs.push_back(ir::Attr::of_real("record_period", period_));
+}
+
 }  // namespace ecsim::blocks

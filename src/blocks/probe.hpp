@@ -20,6 +20,7 @@ class Probe : public Block {
 
   void initialize(Context& ctx) override;
   void on_event(Context& ctx, std::size_t event_in) override;
+  void describe(ir::BlockIr& out) const override;
 
   std::size_t samples_taken() const { return samples_; }
 

@@ -31,4 +31,10 @@ void SampleHold::on_event(Context& ctx, std::size_t) {
   ctx.emit(0, 0.0);
 }
 
+
+void SampleHold::describe(ir::BlockIr& out) const {
+  out.kind = "SampleHold";
+  out.attrs.push_back(ir::Attr::of_vec("initial", initial_));
+}
+
 }  // namespace ecsim::blocks

@@ -19,6 +19,7 @@ class SampleHold : public Block {
 
   void initialize(Context& ctx) override;
   void on_event(Context& ctx, std::size_t event_in) override;
+  void describe(ir::BlockIr& out) const override;
 
   std::size_t event_in() const { return 0; }
   std::size_t done_event_out() const { return 0; }

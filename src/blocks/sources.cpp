@@ -126,4 +126,51 @@ void NoiseHold::on_event(Context& ctx, std::size_t) {
   ctx.emit(0, 0.0);
 }
 
+
+void Clock::describe(ir::BlockIr& out) const {
+  out.kind = "Clock";
+  out.attrs.push_back(ir::Attr::of_real("period", period_));
+  out.attrs.push_back(ir::Attr::of_real("offset", offset_));
+}
+
+void TimetableClock::describe(ir::BlockIr& out) const {
+  out.kind = "TimetableClock";
+  out.attrs.push_back(ir::Attr::of_real("period", period_));
+  out.attrs.push_back(ir::Attr::of_vec("offsets", offsets_));
+}
+
+void Constant::describe(ir::BlockIr& out) const {
+  out.kind = "Constant";
+  out.attrs.push_back(ir::Attr::of_vec("value", value_));
+}
+
+void Step::describe(ir::BlockIr& out) const {
+  out.kind = "Step";
+  out.attrs.push_back(ir::Attr::of_real("initial", initial_));
+  out.attrs.push_back(ir::Attr::of_real("final", final_));
+  out.attrs.push_back(ir::Attr::of_real("step_time", step_time_));
+}
+
+void Sine::describe(ir::BlockIr& out) const {
+  out.kind = "Sine";
+  out.attrs.push_back(ir::Attr::of_real("amplitude", amplitude_));
+  out.attrs.push_back(ir::Attr::of_real("frequency", frequency_));
+  out.attrs.push_back(ir::Attr::of_real("phase", phase_));
+  out.attrs.push_back(ir::Attr::of_real("bias", bias_));
+}
+
+void Pulse::describe(ir::BlockIr& out) const {
+  out.kind = "Pulse";
+  out.attrs.push_back(ir::Attr::of_real("low", low_));
+  out.attrs.push_back(ir::Attr::of_real("high", high_));
+  out.attrs.push_back(ir::Attr::of_real("period", period_));
+  out.attrs.push_back(ir::Attr::of_real("duty", duty_));
+}
+
+void NoiseHold::describe(ir::BlockIr& out) const {
+  out.kind = "NoiseHold";
+  out.attrs.push_back(ir::Attr::of_real("mean", mean_));
+  out.attrs.push_back(ir::Attr::of_real("stddev", stddev_));
+}
+
 }  // namespace ecsim::blocks

@@ -22,6 +22,7 @@ class Clock : public Block {
 
   void initialize(Context& ctx) override;
   void on_event(Context& ctx, std::size_t event_in) override;
+  void describe(ir::BlockIr& out) const override;
 
   std::size_t event_out() const { return 0; }
 
@@ -40,6 +41,7 @@ class TimetableClock : public Block {
 
   void initialize(Context& ctx) override;
   void on_event(Context& ctx, std::size_t event_in) override;
+  void describe(ir::BlockIr& out) const override;
 
   std::size_t event_out() const { return 0; }
 
@@ -58,6 +60,7 @@ class Constant : public Block {
       : Constant(std::move(name), std::vector<double>{value}) {}
 
   void compute_outputs(Context& ctx) override;
+  void describe(ir::BlockIr& out) const override;
 
  private:
   std::vector<double> value_;
@@ -70,6 +73,7 @@ class Step : public Block {
 
   void compute_outputs(Context& ctx) override;
   bool output_depends_on_time() const override { return true; }
+  void describe(ir::BlockIr& out) const override;
 
  private:
   double initial_;
@@ -85,6 +89,7 @@ class Sine : public Block {
 
   void compute_outputs(Context& ctx) override;
   bool output_depends_on_time() const override { return true; }
+  void describe(ir::BlockIr& out) const override;
 
  private:
   double amplitude_, frequency_, phase_, bias_;
@@ -98,6 +103,7 @@ class Pulse : public Block {
 
   void compute_outputs(Context& ctx) override;
   bool output_depends_on_time() const override { return true; }
+  void describe(ir::BlockIr& out) const override;
 
  private:
   double low_, high_;
@@ -115,6 +121,7 @@ class NoiseHold : public Block {
 
   void initialize(Context& ctx) override;
   void on_event(Context& ctx, std::size_t event_in) override;
+  void describe(ir::BlockIr& out) const override;
 
   std::size_t event_in() const { return 0; }
   std::size_t done_event_out() const { return 0; }

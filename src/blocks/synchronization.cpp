@@ -29,4 +29,9 @@ void Synchronization::on_event(Context& ctx, std::size_t event_in) {
   }
 }
 
+
+void Synchronization::describe(ir::BlockIr& out) const {
+  out.kind = "Synchronization";  // fan-in is the structural n_event_in
+}
+
 }  // namespace ecsim::blocks

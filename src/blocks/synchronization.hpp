@@ -20,6 +20,7 @@ class Synchronization : public Block {
 
   void initialize(Context& ctx) override;
   void on_event(Context& ctx, std::size_t event_in) override;
+  void describe(ir::BlockIr& out) const override;
 
   std::size_t event_out() const { return 0; }
   /// Current pending flags (diagnostic / property tests).

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "exec/channel.hpp"
+#include "exec/schedule_ir.hpp"
 
 namespace ecsim::exec {
 
@@ -70,49 +71,6 @@ struct Cursor {
   }
 };
 
-/// Per-instruction compile artifact: WCETs resolved against the host
-/// processor type once, so the interpreter loop never touches the
-/// string-keyed WCET maps (mirrors sim::CompiledModel — compile the
-/// structure, interpret only the dynamics).
-struct CompiledInstr {
-  bool release_gated = false;       // sensor or multirate release offset
-  Time release = 0.0;
-  Time wcet = 0.0;                  // unconditional ops
-  std::vector<Time> branch_wcets;   // conditional ops (empty otherwise)
-};
-
-std::vector<std::vector<CompiledInstr>> compile_programs(
-    const AlgorithmGraph& alg, const ArchitectureGraph& arch,
-    const GeneratedCode& code, obs::Counter* wcet_lookups) {
-  std::size_t lookups = 0;
-  std::vector<std::vector<CompiledInstr>> compiled(code.programs.size());
-  for (std::size_t pi = 0; pi < code.programs.size(); ++pi) {
-    const ExecutiveProgram& prog = code.programs[pi];
-    const std::string& type = arch.processor(prog.proc).type;
-    compiled[pi].resize(prog.instrs.size());
-    for (std::size_t ic = 0; ic < prog.instrs.size(); ++ic) {
-      const aaa::Instr& ins = prog.instrs[ic];
-      if (ins.kind != aaa::InstrKind::kCompute) continue;
-      const Operation& op = alg.op(ins.op);
-      CompiledInstr& ci = compiled[pi][ic];
-      ci.release_gated = op.kind == aaa::OpKind::kSensor || op.release > 0.0;
-      ci.release = op.release;
-      if (op.is_conditional()) {
-        ci.branch_wcets.reserve(op.branches.size());
-        for (const aaa::Branch& br : op.branches) {
-          ci.branch_wcets.push_back(br.wcet.at(type));
-        }
-        lookups += op.branches.size();
-      } else {
-        ci.wcet = op.wcet.at(type);
-        ++lookups;
-      }
-    }
-  }
-  if (wcet_lookups != nullptr) wcet_lookups->add(lookups);
-  return compiled;
-}
-
 }  // namespace
 
 VmResult run_executives(const AlgorithmGraph& alg,
@@ -141,6 +99,13 @@ VmResult run_executives(const AlgorithmGraph& alg,
     c_comms = &opts.metrics->counter("exec.comms_executed");
     c_wcet = &opts.metrics->counter("exec.wcet_lookups");
   }
+
+  // Compile step: lower the executives to the IR's schedule section. All
+  // string-keyed WCET maps are resolved here; the sequencer loop below only
+  // reads the flat InstrIr tables (mirrors sim::CompiledModel — compile the
+  // structure, interpret only the dynamics).
+  const ir::ScheduleIr sir = build_schedule_ir(alg, arch, sched, code, c_wcet);
+
   obs::ScopedSpan vm_span(opts.tracer, "vm.run", obs::Domain::kWall,
                           "runtime/vm");
   const bool tracing = obs::active(opts.tracer);
@@ -187,19 +152,17 @@ VmResult run_executives(const AlgorithmGraph& alg,
   }
 
   std::vector<Channel> channels(sched.comms().size(), Channel(iters));
-  std::vector<Cursor> proc_cur(code.programs.size());
-  std::vector<Cursor> medium_cur(code.communicators.size());
-  const std::vector<std::vector<CompiledInstr>> compiled =
-      compile_programs(alg, arch, code, c_wcet);
+  std::vector<Cursor> proc_cur(sir.executives.size());
+  std::vector<Cursor> medium_cur(sir.communicators.size());
 
   // The instance counts are known exactly up front (one op instance per
   // kCompute instruction per iteration, one comm instance per scheduled
   // communication per iteration), so reserve once and never grow inside the
   // sequencer loop (DESIGN.md §3.4).
   std::size_t compute_instrs = 0;
-  for (const ExecutiveProgram& prog : code.programs) {
-    for (const aaa::Instr& ins : prog.instrs) {
-      if (ins.kind == aaa::InstrKind::kCompute) ++compute_instrs;
+  for (const ir::ExecutiveIr& prog : sir.executives) {
+    for (const ir::InstrIr& ins : prog.instrs) {
+      if (ins.kind == ir::InstrIr::Kind::kCompute) ++compute_instrs;
     }
   }
   result.ops.reserve(compute_instrs * iters);
@@ -214,17 +177,17 @@ VmResult run_executives(const AlgorithmGraph& alg,
 
   auto advance_proc = [&](std::size_t pi) -> bool {
     Cursor& cur = proc_cur[pi];
-    const ExecutiveProgram& prog = code.programs[pi];
+    const ir::ExecutiveIr& prog = sir.executives[pi];
     if (cur.done(prog.instrs.size(), iters)) return false;
-    const aaa::Instr& ins = prog.instrs[cur.pc];
+    const ir::InstrIr& ins = prog.instrs[cur.pc];
     switch (ins.kind) {
-      case aaa::InstrKind::kCompute: {
+      case ir::InstrIr::Kind::kCompute: {
         // Skip-cycle degradation: the iteration was abandoned at a lost
         // Recv, so computations are suppressed (no op instance, no time
         // spent) while the pc still advances toward the next iteration.
         if (cur.skip_iter == cur.iter) break;
         const Operation& op = alg.op(ins.op);
-        const CompiledInstr& ci = compiled[pi][cur.pc];
+        const ir::InstrIr& ci = ins;  // timing fields live on the instruction
         Time start = cur.t;
         // Release gating: sensors wait for the period tick; any op with a
         // release offset (multirate instances) additionally waits for
@@ -288,12 +251,12 @@ VmResult run_executives(const AlgorithmGraph& alg,
         cur.t = start + dur;
         break;
       }
-      case aaa::InstrKind::kSend:
+      case ir::InstrIr::Kind::kSend:
         // Under kSkipCycle the send still fires (with the stale buffer) so
         // downstream processors and communicators never deadlock on it.
         channels[ins.comm].mark_sent(cur.iter, cur.t);
         break;
-      case aaa::InstrKind::kRecv: {
+      case ir::InstrIr::Kind::kRecv: {
         const auto delivered = channels[ins.comm].delivered(cur.iter);
         if (delivered) {
           cur.t = std::max(cur.t, *delivered);
@@ -349,7 +312,7 @@ VmResult run_executives(const AlgorithmGraph& alg,
 
   auto advance_medium = [&](std::size_t mi) -> bool {
     Cursor& cur = medium_cur[mi];
-    const aaa::CommunicatorProgram& prog = code.communicators[mi];
+    const ir::CommunicatorIr& prog = sir.communicators[mi];
     if (cur.done(prog.comms.size(), iters)) return false;
     const std::size_t ci = prog.comms[cur.pc];
     auto sent = channels[ci].sent(cur.iter);

@@ -1,0 +1,64 @@
+#include "exec/schedule_ir.hpp"
+
+#include <string>
+
+namespace ecsim::exec {
+
+using aaa::Operation;
+
+ir::ScheduleIr build_schedule_ir(const aaa::AlgorithmGraph& alg,
+                                 const aaa::ArchitectureGraph& arch,
+                                 const aaa::Schedule& sched,
+                                 const aaa::GeneratedCode& code,
+                                 obs::Counter* wcet_lookups) {
+  std::size_t lookups = 0;
+  ir::ScheduleIr sir;
+  sir.makespan = sched.makespan();
+  sir.executives.resize(code.programs.size());
+  for (std::size_t pi = 0; pi < code.programs.size(); ++pi) {
+    const aaa::ExecutiveProgram& prog = code.programs[pi];
+    const std::string& type = arch.processor(prog.proc).type;
+    ir::ExecutiveIr& ex = sir.executives[pi];
+    ex.proc = prog.proc;
+    ex.resource = arch.processor(prog.proc).name;
+    ex.instrs.resize(prog.instrs.size());
+    for (std::size_t ic = 0; ic < prog.instrs.size(); ++ic) {
+      const aaa::Instr& ins = prog.instrs[ic];
+      ir::InstrIr& ii = ex.instrs[ic];
+      ii.op = ins.op;
+      ii.comm = ins.comm;
+      ii.label = ins.label;
+      if (ins.kind != aaa::InstrKind::kCompute) {
+        ii.kind = ins.kind == aaa::InstrKind::kSend ? ir::InstrIr::Kind::kSend
+                                                    : ir::InstrIr::Kind::kRecv;
+        continue;
+      }
+      ii.kind = ir::InstrIr::Kind::kCompute;
+      const Operation& op = alg.op(ins.op);
+      ii.release_gated = op.kind == aaa::OpKind::kSensor || op.release > 0.0;
+      ii.release = op.release;
+      if (op.is_conditional()) {
+        ii.branch_wcets.reserve(op.branches.size());
+        for (const aaa::Branch& br : op.branches) {
+          ii.branch_wcets.push_back(br.wcet.at(type));
+        }
+        lookups += op.branches.size();
+      } else {
+        ii.wcet = op.wcet.at(type);
+        ++lookups;
+      }
+    }
+  }
+  sir.communicators.resize(code.communicators.size());
+  for (std::size_t mi = 0; mi < code.communicators.size(); ++mi) {
+    const aaa::CommunicatorProgram& prog = code.communicators[mi];
+    ir::CommunicatorIr& cm = sir.communicators[mi];
+    cm.medium = prog.medium;
+    cm.resource = arch.medium(prog.medium).name;
+    cm.comms = prog.comms;
+  }
+  if (wcet_lookups != nullptr) wcet_lookups->add(lookups);
+  return sir;
+}
+
+}  // namespace ecsim::exec

@@ -1,0 +1,29 @@
+// Schedule -> IR lowering: resolves the generated executives against the
+// host architecture once (WCETs looked up per processor type, release
+// gating decided per operation) and emits the result as the IR's schedule
+// section (ir::ScheduleIr). This is the executive VM's *only* compile step
+// — run_executives interprets the ScheduleIr tables directly, so a schedule
+// serialized inside an ir::Model replays bit-identically on another host
+// without the string-keyed WCET maps.
+#pragma once
+
+#include "aaa/codegen.hpp"
+#include "ir/ir.hpp"
+#include "obs/metrics.hpp"
+
+namespace ecsim::exec {
+
+/// Lowers generated executives into IR form. Per kCompute instruction the
+/// WCET (or per-branch WCETs for conditional operations) is resolved
+/// against the host processor's type; kSend/kRecv carry only their comm
+/// index. `wcet_lookups`, when non-null, is bumped once per WCET map access
+/// (the "exec.wcet_lookups" counter — lets tests prove the interpreter loop
+/// never touches the maps). Throws std::out_of_range if an operation has no
+/// WCET entry for its host processor type, same as scheduling would.
+ir::ScheduleIr build_schedule_ir(const aaa::AlgorithmGraph& alg,
+                                 const aaa::ArchitectureGraph& arch,
+                                 const aaa::Schedule& sched,
+                                 const aaa::GeneratedCode& code,
+                                 obs::Counter* wcet_lookups = nullptr);
+
+}  // namespace ecsim::exec

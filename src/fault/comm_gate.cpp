@@ -1,0 +1,49 @@
+#include "fault/comm_gate.hpp"
+
+#include "mathlib/rng.hpp"
+
+namespace ecsim::fault {
+
+namespace {
+
+// splitmix64 finalizer — must stay bit-identical to fault_plan.cpp's mix()
+// (the decision streams of the VM, the interpreter and the native backend
+// all hash the same coordinates).
+std::uint64_t gate_mix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+CommGateAction comm_gate_decide(const CommGate& gate, std::size_t k) {
+  bool lost = false;
+  double extra_delay = 0.0;
+  std::size_t extra_copies = 0;
+  const double nominal = static_cast<double>(k) * gate.period;
+  for (const CommGateEntry& e : gate.entries) {
+    if (nominal < e.t_start || nominal >= e.t_stop) continue;
+    math::Rng rng(gate_mix(gate.seed ^ gate_mix(0x6661756c74ULL + e.fault) ^
+                           gate_mix(0x656e74ULL + gate.comm_index) ^
+                           gate_mix(k)));
+    if (rng.uniform() >= e.probability) continue;
+    switch (e.kind) {
+      case CommGateEntry::Kind::kLoss:
+        lost = true;
+        break;
+      case CommGateEntry::Kind::kDelay:
+        extra_delay += e.delay;
+        break;
+      case CommGateEntry::Kind::kDuplicate:
+        extra_copies += e.extra_copies;
+        break;
+    }
+  }
+  if (lost) return {true, 0.0};
+  return {false, extra_delay + static_cast<double>(extra_copies) *
+                                   gate.transfer_duration};
+}
+
+}  // namespace ecsim::fault

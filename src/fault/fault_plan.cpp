@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "fault/comm_gate.hpp"
 #include "mathlib/rng.hpp"
 
 namespace ecsim::fault {
@@ -200,6 +201,41 @@ ArmedFaultPlan::CommEffect ArmedFaultPlan::comm_effect(
     }
   }
   return e;
+}
+
+CommGate ArmedFaultPlan::comm_gate(std::size_t comm_index,
+                                   Time transfer_duration) const {
+  CommGate gate;
+  gate.seed = seed_;
+  gate.period = period_;
+  gate.comm_index = comm_index;
+  gate.transfer_duration = transfer_duration;
+  if (comm_index >= comm_faults_.size()) return gate;
+  for (const std::size_t fi : comm_faults_[comm_index]) {
+    const FaultSpec& f = faults_[fi];
+    CommGateEntry e;
+    e.fault = fi;
+    switch (f.kind) {
+      case FaultKind::kMessageLoss:
+        e.kind = CommGateEntry::Kind::kLoss;
+        break;
+      case FaultKind::kMessageDelay:
+        e.kind = CommGateEntry::Kind::kDelay;
+        break;
+      case FaultKind::kMessageDuplicate:
+        e.kind = CommGateEntry::Kind::kDuplicate;
+        break;
+      default:
+        continue;  // comm_faults_ only holds message kinds
+    }
+    e.probability = f.probability;
+    e.delay = f.delay;
+    e.extra_copies = f.extra_copies;
+    e.t_start = f.t_start;
+    e.t_stop = f.t_stop;
+    gate.entries.push_back(e);
+  }
+  return gate;
 }
 
 double ArmedFaultPlan::op_factor(OpId op, std::size_t iteration,

@@ -36,6 +36,8 @@
 
 namespace ecsim::fault {
 
+struct CommGate;  // fault/comm_gate.hpp
+
 using aaa::kNone;
 using aaa::OpId;
 using aaa::ProcId;
@@ -152,6 +154,13 @@ class ArmedFaultPlan {
     bool any() const { return lost || extra_delay > 0.0 || extra_copies > 0; }
   };
   CommEffect comm_effect(std::size_t comm_index, std::size_t iteration) const;
+
+  /// Exports the message-fault entries applicable to one scheduled transfer
+  /// as a self-contained, describable gate (fault/comm_gate.hpp):
+  /// comm_gate_decide(comm_gate(ci, dur), k) reproduces comm_effect(ci, k)
+  /// bit-exactly, without a reference back to this plan. `transfer_duration`
+  /// is one copy's medium occupancy (converts duplicates into defer time).
+  CommGate comm_gate(std::size_t comm_index, Time transfer_duration) const;
 
   /// Execution-time multiplier for one operation instance (product of the
   /// triggered overrun faults; 1.0 when none). `fault_out`, if non-null,

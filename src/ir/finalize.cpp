@@ -1,0 +1,309 @@
+// Layout derivation: the six passes that used to live inside
+// sim::CompiledModel, ported to run on IR data so every backend (interpreter,
+// native codegen) adopts one canonical layout. Error messages keep the
+// "CompiledModel:" prefix — that is still the contract surface callers see,
+// since the interpreter's compile throws these through ir::finalize().
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "ir/ir.hpp"
+
+namespace ecsim::ir {
+
+namespace {
+
+void layout_arena(Model& m) {
+  LayoutIr& l = m.layout;
+  const std::size_t n = m.blocks.size();
+  // The arena starts with a zero prefix wide enough for any input, backing
+  // unconnected inputs; no output slice maps there, so it is never written.
+  std::size_t max_input_width = 0;
+  for (const BlockIr& b : m.blocks) {
+    for (std::size_t w : b.in_widths) max_input_width = std::max(max_input_width, w);
+  }
+  l.arena_size = max_input_width;
+
+  l.out_base.assign(n + 1, 0);
+  l.out_slices.clear();
+  for (std::size_t b = 0; b < n; ++b) {
+    l.out_base[b] = l.out_slices.size();
+    for (std::size_t w : m.blocks[b].out_widths) {
+      l.out_slices.push_back(SliceIr{l.arena_size, w});
+      l.arena_size += w;
+    }
+  }
+  l.out_base[n] = l.out_slices.size();
+}
+
+void resolve_inputs(Model& m) {
+  LayoutIr& l = m.layout;
+  const std::size_t n = m.blocks.size();
+  l.in_base.assign(n + 1, 0);
+  l.in_slices.clear();
+  for (std::size_t b = 0; b < n; ++b) {
+    l.in_base[b] = l.in_slices.size();
+    for (std::size_t w : m.blocks[b].in_widths) {
+      // Unconnected: read the zero prefix at the input's declared width.
+      l.in_slices.push_back(SliceIr{0, w});
+    }
+  }
+  l.in_base[n] = l.in_slices.size();
+
+  for (const WireIr& w : m.data_wires) {
+    const BlockIr& from = m.blocks.at(w.from.block);
+    const BlockIr& to = m.blocks.at(w.to.block);
+    const std::size_t produced = from.out_widths.at(w.from.port);
+    const std::size_t consumed = to.in_widths.at(w.to.port);
+    if (produced != consumed) {
+      throw std::invalid_argument(
+          "CompiledModel: width mismatch on wire '" + from.name +
+          "' output " + std::to_string(w.from.port) + " (width " +
+          std::to_string(produced) + ") -> '" + to.name + "' input " +
+          std::to_string(w.to.port) + " (width " + std::to_string(consumed) +
+          ")");
+    }
+    l.in_slices[l.in_base[w.to.block] + w.to.port] =
+        l.out_slices[l.out_base[w.from.block] + w.from.port];
+  }
+}
+
+void pack_states(Model& m) {
+  LayoutIr& l = m.layout;
+  const std::size_t n = m.blocks.size();
+  l.state_offset.assign(n, 0);
+  l.stateful_blocks.clear();
+  l.total_state = 0;
+  for (std::size_t b = 0; b < n; ++b) {
+    l.state_offset[b] = l.total_state;
+    const std::size_t nx = m.blocks[b].state_size;
+    l.total_state += nx;
+    if (nx > 0) l.stateful_blocks.push_back(b);
+  }
+}
+
+void flatten_event_wires(Model& m) {
+  LayoutIr& l = m.layout;
+  const std::size_t n = m.blocks.size();
+  l.sink_base.assign(n + 1, 0);
+  std::size_t slots = 0;
+  for (std::size_t b = 0; b < n; ++b) {
+    l.sink_base[b] = slots;
+    slots += m.blocks[b].n_event_out;
+  }
+  l.sink_base[n] = slots;
+
+  // CSR: count per (block, event_out), prefix-sum, then fill.
+  std::vector<std::size_t> counts(slots, 0);
+  for (const WireIr& w : m.event_wires) {
+    ++counts[l.sink_base[w.from.block] + w.from.port];
+  }
+  l.sink_ptr.assign(slots + 1, 0);
+  for (std::size_t s = 0; s < slots; ++s) {
+    l.sink_ptr[s + 1] = l.sink_ptr[s] + counts[s];
+  }
+  l.event_sinks.assign(l.sink_ptr[slots], PortRefIr{});
+  std::vector<std::size_t> fill(slots, 0);
+  for (const WireIr& w : m.event_wires) {
+    const std::size_t slot = l.sink_base[w.from.block] + w.from.port;
+    l.event_sinks[l.sink_ptr[slot] + fill[slot]++] = w.to;
+  }
+}
+
+bool input_feedthrough(const BlockIr& b, std::size_t port) {
+  return port < b.feedthrough.size() && b.feedthrough[port];
+}
+
+void order_feedthrough(Model& m) {
+  LayoutIr& l = m.layout;
+  const std::size_t n = m.blocks.size();
+  // Kahn's algorithm over producer -> consumer edges where the consumer's
+  // input has direct feedthrough.
+  std::vector<std::vector<std::size_t>> succ(n);
+  std::vector<std::size_t> indeg(n, 0);
+  for (const WireIr& w : m.data_wires) {
+    if (input_feedthrough(m.blocks[w.to.block], w.to.port)) {
+      succ[w.from.block].push_back(w.to.block);
+      ++indeg[w.to.block];
+    }
+  }
+  l.eval_order.clear();
+  l.eval_order.reserve(n);
+  std::vector<std::size_t> ready;
+  for (std::size_t b = 0; b < n; ++b) {
+    if (indeg[b] == 0) ready.push_back(b);
+  }
+  while (!ready.empty()) {
+    const std::size_t b = ready.back();
+    ready.pop_back();
+    l.eval_order.push_back(b);
+    for (std::size_t s : succ[b]) {
+      if (--indeg[s] == 0) ready.push_back(s);
+    }
+  }
+  if (l.eval_order.size() != n) {
+    std::string loop_members;
+    for (std::size_t b = 0; b < n; ++b) {
+      if (indeg[b] != 0) loop_members += " '" + m.blocks[b].name + "'";
+    }
+    throw std::runtime_error("CompiledModel: algebraic loop involving:" +
+                             loop_members);
+  }
+  l.topo_pos.assign(n, 0);
+  for (std::size_t i = 0; i < l.eval_order.size(); ++i) {
+    l.topo_pos[l.eval_order[i]] = i;
+  }
+}
+
+void build_cones(Model& m) {
+  LayoutIr& l = m.layout;
+  const std::size_t n = m.blocks.size();
+  // Feedthrough successors, deduplicated (parallel wires between the same
+  // pair of blocks would otherwise inflate the DFS).
+  std::vector<std::vector<std::size_t>> succ(n);
+  for (const WireIr& w : m.data_wires) {
+    if (input_feedthrough(m.blocks[w.to.block], w.to.port)) {
+      auto& s = succ[w.from.block];
+      if (std::find(s.begin(), s.end(), w.to.block) == s.end()) {
+        s.push_back(w.to.block);
+      }
+    }
+  }
+
+  const std::size_t npos = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> stamp(n, npos);
+  std::vector<std::size_t> stack;
+  std::vector<std::size_t> members;
+  auto closure_of = [&](std::size_t root, std::size_t mark) {
+    members.clear();
+    stack.assign(1, root);
+    stamp[root] = mark;
+    members.push_back(root);
+    while (!stack.empty()) {
+      const std::size_t b = stack.back();
+      stack.pop_back();
+      for (std::size_t s : succ[b]) {
+        if (stamp[s] != mark) {
+          stamp[s] = mark;
+          members.push_back(s);
+          stack.push_back(s);
+        }
+      }
+    }
+    std::sort(members.begin(), members.end(),
+              [&](std::size_t a, std::size_t b) {
+                return l.topo_pos[a] < l.topo_pos[b];
+              });
+  };
+
+  l.cone_base.assign(n + 1, 0);
+  l.cone_blocks.clear();
+  for (std::size_t b = 0; b < n; ++b) {
+    l.cone_base[b] = l.cone_blocks.size();
+    closure_of(b, b);
+    l.cone_blocks.insert(l.cone_blocks.end(), members.begin(), members.end());
+  }
+  l.cone_base[n] = l.cone_blocks.size();
+
+  // Dynamic cone: union of the cones of every block whose outputs drift
+  // between events without any event being dispatched — continuous state
+  // (moved by the integrator) and declared time dependence.
+  l.dynamic_cone.clear();
+  const std::size_t union_mark = n;  // distinct from per-block marks
+  std::vector<std::size_t> in_union(n, npos);
+  for (std::size_t b = 0; b < n; ++b) {
+    const BlockIr& blk = m.blocks[b];
+    if (blk.state_size == 0 && !blk.time_dependent) continue;
+    closure_of(b, union_mark + b + 1);
+    for (std::size_t mb : members) {
+      if (in_union[mb] == npos) {
+        in_union[mb] = 0;
+        l.dynamic_cone.push_back(mb);
+      }
+    }
+  }
+  std::sort(l.dynamic_cone.begin(), l.dynamic_cone.end(),
+            [&](std::size_t a, std::size_t b) {
+              return l.topo_pos[a] < l.topo_pos[b];
+            });
+}
+
+}  // namespace
+
+void finalize(Model& m) {
+  for (const WireIr& w : m.data_wires) {
+    if (w.from.block >= m.blocks.size() || w.to.block >= m.blocks.size()) {
+      throw std::invalid_argument("ir::finalize: data wire block out of range");
+    }
+  }
+  for (const WireIr& w : m.event_wires) {
+    if (w.from.block >= m.blocks.size() || w.to.block >= m.blocks.size()) {
+      throw std::invalid_argument("ir::finalize: event wire block out of range");
+    }
+  }
+  layout_arena(m);
+  resolve_inputs(m);
+  pack_states(m);
+  flatten_event_wires(m);
+  order_feedthrough(m);
+  build_cones(m);
+}
+
+bool fully_described(const Model& m) {
+  for (const BlockIr& b : m.blocks) {
+    if (b.opaque || b.kind.empty()) return false;
+  }
+  return true;
+}
+
+const Attr* BlockIr::find(const std::string& key) const {
+  for (const Attr& a : attrs) {
+    if (a.key == key) return &a;
+  }
+  return nullptr;
+}
+
+Attr Attr::of_int(std::string key, long long v) {
+  Attr a;
+  a.key = std::move(key);
+  a.kind = Kind::kInt;
+  a.i = v;
+  return a;
+}
+
+Attr Attr::of_real(std::string key, double v) {
+  Attr a;
+  a.key = std::move(key);
+  a.kind = Kind::kReal;
+  a.r = v;
+  return a;
+}
+
+Attr Attr::of_vec(std::string key, std::vector<double> v) {
+  Attr a;
+  a.key = std::move(key);
+  a.kind = Kind::kRealVec;
+  a.vec = std::move(v);
+  return a;
+}
+
+Attr Attr::of_matrix(std::string key, std::size_t rows, std::size_t cols,
+                     std::vector<double> row_major) {
+  Attr a;
+  a.key = std::move(key);
+  a.kind = Kind::kMatrix;
+  a.rows = rows;
+  a.cols = cols;
+  a.vec = std::move(row_major);
+  return a;
+}
+
+Attr Attr::of_string(std::string key, std::string v) {
+  Attr a;
+  a.key = std::move(key);
+  a.kind = Kind::kString;
+  a.s = std::move(v);
+  return a;
+}
+
+}  // namespace ecsim::ir

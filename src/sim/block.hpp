@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "ir/ir.hpp"
 #include "mathlib/rng.hpp"
 #include "sim/port.hpp"
 #include "sim/trace.hpp"
@@ -123,6 +124,16 @@ class Block {
     (void)port;
     return false;
   }
+
+  /// IR description (DESIGN.md §3.6): fill `out` with this block's kind tag
+  /// and the typed attributes a backend needs to regenerate its behaviour
+  /// (blocks::to_model, the native code generator). Structural fields —
+  /// ports, event arity, state size, feedthrough, time dependence — are
+  /// filled by sim::build_ir from the base-class API; describe() must only
+  /// set `kind`, `attrs` and `opaque`. The default marks the block opaque:
+  /// it still lays out and simulates, but cannot be regenerated from IR
+  /// (blocks parameterized by user closures stay this way).
+  virtual void describe(ir::BlockIr& out) const { out.opaque = true; }
 
   /// True if compute_outputs() reads ctx.time() — i.e. outputs drift as time
   /// advances even with unchanged inputs and state (signal generators such

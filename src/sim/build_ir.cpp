@@ -1,0 +1,48 @@
+#include "sim/build_ir.hpp"
+
+#include <utility>
+
+namespace ecsim::sim {
+
+ir::Model build_ir(const Model& model, std::string name) {
+  ir::Model m;
+  m.name = std::move(name);
+  m.blocks.reserve(model.num_blocks());
+  for (std::size_t bi = 0; bi < model.num_blocks(); ++bi) {
+    const Block& blk = model.block(bi);
+    ir::BlockIr b;
+    blk.describe(b);  // kind / attrs / opaque only
+    // Structural contract from the base-class API — authoritative even if a
+    // describe() override misbehaves.
+    b.name = blk.name();
+    b.in_widths.resize(blk.num_inputs());
+    b.feedthrough.resize(blk.num_inputs());
+    for (std::size_t p = 0; p < blk.num_inputs(); ++p) {
+      b.in_widths[p] = blk.input_width(p);
+      b.feedthrough[p] = blk.input_feedthrough(p);
+    }
+    b.out_widths.resize(blk.num_outputs());
+    for (std::size_t p = 0; p < blk.num_outputs(); ++p) {
+      b.out_widths[p] = blk.output_width(p);
+    }
+    b.n_event_in = blk.num_event_inputs();
+    b.n_event_out = blk.num_event_outputs();
+    b.state_size = blk.continuous_state_size();
+    b.time_dependent = blk.output_depends_on_time();
+    m.blocks.push_back(std::move(b));
+  }
+  m.data_wires.reserve(model.data_wires().size());
+  for (const DataWire& w : model.data_wires()) {
+    m.data_wires.push_back(ir::WireIr{{w.from.block, w.from.port},
+                                      {w.to.block, w.to.port}});
+  }
+  m.event_wires.reserve(model.event_wires().size());
+  for (const EventWire& w : model.event_wires()) {
+    m.event_wires.push_back(ir::WireIr{{w.from.block, w.from.port},
+                                       {w.to.block, w.to.port}});
+  }
+  ir::finalize(m);
+  return m;
+}
+
+}  // namespace ecsim::sim

@@ -1,0 +1,20 @@
+// Front-end half of the IR pipeline: lower a structural sim::Model into an
+// ir::Model (block table + wires, each block's describe() output) and
+// finalize it (derive the layout every backend adopts). See ir/ir.hpp for
+// the determinism contract.
+#pragma once
+
+#include <string>
+
+#include "ir/ir.hpp"
+#include "sim/model.hpp"
+
+namespace ecsim::sim {
+
+/// Lowers `model` to IR and finalizes it. Throws what ir::finalize throws
+/// (std::invalid_argument on wire width mismatches, std::runtime_error on
+/// algebraic loops). Blocks that do not override describe() come out
+/// opaque: structurally complete, not regenerable.
+ir::Model build_ir(const Model& model, std::string name = "model");
+
+}  // namespace ecsim::sim

@@ -1,23 +1,32 @@
 #include "sim/compiled_model.hpp"
 
-#include <algorithm>
+#include <memory>
 #include <stdexcept>
-#include <string>
+#include <utility>
+
+#include "sim/build_ir.hpp"
 
 namespace ecsim::sim {
 
 CompiledModel::CompiledModel(Model& model)
+    : model_(model),
+      ir_(std::make_shared<const ir::Model>(build_ir(model))),
+      num_blocks_(model.num_blocks()) {
+  adopt();
+}
+
+CompiledModel::CompiledModel(Model& model, ir::Model irm)
     : model_(model), num_blocks_(model.num_blocks()) {
-  block_names_.reserve(num_blocks_);
-  for (std::size_t b = 0; b < num_blocks_; ++b) {
-    block_names_.push_back(model_.block(b).name());
+  if (irm.blocks.size() != num_blocks_) {
+    throw std::invalid_argument(
+        "CompiledModel: IR block count does not match model");
   }
-  layout_arena();
-  resolve_inputs();
-  pack_states();
-  flatten_event_wires();
-  order_feedthrough();
-  build_cones();
+  if (irm.layout.eval_order.size() != num_blocks_) {
+    // Defensive: reject un-finalized IR instead of adopting empty tables.
+    ir::finalize(irm);
+  }
+  ir_ = std::make_shared<const ir::Model>(std::move(irm));
+  adopt();
 }
 
 void CompiledModel::bounds_check(std::size_t index, std::size_t count,
@@ -25,210 +34,41 @@ void CompiledModel::bounds_check(std::size_t index, std::size_t count,
   if (index >= count) throw std::out_of_range(what);
 }
 
-void CompiledModel::layout_arena() {
-  // The arena starts with a zero prefix wide enough for any input, backing
-  // unconnected inputs; no output slice maps there, so it is never written.
-  std::size_t max_input_width = 0;
-  for (std::size_t b = 0; b < num_blocks_; ++b) {
-    const Block& blk = model_.block(b);
-    for (std::size_t p = 0; p < blk.num_inputs(); ++p) {
-      max_input_width = std::max(max_input_width, blk.input_width(p));
-    }
-  }
-  arena_size_ = max_input_width;
+void CompiledModel::adopt() {
+  const ir::LayoutIr& l = ir_->layout;
 
-  out_base_.assign(num_blocks_ + 1, 0);
-  out_slices_.clear();
-  for (std::size_t b = 0; b < num_blocks_; ++b) {
-    const Block& blk = model_.block(b);
-    out_base_[b] = out_slices_.size();
-    for (std::size_t p = 0; p < blk.num_outputs(); ++p) {
-      out_slices_.push_back(ArenaSlice{arena_size_, blk.output_width(p)});
-      arena_size_ += blk.output_width(p);
-    }
-  }
-  out_base_[num_blocks_] = out_slices_.size();
-}
+  block_names_.clear();
+  block_names_.reserve(num_blocks_);
+  for (const ir::BlockIr& b : ir_->blocks) block_names_.push_back(b.name);
 
-void CompiledModel::resolve_inputs() {
-  in_base_.assign(num_blocks_ + 1, 0);
-  in_slices_.clear();
-  for (std::size_t b = 0; b < num_blocks_; ++b) {
-    const Block& blk = model_.block(b);
-    in_base_[b] = in_slices_.size();
-    for (std::size_t p = 0; p < blk.num_inputs(); ++p) {
-      // Unconnected: read the zero prefix at the input's declared width.
-      in_slices_.push_back(ArenaSlice{0, blk.input_width(p)});
-    }
+  arena_size_ = l.arena_size;
+  out_base_ = l.out_base;
+  out_slices_.resize(l.out_slices.size());
+  for (std::size_t i = 0; i < l.out_slices.size(); ++i) {
+    out_slices_[i] = ArenaSlice{l.out_slices[i].offset, l.out_slices[i].width};
   }
-  in_base_[num_blocks_] = in_slices_.size();
-
-  for (const DataWire& w : model_.data_wires()) {
-    const Block& from = model_.block(w.from.block);
-    const Block& to = model_.block(w.to.block);
-    const std::size_t produced = from.output_width(w.from.port);
-    const std::size_t consumed = to.input_width(w.to.port);
-    if (produced != consumed) {
-      throw std::invalid_argument(
-          "CompiledModel: width mismatch on wire '" + from.name() +
-          "' output " + std::to_string(w.from.port) + " (width " +
-          std::to_string(produced) + ") -> '" + to.name() + "' input " +
-          std::to_string(w.to.port) + " (width " + std::to_string(consumed) +
-          ")");
-    }
-    in_slices_[in_base_[w.to.block] + w.to.port] =
-        out_slices_[out_base_[w.from.block] + w.from.port];
-  }
-}
-
-void CompiledModel::pack_states() {
-  state_offset_.assign(num_blocks_, 0);
-  stateful_blocks_.clear();
-  total_state_ = 0;
-  for (std::size_t b = 0; b < num_blocks_; ++b) {
-    state_offset_[b] = total_state_;
-    const std::size_t nx = model_.block(b).continuous_state_size();
-    total_state_ += nx;
-    if (nx > 0) stateful_blocks_.push_back(b);
-  }
-}
-
-void CompiledModel::flatten_event_wires() {
-  sink_base_.assign(num_blocks_ + 1, 0);
-  std::size_t slots = 0;
-  for (std::size_t b = 0; b < num_blocks_; ++b) {
-    sink_base_[b] = slots;
-    slots += model_.block(b).num_event_outputs();
-  }
-  sink_base_[num_blocks_] = slots;
-
-  // CSR: count per (block, event_out), prefix-sum, then fill.
-  std::vector<std::size_t> counts(slots, 0);
-  for (const EventWire& w : model_.event_wires()) {
-    ++counts[sink_base_[w.from.block] + w.from.port];
-  }
-  sink_ptr_.assign(slots + 1, 0);
-  for (std::size_t s = 0; s < slots; ++s) {
-    sink_ptr_[s + 1] = sink_ptr_[s] + counts[s];
-  }
-  event_sinks_.assign(sink_ptr_[slots], PortRef{});
-  std::vector<std::size_t> fill(slots, 0);
-  for (const EventWire& w : model_.event_wires()) {
-    const std::size_t slot = sink_base_[w.from.block] + w.from.port;
-    event_sinks_[sink_ptr_[slot] + fill[slot]++] = w.to;
-  }
-}
-
-void CompiledModel::order_feedthrough() {
-  // Kahn's algorithm over producer -> consumer edges where the consumer's
-  // input has direct feedthrough.
-  std::vector<std::vector<std::size_t>> succ(num_blocks_);
-  std::vector<std::size_t> indeg(num_blocks_, 0);
-  for (const DataWire& w : model_.data_wires()) {
-    if (model_.block(w.to.block).input_feedthrough(w.to.port)) {
-      succ[w.from.block].push_back(w.to.block);
-      ++indeg[w.to.block];
-    }
-  }
-  eval_order_.clear();
-  eval_order_.reserve(num_blocks_);
-  std::vector<std::size_t> ready;
-  for (std::size_t b = 0; b < num_blocks_; ++b) {
-    if (indeg[b] == 0) ready.push_back(b);
-  }
-  while (!ready.empty()) {
-    const std::size_t b = ready.back();
-    ready.pop_back();
-    eval_order_.push_back(b);
-    for (std::size_t s : succ[b]) {
-      if (--indeg[s] == 0) ready.push_back(s);
-    }
-  }
-  if (eval_order_.size() != num_blocks_) {
-    std::string loop_members;
-    for (std::size_t b = 0; b < num_blocks_; ++b) {
-      if (indeg[b] != 0) loop_members += " '" + model_.block(b).name() + "'";
-    }
-    throw std::runtime_error("CompiledModel: algebraic loop involving:" +
-                             loop_members);
-  }
-  topo_pos_.assign(num_blocks_, 0);
-  for (std::size_t i = 0; i < eval_order_.size(); ++i) {
-    topo_pos_[eval_order_[i]] = i;
-  }
-}
-
-void CompiledModel::build_cones() {
-  // Feedthrough successors, deduplicated (parallel wires between the same
-  // pair of blocks would otherwise inflate the DFS).
-  std::vector<std::vector<std::size_t>> succ(num_blocks_);
-  for (const DataWire& w : model_.data_wires()) {
-    if (model_.block(w.to.block).input_feedthrough(w.to.port)) {
-      auto& s = succ[w.from.block];
-      if (std::find(s.begin(), s.end(), w.to.block) == s.end()) {
-        s.push_back(w.to.block);
-      }
-    }
+  in_base_ = l.in_base;
+  in_slices_.resize(l.in_slices.size());
+  for (std::size_t i = 0; i < l.in_slices.size(); ++i) {
+    in_slices_[i] = ArenaSlice{l.in_slices[i].offset, l.in_slices[i].width};
   }
 
-  const std::size_t npos = static_cast<std::size_t>(-1);
-  std::vector<std::size_t> stamp(num_blocks_, npos);
-  std::vector<std::size_t> stack;
-  std::vector<std::size_t> members;
-  auto closure_of = [&](std::size_t root, std::size_t mark) {
-    members.clear();
-    stack.assign(1, root);
-    stamp[root] = mark;
-    members.push_back(root);
-    while (!stack.empty()) {
-      const std::size_t b = stack.back();
-      stack.pop_back();
-      for (std::size_t s : succ[b]) {
-        if (stamp[s] != mark) {
-          stamp[s] = mark;
-          members.push_back(s);
-          stack.push_back(s);
-        }
-      }
-    }
-    std::sort(members.begin(), members.end(),
-              [&](std::size_t a, std::size_t b) {
-                return topo_pos_[a] < topo_pos_[b];
-              });
-  };
+  state_offset_ = l.state_offset;
+  total_state_ = l.total_state;
+  stateful_blocks_ = l.stateful_blocks;
 
-  cone_base_.assign(num_blocks_ + 1, 0);
-  cone_blocks_.clear();
-  for (std::size_t b = 0; b < num_blocks_; ++b) {
-    cone_base_[b] = cone_blocks_.size();
-    closure_of(b, b);
-    cone_blocks_.insert(cone_blocks_.end(), members.begin(), members.end());
-  }
-  cone_base_[num_blocks_] = cone_blocks_.size();
+  eval_order_ = l.eval_order;
+  topo_pos_ = l.topo_pos;
+  cone_base_ = l.cone_base;
+  cone_blocks_ = l.cone_blocks;
+  dynamic_cone_ = l.dynamic_cone;
 
-  // Dynamic cone: union of the cones of every block whose outputs drift
-  // between events without any event being dispatched — continuous state
-  // (moved by the integrator) and declared time dependence.
-  dynamic_cone_.clear();
-  const std::size_t union_mark = num_blocks_;  // distinct from per-block marks
-  std::vector<std::size_t> in_union(num_blocks_, npos);
-  for (std::size_t b = 0; b < num_blocks_; ++b) {
-    const Block& blk = model_.block(b);
-    if (blk.continuous_state_size() == 0 && !blk.output_depends_on_time()) {
-      continue;
-    }
-    closure_of(b, union_mark + b + 1);
-    for (std::size_t m : members) {
-      if (in_union[m] == npos) {
-        in_union[m] = 0;
-        dynamic_cone_.push_back(m);
-      }
-    }
+  sink_base_ = l.sink_base;
+  sink_ptr_ = l.sink_ptr;
+  event_sinks_.resize(l.event_sinks.size());
+  for (std::size_t i = 0; i < l.event_sinks.size(); ++i) {
+    event_sinks_[i] = PortRef{l.event_sinks[i].block, l.event_sinks[i].port};
   }
-  std::sort(dynamic_cone_.begin(), dynamic_cone_.end(),
-            [&](std::size_t a, std::size_t b) {
-              return topo_pos_[a] < topo_pos_[b];
-            });
 }
 
 }  // namespace ecsim::sim

@@ -17,16 +17,24 @@
 //    with time or continuous state) needs re-evaluation. This is what turns
 //    per-event refresh cost from O(model) into O(affected blocks).
 //
+// Since PR 6 the layout derivation itself lives in ir::finalize (DESIGN.md
+// §3.6): compiling a model means lowering it to ir::Model (sim::build_ir)
+// and *adopting* the finalized layout tables. CompiledModel keeps the IR it
+// was built from, so the interpreter and the native code generator provably
+// execute the same artifact (same hash, same tables).
+//
 // A CompiledModel is immutable after construction and holds no run state, so
 // one compile can back any number of Simulator runs. The Model must outlive
 // it and must not be structurally modified afterwards.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "ir/ir.hpp"
 #include "sim/model.hpp"
 #include "sim/port.hpp"
 
@@ -40,14 +48,23 @@ struct ArenaSlice {
 
 class CompiledModel {
  public:
-  /// Compiles `model`: validates wire widths (throws std::invalid_argument
-  /// naming the offending blocks), lays out the arena, orders the
-  /// feedthrough network (throws std::runtime_error on algebraic loops) and
-  /// precomputes the re-evaluation cones.
+  /// Compiles `model` through the IR pipeline: sim::build_ir lowers and
+  /// ir::finalize derives the layout (throws std::invalid_argument naming
+  /// the offending blocks on wire width mismatches, std::runtime_error on
+  /// algebraic loops); the finalized tables are adopted verbatim.
   explicit CompiledModel(Model& model);
+
+  /// Adopts an already-finalized IR of the same model (compile once, share
+  /// between backends). Throws std::invalid_argument if `irm` does not
+  /// structurally match `model`.
+  CompiledModel(Model& model, ir::Model irm);
 
   Model& model() const { return model_; }
   std::size_t num_blocks() const { return num_blocks_; }
+
+  /// The finalized IR this compile adopted its layout from.
+  const ir::Model& ir() const { return *ir_; }
+  const std::shared_ptr<const ir::Model>& ir_ptr() const { return ir_; }
 
   /// Block-index -> name table, interned once at compile. The Simulator
   /// installs it into the Trace so event records carry only indices and
@@ -120,14 +137,12 @@ class CompiledModel {
   static void bounds_check(std::size_t index, std::size_t count,
                            const char* what);
 
-  void layout_arena();
-  void resolve_inputs();
-  void pack_states();
-  void flatten_event_wires();
-  void order_feedthrough();
-  void build_cones();
+  /// Copies the finalized layout tables out of *ir_ into the flat members
+  /// the hot path reads.
+  void adopt();
 
   Model& model_;
+  std::shared_ptr<const ir::Model> ir_;
   std::size_t num_blocks_ = 0;
   std::vector<std::string> block_names_;
 

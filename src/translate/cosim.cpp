@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "backend/backend.hpp"
 #include "blocks/continuous.hpp"
 #include "blocks/discrete.hpp"
 #include "blocks/event_blocks.hpp"
@@ -12,6 +13,7 @@
 #include "blocks/probe.hpp"
 #include "blocks/sample_hold.hpp"
 #include "blocks/sources.hpp"
+#include "sim/build_ir.hpp"
 #include "sim/simulator.hpp"
 
 namespace ecsim::translate {
@@ -188,20 +190,27 @@ LoopModel assemble_loop(const LoopSpec& spec) {
   return lm;
 }
 
-CosimOutcome simulate_and_measure(LoopModel& lm, const LoopSpec& spec) {
-  sim::SimOptions opts;
-  opts.end_time = spec.t_end;
-  opts.seed = spec.seed;
-  opts.integrator.kind = sim::IntegratorKind::kRk4;
-  opts.integrator.max_step = spec.integrator_max_step;
-  // Compile explicitly: wiring/width errors in an assembled loop surface
-  // here, before any run state exists, and the artifact could be reused
-  // across parameter sweeps on the same loop structure.
-  sim::CompiledModel compiled(lm.model);
-  sim::Simulator simulator(std::move(compiled), opts);
-  const sim::Trace& trace = simulator.run();
+/// Runs the assembled loop through the backend dispatcher and extracts the
+/// control/latency metrics. `interp_reason` non-empty pins the interpreter
+/// regardless of spec.backend and records why (e.g. distributed fault
+/// accounting, which reads interpreter block counters after the run).
+CosimOutcome simulate_and_measure(LoopModel& lm, const LoopSpec& spec,
+                                  const std::string& interp_reason = {}) {
+  backend::RunOptions ro;
+  ro.sim.end_time = spec.t_end;
+  ro.sim.seed = spec.seed;
+  ro.sim.integrator.kind = sim::IntegratorKind::kRk4;
+  ro.sim.integrator.max_step = spec.integrator_max_step;
+  ro.kind = interp_reason.empty() ? spec.backend : backend::Kind::kInterp;
+  backend::RunResult r = backend::run(lm.model, ro);
+  const sim::Trace& trace = r.trace;
 
   CosimOutcome out;
+  out.backend_used = r.used;
+  out.backend_fallback = !interp_reason.empty() &&
+                                 spec.backend != backend::Kind::kInterp
+                             ? interp_reason
+                             : r.fallback_reason;
   out.y = trace.series(lm.probe_y);
   out.u = trace.series(lm.probe_u);
   out.step = control::step_info(out.y, spec.ref);
@@ -218,11 +227,12 @@ CosimOutcome simulate_and_measure(LoopModel& lm, const LoopSpec& spec) {
 
 }  // namespace
 
-CosimOutcome run_ideal_loop(const LoopSpec& spec) {
-  LoopModel lm = assemble_loop(spec);
+namespace {
+
+/// Stroboscopic wiring: one clock, zero-latency causal chain within the
+/// same instant (FIFO event ordering keeps sample -> control -> actuate).
+void wire_ideal(LoopModel& lm, const LoopSpec& spec) {
   sim::Model& m = lm.model;
-  // Stroboscopic model: one clock, zero-latency causal chain within the
-  // same instant (FIFO event ordering keeps sample -> control -> actuate).
   auto& clock = m.add<blocks::Clock>("clock", spec.ts);
   m.connect_event(clock, clock.event_out(), *lm.sample_trigger,
                   lm.sample_trigger_in);
@@ -230,7 +240,20 @@ CosimOutcome run_ideal_loop(const LoopSpec& spec) {
                   lm.controller->event_in());
   m.connect_event(*lm.controller, lm.controller->done_event_out(),
                   *lm.actuator, lm.actuator->event_in());
+}
+
+}  // namespace
+
+CosimOutcome run_ideal_loop(const LoopSpec& spec) {
+  LoopModel lm = assemble_loop(spec);
+  wire_ideal(lm, spec);
   return simulate_and_measure(lm, spec);
+}
+
+ir::Model loop_ir(const LoopSpec& spec) {
+  LoopModel lm = assemble_loop(spec);
+  wire_ideal(lm, spec);
+  return sim::build_ir(lm.model, "loop");
 }
 
 CosimOutcome run_latency_loop(const LoopSpec& spec, double ls, double la,
@@ -248,14 +271,11 @@ CosimOutcome run_latency_loop(const LoopSpec& spec, double ls, double la,
   m.connect_event(*lm.sampler, lm.sampler->done_event_out(), *lm.controller,
                   lm.controller->event_in());
   const double base = la - ls;
-  blocks::DurationSampler act_delay =
+  const blocks::DurationSpec act_delay =
       jitter_p2p <= 0.0
           ? blocks::constant_duration(base)
-          : blocks::DurationSampler([base, jitter_p2p](math::Rng& rng) {
-              return std::max(
-                  0.0, base + rng.uniform(-jitter_p2p / 2.0, jitter_p2p / 2.0));
-            });
-  auto& d_act = m.add<blocks::EventDelay>("lat/act", std::move(act_delay));
+          : blocks::shifted_uniform_duration(base, jitter_p2p);
+  auto& d_act = m.add<blocks::EventDelay>("lat/act", act_delay);
   m.connect_event(*lm.controller, lm.controller->done_event_out(), d_act,
                   d_act.event_in());
   m.connect_event(d_act, d_act.event_out(), *lm.actuator,
@@ -330,7 +350,16 @@ CosimOutcome run_distributed_loop(const LoopSpec& spec,
   wire_completion(lm.model, god, alg.find("act"), *lm.actuator,
                   lm.actuator->event_in());
 
-  CosimOutcome out = simulate_and_measure(lm, spec);
+  // Fault accounting (messages_lost/deferred) reads the gates' interpreter
+  // block counters after the run, so fault-gated runs stay on the
+  // interpreter; condition bindings are opaque closures and would fall back
+  // anyway.
+  const std::string interp_reason =
+      god.fault_gates.empty()
+          ? std::string()
+          : "fault_accounting: distributed fault gates report drop/defer "
+            "counts through interpreter block state";
+  CosimOutcome out = simulate_and_measure(lm, spec, interp_reason);
   out.makespan = sched.makespan();
   out.schedule_text = sched.to_string(alg, dist.arch);
   for (const blocks::EventFault* gate : god.fault_gates) {

@@ -14,8 +14,10 @@
 #include <string>
 
 #include "aaa/adequation.hpp"
+#include "backend/kind.hpp"
 #include "control/metrics.hpp"
 #include "control/state_space.hpp"
+#include "ir/ir.hpp"
 #include "latency/latency.hpp"
 #include "translate/graph_of_delays.hpp"
 
@@ -47,6 +49,12 @@ struct LoopSpec {
   /// plant input (period `disturbance_period`, 50% duty).
   double disturbance_amplitude = 0.0;
   double disturbance_period = 1.0;
+  /// Execution backend (DESIGN.md §3.6). kNative runs the loop through the
+  /// code generator when possible and falls back to the interpreter with a
+  /// recorded reason (CosimOutcome::backend_fallback) when not — e.g.
+  /// condition bindings (opaque closures), or distributed runs with fault
+  /// gates, whose message accounting reads interpreter block counters.
+  backend::Kind backend = backend::Kind::kInterp;
 };
 
 struct DistributedSpec {
@@ -84,6 +92,10 @@ struct CosimOutcome {
   std::size_t messages_deferred = 0;
   control::Series y;           // probed output trajectory
   control::Series u;           // probed control trajectory
+  /// Backend that actually executed the loop, and — when it differs from
+  /// the requested one — why the interpreter ran instead.
+  backend::Kind backend_used = backend::Kind::kInterp;
+  std::string backend_fallback;
 };
 
 /// Fig. 2: ideal stroboscopic loop — sampling, control and actuation all at
@@ -105,5 +117,10 @@ CosimOutcome run_distributed_loop(const LoopSpec& spec,
 /// run_distributed_loop, exposed for benches that sweep architectures.
 aaa::AlgorithmGraph make_loop_algorithm(const LoopSpec& spec,
                                         const DistributedSpec& dist);
+
+/// Canonical Model IR of the assembled ideal-clocked loop (DESIGN.md §3.6):
+/// the fingerprint benches stamp into BENCH_*.json so a report names the
+/// exact model its numbers were measured on.
+ir::Model loop_ir(const LoopSpec& spec);
 
 }  // namespace ecsim::translate

@@ -14,14 +14,13 @@ namespace ecsim::translate {
 
 namespace {
 
-using blocks::DurationSampler;
-
 /// Duration model for one operation on one processor type: uniform in
 /// [bcet_fraction * WCET, WCET], with the WCET taken from a random branch
-/// for conditional operations.
-DurationSampler make_op_sampler(const aaa::Operation& op,
-                                const std::string& proc_type,
-                                const GodOptions& opts) {
+/// for conditional operations. Pure data (blocks::DurationSpec), so the
+/// resulting EventDelay is describable in the IR.
+blocks::DurationSpec make_op_duration(const aaa::Operation& op,
+                                      const std::string& proc_type,
+                                      const GodOptions& opts) {
   const double f = opts.bcet_fraction;
   if (f < 0.0 || f > 1.0) {
     throw std::invalid_argument("GodOptions: bcet_fraction must be in [0,1]");
@@ -31,20 +30,13 @@ DurationSampler make_op_sampler(const aaa::Operation& op,
     if (f >= 1.0) return blocks::constant_duration(wcet);
     return blocks::uniform_duration(f * wcet, wcet);
   }
-  std::vector<aaa::Time> branch_wcets;
+  std::vector<double> branch_wcets;
   branch_wcets.reserve(op.branches.size());
   for (const aaa::Branch& br : op.branches) {
     branch_wcets.push_back(br.wcet.at(proc_type));
   }
-  const bool random_branch = opts.random_branches;
-  return [branch_wcets, f, random_branch](math::Rng& rng) {
-    const std::size_t b =
-        random_branch ? static_cast<std::size_t>(rng.uniform_int(
-                            0, static_cast<std::int64_t>(branch_wcets.size()) - 1))
-                      : 0;
-    const aaa::Time wcet = branch_wcets[b];
-    return f >= 1.0 ? wcet : rng.uniform(f * wcet, wcet);
-  };
+  return blocks::branch_duration(std::move(branch_wcets), f,
+                                 opts.random_branches);
 }
 
 GraphOfDelays build_timetable(sim::Model& model, const aaa::AlgorithmGraph& alg,
@@ -114,13 +106,12 @@ GraphOfDelays build_event_chain(sim::Model& model,
           model.add<blocks::EventMerge>(opts.prefix + "merge/" + op.name, n_br);
       for (std::size_t b = 0; b < n_br; ++b) {
         const aaa::Time wcet = op.branches[b].wcet.at(type);
-        blocks::DurationSampler sampler =
+        const blocks::DurationSpec dur =
             opts.bcet_fraction >= 1.0
                 ? blocks::constant_duration(wcet)
                 : blocks::uniform_duration(opts.bcet_fraction * wcet, wcet);
         auto& ed = model.add<blocks::EventDelay>(
-            opts.prefix + "op/" + op.name + "/" + op.branches[b].name,
-            std::move(sampler));
+            opts.prefix + "op/" + op.name + "/" + op.branches[b].name, dur);
         model.connect_event(sel, b, ed, ed.event_in());
         model.connect_event(ed, ed.event_out(), merge, b);
       }
@@ -129,8 +120,8 @@ GraphOfDelays build_event_chain(sim::Model& model,
           CompletionSource{&merge, merge.event_out()};
       continue;
     }
-    auto& ed = model.add<blocks::EventDelay>(opts.prefix + "op/" + op.name,
-                                             make_op_sampler(op, type, opts));
+    auto& ed = model.add<blocks::EventDelay>(
+        opts.prefix + "op/" + op.name, make_op_duration(op, type, opts));
     op_node[so.op] = OpNode{&ed, ed.event_in(), &ed, ed.event_out()};
     god.op_completion[so.op] = CompletionSource{&ed, ed.event_out()};
   }
@@ -161,19 +152,14 @@ GraphOfDelays build_event_chain(sim::Model& model,
     if (armed != nullptr) {
       // Activation count k of the gate == iteration index (one transfer per
       // period, order preserved by the busy-queueing EventDelay), so the
-      // decider asks the armed plan the exact same question as the executive
+      // gate asks the armed plan the exact same question as the executive
       // VM and both engines fault the same iterations. Duplication extends
       // the arrival by extra copies of the transfer time; the medium-
       // occupancy effect on *later* transfers is not propagated here (a
-      // known graph-of-delays approximation, exact in the VM).
+      // known graph-of-delays approximation, exact in the VM). The gate is
+      // exported as data (fault::CommGate) so the model stays describable.
       auto& gate = model.add<blocks::EventFault>(
-          opts.prefix + "fault/" + comm_name,
-          [armed, ci, dur](std::size_t k, sim::Time) -> blocks::FaultAction {
-            const auto eff = armed->comm_effect(ci, k);
-            if (eff.lost) return {true, 0.0};
-            return {false, eff.extra_delay +
-                               static_cast<sim::Time>(eff.extra_copies) * dur};
-          });
+          opts.prefix + "fault/" + comm_name, armed->comm_gate(ci, dur));
       model.connect_event(ed, ed.event_out(), gate, gate.event_in());
       comm_arrival[ci] = {&gate, gate.event_out()};
       god.fault_gates.push_back(&gate);

@@ -1,0 +1,258 @@
+// Native backend guards (DESIGN.md §3.6): the generated-code path must be
+// bit-identical to the interpreter — same trace events, same signal doubles,
+// same RNG consumption — on the canonical examples, on random hybrid
+// diagrams, and with a fault gate armed; and a native request must degrade
+// to the interpreter with a recorded reason (never an abort) when the
+// toolchain or the model can't take the codegen path.
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "backend/backend.hpp"
+#include "backend/kind.hpp"
+#include "blocks/event_blocks.hpp"
+#include "blocks/examples.hpp"
+#include "blocks/sources.hpp"
+#include "control/c2d.hpp"
+#include "control/delay_compensation.hpp"
+#include "control/lqr.hpp"
+#include "fault/comm_gate.hpp"
+#include "obs/metrics.hpp"
+#include "plants/dc_servo.hpp"
+#include "properties/random_graphs.hpp"
+#include "sim/build_ir.hpp"
+#include "translate/cosim.hpp"
+
+namespace {
+
+using namespace ecsim;
+
+backend::RunOptions opts_for(backend::Kind k, double end_time = 1.0,
+                             std::uint64_t seed = 1) {
+  backend::RunOptions o;
+  o.kind = k;
+  o.sim.end_time = end_time;
+  o.sim.seed = seed;
+  return o;
+}
+
+/// Runs both backends and asserts the native one actually ran and produced
+/// the interpreter's exact trace.
+void expect_bit_identical(sim::Model& model, double end_time,
+                          std::uint64_t seed = 1) {
+  backend::RunResult interp =
+      backend::run(model, opts_for(backend::Kind::kInterp, end_time, seed));
+  backend::RunResult native =
+      backend::run(model, opts_for(backend::Kind::kNative, end_time, seed));
+  ASSERT_EQ(native.used, backend::Kind::kNative)
+      << "fell back: " << native.fallback_reason;
+  EXPECT_EQ(native.events_dispatched, interp.events_dispatched);
+  EXPECT_TRUE(native.trace == interp.trace);
+}
+
+TEST(NativeBackend, ChainsTraceBitIdentical) {
+  sim::Model m = blocks::examples::make_chains(8);
+  expect_bit_identical(m, 0.25);
+}
+
+TEST(NativeBackend, ServoTraceBitIdentical) {
+  sim::Model m = blocks::examples::make_servo();
+  expect_bit_identical(m, 1.0);
+}
+
+TEST(NativeBackend, RandomHybridDiagramsBitIdentical) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    math::Rng rng(seed);
+    sim::Model m = ecsim::testing::random_block_model(rng);
+    SCOPED_TRACE("model seed " + std::to_string(seed));
+    expect_bit_identical(m, 0.5, seed * 17 + 1);
+  }
+}
+
+// A comm-gate fault chain (loss + delay + duplicate entries) is describable
+// IR: the generated module must consume the gate's hash-derived decisions in
+// the exact same order as the interpreter.
+TEST(NativeBackend, FaultGateArmedBitIdentical) {
+  sim::Model m;
+  auto& clk = m.add<blocks::Clock>("clk", 1e-3);
+  fault::CommGate gate;
+  gate.seed = 42;
+  gate.period = 1.0;
+  gate.entries.push_back({0, fault::CommGateEntry::Kind::kLoss, 0.3, 0.0, 0,
+                          0.0, 0.5});
+  gate.entries.push_back({0, fault::CommGateEntry::Kind::kDelay, 0.4, 2e-4, 0,
+                          0.2, 1.0});
+  auto& gateblk = m.add<blocks::EventFault>("gate", gate);
+  auto& d = m.add<blocks::EventDelay>("d", 1e-4);
+  auto& n = m.add<blocks::EventCounter>("n");
+  m.connect_event(clk, 0, gateblk, 0);
+  m.connect_event(gateblk, 0, d, 0);
+  m.connect_event(d, 0, n, 0);
+  expect_bit_identical(m, 0.5);
+}
+
+TEST(NativeBackend, DisableEnvFallsBackWithReason) {
+  ::setenv("ECSIM_NATIVE_DISABLE", "1", 1);
+  sim::Model m = blocks::examples::make_chains(2);
+  obs::MetricsRegistry reg;
+  backend::RunOptions o = opts_for(backend::Kind::kNative, 0.1);
+  o.metrics = &reg;
+  backend::RunResult r = backend::run(m, o);
+  ::unsetenv("ECSIM_NATIVE_DISABLE");
+  EXPECT_EQ(r.used, backend::Kind::kInterp);
+  EXPECT_EQ(r.fallback_reason.substr(0, 8), "disabled");
+  EXPECT_EQ(reg.counter("backend.fallback.disabled").value(), 1u);
+  EXPECT_GT(r.events_dispatched, 0u);
+}
+
+// Compiler missing: the run must still complete on the interpreter with an
+// identical trace and a "toolchain" reason — never an abort. A fresh cache
+// dir guarantees no cached .so can short-circuit the compile attempt.
+TEST(NativeBackend, MissingCompilerFallsBackGracefully) {
+  ::setenv("ECSIM_NATIVE_CXX", "/nonexistent/ecsim-no-such-cxx", 1);
+  ::setenv("ECSIM_NATIVE_CACHE",
+           (::testing::TempDir() + "ecsim_bogus_cxx_cache").c_str(), 1);
+  sim::Model m = blocks::examples::make_chains(2);
+  obs::MetricsRegistry reg;
+  backend::RunOptions o = opts_for(backend::Kind::kNative, 0.1);
+  o.metrics = &reg;
+  backend::RunResult r = backend::run(m, o);
+  ::unsetenv("ECSIM_NATIVE_CXX");
+  ::unsetenv("ECSIM_NATIVE_CACHE");
+  EXPECT_EQ(r.used, backend::Kind::kInterp);
+  EXPECT_EQ(r.fallback_reason.substr(0, 9), "toolchain");
+  EXPECT_EQ(reg.counter("backend.fallback.toolchain").value(), 1u);
+
+  backend::RunResult interp =
+      backend::run(m, opts_for(backend::Kind::kInterp, 0.1));
+  EXPECT_TRUE(r.trace == interp.trace);
+}
+
+// Opaque blocks (user closures) cannot be regenerated: clean fallback, not
+// a codegen crash.
+TEST(NativeBackend, OpaqueModelFallsBack) {
+  sim::Model m;
+  auto& clk = m.add<blocks::Clock>("clk", 1e-2);
+  auto& d = m.add<blocks::EventDelay>(
+      "custom", blocks::custom_duration([](math::Rng& r) {
+        return r.uniform(1e-4, 2e-4);
+      }));
+  m.connect_event(clk, 0, d, 0);
+  obs::MetricsRegistry reg;
+  backend::RunOptions o = opts_for(backend::Kind::kNative, 0.1);
+  o.metrics = &reg;
+  backend::RunResult r = backend::run(m, o);
+  EXPECT_EQ(r.used, backend::Kind::kInterp);
+  EXPECT_EQ(r.fallback_reason.substr(0, 6), "opaque");
+  EXPECT_EQ(reg.counter("backend.fallback.opaque").value(), 1u);
+}
+
+// The IR-level entry point: identical result from the IR alone (interpreter
+// path reconstructs the model with blocks::to_model).
+TEST(NativeBackend, RunIrMatchesRunModel) {
+  sim::Model m = blocks::examples::make_servo();
+  const ir::Model irm = sim::build_ir(m, "servo");
+  backend::RunResult a =
+      backend::run(m, opts_for(backend::Kind::kInterp, 0.5));
+  backend::RunResult b =
+      backend::run_ir(irm, opts_for(backend::Kind::kInterp, 0.5));
+  EXPECT_TRUE(a.trace == b.trace);
+  backend::RunResult c =
+      backend::run_ir(irm, opts_for(backend::Kind::kNative, 0.5));
+  ASSERT_EQ(c.used, backend::Kind::kNative)
+      << "fell back: " << c.fallback_reason;
+  EXPECT_TRUE(a.trace == c.trace);
+}
+
+// Observability attached to the *sim* options forces the interpreter (the
+// native engine carries no obs hooks) — recorded, not silently ignored.
+TEST(NativeBackend, SimMetricsForceInterpreter) {
+  sim::Model m = blocks::examples::make_chains(2);
+  obs::MetricsRegistry sim_reg;
+  backend::RunOptions o = opts_for(backend::Kind::kNative, 0.1);
+  o.sim.metrics = &sim_reg;
+  backend::RunResult r = backend::run(m, o);
+  EXPECT_EQ(r.used, backend::Kind::kInterp);
+  EXPECT_EQ(r.fallback_reason.substr(0, 13), "observability");
+  EXPECT_GT(sim_reg.counter("sim.events_dispatched").value(), 0u);
+}
+
+// ---- co-simulation routing (translate/cosim.hpp) ---------------------------
+
+translate::LoopSpec servo_loop_spec() {
+  const control::StateSpace servo_ct = [] {
+    control::StateSpace s = plants::dc_servo();
+    s.c = math::Matrix::identity(2);
+    s.d = math::Matrix::zeros(2, 1);
+    return s;
+  }();
+  const double ts = 0.01;
+  const control::StateSpace servo_dt = control::c2d(servo_ct, ts);
+  const control::LqrResult lqr = control::dlqr(
+      servo_dt, math::Matrix::diag({100.0, 0.01}), math::Matrix{{1e-3}});
+  control::StateSpace tracking = servo_dt;
+  tracking.c = math::Matrix{{1.0, 0.0}};
+  tracking.d = math::Matrix{{0.0}};
+  const double nbar = control::reference_gain(tracking, lqr.k);
+
+  translate::LoopSpec spec;
+  spec.plant = servo_ct;
+  spec.controller = control::state_feedback_controller(lqr.k, nbar, ts);
+  spec.ts = ts;
+  spec.t_end = 0.4;
+  spec.ref = 1.0;
+  spec.input = translate::ControllerInput::kStateRef;
+  return spec;
+}
+
+// The co-simulation driver routed through the dispatcher: a native ideal
+// loop must reproduce the interpreter's probe series bit for bit.
+TEST(CosimBackend, IdealLoopNativeMatchesInterp) {
+  translate::LoopSpec spec = servo_loop_spec();
+  const translate::CosimOutcome interp = translate::run_ideal_loop(spec);
+  spec.backend = backend::Kind::kNative;
+  const translate::CosimOutcome native = translate::run_ideal_loop(spec);
+  ASSERT_EQ(native.backend_used, backend::Kind::kNative)
+      << "fell back: " << native.backend_fallback;
+  EXPECT_EQ(native.y, interp.y);
+  EXPECT_EQ(native.u, interp.u);
+  EXPECT_EQ(native.cost, interp.cost);
+  EXPECT_EQ(native.sense_latency.summary.max, interp.sense_latency.summary.max);
+}
+
+// A distributed run with a graph-of-delays is also codegen-eligible (the
+// comm/op delays lower to describable EventDelay specs)...
+TEST(CosimBackend, DistributedLoopNativeMatchesInterp) {
+  translate::LoopSpec spec = servo_loop_spec();
+  translate::DistributedSpec dist;
+  dist.bind_ctrl = "P1";  // controller across the bus: real message traffic
+  const translate::CosimOutcome interp =
+      translate::run_distributed_loop(spec, dist);
+  spec.backend = backend::Kind::kNative;
+  const translate::CosimOutcome native =
+      translate::run_distributed_loop(spec, dist);
+  ASSERT_EQ(native.backend_used, backend::Kind::kNative)
+      << "fell back: " << native.backend_fallback;
+  EXPECT_EQ(native.y, interp.y);
+  EXPECT_EQ(native.u, interp.u);
+  EXPECT_EQ(native.cost, interp.cost);
+}
+
+// ...but arming a fault plan pins the interpreter: messages_lost/deferred
+// read the gates' interpreter block counters after the run, and that must
+// keep working (with the reason recorded, not silently).
+TEST(CosimBackend, FaultedDistributedLoopPinsInterpWithReason) {
+  translate::LoopSpec spec = servo_loop_spec();
+  spec.backend = backend::Kind::kNative;
+  translate::DistributedSpec dist;
+  dist.bind_ctrl = "P1";
+  dist.god.fault_plan.message_loss("bus", 0.3);
+  const translate::CosimOutcome out =
+      translate::run_distributed_loop(spec, dist);
+  EXPECT_EQ(out.backend_used, backend::Kind::kInterp);
+  EXPECT_EQ(out.backend_fallback.substr(0, 16), "fault_accounting");
+  EXPECT_GT(out.messages_lost, 0u);
+}
+
+}  // namespace

@@ -23,9 +23,9 @@ TEST(DurationSamplers, Validation) {
 
 TEST(DurationSamplers, UniformWithinBounds) {
   math::Rng rng(3);
-  auto sampler = uniform_duration(0.5, 1.5);
+  const auto spec = uniform_duration(0.5, 1.5);
   for (int i = 0; i < 1000; ++i) {
-    const double d = sampler(rng);
+    const double d = sample_duration(spec, rng);
     EXPECT_GE(d, 0.5);
     EXPECT_LE(d, 1.5);
   }
@@ -33,11 +33,11 @@ TEST(DurationSamplers, UniformWithinBounds) {
 
 TEST(DurationSamplers, TruncatedNormalStaysInBoundsWithSaneMean) {
   math::Rng rng(77);
-  auto sampler = truncated_normal_duration(1.0, 0.3, 0.5, 1.5);
+  const auto spec = truncated_normal_duration(1.0, 0.3, 0.5, 1.5);
   double sum = 0.0;
   const int n = 4000;
   for (int i = 0; i < n; ++i) {
-    const double d = sampler(rng);
+    const double d = sample_duration(spec, rng);
     EXPECT_GE(d, 0.5);
     EXPECT_LE(d, 1.5);
     sum += d;

@@ -1,0 +1,109 @@
+// IR determinism guards (DESIGN.md §3.6): canonical serialization
+// round-trips byte-identically, the FNV hash is stable across threads and
+// across processes (via the committed golden file), and any semantic field
+// change moves the hash.
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "blocks/examples.hpp"
+#include "blocks/to_model.hpp"
+#include "ir/ir.hpp"
+#include "sim/build_ir.hpp"
+
+namespace {
+
+using namespace ecsim;
+
+ir::Model servo_ir() {
+  sim::Model m = blocks::examples::make_servo();
+  return sim::build_ir(m, "servo");
+}
+
+TEST(IrRoundtrip, SerializeParseSerializeIsByteIdentical) {
+  const ir::Model irm = servo_ir();
+  const std::string text = ir::serialize(irm);
+  const ir::Model back = ir::parse(text);
+  EXPECT_EQ(back, irm);
+  EXPECT_EQ(ir::serialize(back), text);
+}
+
+TEST(IrRoundtrip, ChainsRoundtripIsByteIdentical) {
+  sim::Model m = blocks::examples::make_chains(8);
+  const ir::Model irm = sim::build_ir(m, "chains_8");
+  const std::string text = ir::serialize(irm);
+  EXPECT_EQ(ir::serialize(ir::parse(text)), text);
+}
+
+// to_model(irm) rebuilds a behaving model from attrs alone; lowering that
+// model again must reproduce the identical IR (same layout included).
+TEST(IrRoundtrip, ToModelRebuildReproducesIdenticalIr) {
+  const ir::Model irm = servo_ir();
+  ASSERT_TRUE(ir::fully_described(irm));
+  sim::Model rebuilt = blocks::to_model(irm);
+  const ir::Model irm2 = sim::build_ir(rebuilt, irm.name);
+  EXPECT_EQ(ir::serialize(irm2), ir::serialize(irm));
+  EXPECT_EQ(ir::hash(irm2), ir::hash(irm));
+}
+
+TEST(IrHash, StableAcrossThreads) {
+  const ir::Model irm = servo_ir();
+  const std::uint64_t want = ir::hash(irm);
+  std::vector<std::uint64_t> got(8, 0);
+  {
+    std::vector<std::thread> ts;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ts.emplace_back([&, i] { got[i] = ir::hash(servo_ir()); });
+    }
+    for (auto& t : ts) t.join();
+  }
+  for (std::uint64_t h : got) EXPECT_EQ(h, want);
+  EXPECT_EQ(ir::hash_hex(irm).substr(0, 2), "0x");
+}
+
+TEST(IrHash, SemanticFieldChangeChangesHash) {
+  ir::Model a = servo_ir();
+  const std::uint64_t base = ir::hash(a);
+
+  // A parameter value.
+  ir::Model b = a;
+  for (ir::BlockIr& blk : b.blocks) {
+    for (ir::Attr& attr : blk.attrs) {
+      if (attr.kind == ir::Attr::Kind::kReal) {
+        attr.r += 1.0;
+        EXPECT_NE(ir::hash(b), base);
+        goto wires;
+      }
+    }
+  }
+wires:
+  // A wire endpoint.
+  ir::Model c = a;
+  ASSERT_FALSE(c.data_wires.empty());
+  c.data_wires.back().to.port += 1;
+  EXPECT_NE(ir::hash(c), base);
+
+  // A block name (names are semantic: they key traces and reports).
+  ir::Model d = a;
+  d.blocks.front().name += "_x";
+  EXPECT_NE(ir::hash(d), base);
+}
+
+// Cross-process / cross-PR stability: the servo-loop IR this build produces
+// must byte-match the committed golden file. Regenerate deliberately with
+//   build/tools/ecsim_flow ir dump --example=servo > tests/ir/golden_servo.ir
+// when the model or the IR format changes version.
+TEST(IrGolden, ServoLoopMatchesCommittedGolden) {
+  const std::string path = std::string(ECSIM_GOLDEN_IR_DIR) + "/golden_servo.ir";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file: " << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ir::serialize(servo_ir()), ss.str());
+}
+
+}  // namespace

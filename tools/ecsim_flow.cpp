@@ -42,6 +42,19 @@
 //   --metrics-out=FILE  obs::MetricsRegistry snapshot; .csv extension
 //                       selects CSV, anything else JSON.
 //
+// Model IR + execution backend (src/ir, src/backend, DESIGN.md §3.6):
+//   ecsim_flow ir dump --example=servo     canonical IR text of a built-in
+//                                          example model (servo|chains200) —
+//                                          the committed tests/ir/*.ir goldens
+//                                          are regenerated from this output.
+//   ecsim_flow ir hash --example=servo     its 64-bit FNV-1a hash (0x....),
+//                                          the key benches stamp into
+//                                          BENCH_*.json.
+//   --backend=interp|native (sweep/fault)  execute the co-simulated loops
+//                                          through the chosen backend; native
+//                                          falls back to the interpreter with
+//                                          a recorded reason when ineligible.
+//
 // The spec format is documented in src/io/spec.hpp; see
 // examples/specs/*.spec for ready-to-run inputs.
 #include <cstdint>
@@ -49,6 +62,10 @@
 #include <string>
 
 #include "aaa/adequation.hpp"
+#include "backend/kind.hpp"
+#include "blocks/examples.hpp"
+#include "ir/ir.hpp"
+#include "sim/build_ir.hpp"
 #include "aaa/codegen.hpp"
 #include "exec/conformance.hpp"
 #include "io/dot.hpp"
@@ -72,11 +89,13 @@ int usage() {
                "dot-alg|dot-arch|dot-gantt> <spec-file>\n"
                "                  [--trace-out=FILE] [--metrics-out=FILE]\n"
                "       ecsim_flow sweep <timing|arch> [--threads=N] "
-               "[--csv-out=FILE]\n"
+               "[--csv-out=FILE] [--backend=interp|native]\n"
                "       ecsim_flow montecarlo <spec-file> [--threads=N] "
                "[--trials=N] [--iterations=N] [--seed=N]\n"
                "       ecsim_flow fault <sweep|montecarlo> [--threads=N] "
-               "[--csv-out=FILE] [--loss=RATE] [--trials=N] [--seed=N]\n");
+               "[--csv-out=FILE] [--loss=RATE] [--trials=N] [--seed=N] "
+               "[--backend=interp|native]\n"
+               "       ecsim_flow ir <dump|hash> [--example=servo|chains200]\n");
   return 2;
 }
 
@@ -194,8 +213,35 @@ bool write_file(const std::string& path, const std::string& doc) {
   return true;
 }
 
+/// `ir dump|hash`: the canonical IR of a built-in example model — the
+/// anchor for the committed golden files and for hash provenance in bench
+/// reports (same bytes, same hash, in any build of any PR).
+int cmd_ir(const std::string& sub, const std::string& example) {
+  ir::Model irm;
+  if (example == "servo") {
+    sim::Model m = blocks::examples::make_servo();
+    irm = sim::build_ir(m, "servo");
+  } else if (example == "chains200") {
+    sim::Model m = blocks::examples::make_chains(200);
+    irm = sim::build_ir(m, "chains_200");
+  } else {
+    std::fprintf(stderr,
+                 "ecsim_flow: unknown --example '%s' (servo|chains200)\n",
+                 example.c_str());
+    return 2;
+  }
+  if (sub == "dump") {
+    std::printf("%s", ir::serialize(irm).c_str());
+  } else if (sub == "hash") {
+    std::printf("%s\n", ir::hash_hex(irm).c_str());
+  } else {
+    return usage();
+  }
+  return 0;
+}
+
 int cmd_sweep(const std::string& kind, std::size_t threads,
-              const std::string& csv_out) {
+              const std::string& csv_out, backend::Kind bk) {
   par::BatchOptions batch;
   batch.threads = threads;
   const sweep::SweepRunner runner(batch);
@@ -204,6 +250,7 @@ int cmd_sweep(const std::string& kind, std::size_t threads,
   if (kind == "timing") {
     sweep::TimingGrid grid;
     grid.loop = sweep::servo_loop();
+    grid.loop.backend = bk;
     grid.latency_fracs = {0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 0.95};
     grid.jitter_fracs = {0.0, 0.1, 0.2, 0.3, 0.5};
     cells = runner.run(grid);
@@ -213,6 +260,7 @@ int cmd_sweep(const std::string& kind, std::size_t threads,
   } else if (kind == "arch") {
     sweep::ArchitectureGrid grid;
     grid.loop = sweep::servo_loop();
+    grid.loop.backend = bk;
     grid.bus_bandwidths = {1e5, 1e4, 4e3, 2e3, 1e3};
     grid.wcet_scales = {0.5, 1.0, 2.0, 4.0};
     grid.dist.bind_ctrl = "P1";  // controller across the bus
@@ -237,12 +285,13 @@ int cmd_sweep(const std::string& kind, std::size_t threads,
 
 int cmd_fault(const std::string& kind, std::size_t threads,
               const std::string& csv_out, double loss, std::size_t trials,
-              std::uint64_t seed) {
+              std::uint64_t seed, backend::Kind bk) {
   par::BatchOptions batch;
   batch.threads = threads;
   if (kind == "sweep") {
     sweep::FaultGrid grid;
     grid.loop = sweep::servo_loop();
+    grid.loop.backend = bk;
     grid.dist.bind_ctrl = "P1";  // controller across the bus: real traffic
     grid.loss_rates = {0.0, 0.05, 0.1, 0.2, 0.4};
     grid.delays = {0.0, 0.001, 0.002, 0.004};
@@ -273,6 +322,7 @@ int cmd_fault(const std::string& kind, std::size_t threads,
   if (kind == "montecarlo") {
     sweep::FaultMonteCarloSpec spec;
     spec.loop = sweep::servo_loop();
+    spec.loop.backend = bk;
     spec.dist.bind_ctrl = "P1";
     spec.loss_rate = loss;
     spec.trials = trials;
@@ -317,6 +367,8 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const std::string spec_path = argv[2];
   std::string trace_out, metrics_out, csv_out;
+  std::string example = "servo";
+  backend::Kind bk = backend::Kind::kInterp;
   std::size_t threads = 0, trials = 200, iterations = 50;
   std::uint64_t seed = 1;
   double loss = 0.1;
@@ -338,14 +390,31 @@ int main(int argc, char** argv) {
       seed = std::stoull(arg.substr(7));
     } else if (arg.rfind("--loss=", 0) == 0) {
       loss = std::stod(arg.substr(7));
+    } else if (arg.rfind("--example=", 0) == 0) {
+      example = arg.substr(10);
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      try {
+        bk = backend::parse_kind(arg.substr(10));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "ecsim_flow: %s\n", e.what());
+        return 2;
+      }
     } else {
       return usage();
     }
   }
 
+  if (command == "ir") {
+    try {
+      return cmd_ir(spec_path, example);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ecsim_flow: %s\n", e.what());
+      return 1;
+    }
+  }
   if (command == "sweep") {
     try {
-      return cmd_sweep(spec_path, threads, csv_out);
+      return cmd_sweep(spec_path, threads, csv_out, bk);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "ecsim_flow: %s\n", e.what());
       return 1;
@@ -356,7 +425,7 @@ int main(int argc, char** argv) {
       // A full co-simulation per trial: default to 32 trials, not the VM
       // Monte Carlo's 200, unless the user asked explicitly.
       return cmd_fault(spec_path, threads, csv_out, loss,
-                       trials == 200 ? 32 : trials, seed);
+                       trials == 200 ? 32 : trials, seed, bk);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "ecsim_flow: %s\n", e.what());
       return 1;
