@@ -25,11 +25,11 @@ fi
 # --- 1. subcommands -------------------------------------------------------
 # Every word directly following an *invocation* of ecsim_flow in the docs
 # (requiring a path prefix like ./build/tools/ecsim_flow filters out prose
-# such as "the ecsim_flow command-line driver"). `sweep`, `fault` and `ir`
-# take a bare sub-subcommand, so their second word is checked too.
+# such as "the ecsim_flow command-line driver"). `sweep`, `fault`, `ir` and
+# `ledger` take a bare sub-subcommand, so their second word is checked too.
 doc_cmds=$(grep -rhoE "/ecsim_flow[[:space:]]+[a-z][a-z-]*([[:space:]]+[a-z][a-z-]*)?" "${DOCS[@]}" |
   sed 's|^/ecsim_flow[[:space:]]*||' |
-  awk '{ print $1; if (($1 == "sweep" || $1 == "fault" || $1 == "ir") && NF > 1) print $2 }' |
+  awk '{ print $1; if (($1 == "sweep" || $1 == "fault" || $1 == "ir" || $1 == "ledger") && NF > 1) print $2 }' |
   sort -u)
 for cmd in $doc_cmds; do
   if ! grep -qE "(^|[^a-z-])${cmd}([^a-z-]|$)" <<<"$usage_text"; then

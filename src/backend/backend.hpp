@@ -5,8 +5,6 @@
 // why (also counted as backend.fallback.<category> in a MetricsRegistry).
 //
 // Fallback categories:
-//  - observability: a Tracer/MetricsRegistry is attached to the sim options
-//    (the native engine deliberately carries no obs hooks);
 //  - legacy_baseline: a legacy_* A/B cost model was requested;
 //  - disabled: ECSIM_NATIVE_DISABLE is set;
 //  - opaque: the model is not fully described (user closures in the IR);
@@ -14,9 +12,21 @@
 //  - toolchain: compile/dlopen/ABI-verify failed (compiler missing, ...).
 // Model-semantic errors (e.g. max_events exceeded) are NOT fallbacks: both
 // backends throw them identically.
+//
+// Observability no longer falls back (ABI v2): an attached sim Tracer /
+// MetricsRegistry is bridged into the generated module through the
+// NativeObsTable callback table (backend/obs_abi.hpp), and the instrumented
+// native run produces the same sim-domain trace records and metrics values
+// as the instrumented interpreter.
+//
+// Every run — either backend, fallback or not — appends a record to the
+// process run ledger (obs::Ledger::global(); obs/ledger.hpp): IR hash,
+// backend requested/used, fallback reason, seed, fault-plan hash, thread
+// count, wall time, events/s and a metrics snapshot.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "backend/kind.hpp"
@@ -31,9 +41,14 @@ struct RunOptions {
   sim::SimOptions sim;
   Kind kind = Kind::kInterp;
   /// Dispatcher-level metrics (fallback counters, backend.<kind>.runs).
-  /// Distinct from sim.metrics: attaching THIS does not force the
-  /// interpreter. Borrowed, may be null.
+  /// Distinct from sim.metrics (which instruments the run itself, on either
+  /// backend). Borrowed, may be null.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Ledger annotations (obs/ledger.hpp): context the dispatcher cannot
+  /// derive on its own, stamped verbatim into the run's ledger record.
+  std::string model_name;             ///< label, e.g. the loop/scenario name
+  std::uint64_t fault_plan_hash = 0;  ///< fault::hash of the active plan
+  unsigned threads = 1;               ///< batch fan-out this run is part of
 };
 
 struct RunResult {

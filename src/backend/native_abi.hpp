@@ -5,6 +5,12 @@
 // safe. The ABI is versioned anyway: the host refuses a module whose
 // ECSIM_NATIVE_ABI doesn't match, and the hash-keyed .so cache keys on the
 // ABI + flags, so stale artifacts are never loaded.
+//
+// ABI v2 adds NativeObsTable: a C callback table through which the generated
+// module emits telemetry (tracer spans/instants, counters, gauges,
+// histograms) into the host's obs::Tracer / obs::MetricsRegistry without the
+// module linking against the obs library. A null table pointer is the
+// zero-cost path; the bridge lives in backend/obs_abi.{hpp,cpp}.
 #pragma once
 
 #include <cstddef>
@@ -12,11 +18,54 @@
 
 namespace ecsim::backend {
 
-inline constexpr int kNativeAbiVersion = 1;
+inline constexpr int kNativeAbiVersion = 2;
+
+/// Sentinel for "span/instant has no argument" (mirror of obs::kNoArg).
+inline constexpr std::uint32_t kNativeObsNoArg = 0xffffffffu;
+
+/// C callback table bridging generated-module telemetry into the host's
+/// obs::Tracer / obs::MetricsRegistry (built by backend::make_obs_table).
+/// All function pointers are non-null when the corresponding ctx is non-null;
+/// a wholly null member (tracer == nullptr, metrics == nullptr) means that
+/// side of observability is absent and the module must not call through it.
+/// Handles returned by the resolvers are stable for the process lifetime
+/// (MetricsRegistry owns node-based instruments).
+struct NativeObsTable {
+  // --- Tracer side ---------------------------------------------------------
+  void* tracer = nullptr;  ///< opaque obs::Tracer*; null → no tracer attached
+  /// Nonzero when the tracer is compiled in, attached and enabled; the module
+  /// latches this once per run (mirror of obs::active).
+  int (*tracer_enabled)(void* tracer) = nullptr;
+  /// Intern a NUL-terminated name, returning its stable id.
+  std::uint32_t (*intern)(void* tracer, const char* name) = nullptr;
+  /// Register a track. `domain` is obs::Domain's numeric value
+  /// (0 = wall-clock, 1 = sim-time).
+  std::uint32_t (*track)(void* tracer, const char* name, int domain) = nullptr;
+  /// Wall-clock timestamp in microseconds (obs::Tracer::now_us).
+  double (*now_us)(void* tracer) = nullptr;
+  /// Complete span [t0,t1] on `track`; arg_name = 0xffffffff means "no arg".
+  void (*span)(void* tracer, std::uint32_t name, std::uint32_t track,
+               double t0, double t1, std::uint32_t arg_name,
+               double arg) = nullptr;
+  /// Instant at `ts` on `track` (sim-domain timestamps via obs::sim_us).
+  void (*instant)(void* tracer, std::uint32_t name, std::uint32_t track,
+                  double ts, std::uint32_t arg_name, double arg) = nullptr;
+
+  // --- Metrics side --------------------------------------------------------
+  void* metrics = nullptr;  ///< opaque obs::MetricsRegistry*; null → absent
+  /// Resolve instruments by name; the returned handles are stable pointers.
+  void* (*counter)(void* metrics, const char* name) = nullptr;
+  void* (*gauge)(void* metrics, const char* name) = nullptr;
+  void* (*histogram)(void* metrics, const char* name) = nullptr;
+  void (*counter_add)(void* counter, std::uint64_t n) = nullptr;
+  void (*gauge_max)(void* gauge, std::uint64_t v) = nullptr;
+  void (*histogram_observe)(void* histogram, double v) = nullptr;
+};
 
 /// POD mirror of the sim::SimOptions subset the native backend supports
-/// (observability and the legacy_* bench baselines force interpreter
-/// fallback before this struct is ever built).
+/// (the legacy_* bench baselines force interpreter fallback before this
+/// struct is ever built; observability rides along through `obs` since
+/// ABI v2).
 struct NativeRunOptions {
   double end_time = 1.0;
   int integrator_kind = 0;  // sim::IntegratorKind numeric value
@@ -30,6 +79,11 @@ struct NativeRunOptions {
   std::size_t reserve_events = 0;
   std::size_t reserve_signals = 0;
   std::size_t reserve_queue = 0;
+  /// Observability callback table (borrowed, may be null). Null, or a table
+  /// whose tracer/metrics are both null, runs the module with telemetry
+  /// compiled to nothing — the guarded ≤2% attached-but-disabled overhead
+  /// only concerns a non-null table whose tracer reports disabled.
+  const NativeObsTable* obs = nullptr;
 };
 
 }  // namespace ecsim::backend

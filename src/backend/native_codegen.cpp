@@ -745,6 +745,16 @@ struct Program {
     table("kSinkBlock", blocks);
     table("kSinkPort", ports);
   }
+  // Block names in block order, for the engine's obs interning (ABI v2):
+  // the generated module interns the same strings in the same order the
+  // interpreter's init_obs does.
+  out_ += "  static constexpr std::array<const char*, " +
+          lit(m_.blocks.size()) + "> kBlockNames{";
+  for (std::size_t i = 0; i < m_.blocks.size(); ++i) {
+    if (i) out_ += ", ";
+    out_ += cstr(m_.blocks[i].name);
+  }
+  out_ += "};\n";
   out_ += "\n";
 
   for (std::size_t i = 0; i < m_.blocks.size(); ++i) emit_block(i);

@@ -5,8 +5,16 @@
 // literal arena offsets) — and instantiates Engine<Program>.
 //
 // Engine::run() is a line-by-line port of sim::Simulator::run() with the
-// observability hooks and the legacy_* bench baselines removed (the
-// dispatcher falls back to the interpreter whenever those are requested).
+// legacy_* bench baselines removed (the dispatcher falls back to the
+// interpreter whenever those are requested). The observability hooks are
+// ported too (ABI v2): telemetry flows through the NativeRunOptions::obs
+// callback table at the exact points the interpreter instruments — per-run
+// span, integration segments, cone-refresh spans, per-event instants,
+// events/evals/queue-high-water/cone-size/evals-per-block metrics — so an
+// instrumented native run produces the same sim-domain trace records and
+// the same metrics values as an instrumented interpreter run. A null table
+// (or a disabled tracer) keeps the hot path at one pointer test per hook,
+// the same cost model as the interpreter's null/disabled instruments.
 // Everything order-sensitive is either shared (the same same-instant lane,
 // the same sim::integrate() stepping the same workspace, the same math::Rng
 // and the same sim::Trace recording — unity-compiled into the module from
@@ -202,6 +210,26 @@ class Engine {
   void bind_trace(sim::Trace* t) { trace_ = t; }
 
   void run(const NativeRunOptions& o) {
+    // Latch observability for this run: ids and instrument handles resolved
+    // once (mirror of Simulator::init_obs + the per-run tracing latch), so
+    // the hot paths below touch only cached ids and one-branch null tests.
+    init_obs(o.obs);
+    const double run_t0 =
+        obs_.tracing ? obs_.tab->now_us(obs_.tab->tracer) : 0.0;
+    // Wall-clock span around the whole run (recorded on scope exit, after
+    // the per-block eval flush — same order as the interpreter's RAII span).
+    struct RunSpan {
+      Engine* e;
+      double t0;
+      ~RunSpan() {
+        if (e->obs_.tracing) {
+          const NativeObsTable* tab = e->obs_.tab;
+          tab->span(tab->tracer, e->obs_.n_run, e->obs_.trk_runtime, t0,
+                    tab->now_us(tab->tracer), kNativeObsNoArg, 0.0);
+        }
+      }
+    } run_span{this, run_t0};
+
     // Reset run state (including the RNG: same seed => same realization).
     rng_ = math::Rng(o.seed);
     time_ = 0.0;
@@ -242,6 +270,8 @@ class Engine {
       }
       if (t_next > time_) {
         if constexpr (Program::kTotalState > 0) {
+          const double span_t0 =
+              obs_.tracing ? obs_.tab->now_us(obs_.tab->tracer) : 0.0;
           sim::integrate(
               integ,
               [this](double t, const std::vector<double>& x,
@@ -250,11 +280,23 @@ class Engine {
               },
               time_, t_next, x_, iws_);
           active_x_ = x_.data();
+          if (obs_.tracing) {
+            const NativeObsTable* tab = obs_.tab;
+            tab->span(tab->tracer, obs_.n_integrate, obs_.trk_runtime,
+                      span_t0, tab->now_us(tab->tracer), kNativeObsNoArg,
+                      0.0);
+          }
         }
         time_ = t_next;
         refresh_dynamic(time_);
       }
       if (!have_event) break;
+      // High-water mark of *pending* events, read once per instant before
+      // the drain (the same-instant lane is empty here) — the same point the
+      // interpreter samples queue_.size().
+      if (obs_.queue_hwm != nullptr) {
+        obs_.tab->gauge_max(obs_.queue_hwm, queue_.size());
+      }
       lane_active_ = true;
       // Drain the instant pop-by-pop: same (time, seq) order the
       // interpreter's batched pop_simultaneous dispatches in, without
@@ -273,6 +315,17 @@ class Engine {
       }
       lane_.clear();
       lane_active_ = false;
+    }
+    if (obs_.evals_per_block != nullptr) {
+      // Distribution of eval calls across blocks for this run (hot blocks
+      // sit in the top buckets); per-run counts then reset.
+      for (std::uint64_t& n : obs_.per_block_evals) {
+        if (n > 0) {
+          obs_.tab->histogram_observe(obs_.evals_per_block,
+                                      static_cast<double>(n));
+        }
+        n = 0;
+      }
     }
   }
 
@@ -327,6 +380,10 @@ class Engine {
   void refresh_blocks(std::span<const std::size_t> order, double t) {
     eval_time_ = t;
     for (std::size_t b : order) prog_.compute(*this, b);
+    if (obs_.evals != nullptr) {
+      obs_.tab->counter_add(obs_.evals, order.size());
+      for (std::size_t b : order) ++obs_.per_block_evals[b];
+    }
   }
 
   void refresh_dynamic(double t) {
@@ -347,17 +404,81 @@ class Engine {
 
   void dispatch_one(const sim::ScheduledEvent& e, std::size_t max_events) {
     trace_->record_event(e.time, e.block, e.event_in);
+    if (obs_.tracing) {
+      const NativeObsTable* tab = obs_.tab;
+      // Sim-domain instant (seconds -> microseconds, obs::sim_us).
+      tab->instant(tab->tracer, obs_.block_names[e.block], obs_.trk_events,
+                   e.time * 1e6, obs_.a_port,
+                   static_cast<double>(e.event_in));
+    }
+    if (obs_.events != nullptr) obs_.tab->counter_add(obs_.events, 1);
     eval_time_ = e.time;
     prog_.on_event(*this, e.block, e.event_in);
     const std::span<const std::size_t> c =
         full_refresh_ ? order_span(Program::kEvalOrder) : cone(e.block);
-    // Empty cones (pure event-plumbing blocks) skip the refresh outright —
-    // same condition as the interpreter's non-traced hot path.
-    if (!c.empty()) refresh_blocks(c, time_);
+    if (obs_.tracing) {
+      // Traced runs refresh even empty cones inside the span, exactly as
+      // the interpreter's traced path does (a semantic no-op either way).
+      const NativeObsTable* tab = obs_.tab;
+      const double span_t0 = tab->now_us(tab->tracer);
+      refresh_blocks(c, time_);
+      tab->span(tab->tracer, obs_.n_cone, obs_.trk_runtime, span_t0,
+                tab->now_us(tab->tracer), obs_.a_cone_size,
+                static_cast<double>(c.size()));
+    } else if (!c.empty()) {
+      // Empty cones (pure event-plumbing blocks) skip the refresh outright —
+      // same condition as the interpreter's non-traced hot path.
+      refresh_blocks(c, time_);
+    }
+    if (obs_.cone_sizes != nullptr) {
+      obs_.tab->histogram_observe(obs_.cone_sizes,
+                                  static_cast<double>(c.size()));
+    }
     if (++events_dispatched_ > max_events) {
       throw std::runtime_error(
           "Simulator: max_events exceeded (runaway loop?)");
     }
+  }
+
+  /// Mirror of Simulator::init_obs, resolved through the ABI v2 callback
+  /// table: tracks, names and instrument handles are looked up once per run
+  /// (interning is idempotent on the host side) in the same order the
+  /// interpreter interns them, so resolved name/track strings line up
+  /// between an instrumented interpreter run and an instrumented native run.
+  void init_obs(const NativeObsTable* tab) {
+    obs_.tab = tab;
+    obs_.tracing = false;
+    obs_.events = nullptr;
+    obs_.evals = nullptr;
+    obs_.queue_hwm = nullptr;
+    obs_.cone_sizes = nullptr;
+    obs_.evals_per_block = nullptr;
+#ifndef ECSIM_OBS_DISABLED
+    if (tab == nullptr) return;
+    if (void* t = tab->tracer; t != nullptr) {
+      obs_.tracing = tab->tracer_enabled(t) != 0;
+      obs_.trk_runtime = tab->track(t, "runtime/sim", 0);  // Domain::kWall
+      obs_.trk_events = tab->track(t, "sim/events", 1);    // Domain::kSim
+      obs_.n_run = tab->intern(t, "sim.run");
+      obs_.n_integrate = tab->intern(t, "sim.integrate");
+      obs_.n_cone = tab->intern(t, "sim.cone_refresh");
+      obs_.a_cone_size = tab->intern(t, "cone_size");
+      obs_.a_port = tab->intern(t, "event_in");
+      obs_.block_names.clear();
+      obs_.block_names.reserve(Program::kBlockNames.size());
+      for (const char* name : Program::kBlockNames) {
+        obs_.block_names.push_back(tab->intern(t, name));
+      }
+    }
+    if (void* m = tab->metrics; m != nullptr) {
+      obs_.events = tab->counter(m, "sim.events_dispatched");
+      obs_.evals = tab->counter(m, "sim.eval_calls");
+      obs_.queue_hwm = tab->gauge(m, "sim.queue_high_water");
+      obs_.cone_sizes = tab->histogram(m, "sim.cone_refresh_size");
+      obs_.evals_per_block = tab->histogram(m, "sim.eval_calls_per_block");
+      obs_.per_block_evals.assign(Program::kBlockNames.size(), 0);
+    }
+#endif
   }
 
   Program prog_;
@@ -375,6 +496,24 @@ class Engine {
   std::vector<double> x_;
   const double* active_x_ = nullptr;
   std::size_t events_dispatched_ = 0;
+
+  // Observability wiring (mirror of Simulator's ObsHooks): cached ids and
+  // opaque host-side instrument handles; `tracing` is latched per run.
+  struct ObsHooks {
+    const NativeObsTable* tab = nullptr;
+    bool tracing = false;
+    std::uint32_t trk_runtime = 0;  // wall-clock spans
+    std::uint32_t trk_events = 0;   // sim-time event instants
+    std::uint32_t n_run = 0, n_integrate = 0, n_cone = 0;
+    std::uint32_t a_cone_size = 0, a_port = 0;
+    std::vector<std::uint32_t> block_names;
+    void* events = nullptr;           // Counter: sim.events_dispatched
+    void* evals = nullptr;            // Counter: sim.eval_calls
+    void* queue_hwm = nullptr;        // Gauge: sim.queue_high_water
+    void* cone_sizes = nullptr;       // Histogram: sim.cone_refresh_size
+    void* evals_per_block = nullptr;  // Histogram: sim.eval_calls_per_block
+    std::vector<std::uint64_t> per_block_evals;
+  } obs_;
 };
 
 }  // namespace ecsim::backend::rt

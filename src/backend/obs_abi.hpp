@@ -1,0 +1,23 @@
+// Host-side bridge for the ABI v2 observability callback table: builds a
+// NativeObsTable whose C function pointers forward into the host process's
+// obs::Tracer / obs::MetricsRegistry. The generated module receives the
+// table through NativeRunOptions::obs and never links against the obs
+// library itself, so the 3-symbol extern-C surface of a model .so is
+// unchanged.
+#pragma once
+
+#include "backend/native_abi.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
+namespace ecsim::backend {
+
+/// Build the callback table for `tracer`/`metrics` (either may be null; the
+/// corresponding table side is then null and the module skips it). The table
+/// only borrows the pointers — it is typically stack-allocated around one
+/// NativeModule::run call. Under ECSIM_OBS_DISABLED the tracer side is
+/// always null (mirror of obs::active's constant-false).
+NativeObsTable make_obs_table(obs::Tracer* tracer,
+                              obs::MetricsRegistry* metrics);
+
+}  // namespace ecsim::backend

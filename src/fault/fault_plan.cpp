@@ -307,4 +307,36 @@ std::string to_string(const FaultPlan& plan) {
   return out;
 }
 
+std::uint64_t hash(const FaultPlan& plan) {
+  if (plan.empty()) return 0;
+  // FNV-1a over a canonical serialization (hexfloat doubles are exact), the
+  // same construction ir::hash uses: equal plans hash equal on any host.
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](const std::string& s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ULL;
+    }
+    h ^= 0xff;  // field separator
+    h *= 1099511628211ULL;
+  };
+  const auto mix_f = [&](double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%a", v);
+    mix(buf);
+  };
+  mix(std::to_string(plan.seed));
+  for (const FaultSpec& f : plan.faults) {
+    mix(std::to_string(static_cast<int>(f.kind)));
+    mix(f.target);
+    mix_f(f.probability);
+    mix_f(f.delay);
+    mix(std::to_string(f.extra_copies));
+    mix_f(f.overrun_factor);
+    mix_f(f.t_start);
+    mix_f(f.t_stop);
+  }
+  return h;
+}
+
 }  // namespace ecsim::fault

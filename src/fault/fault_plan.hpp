@@ -194,4 +194,10 @@ class ArmedFaultPlan {
 /// Human-readable one-line-per-fault rendering (CLI / bench tables).
 std::string to_string(const FaultPlan& plan);
 
+/// Canonical FNV-1a fingerprint of a plan (seed + every fault field, doubles
+/// serialized hexfloat-exact). 0 for the empty (fault-free) plan — the value
+/// the run ledger stamps as fault_plan_hash, so two ledger records with the
+/// same hash ran under the same injected degradations.
+std::uint64_t hash(const FaultPlan& plan);
+
 }  // namespace ecsim::fault

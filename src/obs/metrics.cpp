@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <sstream>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -57,7 +58,30 @@ double Histogram::bucket_bound(std::size_t i) {
   return std::ldexp(1.0, static_cast<int>(i));  // 2^i; bucket 0 covers <= 1
 }
 
+double Histogram::quantile(double q) const {
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return 0.0;
+  // Smallest bucket bound whose cumulative count reaches q*N — an upper
+  // bound on the true quantile, exact to within the log2 bucket width. The
+  // recorded min/max tighten the extreme buckets.
+  const double rank = q * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cum += buckets_[i];
+    if (static_cast<double>(cum) >= rank) {
+      const double bound = bucket_bound(i);
+      return bound > max_ ? max_ : bound;
+    }
+  }
+  return max_;
+}
+
 void Histogram::merge(const Histogram& other) {
+  if (&other == this) {
+    throw std::invalid_argument("Histogram::merge: cannot merge into self");
+  }
   // Snapshot `other` under its own lock first so the two locks are never
   // held together (lock-order safety when registries merge disjoint peers).
   std::uint64_t ocount;
@@ -169,6 +193,12 @@ std::string MetricsRegistry::to_csv() const {
 }
 
 void MetricsRegistry::merge(const MetricsRegistry& other) {
+  if (&other == this) {
+    // Self-merge would double every instrument (and self-deadlock once the
+    // apply phase takes this->mu_ for lookups) — reject it outright.
+    throw std::invalid_argument(
+        "MetricsRegistry::merge: cannot merge a registry into itself");
+  }
   // Snapshot the other registry's instrument list under its lock, then
   // apply without it: counter()/gauge()/histogram() take this->mu_ and the
   // instrument addresses in the node-based maps are stable.

@@ -61,8 +61,14 @@ class Histogram {
   std::uint64_t bucket(std::size_t i) const;
   /// Inclusive upper bound of bucket i (1, 2, 4, ...).
   static double bucket_bound(std::size_t i);
+  /// Bucketed quantile estimate (q in [0,1], clamped): the smallest bucket
+  /// bound whose cumulative count reaches q*N, tightened by the recorded
+  /// max. Exact to within the log2 bucket width — the resolution the sweep
+  /// progress reporting (p50/p99 cell wall time) needs. 0 when empty.
+  double quantile(double q) const;
   /// Fold `other`'s samples into this histogram (counts, sums and buckets
-  /// add; min/max combine). `other` must outlive the call; merging two
+  /// add; min/max combine). `other` must outlive the call and must not be
+  /// this histogram (self-merge throws std::invalid_argument); merging two
   /// histograms into each other concurrently is not supported.
   void merge(const Histogram& other);
   void reset();
@@ -99,7 +105,8 @@ class MetricsRegistry {
   /// convention — see Gauge::max_of). Used to recombine the per-task shards
   /// of a parallel batch; merging shards in task-index order yields a
   /// snapshot independent of thread count and scheduling. `other` must not
-  /// be written concurrently, and two registries must not merge each other
+  /// be written concurrently, must not be this registry (self-merge throws
+  /// std::invalid_argument), and two registries must not merge each other
   /// at the same time.
   void merge(const MetricsRegistry& other);
 

@@ -97,6 +97,11 @@ std::vector<TraceEvent> Tracer::snapshot() const {
 }
 
 void Tracer::append(const Tracer& other) {
+  if (&other == this) {
+    // Appending a ring to itself would re-intern and duplicate every record
+    // while iterating the same storage — reject it outright.
+    throw std::invalid_argument("Tracer::append: cannot append a tracer to itself");
+  }
   const std::vector<TraceEvent> events = other.snapshot();
   std::vector<std::string> other_names;
   std::vector<TrackInfo> other_tracks;

@@ -104,8 +104,9 @@ class Tracer {
   /// records are overwritten on overflow. Appending shards in task-index
   /// order yields a stable record order independent of thread scheduling.
   /// Wall-clock timestamps stay relative to each shard's own epoch;
-  /// sim-domain records are epoch-free. Call only while neither tracer has
-  /// an active writer.
+  /// sim-domain records are epoch-free. Appending a tracer to itself throws
+  /// std::invalid_argument. Call only while neither tracer has an active
+  /// writer.
   void append(const Tracer& other);
 
   /// Drop all records (names/tracks stay interned).

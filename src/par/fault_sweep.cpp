@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "par/cell_metrics.hpp"
+
 namespace ecsim::sweep {
 
 namespace {
@@ -49,11 +51,17 @@ std::vector<FaultCell> run_fault_sweep(const FaultGrid& grid,
   const std::size_t cols = grid.delays.size();
   const std::size_t n = grid.loss_rates.size() * cols;
   par::BatchRunner runner(batch);
+  translate::LoopSpec loop = grid.loop;
+  loop.threads = static_cast<unsigned>(runner.threads());  // ledger annotation
+  CellMetrics cm(batch.metrics);
   return runner.map<FaultCell>(n, [&](par::TaskContext& ctx) {
-    const double loss = grid.loss_rates[ctx.index / cols];
-    const double delay = grid.delays[ctx.index % cols];
-    return evaluate_cell(grid.loop, grid.dist, loss, delay,
-                         grid.delay_probability, grid.medium, grid.fault_seed);
+    return cm.cell([&] {
+      const double loss = grid.loss_rates[ctx.index / cols];
+      const double delay = grid.delays[ctx.index % cols];
+      return evaluate_cell(loop, grid.dist, loss, delay,
+                           grid.delay_probability, grid.medium,
+                           grid.fault_seed);
+    });
   });
 }
 
@@ -63,13 +71,18 @@ FaultMonteCarloResult run_fault_monte_carlo(const FaultMonteCarloSpec& spec,
     throw std::invalid_argument("run_fault_monte_carlo: zero trials");
   }
   par::BatchRunner runner(batch);
+  translate::LoopSpec loop = spec.loop;
+  loop.threads = static_cast<unsigned>(runner.threads());  // ledger annotation
+  CellMetrics cm(batch.metrics);
   FaultMonteCarloResult result;
   result.trials = spec.trials;
   result.loss_rate = spec.loss_rate;
   result.cells = runner.map<FaultCell>(spec.trials, [&](par::TaskContext& ctx) {
-    return evaluate_cell(spec.loop, spec.dist, spec.loss_rate, 0.0, 1.0,
-                         spec.medium,
-                         spec.base_seed + static_cast<std::uint64_t>(ctx.index));
+    return cm.cell([&] {
+      return evaluate_cell(
+          loop, spec.dist, spec.loss_rate, 0.0, 1.0, spec.medium,
+          spec.base_seed + static_cast<std::uint64_t>(ctx.index));
+    });
   });
   std::vector<double> cost, iae, lost;
   for (const FaultCell& c : result.cells) {

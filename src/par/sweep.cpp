@@ -6,6 +6,7 @@
 #include "control/c2d.hpp"
 #include "control/delay_compensation.hpp"
 #include "control/lqr.hpp"
+#include "par/cell_metrics.hpp"
 #include "plants/dc_servo.hpp"
 
 namespace ecsim::sweep {
@@ -38,37 +39,47 @@ SweepRunner::SweepRunner(par::BatchOptions opts) : opts_(opts) {
 std::vector<SweepCell> SweepRunner::run(const TimingGrid& grid) const {
   const std::size_t cols = grid.jitter_fracs.size();
   const std::size_t n = grid.latency_fracs.size() * cols;
+  translate::LoopSpec loop = grid.loop;
+  loop.threads = static_cast<unsigned>(threads_);  // ledger annotation
   par::BatchRunner runner(opts_);
+  CellMetrics cm(opts_.metrics);
   return runner.map<SweepCell>(n, [&](par::TaskContext& ctx) {
-    const double la_frac = grid.latency_fracs[ctx.index / cols];
-    const double jitter_frac = grid.jitter_fracs[ctx.index % cols];
-    const translate::CosimOutcome out = translate::run_latency_loop(
-        grid.loop, 0.0, la_frac * grid.loop.ts, jitter_frac * grid.loop.ts);
-    SweepCell cell = measure(out);
-    cell.la_frac = la_frac;
-    cell.jitter_frac = jitter_frac;
-    return cell;
+    return cm.cell([&] {
+      const double la_frac = grid.latency_fracs[ctx.index / cols];
+      const double jitter_frac = grid.jitter_fracs[ctx.index % cols];
+      const translate::CosimOutcome out = translate::run_latency_loop(
+          loop, 0.0, la_frac * loop.ts, jitter_frac * loop.ts);
+      SweepCell cell = measure(out);
+      cell.la_frac = la_frac;
+      cell.jitter_frac = jitter_frac;
+      return cell;
+    });
   });
 }
 
 std::vector<SweepCell> SweepRunner::run(const ArchitectureGrid& grid) const {
   const std::size_t cols = grid.wcet_scales.size();
   const std::size_t n = grid.bus_bandwidths.size() * cols;
+  translate::LoopSpec loop = grid.loop;
+  loop.threads = static_cast<unsigned>(threads_);  // ledger annotation
   par::BatchRunner runner(opts_);
+  CellMetrics cm(opts_.metrics);
   return runner.map<SweepCell>(n, [&](par::TaskContext& ctx) {
-    const double bandwidth = grid.bus_bandwidths[ctx.index / cols];
-    const double scale = grid.wcet_scales[ctx.index % cols];
-    translate::DistributedSpec dist = grid.dist;
-    dist.arch =
-        aaa::ArchitectureGraph::bus_architecture(grid.processors, bandwidth);
-    dist.wcet_ctrl *= scale;
-    for (double& w : dist.ctrl_branch_wcets) w *= scale;
-    const translate::CosimOutcome out =
-        translate::run_distributed_loop(grid.loop, dist);
-    SweepCell cell = measure(out);
-    cell.bus_bandwidth = bandwidth;
-    cell.wcet_scale = scale;
-    return cell;
+    return cm.cell([&] {
+      const double bandwidth = grid.bus_bandwidths[ctx.index / cols];
+      const double scale = grid.wcet_scales[ctx.index % cols];
+      translate::DistributedSpec dist = grid.dist;
+      dist.arch =
+          aaa::ArchitectureGraph::bus_architecture(grid.processors, bandwidth);
+      dist.wcet_ctrl *= scale;
+      for (double& w : dist.ctrl_branch_wcets) w *= scale;
+      const translate::CosimOutcome out =
+          translate::run_distributed_loop(loop, dist);
+      SweepCell cell = measure(out);
+      cell.bus_bandwidth = bandwidth;
+      cell.wcet_scale = scale;
+      return cell;
+    });
   });
 }
 

@@ -7,6 +7,7 @@
 
 #include "backend/backend.hpp"
 #include "blocks/continuous.hpp"
+#include "fault/fault_plan.hpp"
 #include "blocks/discrete.hpp"
 #include "blocks/event_blocks.hpp"
 #include "blocks/math_blocks.hpp"
@@ -194,13 +195,18 @@ LoopModel assemble_loop(const LoopSpec& spec) {
 /// control/latency metrics. `interp_reason` non-empty pins the interpreter
 /// regardless of spec.backend and records why (e.g. distributed fault
 /// accounting, which reads interpreter block counters after the run).
+/// `fault_plan_hash` is a ledger annotation (fault::hash of the active plan).
 CosimOutcome simulate_and_measure(LoopModel& lm, const LoopSpec& spec,
-                                  const std::string& interp_reason = {}) {
+                                  const std::string& interp_reason = {},
+                                  std::uint64_t fault_plan_hash = 0) {
   backend::RunOptions ro;
   ro.sim.end_time = spec.t_end;
   ro.sim.seed = spec.seed;
   ro.sim.integrator.kind = sim::IntegratorKind::kRk4;
   ro.sim.integrator.max_step = spec.integrator_max_step;
+  ro.model_name = "loop";
+  ro.fault_plan_hash = fault_plan_hash;
+  ro.threads = spec.threads;
   ro.kind = interp_reason.empty() ? spec.backend : backend::Kind::kInterp;
   backend::RunResult r = backend::run(lm.model, ro);
   const sim::Trace& trace = r.trace;
@@ -359,7 +365,8 @@ CosimOutcome run_distributed_loop(const LoopSpec& spec,
           ? std::string()
           : "fault_accounting: distributed fault gates report drop/defer "
             "counts through interpreter block state";
-  CosimOutcome out = simulate_and_measure(lm, spec, interp_reason);
+  CosimOutcome out = simulate_and_measure(lm, spec, interp_reason,
+                                          fault::hash(dist.god.fault_plan));
   out.makespan = sched.makespan();
   out.schedule_text = sched.to_string(alg, dist.arch);
   for (const blocks::EventFault* gate : god.fault_gates) {

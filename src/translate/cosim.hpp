@@ -55,6 +55,10 @@ struct LoopSpec {
   /// condition bindings (opaque closures), or distributed runs with fault
   /// gates, whose message accounting reads interpreter block counters.
   backend::Kind backend = backend::Kind::kInterp;
+  /// Annotation only (no behavioural effect): worker-thread count of the
+  /// surrounding sweep/batch, stamped into the run-ledger record so a
+  /// regression diff can tell a serial rerun from a contended parallel one.
+  unsigned threads = 1;
 };
 
 struct DistributedSpec {

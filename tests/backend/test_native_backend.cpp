@@ -165,17 +165,32 @@ TEST(NativeBackend, RunIrMatchesRunModel) {
   EXPECT_TRUE(a.trace == c.trace);
 }
 
-// Observability attached to the *sim* options forces the interpreter (the
-// native engine carries no obs hooks) — recorded, not silently ignored.
-TEST(NativeBackend, SimMetricsForceInterpreter) {
+// Observability attached to the *sim* options rides through the ABI v2
+// callback table since PR 7: the native engine runs anyway (no fallback)
+// and reports the interpreter's exact metric values.
+TEST(NativeBackend, SimMetricsStayNative) {
   sim::Model m = blocks::examples::make_chains(2);
-  obs::MetricsRegistry sim_reg;
-  backend::RunOptions o = opts_for(backend::Kind::kNative, 0.1);
-  o.sim.metrics = &sim_reg;
-  backend::RunResult r = backend::run(m, o);
-  EXPECT_EQ(r.used, backend::Kind::kInterp);
-  EXPECT_EQ(r.fallback_reason.substr(0, 13), "observability");
-  EXPECT_GT(sim_reg.counter("sim.events_dispatched").value(), 0u);
+
+  obs::MetricsRegistry interp_reg;
+  backend::RunOptions oi = opts_for(backend::Kind::kInterp, 0.1);
+  oi.sim.metrics = &interp_reg;
+  backend::RunResult interp = backend::run(m, oi);
+
+  obs::MetricsRegistry native_reg;
+  backend::RunOptions on = opts_for(backend::Kind::kNative, 0.1);
+  on.sim.metrics = &native_reg;
+  backend::RunResult r = backend::run(m, on);
+  ASSERT_EQ(r.used, backend::Kind::kNative)
+      << "fell back: " << r.fallback_reason;
+  EXPECT_TRUE(r.trace == interp.trace);
+  EXPECT_GT(native_reg.counter("sim.events_dispatched").value(), 0u);
+  EXPECT_EQ(native_reg.counter("sim.events_dispatched").value(),
+            interp_reg.counter("sim.events_dispatched").value());
+  EXPECT_EQ(native_reg.counter("sim.eval_calls").value(),
+            interp_reg.counter("sim.eval_calls").value());
+  EXPECT_EQ(native_reg.gauge("sim.queue_high_water").value(),
+            interp_reg.gauge("sim.queue_high_water").value());
+  EXPECT_EQ(native_reg.to_json(), interp_reg.to_json());
 }
 
 // ---- co-simulation routing (translate/cosim.hpp) ---------------------------

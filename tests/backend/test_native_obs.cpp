@@ -1,0 +1,179 @@
+// ABI v2 observability guards (DESIGN.md §3.6/§3.7): a native run with a
+// Tracer and MetricsRegistry attached must no longer fall back — and must
+// report the interpreter's observability bit for bit. Compared here:
+//  - the sim::Trace (signal doubles, event order) — exact equality;
+//  - every metric instrument value — exact equality (JSON snapshot);
+//  - every *sim-domain* tracer record — exact equality after resolving
+//    interned ids to strings (ids shift by one between the two paths
+//    because the interpreter interns "sim.compile" first).
+// Wall-domain spans carry real timestamps and are compared structurally
+// (same names, same order) but not by value.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "backend/backend.hpp"
+#include "backend/kind.hpp"
+#include "blocks/examples.hpp"
+#include "mathlib/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+#include "properties/random_graphs.hpp"
+
+namespace {
+
+using namespace ecsim;
+
+/// A tracer record with ids resolved to strings: comparable across tracers
+/// whose intern order differs.
+struct ResolvedEvent {
+  std::string name;
+  std::string track;
+  obs::Domain domain = obs::Domain::kWall;
+  double ts = 0.0;
+  double dur = 0.0;
+  std::string arg_name;
+  double arg = 0.0;
+  obs::Phase phase = obs::Phase::kSpan;
+
+  friend bool operator==(const ResolvedEvent&, const ResolvedEvent&) = default;
+};
+
+std::vector<ResolvedEvent> resolve(const obs::Tracer& t, obs::Domain domain) {
+  std::vector<ResolvedEvent> out;
+  for (const obs::TraceEvent& e : t.snapshot()) {
+    if (t.track_domain(e.track) != domain) continue;
+    ResolvedEvent r;
+    r.name = t.name(e.name);
+    r.track = t.track_name(e.track);
+    r.domain = domain;
+    r.ts = e.ts;
+    r.dur = e.dur;
+    if (e.arg_name != obs::kNoArg) r.arg_name = t.name(e.arg_name);
+    r.arg = e.arg;
+    r.phase = e.phase;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+backend::RunOptions obs_opts(backend::Kind k, double end_time,
+                             std::uint64_t seed, obs::Tracer* t,
+                             obs::MetricsRegistry* m) {
+  backend::RunOptions o;
+  o.kind = k;
+  o.sim.end_time = end_time;
+  o.sim.seed = seed;
+  o.sim.tracer = t;
+  o.sim.metrics = m;
+  return o;
+}
+
+/// Both backends with full observability attached: native must actually run
+/// natively and reproduce trace, metric values and sim-domain records.
+void expect_obs_identical(sim::Model& model, double end_time,
+                          std::uint64_t seed = 1) {
+  obs::Tracer interp_tr(1u << 16);
+  interp_tr.set_enabled(true);
+  obs::MetricsRegistry interp_reg;
+  backend::RunResult interp = backend::run(
+      model,
+      obs_opts(backend::Kind::kInterp, end_time, seed, &interp_tr,
+               &interp_reg));
+
+  obs::Tracer native_tr(1u << 16);
+  native_tr.set_enabled(true);
+  obs::MetricsRegistry native_reg;
+  backend::RunResult native = backend::run(
+      model,
+      obs_opts(backend::Kind::kNative, end_time, seed, &native_tr,
+               &native_reg));
+
+  ASSERT_EQ(native.used, backend::Kind::kNative)
+      << "fell back: " << native.fallback_reason;
+  EXPECT_EQ(native.events_dispatched, interp.events_dispatched);
+  EXPECT_TRUE(native.trace == interp.trace);
+
+  // Metric values match instrument for instrument.
+  EXPECT_EQ(native_reg.to_json(), interp_reg.to_json());
+
+  // Sim-domain tracer records (event-dispatch instants on "sim/events")
+  // match exactly — timestamps are simulated time, fully deterministic.
+  const auto interp_sim = resolve(interp_tr, obs::Domain::kSim);
+  const auto native_sim = resolve(native_tr, obs::Domain::kSim);
+  ASSERT_FALSE(interp_sim.empty());
+  ASSERT_EQ(native_sim.size(), interp_sim.size());
+  for (std::size_t i = 0; i < interp_sim.size(); ++i) {
+    EXPECT_EQ(native_sim[i], interp_sim[i]) << "sim-domain record " << i;
+  }
+
+  // Wall-domain spans: the native run carries no "sim.compile" span (it
+  // compiled into a module instead); everything else appears in the same
+  // order with the same names.
+  std::vector<std::string> interp_wall, native_wall;
+  for (const ResolvedEvent& e : resolve(interp_tr, obs::Domain::kWall)) {
+    if (e.name == "sim.compile") continue;
+    interp_wall.push_back(e.name);
+  }
+  for (const ResolvedEvent& e : resolve(native_tr, obs::Domain::kWall)) {
+    native_wall.push_back(e.name);
+  }
+  EXPECT_EQ(native_wall, interp_wall);
+}
+
+TEST(NativeObs, ChainsTraceMetricsAndSpansIdentical) {
+  sim::Model m = blocks::examples::make_chains(8);
+  expect_obs_identical(m, 0.25);
+}
+
+TEST(NativeObs, ServoTraceMetricsAndSpansIdentical) {
+  sim::Model m = blocks::examples::make_servo();
+  expect_obs_identical(m, 1.0);
+}
+
+TEST(NativeObs, RandomHybridDiagramsIdentical) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    math::Rng rng(seed);
+    sim::Model m = ecsim::testing::random_block_model(rng);
+    SCOPED_TRACE("model seed " + std::to_string(seed));
+    expect_obs_identical(m, 0.5, seed * 17 + 1);
+  }
+}
+
+// Attached-but-disabled: the hooks stay dormant (tracer records nothing)
+// but metrics still flow — exactly the interpreter's contract.
+TEST(NativeObs, DisabledTracerRecordsNothingMetricsStillFlow) {
+  sim::Model m = blocks::examples::make_chains(4);
+  obs::Tracer tr(1u << 12);  // never enabled
+  obs::MetricsRegistry reg;
+  backend::RunResult r = backend::run(
+      m, obs_opts(backend::Kind::kNative, 0.25, 1, &tr, &reg));
+  ASSERT_EQ(r.used, backend::Kind::kNative)
+      << "fell back: " << r.fallback_reason;
+  EXPECT_EQ(tr.size(), 0u);
+  EXPECT_GT(reg.counter("sim.events_dispatched").value(), 0u);
+  EXPECT_EQ(reg.counter("sim.events_dispatched").value(),
+            r.events_dispatched);
+}
+
+// Tracer-only attachment (no registry): spans and instants still flow.
+TEST(NativeObs, TracerOnlyAttachment) {
+  sim::Model m = blocks::examples::make_chains(4);
+
+  obs::Tracer interp_tr(1u << 14);
+  interp_tr.set_enabled(true);
+  backend::run(m, obs_opts(backend::Kind::kInterp, 0.25, 1, &interp_tr,
+                           nullptr));
+
+  obs::Tracer native_tr(1u << 14);
+  native_tr.set_enabled(true);
+  backend::RunResult r = backend::run(
+      m, obs_opts(backend::Kind::kNative, 0.25, 1, &native_tr, nullptr));
+  ASSERT_EQ(r.used, backend::Kind::kNative)
+      << "fell back: " << r.fallback_reason;
+  EXPECT_EQ(resolve(native_tr, obs::Domain::kSim),
+            resolve(interp_tr, obs::Domain::kSim));
+}
+
+}  // namespace

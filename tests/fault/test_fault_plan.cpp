@@ -217,5 +217,49 @@ TEST(FaultPlan, ToStringRendersEveryKind) {
   EXPECT_NE(to_string(FaultPlan{}).find("fault-free"), std::string::npos);
 }
 
+// Canonical plan hash (the ledger's fault_plan_hash annotation): stable
+// under recomputation, zero for the empty plan, sensitive to every field.
+TEST(FaultPlan, HashIsCanonicalAndFieldSensitive) {
+  EXPECT_EQ(hash(FaultPlan{}), 0u);
+
+  auto base = [] {
+    FaultPlan p;
+    p.seed = 42;
+    p.message_loss("bus", 0.1).message_delay("bus", 0.2, 0.001);
+    return p;
+  };
+  const std::uint64_t h = hash(base());
+  EXPECT_NE(h, 0u);
+  EXPECT_EQ(hash(base()), h);  // pure function of the plan
+
+  {
+    FaultPlan p = base();
+    p.seed = 43;
+    EXPECT_NE(hash(p), h);
+  }
+  {
+    FaultPlan p = base();
+    p.faults[0].probability = 0.11;
+    EXPECT_NE(hash(p), h);
+  }
+  {
+    FaultPlan p = base();
+    p.faults[1].delay = 0.002;
+    EXPECT_NE(hash(p), h);
+  }
+  {
+    FaultPlan p = base();
+    p.faults[0].target = "net";
+    EXPECT_NE(hash(p), h);
+  }
+  // Order matters (the plan is an ordered program of faults).
+  {
+    FaultPlan p;
+    p.seed = 42;
+    p.message_delay("bus", 0.2, 0.001).message_loss("bus", 0.1);
+    EXPECT_NE(hash(p), h);
+  }
+}
+
 }  // namespace
 }  // namespace ecsim::fault

@@ -5,6 +5,7 @@
 // regardless of thread count.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -87,6 +88,77 @@ TEST(MetricsMerge, ShardMergeSnapshotIsOrderStable) {
   EXPECT_NE(first.find("\"sim.events\": 60"), std::string::npos);
 }
 
+TEST(MetricsMerge, EmptyShardIsANoOp) {
+  // A task that never touched its shard (e.g. all-skipped cell) must merge
+  // cleanly without inventing instruments or perturbing existing ones.
+  MetricsRegistry a, empty;
+  a.counter("c").add(7);
+  a.histogram("h").observe(2.0);
+  const std::string before = a.to_json();
+  a.merge(empty);
+  EXPECT_EQ(a.to_json(), before);
+
+  // And merging *into* an empty registry clones the source.
+  MetricsRegistry fresh;
+  fresh.merge(a);
+  EXPECT_EQ(fresh.to_json(), before);
+}
+
+TEST(MetricsMerge, SelfMergeThrows) {
+  MetricsRegistry a;
+  a.counter("c").add(1);
+  EXPECT_THROW(a.merge(a), std::invalid_argument);
+  // The registry is still usable after the rejected call.
+  EXPECT_EQ(a.counter("c").value(), 1u);
+}
+
+TEST(MetricsMerge, HistogramSelfMergeThrows) {
+  MetricsRegistry a;
+  a.histogram("h").observe(1.0);
+  EXPECT_THROW(a.histogram("h").merge(a.histogram("h")),
+               std::invalid_argument);
+  EXPECT_EQ(a.histogram("h").count(), 1u);
+}
+
+TEST(MetricsMerge, HistogramBucketsStayAlignedAfterMerge) {
+  // Merging must add bucket-by-bucket (same log2 boundaries), never shift
+  // samples between buckets: observing the same values into one histogram
+  // directly must give identical buckets as splitting them across shards.
+  const std::vector<double> values = {0.25, 1.0,    1.5,   2.0, 3.9,
+                                      4.0,  1023.0, 1024.0, 1e9};
+  Histogram direct;
+  for (double v : values) direct.observe(v);
+
+  MetricsRegistry merged;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    MetricsRegistry shard;
+    shard.histogram("h").observe(values[i]);
+    merged.merge(shard);
+  }
+  const Histogram& h = merged.histogram("h");
+  ASSERT_EQ(h.count(), direct.count());
+  for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+    EXPECT_EQ(h.bucket(b), direct.bucket(b)) << "bucket " << b;
+  }
+  EXPECT_DOUBLE_EQ(h.sum(), direct.sum());
+  EXPECT_DOUBLE_EQ(h.min(), direct.min());
+  EXPECT_DOUBLE_EQ(h.max(), direct.max());
+}
+
+TEST(HistogramQuantile, BucketedEstimateAndEdgeCases) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty
+  for (int i = 0; i < 90; ++i) h.observe(1.0);   // bucket 0 (<= 1)
+  for (int i = 0; i < 10; ++i) h.observe(100.0); // bucket 7 (64, 128]
+  // p50 lands in the first bucket; its inclusive bound is 1.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+  // p99 lands in the (64, 128] bucket, tightened by the recorded max.
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 100.0);
+  // Out-of-range q clamps instead of throwing.
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), 100.0);
+}
+
 TEST(TracerAppend, RemapsNamesAndTracksAcrossShards) {
   Tracer shard1(64), shard2(64), merged(256);
   shard1.set_enabled(true);
@@ -132,6 +204,47 @@ TEST(TracerAppend, WorksIntoDisabledTracerAndKeepsOrder) {
     EXPECT_DOUBLE_EQ(events[static_cast<std::size_t>(i)].ts,
                      static_cast<double>(i));
   }
+}
+
+TEST(TracerAppend, EmptyShardAppendsNothing) {
+  Tracer shard(16), merged(16);
+  // Names interned in an empty shard still transfer (harmless), but no
+  // records appear.
+  shard.intern("never-recorded");
+  merged.append(shard);
+  EXPECT_EQ(merged.size(), 0u);
+  EXPECT_EQ(merged.snapshot().size(), 0u);
+}
+
+TEST(TracerAppend, SelfAppendThrows) {
+  Tracer t(16);
+  t.set_enabled(true);
+  const std::uint32_t ev = t.intern("e");
+  const std::uint32_t trk = t.track("t", Domain::kWall);
+  t.instant(ev, trk, 1.0);
+  EXPECT_THROW(t.append(t), std::invalid_argument);
+  EXPECT_EQ(t.size(), 1u);  // untouched by the rejected call
+}
+
+TEST(TracerAppend, DuplicateNamesAcrossShardsInternOnce) {
+  // Every shard of a batch interns the same instrument names; the merged
+  // tracer must collapse them to one id each, whatever the per-shard order.
+  Tracer s1(16), s2(16), s3(16), merged(64);
+  for (Tracer* s : {&s1, &s2, &s3}) s->set_enabled(true);
+  s1.instant(s1.intern("a"), s1.track("trk", Domain::kSim), 1.0);
+  s2.intern("b");  // "b" first: shifts s2's id for "a" relative to s1
+  s2.instant(s2.intern("a"), s2.track("trk", Domain::kSim), 2.0);
+  s3.instant(s3.intern("b"), s3.track("trk", Domain::kSim), 3.0);
+  merged.append(s1);
+  merged.append(s2);
+  merged.append(s3);
+  const auto events = merged.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].name, events[1].name);            // both "a"
+  EXPECT_NE(events[1].name, events[2].name);            // "a" vs "b"
+  EXPECT_EQ(merged.name(events[2].name), "b");
+  EXPECT_EQ(events[0].track, events[2].track);          // one "trk" track
+  EXPECT_EQ(merged.num_tracks(), 1u);
 }
 
 TEST(TracerAppend, PreservesArgNamesAndValues) {

@@ -155,6 +155,27 @@ TEST(MonteCarlo, DeterministicAcrossThreadCountsAndJitterAppears) {
   EXPECT_NE(to_string(serial).find("sense"), std::string::npos);
 }
 
+// Per-cell progress/latency metrics (PR 7): the shared registry attached to
+// BatchOptions sees one `sweep.cells_completed` tick and one
+// `sweep.cell_wall_us` sample per cell, and the quantiles are queryable.
+TEST(Sweep, CellMetricsCountEveryCell) {
+  const TimingGrid grid = small_timing_grid();
+  const std::size_t n = grid.latency_fracs.size() * grid.jitter_fracs.size();
+  obs::MetricsRegistry reg;
+  par::BatchOptions batch;
+  batch.threads = 2;
+  batch.metrics = &reg;
+  const std::vector<SweepCell> cells = SweepRunner(batch).run(grid);
+  ASSERT_EQ(cells.size(), n);
+  EXPECT_EQ(reg.counter("sweep.cells_completed").value(), n);
+  const obs::Histogram& wall = reg.histogram("sweep.cell_wall_us");
+  EXPECT_EQ(wall.count(), n);
+  EXPECT_GT(wall.sum(), 0.0);
+  EXPECT_GE(wall.quantile(0.99), wall.quantile(0.5));
+  // And the grid results are untouched by the instrumentation.
+  EXPECT_TRUE(bit_identical(cells, SweepRunner(par::BatchOptions{}).run(grid)));
+}
+
 TEST(MonteCarlo, DifferentSeedsDifferentDistributions) {
   const translate::LoopSpec loop = servo_loop(0.01, 0.1);
   translate::DistributedSpec dist;

@@ -53,12 +53,32 @@
 //   --backend=interp|native (sweep/fault)  execute the co-simulated loops
 //                                          through the chosen backend; native
 //                                          falls back to the interpreter with
-//                                          a recorded reason when ineligible.
+//                                          a recorded reason when ineligible
+//                                          (printed, with the model IR hash,
+//                                          after the run).
+//
+// Run ledger (src/obs/ledger.hpp, DESIGN.md §3.7). Every backend::run
+// appends one JSONL record to the file named by ECSIM_LEDGER (in-memory
+// only when unset):
+//   ecsim_flow ledger show                 print the records of a ledger file
+//                                          (--ledger=FILE, default
+//                                          $ECSIM_LEDGER).
+//   ecsim_flow ledger diff                 compare the newest record whose IR
+//                                          hash matches the committed
+//                                          --bench=FILE (default
+//                                          BENCH_p6.json) --scenario=NAME
+//                                          (default chains_200) figure; exits
+//                                          1 when events/s dropped more than
+//                                          --threshold=PCT (default 10)
+//                                          below it, 2 when nothing compares.
 //
 // The spec format is documented in src/io/spec.hpp; see
 // examples/specs/*.spec for ready-to-run inputs.
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "aaa/adequation.hpp"
@@ -71,6 +91,7 @@
 #include "io/dot.hpp"
 #include "io/spec.hpp"
 #include "latency/latency.hpp"
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_json.hpp"
 #include "obs/tracer.hpp"
@@ -95,7 +116,9 @@ int usage() {
                "       ecsim_flow fault <sweep|montecarlo> [--threads=N] "
                "[--csv-out=FILE] [--loss=RATE] [--trials=N] [--seed=N] "
                "[--backend=interp|native]\n"
-               "       ecsim_flow ir <dump|hash> [--example=servo|chains200]\n");
+               "       ecsim_flow ir <dump|hash> [--example=servo|chains200]\n"
+               "       ecsim_flow ledger <show|diff> [--ledger=FILE] "
+               "[--bench=FILE] [--scenario=NAME] [--threshold=PCT]\n");
   return 2;
 }
 
@@ -240,10 +263,93 @@ int cmd_ir(const std::string& sub, const std::string& example) {
   return 0;
 }
 
+/// `ledger show|diff` (DESIGN.md §3.7). The ledger file comes from
+/// --ledger=FILE, falling back to $ECSIM_LEDGER.
+int cmd_ledger(const std::string& sub, std::string ledger_path,
+               const std::string& bench_path, const std::string& scenario,
+               double threshold_pct) {
+  if (ledger_path.empty()) {
+    const char* env = std::getenv("ECSIM_LEDGER");
+    if (env != nullptr) ledger_path = env;
+  }
+  if (ledger_path.empty()) {
+    std::fprintf(stderr,
+                 "ecsim_flow ledger: no ledger file (pass --ledger=FILE or "
+                 "set ECSIM_LEDGER)\n");
+    return 2;
+  }
+  const std::vector<obs::LedgerRecord> records =
+      obs::read_ledger_file(ledger_path);
+  if (sub == "show") {
+    std::printf("%-16s %-18s %-7s %-22s %8s %12s %14s\n", "model", "ir_hash",
+                "backend", "fallback", "threads", "events", "events/s");
+    for (const obs::LedgerRecord& r : records) {
+      const std::string backend = r.backend_used == r.backend_requested
+                                      ? r.backend_used
+                                      : r.backend_requested + ">" +
+                                            r.backend_used;
+      std::string fallback = r.fallback_reason.substr(
+          0, r.fallback_reason.find(':'));
+      if (fallback.empty()) fallback = "-";
+      std::printf("%-16s %-18s %-7s %-22s %8u %12llu %14.6g\n",
+                  (r.model.empty() ? "-" : r.model).c_str(),
+                  (r.ir_hash.empty() ? "-" : r.ir_hash).c_str(),
+                  backend.c_str(), fallback.c_str(), r.threads,
+                  static_cast<unsigned long long>(r.events), r.events_per_s);
+    }
+    std::printf("%zu record(s) in %s\n", records.size(), ledger_path.c_str());
+    return 0;
+  }
+  if (sub == "diff") {
+    std::ifstream in(bench_path);
+    if (!in) {
+      std::fprintf(stderr, "ecsim_flow ledger diff: cannot read %s\n",
+                   bench_path.c_str());
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const obs::LedgerDiff d = obs::diff_latest_against_bench(
+        records, ss.str(), scenario, threshold_pct);
+    std::printf("%s\n", d.message.c_str());
+    if (!d.comparable) return 2;
+    return d.regression ? 1 : 0;
+  }
+  return usage();
+}
+
+/// Post-run telemetry shared by the sweep-style commands: per-cell progress
+/// and latency quantiles from the shared registry, and — when the native
+/// backend was requested — how the backend request resolved (used backend,
+/// fallback reason, model IR hash), read from the most recent ledger record.
+void print_sweep_telemetry(obs::MetricsRegistry& reg, backend::Kind bk) {
+  obs::Histogram& wall = reg.histogram("sweep.cell_wall_us");
+  if (wall.count() > 0) {
+    std::printf("cell wall time: p50=%.3gms p99=%.3gms (n=%llu)\n",
+                wall.quantile(0.5) / 1e3, wall.quantile(0.99) / 1e3,
+                static_cast<unsigned long long>(wall.count()));
+  }
+  if (bk == backend::Kind::kNative) {
+    const std::vector<obs::LedgerRecord> recs =
+        obs::Ledger::global().records();
+    if (!recs.empty()) {
+      const obs::LedgerRecord& r = recs.back();
+      std::printf("backend: requested=%s used=%s ir_hash=%s\n",
+                  r.backend_requested.c_str(), r.backend_used.c_str(),
+                  (r.ir_hash.empty() ? "-" : r.ir_hash).c_str());
+      if (!r.fallback_reason.empty()) {
+        std::printf("backend fallback: %s\n", r.fallback_reason.c_str());
+      }
+    }
+  }
+}
+
 int cmd_sweep(const std::string& kind, std::size_t threads,
               const std::string& csv_out, backend::Kind bk) {
+  obs::MetricsRegistry reg;
   par::BatchOptions batch;
   batch.threads = threads;
+  batch.metrics = &reg;
   const sweep::SweepRunner runner(batch);
   std::vector<sweep::SweepCell> cells;
   std::string map;
@@ -273,6 +379,7 @@ int cmd_sweep(const std::string& kind, std::size_t threads,
   }
   std::printf("%zu cells on %zu worker(s)\n%s", cells.size(),
               runner.threads(), map.c_str());
+  print_sweep_telemetry(reg, bk);
   if (!csv_out.empty()) {
     if (!write_file(csv_out, sweep::to_csv(cells))) {
       std::fprintf(stderr, "ecsim_flow: cannot write %s\n", csv_out.c_str());
@@ -286,8 +393,10 @@ int cmd_sweep(const std::string& kind, std::size_t threads,
 int cmd_fault(const std::string& kind, std::size_t threads,
               const std::string& csv_out, double loss, std::size_t trials,
               std::uint64_t seed, backend::Kind bk) {
+  obs::MetricsRegistry reg;
   par::BatchOptions batch;
   batch.threads = threads;
+  batch.metrics = &reg;
   if (kind == "sweep") {
     sweep::FaultGrid grid;
     grid.loop = sweep::servo_loop();
@@ -310,6 +419,7 @@ int cmd_fault(const std::string& kind, std::size_t threads,
                 "across the grid\n",
                 cells.size(), static_cast<unsigned long long>(seed),
                 map.c_str(), lost, deferred);
+    print_sweep_telemetry(reg, bk);
     if (!csv_out.empty()) {
       if (!write_file(csv_out, sweep::to_csv(cells))) {
         std::fprintf(stderr, "ecsim_flow: cannot write %s\n", csv_out.c_str());
@@ -330,6 +440,7 @@ int cmd_fault(const std::string& kind, std::size_t threads,
     const sweep::FaultMonteCarloResult result =
         sweep::run_fault_monte_carlo(spec, batch);
     std::printf("%s", sweep::to_string(result).c_str());
+    print_sweep_telemetry(reg, bk);
     if (!csv_out.empty()) {
       if (!write_file(csv_out, sweep::to_csv(result.cells))) {
         std::fprintf(stderr, "ecsim_flow: cannot write %s\n", csv_out.c_str());
@@ -368,6 +479,9 @@ int main(int argc, char** argv) {
   const std::string spec_path = argv[2];
   std::string trace_out, metrics_out, csv_out;
   std::string example = "servo";
+  std::string ledger_file, bench_file = "BENCH_p6.json";
+  std::string scenario = "chains_200";
+  double threshold_pct = 10.0;
   backend::Kind bk = backend::Kind::kInterp;
   std::size_t threads = 0, trials = 200, iterations = 50;
   std::uint64_t seed = 1;
@@ -392,6 +506,14 @@ int main(int argc, char** argv) {
       loss = std::stod(arg.substr(7));
     } else if (arg.rfind("--example=", 0) == 0) {
       example = arg.substr(10);
+    } else if (arg.rfind("--ledger=", 0) == 0) {
+      ledger_file = arg.substr(9);
+    } else if (arg.rfind("--bench=", 0) == 0) {
+      bench_file = arg.substr(8);
+    } else if (arg.rfind("--scenario=", 0) == 0) {
+      scenario = arg.substr(11);
+    } else if (arg.rfind("--threshold=", 0) == 0) {
+      threshold_pct = std::stod(arg.substr(12));
     } else if (arg.rfind("--backend=", 0) == 0) {
       try {
         bk = backend::parse_kind(arg.substr(10));
@@ -407,6 +529,15 @@ int main(int argc, char** argv) {
   if (command == "ir") {
     try {
       return cmd_ir(spec_path, example);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ecsim_flow: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (command == "ledger") {
+    try {
+      return cmd_ledger(spec_path, ledger_file, bench_file, scenario,
+                        threshold_pct);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "ecsim_flow: %s\n", e.what());
       return 1;
