@@ -1,0 +1,206 @@
+// EXP-P8: batched SIMD lockstep Monte Carlo (DESIGN.md §3.8). Thread-level
+// parallelism buys nothing on a 1-CPU host (BENCH_p3: 0.94x at every thread
+// count); lane-level parallelism is the remaining axis. The batched engine
+// runs W trials per instruction through per-lane CompiledModel arenas behind
+// one shared masked event queue: queue pushes/pops, heap reorganization,
+// integration stepping — and, for blocks declaring uniform event handling
+// (Block::event_uniformity), the on_event calls themselves — are paid once
+// per *batch* instead of once per trial, while per-lane block evaluations
+// keep every trial bit-identical to the scalar Simulator (the
+// SimdLaneProperty suite is the hard guard).
+//
+// Measured on the standard workloads:
+//   - chains_200: the EXP-P1/P6 event workload. Constant-duration delays
+//     declare lockstep event handling, so the driver executes each delay
+//     once per batch and per-lane cost shrinks to the trace records — this
+//     is the gated scenario;
+//   - servo_rk4:  the sampled-data servo loop (integration bound; the
+//     lockstep RK4 runs pack<W> kernels over the stacked lane states).
+// Interleaved best-of-reps: scalar (batch_width 1, a reused Simulator — the
+// honest baseline) vs batched (kBatchWidth lanes), same process.
+//
+// GUARD: batched >= 2x scalar trials/s on chains_200 AND per-trial digest
+// vectors identical between the two paths on both scenarios. Runs via
+// `ctest -C bench` (bench_p8_simd_mc_guard); exits nonzero on failure.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "blocks/examples.hpp"
+#include "par/sim_monte_carlo.hpp"
+#include "simd/batched_sim.hpp"
+#include "simd/pack.hpp"
+
+using namespace ecsim;
+
+namespace {
+
+/// Lanes per batch for the measured configuration. Wider is not better
+/// without bound: the per-lane residue (trace tails, arenas, each lane's
+/// block objects) scales with lanes and falls out of L2 past ~8 lanes on
+/// this host (BM_BatchedMonteCarlo shows the curve), so the gated config
+/// runs the throughput sweet spot, one lane per pack<W> slot. Must be
+/// <= 64 (one mask word).
+constexpr std::size_t kBatchWidth = 8;
+constexpr std::size_t kTrials = 32;
+constexpr int kReps = 5;
+constexpr double kGuard = 2.0;
+
+struct Scenario {
+  const char* name;
+  sweep::SimMonteCarloSpec spec;  // batch_width filled per measurement
+  sim::BatchedSim::ModelFactory factory;
+};
+
+struct Measured {
+  double scalar_best = 0.0;   // trials/s, batch_width 1
+  double batched_best = 0.0;  // trials/s, kBatchWidth lanes
+  std::size_t events = 0;     // per full MC run (same both ways)
+  std::size_t evictions = 0;  // of the last batched run
+  std::string ir_hash;
+  bool identical = false;  // digest vectors equal on every rep
+};
+
+Measured measure(const Scenario& sc) {
+  Measured out;
+  out.identical = true;
+  sweep::SimMonteCarloSpec scalar = sc.spec;
+  scalar.batch_width = 1;
+  scalar.model.clear();  // quiet warm-up/baseline: no ledger traffic
+  sweep::SimMonteCarloSpec batched = sc.spec;
+  batched.batch_width = kBatchWidth;
+  batched.model = sc.name;  // the ledger-visible MC throughput record
+
+  // Warm-up: first runs build the per-worker engines.
+  const sweep::SimMonteCarloResult ref =
+      run_sim_monte_carlo(sc.factory, scalar, {});
+  out.events = ref.events;
+  out.ir_hash = ref.ir_hash;
+
+  for (int r = 0; r < kReps; ++r) {
+    const sweep::SimMonteCarloResult s =
+        run_sim_monte_carlo(sc.factory, scalar, {});
+    out.scalar_best = std::max(out.scalar_best, s.trials_per_s);
+    const sweep::SimMonteCarloResult b =
+        run_sim_monte_carlo(sc.factory, batched, {});
+    out.batched_best = std::max(out.batched_best, b.trials_per_s);
+    out.evictions = b.evictions;
+    out.identical = out.identical && s.digests == ref.digests &&
+                    b.digests == ref.digests && b.events == ref.events;
+  }
+  return out;
+}
+
+int experiment() {
+  bench::banner("EXP-P8", "(SIMD lockstep Monte Carlo, DESIGN.md §3.8)",
+                "W trials per instruction through batched CompiledModel "
+                "lanes vs a reused scalar Simulator: same seeds, "
+                "bit-identical per-trial digests, one masked event queue "
+                "amortized across the batch.");
+
+  Scenario chains{"chains_200", {}, [] {
+                    return std::make_unique<sim::Model>(
+                        blocks::examples::make_chains(200));
+                  }};
+  chains.spec.trials = kTrials;
+  chains.spec.sim.end_time = 0.25;
+  chains.spec.sim.reserve_queue = 1024;
+
+  Scenario servo{"servo_rk4", {}, [] {
+                   return std::make_unique<sim::Model>(
+                       blocks::examples::make_servo());
+                 }};
+  servo.spec.trials = kTrials;
+  servo.spec.sim.end_time = 1.0;
+  servo.spec.sim.integrator.kind = sim::IntegratorKind::kRk4;
+  servo.spec.sim.integrator.max_step = 2e-4;
+
+  bench::JsonReport report("EXP-P8");
+  {
+    sim::Model m = blocks::examples::make_chains(200);
+    report.model_ir_hash("chains_200", m);
+    sim::Model s = blocks::examples::make_servo();
+    report.model_ir_hash("servo_rk4", s);
+  }
+  report.begin_array("monte_carlo");
+  std::printf("%-12s %8s %7s %14s %14s %9s %9s %10s\n", "scenario", "trials",
+              "width", "scalar [t/s]", "batched [t/s]", "speedup", "evict",
+              "digests");
+
+  double chains_speedup = 0.0;
+  bool identical = true;
+  for (const Scenario* sc : {&chains, &servo}) {
+    const Measured m = measure(*sc);
+    const double speedup =
+        m.scalar_best > 0.0 ? m.batched_best / m.scalar_best : 0.0;
+    if (std::string(sc->name) == "chains_200") chains_speedup = speedup;
+    identical = identical && m.identical;
+    std::printf("%-12s %8zu %7zu %14.1f %14.1f %8.2fx %9zu %10s\n", sc->name,
+                kTrials, kBatchWidth, m.scalar_best, m.batched_best, speedup,
+                m.evictions, m.identical ? "identical" : "DIVERGED");
+    report.begin_object();
+    report.field("scenario", std::string(sc->name));
+    report.field("model_ir_hash", m.ir_hash);
+    report.field("trials", kTrials);
+    report.field("batch_width", kBatchWidth);
+    report.field("events", m.events);
+    report.field("scalar_best_trials_per_s", m.scalar_best);
+    report.field("mc_best_trials_per_s", m.batched_best);
+    report.field("speedup", speedup);
+    report.field("evictions", m.evictions);
+    report.field("digests_identical", std::string(m.identical ? "yes" : "NO"));
+    report.end_object();
+  }
+  report.end_array();
+
+  const bool pass = chains_speedup >= kGuard && identical;
+  report.begin_array("guard");
+  report.begin_object();
+  report.field("scenario", std::string("chains_200"));
+  report.field("min_speedup", kGuard);
+  report.field("measured_speedup", chains_speedup);
+  report.field("digests_identical", std::string(identical ? "yes" : "NO"));
+  report.field("pass", std::string(pass ? "yes" : "NO"));
+  report.end_object();
+  report.end_array();
+  std::printf("\nguard: chains_200 batched speedup %.2fx (need >= %.2fx), "
+              "digests %s — %s\n\n",
+              chains_speedup, kGuard, identical ? "identical" : "DIVERGED",
+              pass ? "PASS" : "FAIL");
+  report.write("BENCH_p8.json");
+  return pass ? 0 : 1;
+}
+
+/// Trials/s as a function of batch width, google-benchmark view: how far
+/// the shared-queue amortization carries before per-lane work dominates.
+void BM_BatchedMonteCarlo(benchmark::State& state) {
+  const auto width = static_cast<std::size_t>(state.range(0));
+  sweep::SimMonteCarloSpec spec;
+  spec.trials = 16;
+  spec.sim.end_time = 0.1;
+  spec.sim.reserve_queue = 1024;
+  spec.batch_width = width;
+  const sim::BatchedSim::ModelFactory factory = [] {
+    return std::make_unique<sim::Model>(blocks::examples::make_chains(50));
+  };
+  std::size_t trials = 0;
+  for (auto _ : state) {
+    const sweep::SimMonteCarloResult r =
+        run_sim_monte_carlo(factory, spec, {});
+    trials += r.trials;
+    benchmark::DoNotOptimize(r.digests.data());
+  }
+  state.counters["trials_per_s"] = benchmark::Counter(
+      static_cast<double>(trials), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchedMonteCarlo)->Arg(1)->Arg(4)->Arg(8)->Arg(32);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rc = experiment();
+  if (rc != 0) return rc;
+  return ecsim::bench::run_benchmarks(argc, argv);
+}

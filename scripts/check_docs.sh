@@ -5,7 +5,10 @@
 #   2. every --flag used on a documented `ecsim_flow` command line exists
 #      in the usage text;
 #   3. every `SimOptions::member` / `VmOptions::member` referenced in the
-#      docs is still a member of the corresponding struct.
+#      docs is still a member of the corresponding struct;
+#   4. contract flags (--batch, ...) exist in BOTH the usage text and at
+#      least one documented ecsim_flow command line — dropping either side
+#      fails, so flag docs cannot silently rot.
 # Usage: scripts/check_docs.sh [path/to/ecsim_flow]
 # Falls back to parsing tools/ecsim_flow.cpp when the binary isn't built.
 set -euo pipefail
@@ -73,8 +76,23 @@ for ref in $doc_refs; do
   fi
 done
 
+# --- 4. contract flags ----------------------------------------------------
+# Flags that are part of the documented CLI contract: each must be present
+# in the usage text AND shown on an ecsim_flow command line in the docs.
+CONTRACT_FLAGS=(--batch --trials --threads)
+for flag in "${CONTRACT_FLAGS[@]}"; do
+  if ! grep -qF -- "$flag" <<<"$usage_text"; then
+    echo "FAIL: contract flag '${flag}' missing from ecsim_flow usage text"
+    fail=1
+  fi
+  if ! grep -qF -- "$flag" <<<"$flow_lines"; then
+    echo "FAIL: contract flag '${flag}' not shown on any documented ecsim_flow command line"
+    fail=1
+  fi
+done
+
 if [[ $fail -ne 0 ]]; then
   echo "check_docs: FAILED"
   exit 1
 fi
-echo "check_docs: OK (subcommands, flags and option members all exist)"
+echo "check_docs: OK (subcommands, flags, contract flags and option members all exist)"

@@ -134,4 +134,23 @@ std::size_t Rng::categorical(const std::vector<double>& weights) {
   return weights.size() - 1;
 }
 
+void fill_lanes_u64(std::vector<Rng>& streams,
+                    std::vector<std::uint64_t>& out) {
+  if (streams.size() != out.size()) {
+    throw std::invalid_argument("fill_lanes_u64: size mismatch");
+  }
+  for (std::size_t l = 0; l < streams.size(); ++l) {
+    out[l] = streams[l].next_u64();
+  }
+}
+
+void fill_lanes_uniform(std::vector<Rng>& streams, std::vector<double>& out) {
+  if (streams.size() != out.size()) {
+    throw std::invalid_argument("fill_lanes_uniform: size mismatch");
+  }
+  for (std::size_t l = 0; l < streams.size(); ++l) {
+    out[l] = streams[l].uniform();
+  }
+}
+
 }  // namespace ecsim::math

@@ -181,6 +181,8 @@ std::string to_json_line(const LedgerRecord& r) {
   field_u64(out, "events", r.events);
   out += ", ";
   field_num(out, "events_per_s", r.events_per_s);
+  out += ", ";
+  field_num(out, "trials_per_s", r.trials_per_s);
   out += ", \"metrics\": ";
   out += r.metrics_json.empty() ? "{}" : r.metrics_json;
   out += "}";
@@ -191,9 +193,13 @@ bool parse_json_line(const std::string& line, LedgerRecord& out) {
   if (line.find_first_not_of(" \t\r\n") == std::string::npos) return false;
   double v = 0.0;
   if (!get_number(line, "schema_version", v)) return false;
-  if (static_cast<int>(v) != kLedgerSchemaVersion) return false;
+  const int version = static_cast<int>(v);
+  if (version < kLedgerOldestReadableVersion ||
+      version > kLedgerSchemaVersion) {
+    return false;
+  }
   LedgerRecord r;
-  r.schema_version = static_cast<int>(v);
+  r.schema_version = version;
   get_string(line, "ir_hash", r.ir_hash);
   get_string(line, "model", r.model);
   get_string(line, "backend_requested", r.backend_requested);
@@ -205,6 +211,7 @@ bool parse_json_line(const std::string& line, LedgerRecord& out) {
   get_number(line, "wall_s", r.wall_s);
   get_u64(line, "events", r.events);
   get_number(line, "events_per_s", r.events_per_s);
+  get_number(line, "trials_per_s", r.trials_per_s);  // absent in v1 -> 0
   if (!get_object(line, "metrics", r.metrics_json)) r.metrics_json = "{}";
   out = std::move(r);
   return true;
@@ -278,49 +285,78 @@ LedgerDiff diff_latest_against_bench(const std::vector<LedgerRecord>& records,
                 " in the benchmark report";
     return d;
   }
-  // The per-scenario figure lives in the entry whose "scenario" matches.
+  // The per-scenario figures live in the entry whose "scenario" matches;
+  // bound the lookup at the next entry so figures cannot bleed across
+  // scenarios.
   std::size_t at = 0;
-  bool found = false;
+  bool has_events = false;
+  bool has_mc = false;
   while (true) {
     std::size_t p = 0;
     if (!find_key(bench_json, "scenario", at, p)) break;
     std::string name;
     if (get_string(bench_json, "scenario", name, at) && name == scenario) {
-      if (get_number(bench_json, "native_best_events_per_s",
-                     d.committed_events_per_s, p)) {
-        found = true;
-      }
+      std::size_t next = bench_json.size();
+      std::size_t q = 0;
+      if (find_key(bench_json, "scenario", p, q)) next = q;
+      const std::string entry = bench_json.substr(p, next - p);
+      has_events = get_number(entry, "native_best_events_per_s",
+                              d.committed_events_per_s);
+      has_mc = get_number(entry, "mc_best_trials_per_s",
+                          d.committed_trials_per_s);
       break;
     }
     at = p;
   }
-  if (!found) {
-    d.message = "no committed native_best_events_per_s for scenario '" +
+  if (!has_events && !has_mc) {
+    d.message = "no committed native_best_events_per_s or "
+                "mc_best_trials_per_s for scenario '" +
                 scenario + "'";
     return d;
   }
-  const LedgerRecord* latest = nullptr;
+  const LedgerRecord* latest = nullptr;     // single-run events/s
+  const LedgerRecord* latest_mc = nullptr;  // Monte Carlo trials/s
   for (const LedgerRecord& r : records) {
-    if (r.ir_hash == d.ir_hash && r.events_per_s > 0.0) latest = &r;
+    if (r.ir_hash != d.ir_hash) continue;
+    if (has_events && r.events_per_s > 0.0) latest = &r;
+    if (has_mc && r.trials_per_s > 0.0) latest_mc = &r;
   }
-  if (latest == nullptr) {
+  if (latest == nullptr && latest_mc == nullptr) {
     d.message = "no ledger record with ir_hash " + d.ir_hash +
                 " to compare against";
     return d;
   }
   d.comparable = true;
-  d.latest_events_per_s = latest->events_per_s;
-  const double floor =
-      d.committed_events_per_s * (1.0 - threshold_pct / 100.0);
-  d.regression = d.latest_events_per_s < floor;
   char buf[256];
-  std::snprintf(buf, sizeof buf,
-                "%s: latest %.4g events/s vs committed %.4g (floor %.4g at "
-                "-%.3g%%) -> %s",
-                scenario.c_str(), d.latest_events_per_s,
-                d.committed_events_per_s, floor, threshold_pct,
-                d.regression ? "REGRESSION" : "ok");
-  d.message = buf;
+  std::string msg = scenario + ":";
+  if (latest != nullptr) {
+    d.latest_events_per_s = latest->events_per_s;
+    const double floor =
+        d.committed_events_per_s * (1.0 - threshold_pct / 100.0);
+    const bool reg = d.latest_events_per_s < floor;
+    d.regression = d.regression || reg;
+    std::snprintf(buf, sizeof buf,
+                  " latest %.4g events/s vs committed %.4g (floor %.4g at "
+                  "-%.3g%%) -> %s",
+                  d.latest_events_per_s, d.committed_events_per_s, floor,
+                  threshold_pct, reg ? "REGRESSION" : "ok");
+    msg += buf;
+  }
+  if (latest_mc != nullptr) {
+    d.latest_trials_per_s = latest_mc->trials_per_s;
+    const double floor =
+        d.committed_trials_per_s * (1.0 - threshold_pct / 100.0);
+    const bool reg = d.latest_trials_per_s < floor;
+    d.regression = d.regression || reg;
+    std::snprintf(buf, sizeof buf,
+                  "%s mc latest %.4g trials/s vs committed %.4g (floor %.4g "
+                  "at -%.3g%%) -> %s",
+                  latest != nullptr ? ";" : "", d.latest_trials_per_s,
+                  d.committed_trials_per_s, floor, threshold_pct,
+                  reg ? "REGRESSION" : "ok");
+    msg += buf;
+  }
+  d.message = std::move(msg);
   return d;
 }
 

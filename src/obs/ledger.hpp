@@ -27,8 +27,13 @@
 namespace ecsim::obs {
 
 /// Bump when LedgerRecord fields change shape; readers skip lines whose
-/// schema_version they do not understand.
-inline constexpr int kLedgerSchemaVersion = 1;
+/// schema_version they do not understand. Older versions this build still
+/// parses are listed in kLedgerOldestReadableVersion.
+///
+/// v2 (PR 8): adds `trials_per_s` — Monte Carlo throughput for batched
+/// trial runs. v1 lines parse fine (the field defaults to 0).
+inline constexpr int kLedgerSchemaVersion = 2;
+inline constexpr int kLedgerOldestReadableVersion = 1;
 
 struct LedgerRecord {
   int schema_version = kLedgerSchemaVersion;
@@ -49,6 +54,9 @@ struct LedgerRecord {
   double wall_s = 0.0;
   std::uint64_t events = 0;
   double events_per_s = 0.0;
+  /// Monte Carlo throughput (completed trials per second) for batched trial
+  /// runs; 0 for single runs. Schema v2.
+  double trials_per_s = 0.0;
   /// Single-line JSON snapshot of the attached sim MetricsRegistry
   /// ("{}" when none was attached).
   std::string metrics_json = "{}";
@@ -105,15 +113,20 @@ struct LedgerDiff {
   std::string ir_hash;              // committed model_ir_hash_<scenario>
   double committed_events_per_s = 0.0;
   double latest_events_per_s = 0.0;
+  /// Monte Carlo throughput gate: populated when the bench report commits a
+  /// `mc_best_trials_per_s` figure for the scenario (0 otherwise).
+  double committed_trials_per_s = 0.0;
+  double latest_trials_per_s = 0.0;
   double threshold_pct = 10.0;
   std::string message;  // human-readable verdict
 };
 
 /// Find the committed `model_ir_hash_<scenario>` and the scenario's
-/// `native_best_events_per_s` in `bench_json` (a BENCH_*.json text), locate
-/// the newest record in `records` whose ir_hash matches, and flag a
-/// regression when its events/s is more than `threshold_pct` percent below
-/// the committed figure.
+/// `native_best_events_per_s` and/or `mc_best_trials_per_s` in `bench_json`
+/// (a BENCH_*.json text), locate the newest records in `records` whose
+/// ir_hash matches (events/s for single runs, trials/s for Monte Carlo
+/// batches), and flag a regression when either figure is more than
+/// `threshold_pct` percent below its committed counterpart.
 LedgerDiff diff_latest_against_bench(const std::vector<LedgerRecord>& records,
                                      const std::string& bench_json,
                                      const std::string& scenario = "chains_200",

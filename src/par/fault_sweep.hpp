@@ -69,6 +69,10 @@ struct FaultMonteCarloSpec {
   std::size_t trials = 32;
   std::string medium;  // "" = every medium
   std::uint64_t base_seed = 1;
+  /// Trials per BatchRunner task (0 = simd::preferred_batch_width()). Trial
+  /// t's fault seed stays base_seed + t regardless of width, so outcomes
+  /// are bit-identical at any batch width and thread count.
+  std::size_t batch_width = 0;
 };
 
 struct FaultMonteCarloResult {
@@ -79,6 +83,9 @@ struct FaultMonteCarloResult {
   math::Summary messages_lost;  // over all trials
   std::size_t unstable_trials = 0;
   std::vector<FaultCell> cells;  // per-trial outcomes, trial order
+  std::size_t batch_width = 1;   // effective trials-per-task granularity
+  double wall_s = 0.0;
+  double trials_per_s = 0.0;
 };
 
 FaultMonteCarloResult run_fault_monte_carlo(

@@ -1,10 +1,12 @@
 #include "par/monte_carlo.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include "exec/executive_vm.hpp"
 #include "latency/latency.hpp"
+#include "simd/pack.hpp"
 
 namespace ecsim::sweep {
 
@@ -37,43 +39,78 @@ MonteCarloResult run_monte_carlo(const aaa::AlgorithmGraph& alg,
           ? spec.period
           : (alg.period() > 0.0 ? alg.period() : sched.makespan());
 
-  par::BatchRunner runner(batch);
-  const std::vector<TrialOutcome> trials = runner.map<TrialOutcome>(
-      spec.trials, [&](par::TaskContext& ctx) {
-        exec::VmOptions vm;
-        vm.iterations = spec.iterations;
-        vm.period = period;
-        // Decorrelated per-trial stream: the trial's draw sequence depends
-        // only on (batch.seed, trial index).
-        vm.seed = ctx.rng.next_u64();
-        vm.exec_time = exec::uniform_fraction_exec_time(spec.bcet_fraction);
-        vm.branch_chooser = spec.random_branches
-                                ? exec::uniform_branch_chooser()
-                                : exec::worst_case_branch_chooser();
-        vm.tracer = ctx.tracer;
-        vm.metrics = ctx.metrics;
-        vm.track_prefix = "trial" + std::to_string(ctx.index) + "/";
-        const exec::VmResult run =
-            exec::run_executives(alg, arch, sched, code, vm);
+  // Per-trial seeds drawn up front from the same stream family the runner
+  // would hand a one-trial-per-task batch: seeds[i] is bit-identical to the
+  // pre-batching `ctx.rng.next_u64()` of trial i, so any batch width (and
+  // any thread count) reproduces the same trial realizations.
+  std::vector<std::uint64_t> seeds(spec.trials);
+  {
+    std::vector<math::Rng> streams = math::Rng(batch.seed).split(spec.trials);
+    math::fill_lanes_u64(streams, seeds);
+  }
+  const std::size_t width =
+      spec.batch_width > 0 ? spec.batch_width : simd::preferred_batch_width();
+  const std::size_t tasks = (spec.trials + width - 1) / width;
 
-        TrialOutcome out;
-        out.deadlock = run.deadlock;
-        if (run.deadlock) return out;
-        for (const exec::OpInstance& inst : run.ops) {
-          out.makespan = std::max(out.makespan, inst.end);
+  par::BatchRunner runner(batch);
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<std::vector<TrialOutcome>> shards =
+      runner.map<std::vector<TrialOutcome>>(tasks, [&](par::TaskContext& ctx) {
+        const std::size_t begin = ctx.index * width;
+        const std::size_t end = std::min(begin + width, spec.trials);
+        std::vector<TrialOutcome> outs;
+        outs.reserve(end - begin);
+        for (std::size_t trial = begin; trial < end; ++trial) {
+          exec::VmOptions vm;
+          vm.iterations = spec.iterations;
+          vm.period = period;
+          // Decorrelated per-trial stream: the trial's draw sequence
+          // depends only on (batch.seed, trial index).
+          vm.seed = seeds[trial];
+          vm.exec_time = exec::uniform_fraction_exec_time(spec.bcet_fraction);
+          vm.branch_chooser = spec.random_branches
+                                  ? exec::uniform_branch_chooser()
+                                  : exec::worst_case_branch_chooser();
+          vm.tracer = ctx.tracer;
+          vm.metrics = ctx.metrics;
+          vm.track_prefix = "trial" + std::to_string(trial) + "/";
+          const exec::VmResult run =
+              exec::run_executives(alg, arch, sched, code, vm);
+
+          TrialOutcome out;
+          out.deadlock = run.deadlock;
+          if (!run.deadlock) {
+            for (const exec::OpInstance& inst : run.ops) {
+              out.makespan = std::max(out.makespan, inst.end);
+            }
+            for (const aaa::OpId op : io_ops) {
+              const latency::LatencySeries series = latency::analyze_instants(
+                  alg.op(op).name, run.completions(op), period);
+              out.mean_latency.push_back(series.summary.mean);
+              out.max_latency.push_back(series.summary.max);
+              out.jitter.push_back(series.jitter);
+            }
+          }
+          outs.push_back(std::move(out));
         }
-        for (const aaa::OpId op : io_ops) {
-          const latency::LatencySeries series = latency::analyze_instants(
-              alg.op(op).name, run.completions(op), period);
-          out.mean_latency.push_back(series.summary.mean);
-          out.max_latency.push_back(series.summary.max);
-          out.jitter.push_back(series.jitter);
-        }
-        return out;
+        return outs;
       });
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::vector<TrialOutcome> trials;
+  trials.reserve(spec.trials);
+  for (const std::vector<TrialOutcome>& shard : shards) {
+    for (const TrialOutcome& t : shard) trials.push_back(t);
+  }
 
   MonteCarloResult result;
   result.trials = spec.trials;
+  result.batch_width = width;
+  result.wall_s = wall_s;
+  result.trials_per_s =
+      wall_s > 0.0 ? static_cast<double>(spec.trials) / wall_s : 0.0;
   std::vector<double> makespans;
   std::vector<std::vector<double>> means(io_ops.size()), maxs(io_ops.size()),
       jitters(io_ops.size());

@@ -28,6 +28,11 @@ struct MonteCarloSpec {
   /// Sensor release period; 0 = the algorithm's period, falling back to the
   /// schedule makespan for aperiodic graphs.
   aaa::Time period = 0.0;
+  /// Trials per BatchRunner task (0 = simd::preferred_batch_width()).
+  /// Seeds are drawn per *trial*, never per task, so the statistics are
+  /// bit-identical for any batch width — the width only sets the task
+  /// granularity the runner shards over.
+  std::size_t batch_width = 0;
 };
 
 /// Distribution over trials of one I/O operation's per-trial statistics.
@@ -45,6 +50,9 @@ struct MonteCarloResult {
   std::size_t deadlocks = 0;       // trials that deadlocked (excluded below)
   math::Summary makespan;          // per-trial last completion instant
   std::vector<MonteCarloOpStats> io_ops;  // sensors + actuators, op order
+  std::size_t batch_width = 1;     // effective trials-per-task granularity
+  double wall_s = 0.0;
+  double trials_per_s = 0.0;       // throughput over the whole batch
 };
 
 /// Run the trials on a BatchRunner (batch.seed roots the per-trial stream

@@ -1,0 +1,154 @@
+#include "par/sim_monte_carlo.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <span>
+
+#include "ir/ir.hpp"
+#include "obs/ledger.hpp"
+#include "simd/pack.hpp"
+
+namespace ecsim::sweep {
+
+namespace {
+
+/// What one task (one batch of trials) contributes to the reduction.
+struct ShardOutcome {
+  std::vector<std::uint64_t> digests;  // trial order within the shard
+  std::vector<std::size_t> events;     // parallel to digests
+  std::size_t evictions = 0;
+};
+
+/// Per-worker engine, built lazily on first use and reused across every
+/// batch that worker executes — trial N+1 pays zero compile/allocation
+/// cost. Safe without locks: a worker runs its tasks sequentially.
+struct WorkerEngine {
+  std::unique_ptr<sim::BatchedSim> batched;
+  std::unique_ptr<sim::Model> scalar_model;  // keeps the Simulator's model alive
+  std::unique_ptr<sim::Simulator> scalar;
+};
+
+}  // namespace
+
+SimMonteCarloResult run_sim_monte_carlo(
+    const sim::BatchedSim::ModelFactory& factory,
+    const SimMonteCarloSpec& spec, const par::BatchOptions& batch) {
+  const std::size_t width = spec.batch_width > 0
+                                ? spec.batch_width
+                                : simd::preferred_batch_width();
+  // Per-trial seeds, a pure function of (batch.seed, trial index): any
+  // batch width and thread count replays the same trial realizations.
+  std::vector<std::uint64_t> seeds(spec.trials);
+  {
+    std::vector<math::Rng> streams = math::Rng(batch.seed).split(spec.trials);
+    math::fill_lanes_u64(streams, seeds);
+  }
+  // Trial options: per-trial observability shards are not wired through the
+  // lanes — traces and digests are the outputs of this sweep.
+  sim::SimOptions base = spec.sim;
+  base.tracer = nullptr;
+  base.metrics = nullptr;
+
+  SimMonteCarloResult result;
+  result.trials = spec.trials;
+  result.batch_width = width;
+
+  // The model identity the ledger and BENCH reports key throughput on.
+  {
+    const std::unique_ptr<sim::Model> probe = factory();
+    sim::CompiledModel cm(*probe);
+    result.ir_hash = ir::hash_hex(cm.ir());
+  }
+
+  par::BatchRunner runner(batch);
+  result.threads = runner.threads();
+  std::vector<WorkerEngine> engines(runner.threads());
+  const std::size_t tasks = (spec.trials + width - 1) / width;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<ShardOutcome> shards =
+      runner.map<ShardOutcome>(tasks, [&](par::TaskContext& ctx) {
+        const std::size_t begin = ctx.index * width;
+        const std::size_t end = std::min(begin + width, spec.trials);
+        WorkerEngine& eng = engines[ctx.worker];
+        ShardOutcome out;
+        out.digests.reserve(end - begin);
+        out.events.reserve(end - begin);
+        if (width == 1) {
+          // Scalar baseline: one reused Simulator, reseeded per trial.
+          if (eng.scalar == nullptr) {
+            eng.scalar_model = factory();
+            eng.scalar =
+                std::make_unique<sim::Simulator>(*eng.scalar_model, base);
+          }
+          for (std::size_t trial = begin; trial < end; ++trial) {
+            eng.scalar->set_seed(seeds[trial]);
+            const sim::Trace& tr = eng.scalar->run();
+            out.digests.push_back(sim::trace_digest(tr));
+            out.events.push_back(eng.scalar->events_dispatched());
+          }
+          return out;
+        }
+        if (eng.batched == nullptr) {
+          eng.batched = std::make_unique<sim::BatchedSim>(
+              factory, sim::BatchedOptions{base, width});
+        }
+        eng.batched->run(
+            std::span<const std::uint64_t>(seeds.data() + begin, end - begin));
+        for (std::size_t l = 0; l < end - begin; ++l) {
+          out.digests.push_back(sim::trace_digest(eng.batched->trace(l)));
+          out.events.push_back(eng.batched->events_dispatched(l));
+        }
+        out.evictions = eng.batched->evictions();
+        return out;
+      });
+  result.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  result.trials_per_s =
+      result.wall_s > 0.0
+          ? static_cast<double>(spec.trials) / result.wall_s
+          : 0.0;
+
+  result.digests.reserve(spec.trials);
+  for (const ShardOutcome& s : shards) {
+    result.evictions += s.evictions;
+    for (std::size_t i = 0; i < s.digests.size(); ++i) {
+      result.digests.push_back(s.digests[i]);
+      result.events += s.events[i];
+    }
+  }
+
+  if (!spec.model.empty()) {
+    obs::LedgerRecord rec;
+    rec.ir_hash = result.ir_hash;
+    rec.model = spec.model;
+    rec.backend_requested = width > 1 ? "simd" : "interp";
+    rec.backend_used = rec.backend_requested;
+    rec.seed = batch.seed;
+    rec.threads = static_cast<unsigned>(result.threads);
+    rec.wall_s = result.wall_s;
+    rec.events = result.events;
+    // events_per_s stays 0: this is a trial-throughput record, and it must
+    // not satisfy the single-run events/s gate of `ledger diff`.
+    rec.trials_per_s = result.trials_per_s;
+    obs::Ledger::global().append(rec);
+  }
+  return result;
+}
+
+std::string to_string(const SimMonteCarloResult& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%zu trials, batch width %zu, %zu thread%s, %zu eviction%s, "
+                "%llu events, %.3g s (%.4g trials/s)",
+                r.trials, r.batch_width, r.threads, r.threads == 1 ? "" : "s",
+                r.evictions, r.evictions == 1 ? "" : "s",
+                static_cast<unsigned long long>(r.events), r.wall_s,
+                r.trials_per_s);
+  return buf;
+}
+
+}  // namespace ecsim::sweep

@@ -1,0 +1,64 @@
+// Simulator-level Monte Carlo (DESIGN.md §3.8): many trials of one block
+// diagram, each seeded from its own decorrelated stream, executed W trials
+// per instruction through sim::BatchedSim's lockstep lanes. The contract is
+// the one the batched engine guarantees: every trial's trace is
+// bit-identical to a scalar Simulator run with the same seed, so the per-
+// trial digests — and therefore every statistic derived from the traces —
+// are invariant under batch width and thread count. Width 1 short-circuits
+// to a reused scalar Simulator, which doubles as the honest baseline the
+// EXP-P8 speedup bench compares against.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "par/batch_runner.hpp"
+#include "sim/simulator.hpp"
+#include "simd/batched_sim.hpp"
+
+namespace ecsim::sweep {
+
+struct SimMonteCarloSpec {
+  std::size_t trials = 64;
+  /// Per-trial simulation options; `seed` is overridden per trial from the
+  /// batch stream family.
+  sim::SimOptions sim;
+  /// Lanes per BatchedSim batch: 0 = simd::preferred_batch_width(),
+  /// 1 = scalar Simulator path (the baseline), 2..64 = lockstep lanes.
+  std::size_t batch_width = 0;
+  /// Ledger label. Non-empty => one obs::Ledger record is stamped with the
+  /// run's trials/s; empty => no ledger traffic (hot in-loop sweeps).
+  std::string model;
+};
+
+struct SimMonteCarloResult {
+  std::size_t trials = 0;
+  std::size_t batch_width = 1;  // effective lanes per batch
+  std::size_t threads = 1;      // BatchRunner fan-out the trials rode on
+  /// Lanes the batched engine had to spill to the scalar path (0 on the
+  /// width-1 baseline, and on diagrams whose lanes stay in lockstep).
+  std::size_t evictions = 0;
+  std::uint64_t events = 0;  // dispatched events, summed over trials
+  double wall_s = 0.0;
+  double trials_per_s = 0.0;
+  /// Canonical IR hash of the trial model (ir::hash_hex) — the identity the
+  /// run ledger and BENCH reports key throughput comparisons on.
+  std::string ir_hash;
+  /// Per-trial trace digests in trial order: a trial's digest depends only
+  /// on its seed, never on the lane slot or batch width it rode in.
+  std::vector<std::uint64_t> digests;
+};
+
+/// Run `spec.trials` simulations of factory()'s diagram on a BatchRunner
+/// (batch.seed roots the per-trial stream family). Per-worker engines are
+/// built once and reused across that worker's batches. Digest vector is
+/// bit-identical for any batch width and thread count.
+SimMonteCarloResult run_sim_monte_carlo(
+    const sim::BatchedSim::ModelFactory& factory,
+    const SimMonteCarloSpec& spec, const par::BatchOptions& batch = {});
+
+/// Printable one-paragraph summary (width, evictions, throughput).
+std::string to_string(const SimMonteCarloResult& result);
+
+}  // namespace ecsim::sweep

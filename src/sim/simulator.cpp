@@ -9,18 +9,18 @@ namespace ecsim::sim {
 // ---- Context methods (declared in block.hpp) --------------------------------
 
 std::span<const double> Context::input(std::size_t port) const {
-  return sim_->ctx_input(block_, port);
+  return host_->ctx_input(block_, port);
 }
 
 std::span<double> Context::output(std::size_t port) {
-  return sim_->ctx_output(block_, port);
+  return host_->ctx_output(block_, port);
 }
 
 std::span<const double> Context::state() const {
-  return sim_->ctx_state(block_);
+  return host_->ctx_state(block_);
 }
 
-std::span<double> Context::state_mut() { return sim_->ctx_state_mut(block_); }
+std::span<double> Context::state_mut() { return host_->ctx_state_mut(block_); }
 
 void Context::emit(std::size_t event_out, Time delay) {
   if (!in_event_) {
@@ -28,7 +28,7 @@ void Context::emit(std::size_t event_out, Time delay) {
         "Context::emit: events may only be emitted from initialize()/on_event()");
   }
   if (delay < 0.0) throw std::invalid_argument("Context::emit: negative delay");
-  sim_->ctx_emit(block_, event_out, time_ + delay);
+  host_->ctx_emit(block_, event_out, time_ + delay);
 }
 
 void Context::schedule_self(std::size_t event_in, Time delay) {
@@ -39,12 +39,12 @@ void Context::schedule_self(std::size_t event_in, Time delay) {
   if (delay < 0.0) {
     throw std::invalid_argument("Context::schedule_self: negative delay");
   }
-  sim_->ctx_schedule_self(block_, event_in, time_ + delay);
+  host_->ctx_schedule_self(block_, event_in, time_ + delay);
 }
 
-math::Rng& Context::rng() { return sim_->rng_; }
+math::Rng& Context::rng() { return host_->ctx_rng(); }
 
-Trace& Context::trace() { return sim_->trace_; }
+Trace& Context::trace() { return host_->ctx_trace(); }
 
 // ---- Simulator ---------------------------------------------------------------
 

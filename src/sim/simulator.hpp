@@ -23,6 +23,7 @@
 #include "mathlib/rng.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
+#include "sim/block.hpp"
 #include "sim/compiled_model.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/integrator.hpp"
@@ -82,7 +83,7 @@ struct SimOptions {
   obs::MetricsRegistry* metrics = nullptr;
 };
 
-class Simulator {
+class Simulator : private ExecHost {
  public:
   /// Compiles the model (see CompiledModel for what that entails; throws on
   /// algebraic loops and width mismatches) and prepares a runner. The model
@@ -108,6 +109,10 @@ class Simulator {
   /// sim.events_dispatched counter when a MetricsRegistry is attached).
   std::size_t events_dispatched() const { return events_dispatched_; }
 
+  /// Reseed the run Rng for the next run() without rebuilding the simulator
+  /// (Monte Carlo drivers reuse one compiled engine across trials).
+  void set_seed(std::uint64_t seed) { opts_.seed = seed; }
+
   /// Final (or current) value of a data output lane — test convenience.
   double output_value(const Block& b, std::size_t port,
                       std::size_t lane = 0) const;
@@ -116,8 +121,6 @@ class Simulator {
   const CompiledModel& compiled() const { return compiled_; }
 
  private:
-  friend class Context;
-
   void init_obs();
   void refresh_blocks(std::span<const std::size_t> order, Time t);
   /// Refresh everything whose value can have drifted since the last refresh:
@@ -126,13 +129,17 @@ class Simulator {
   void evaluate_derivatives(Time t, const std::vector<double>& x,
                             std::vector<double>& dx);
 
-  // Context backends.
-  std::span<const double> ctx_input(std::size_t block, std::size_t port) const;
-  std::span<double> ctx_output(std::size_t block, std::size_t port);
-  std::span<const double> ctx_state(std::size_t block) const;
-  std::span<double> ctx_state_mut(std::size_t block);
-  void ctx_emit(std::size_t block, std::size_t event_out, Time at);
-  void ctx_schedule_self(std::size_t block, std::size_t event_in, Time at);
+  // Context backends (ExecHost).
+  std::span<const double> ctx_input(std::size_t block,
+                                    std::size_t port) const override;
+  std::span<double> ctx_output(std::size_t block, std::size_t port) override;
+  std::span<const double> ctx_state(std::size_t block) const override;
+  std::span<double> ctx_state_mut(std::size_t block) override;
+  void ctx_emit(std::size_t block, std::size_t event_out, Time at) override;
+  void ctx_schedule_self(std::size_t block, std::size_t event_in,
+                         Time at) override;
+  math::Rng& ctx_rng() override { return rng_; }
+  Trace& ctx_trace() override { return trace_; }
 
   CompiledModel compiled_;
   Model& model_;

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <string_view>
@@ -45,6 +46,12 @@ class Trace {
   /// runs once per dispatched event.
   void record_event(Time t, std::size_t block, std::size_t event_in) {
     events_.push_back(EventRecord{t, block, event_in});
+  }
+  /// Bulk append of pre-built records (the batched engine's uniform runs
+  /// write one shared record block to every lockstep lane): one capacity
+  /// check + memcpy instead of a push per record.
+  void append_events(std::span<const EventRecord> records) {
+    events_.insert(events_.end(), records.begin(), records.end());
   }
   /// Compatibility path for hand-built traces: registers `name` for `block`
   /// on first sight (first registration wins), then records.
@@ -115,5 +122,12 @@ class Trace {
   std::vector<std::string> names_;  // block index -> name ("" = unknown)
   std::vector<std::vector<double>> pool_;  // recycled signal value buffers
 };
+
+/// FNV-style word-wise digest over the record streams (times/values by their
+/// exact bit patterns). Two traces with equal digests are bit-identical in
+/// practice; the Monte Carlo drivers store one digest per trial so
+/// batch-width/thread invariance can be asserted without keeping W full
+/// traces alive. The name table is excluded: it is structural, not per-run.
+std::uint64_t trace_digest(const Trace& trace);
 
 }  // namespace ecsim::sim

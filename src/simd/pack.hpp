@@ -1,0 +1,192 @@
+// pack<W>: a fixed-width bundle of W doubles advanced by one instruction
+// stream (DESIGN.md §3.8). Three backends, chosen at configure time by
+// -DECSIM_SIMD=avx2|sse2|scalar (CMakeLists.txt):
+//   avx2   — pack<4> on one __m256d, pack<8> on two;
+//   sse2   — pack<2> on one __m128d;
+//   scalar — plain arrays the autovectorizer may or may not vectorize.
+// All backends are element-wise IEEE-identical: no fused multiply-add, no
+// reassociation (the build also forces -ffp-contract=off), which is what lets
+// the batched Monte Carlo engine promise bit-equality with the scalar
+// Simulator on every lane.
+//
+// The stage kernels at the bottom (axpy_stage, rk4_combine) mirror the exact
+// operand grouping of sim/integrator.cpp's rk4_step so a lockstep batched RK4
+// step commits the same bits as W scalar steps.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(ECSIM_SIMD_AVX2) && defined(__AVX2__)
+#include <immintrin.h>
+#define ECSIM_SIMD_ISA_AVX2 1
+#elif defined(ECSIM_SIMD_SSE2) && (defined(__SSE2__) || defined(_M_X64))
+#include <emmintrin.h>
+#define ECSIM_SIMD_ISA_SSE2 1
+#endif
+
+namespace ecsim::simd {
+
+/// Name of the ISA this translation unit was compiled for — stamped into
+/// BENCH_*.json (bench_common.hpp JsonReport) so figures are comparable
+/// across hosts.
+constexpr const char* isa_name() {
+#if defined(ECSIM_SIMD_ISA_AVX2)
+  return "avx2";
+#elif defined(ECSIM_SIMD_ISA_SSE2)
+  return "sse2";
+#else
+  return "scalar";
+#endif
+}
+
+/// Generic portable pack: W doubles in an array. Specializations below map
+/// the same interface onto vector registers.
+template <std::size_t W>
+struct pack {
+  double v[W];
+
+  static pack load(const double* p) {
+    pack r;
+    for (std::size_t i = 0; i < W; ++i) r.v[i] = p[i];
+    return r;
+  }
+  void store(double* p) const {
+    for (std::size_t i = 0; i < W; ++i) p[i] = v[i];
+  }
+  static pack broadcast(double x) {
+    pack r;
+    for (std::size_t i = 0; i < W; ++i) r.v[i] = x;
+    return r;
+  }
+  friend pack operator+(pack a, pack b) {
+    pack r;
+    for (std::size_t i = 0; i < W; ++i) r.v[i] = a.v[i] + b.v[i];
+    return r;
+  }
+  friend pack operator-(pack a, pack b) {
+    pack r;
+    for (std::size_t i = 0; i < W; ++i) r.v[i] = a.v[i] - b.v[i];
+    return r;
+  }
+  friend pack operator*(pack a, pack b) {
+    pack r;
+    for (std::size_t i = 0; i < W; ++i) r.v[i] = a.v[i] * b.v[i];
+    return r;
+  }
+  friend pack operator/(pack a, pack b) {
+    pack r;
+    for (std::size_t i = 0; i < W; ++i) r.v[i] = a.v[i] / b.v[i];
+    return r;
+  }
+};
+
+#if defined(ECSIM_SIMD_ISA_AVX2)
+
+template <>
+struct pack<4> {
+  __m256d v;
+
+  static pack load(const double* p) { return {_mm256_loadu_pd(p)}; }
+  void store(double* p) const { _mm256_storeu_pd(p, v); }
+  static pack broadcast(double x) { return {_mm256_set1_pd(x)}; }
+  friend pack operator+(pack a, pack b) { return {_mm256_add_pd(a.v, b.v)}; }
+  friend pack operator-(pack a, pack b) { return {_mm256_sub_pd(a.v, b.v)}; }
+  friend pack operator*(pack a, pack b) { return {_mm256_mul_pd(a.v, b.v)}; }
+  friend pack operator/(pack a, pack b) { return {_mm256_div_pd(a.v, b.v)}; }
+};
+
+template <>
+struct pack<8> {
+  __m256d lo, hi;
+
+  static pack load(const double* p) {
+    return {_mm256_loadu_pd(p), _mm256_loadu_pd(p + 4)};
+  }
+  void store(double* p) const {
+    _mm256_storeu_pd(p, lo);
+    _mm256_storeu_pd(p + 4, hi);
+  }
+  static pack broadcast(double x) {
+    return {_mm256_set1_pd(x), _mm256_set1_pd(x)};
+  }
+  friend pack operator+(pack a, pack b) {
+    return {_mm256_add_pd(a.lo, b.lo), _mm256_add_pd(a.hi, b.hi)};
+  }
+  friend pack operator-(pack a, pack b) {
+    return {_mm256_sub_pd(a.lo, b.lo), _mm256_sub_pd(a.hi, b.hi)};
+  }
+  friend pack operator*(pack a, pack b) {
+    return {_mm256_mul_pd(a.lo, b.lo), _mm256_mul_pd(a.hi, b.hi)};
+  }
+  friend pack operator/(pack a, pack b) {
+    return {_mm256_div_pd(a.lo, b.lo), _mm256_div_pd(a.hi, b.hi)};
+  }
+};
+
+inline constexpr std::size_t kNativeWidth = 4;
+
+#elif defined(ECSIM_SIMD_ISA_SSE2)
+
+template <>
+struct pack<2> {
+  __m128d v;
+
+  static pack load(const double* p) { return {_mm_loadu_pd(p)}; }
+  void store(double* p) const { _mm_storeu_pd(p, v); }
+  static pack broadcast(double x) { return {_mm_set1_pd(x)}; }
+  friend pack operator+(pack a, pack b) { return {_mm_add_pd(a.v, b.v)}; }
+  friend pack operator-(pack a, pack b) { return {_mm_sub_pd(a.v, b.v)}; }
+  friend pack operator*(pack a, pack b) { return {_mm_mul_pd(a.v, b.v)}; }
+  friend pack operator/(pack a, pack b) { return {_mm_div_pd(a.v, b.v)}; }
+};
+
+inline constexpr std::size_t kNativeWidth = 2;
+
+#else
+
+inline constexpr std::size_t kNativeWidth = 4;
+
+#endif
+
+/// Default batch width for the lockstep Monte Carlo engine ("auto" in the
+/// CLI). Wider than one register on purpose: the win comes from amortising
+/// the event-queue/dispatch machinery across lanes, and 8 lanes keep two
+/// AVX2 registers in flight per stage without blowing the L1 footprint of
+/// per-lane arenas.
+constexpr std::size_t preferred_batch_width() { return 8; }
+
+// ---- stage kernels ----------------------------------------------------------
+// dst[i] = x[i] + a * k[i] — the RK4 stage-advance shape. Operand grouping
+// matches integrator.cpp exactly: `a` is the pre-folded scalar (0.5*h or h),
+// multiplied into k[i] first, then added to x[i].
+inline void axpy_stage(double* dst, const double* x, double a, const double* k,
+                       std::size_t n) {
+  using P = pack<kNativeWidth>;
+  const P pa = P::broadcast(a);
+  std::size_t i = 0;
+  for (; i + kNativeWidth <= n; i += kNativeWidth)
+    (P::load(x + i) + pa * P::load(k + i)).store(dst + i);
+  for (; i < n; ++i) dst[i] = x[i] + a * k[i];
+}
+
+/// x[i] += h6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i]), h6 = h/6 pre-folded.
+/// The sum associates left-to-right, matching integrator.cpp's final combine.
+inline void rk4_combine(double* x, double h6, const double* k1,
+                        const double* k2, const double* k3, const double* k4,
+                        std::size_t n) {
+  using P = pack<kNativeWidth>;
+  const P ph6 = P::broadcast(h6);
+  const P two = P::broadcast(2.0);
+  std::size_t i = 0;
+  for (; i + kNativeWidth <= n; i += kNativeWidth) {
+    const P s = ((P::load(k1 + i) + two * P::load(k2 + i)) +
+                 two * P::load(k3 + i)) +
+                P::load(k4 + i);
+    (P::load(x + i) + ph6 * s).store(x + i);
+  }
+  for (; i < n; ++i)
+    x[i] += h6 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+}
+
+}  // namespace ecsim::simd

@@ -32,8 +32,23 @@ LedgerRecord sample_record() {
   r.wall_s = 0.01712345678901234;
   r.events = 601202;
   r.events_per_s = 35118337.123456789;
+  r.trials_per_s = 4321.0987654321;
   r.metrics_json = "{\"counters\": {\"sim.events_dispatched\": 601202}}";
   return r;
+}
+
+/// A schema-v1 line as PR-7 builds wrote it: no trials_per_s field.
+std::string v1_json_line(const LedgerRecord& r) {
+  std::string line = to_json_line(r);
+  const auto pos = line.find("\"schema_version\": 2");
+  EXPECT_NE(pos, std::string::npos);
+  line.replace(pos, std::string("\"schema_version\": 2").size(),
+               "\"schema_version\": 1");
+  const auto tp = line.find(", \"trials_per_s\":");
+  EXPECT_NE(tp, std::string::npos);
+  const auto tp_end = line.find(',', tp + 2);
+  line.erase(tp, tp_end - tp);
+  return line;
 }
 
 TEST(LedgerRecord, JsonLineRoundTripIsExact) {
@@ -41,7 +56,7 @@ TEST(LedgerRecord, JsonLineRoundTripIsExact) {
   const std::string line = to_json_line(r);
   // One object per line: the serialized form must never embed a newline.
   EXPECT_EQ(line.find('\n'), std::string::npos);
-  EXPECT_NE(line.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(line.find("\"schema_version\": 2"), std::string::npos);
 
   LedgerRecord back;
   ASSERT_TRUE(parse_json_line(line, back));
@@ -57,7 +72,44 @@ TEST(LedgerRecord, JsonLineRoundTripIsExact) {
   EXPECT_DOUBLE_EQ(back.wall_s, r.wall_s);
   EXPECT_EQ(back.events, r.events);
   EXPECT_DOUBLE_EQ(back.events_per_s, r.events_per_s);
+  EXPECT_DOUBLE_EQ(back.trials_per_s, r.trials_per_s);
   EXPECT_EQ(back.metrics_json, r.metrics_json);
+}
+
+TEST(LedgerRecord, V1LinesStillParseWithZeroTrialsPerS) {
+  const std::string v1 = v1_json_line(sample_record());
+  LedgerRecord back;
+  ASSERT_TRUE(parse_json_line(v1, back));
+  EXPECT_EQ(back.schema_version, 1);
+  EXPECT_EQ(back.model, "chains_200");
+  EXPECT_EQ(back.seed, sample_record().seed);
+  EXPECT_DOUBLE_EQ(back.events_per_s, sample_record().events_per_s);
+  EXPECT_DOUBLE_EQ(back.trials_per_s, 0.0);  // field is schema v2
+}
+
+TEST(Ledger, MixedV1V2FileRoundTrips) {
+  // Ledgers are append-only: a PR-7 file continued by this build holds both
+  // schema versions, and every line must read back.
+  const std::string path = ::testing::TempDir() + "ecsim_mixed_ledger.jsonl";
+  std::remove(path.c_str());
+  {
+    std::ofstream out(path);
+    LedgerRecord v1 = sample_record();
+    v1.model = "old-run";
+    out << v1_json_line(v1) << '\n';
+    LedgerRecord v2 = sample_record();
+    v2.model = "new-run";
+    out << to_json_line(v2) << '\n';
+  }
+  const std::vector<LedgerRecord> got = read_ledger_file(path);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].schema_version, 1);
+  EXPECT_EQ(got[0].model, "old-run");
+  EXPECT_DOUBLE_EQ(got[0].trials_per_s, 0.0);
+  EXPECT_EQ(got[1].schema_version, 2);
+  EXPECT_EQ(got[1].model, "new-run");
+  EXPECT_DOUBLE_EQ(got[1].trials_per_s, sample_record().trials_per_s);
+  std::remove(path.c_str());
 }
 
 TEST(LedgerRecord, EscapedStringsRoundTrip) {
@@ -77,9 +129,9 @@ TEST(LedgerRecord, ParseRejectsGarbageAndUnknownSchema) {
   EXPECT_FALSE(parse_json_line("not json at all", out));
   // A future schema is skipped, not misparsed.
   std::string future = to_json_line(sample_record());
-  const auto pos = future.find("\"schema_version\": 1");
+  const auto pos = future.find("\"schema_version\": 2");
   ASSERT_NE(pos, std::string::npos);
-  future.replace(pos, std::string("\"schema_version\": 1").size(),
+  future.replace(pos, std::string("\"schema_version\": 2").size(),
                  "\"schema_version\": 99");
   EXPECT_FALSE(parse_json_line(future, out));
 }
@@ -262,6 +314,66 @@ TEST(LedgerDiffTest, NoMatchingRecordIsNotARegression) {
 TEST(LedgerDiffTest, MissingScenarioInBenchIsNotComparable) {
   const LedgerDiff d = diff_latest_against_bench(
       {sample_record()}, "{\"unrelated\": 1}", "chains_200");
+  EXPECT_FALSE(d.comparable);
+  EXPECT_FALSE(d.regression);
+}
+
+/// A BENCH_p8-shaped report: the scenario commits a Monte Carlo trials/s
+/// figure instead of a single-run events/s one.
+std::string synthetic_mc_bench_json(const std::string& ir_hash,
+                                    double mc_best) {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "{\n"
+                "  \"model_ir_hash_chains_200\": \"%s\",\n"
+                "  \"monte_carlo\": [\n"
+                "    {\"scenario\": \"servo\", \"mc_best_trials_per_s\": "
+                "1.0},\n"
+                "    {\"scenario\": \"chains_200\", "
+                "\"mc_best_trials_per_s\": %.17g}\n"
+                "  ]\n"
+                "}\n",
+                ir_hash.c_str(), mc_best);
+  return buf;
+}
+
+TEST(LedgerDiffTest, GatesMonteCarloThroughputAgainstCommittedFigure) {
+  const std::string bench = synthetic_mc_bench_json("0xmc1", 1000.0);
+  LedgerRecord slow = sample_record();
+  slow.ir_hash = "0xmc1";
+  slow.events_per_s = 0.0;  // MC record: no single-run figure
+  slow.trials_per_s = 850.0;  // 15% below committed: beyond the 10% gate
+  const LedgerDiff d =
+      diff_latest_against_bench({slow}, bench, "chains_200", 10.0);
+  EXPECT_TRUE(d.comparable);
+  EXPECT_TRUE(d.regression);
+  EXPECT_DOUBLE_EQ(d.committed_trials_per_s, 1000.0);
+  EXPECT_DOUBLE_EQ(d.latest_trials_per_s, 850.0);
+  EXPECT_NE(d.message.find("REGRESSION"), std::string::npos);
+
+  LedgerRecord ok = slow;
+  ok.trials_per_s = 950.0;  // 5% below: inside the gate
+  const LedgerDiff d2 =
+      diff_latest_against_bench({slow, ok}, bench, "chains_200", 10.0);
+  EXPECT_TRUE(d2.comparable);
+  EXPECT_FALSE(d2.regression);
+  EXPECT_DOUBLE_EQ(d2.latest_trials_per_s, 950.0);  // newest MC record wins
+}
+
+TEST(LedgerDiffTest, PerScenarioFiguresDoNotBleedAcrossEntries) {
+  // chains_200's entry carries no committed figure at all; the servo entry
+  // after it does. The lookup must not pick servo's figure up.
+  const std::string bench =
+      "{\n"
+      "  \"model_ir_hash_chains_200\": \"0xmc1\",\n"
+      "  \"monte_carlo\": [\n"
+      "    {\"scenario\": \"chains_200\"},\n"
+      "    {\"scenario\": \"servo\", \"mc_best_trials_per_s\": 1.0,\n"
+      "     \"native_best_events_per_s\": 1.0}\n"
+      "  ]\n"
+      "}\n";
+  const LedgerDiff d =
+      diff_latest_against_bench({sample_record()}, bench, "chains_200");
   EXPECT_FALSE(d.comparable);
   EXPECT_FALSE(d.regression);
 }

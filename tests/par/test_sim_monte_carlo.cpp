@@ -1,0 +1,130 @@
+// Simulator-level Monte Carlo guards (DESIGN.md §3.8): the per-trial digest
+// vector is a pure function of (batch seed, trial count) — invariant under
+// batch width AND thread count, including diagrams whose lanes diverge and
+// spill — and a labelled run stamps one schema-v2 ledger record carrying
+// trials/s (and no events/s, so it can never satisfy the single-run gate).
+#include "par/sim_monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "blocks/continuous.hpp"
+#include "blocks/discrete.hpp"
+#include "blocks/event_blocks.hpp"
+#include "blocks/examples.hpp"
+#include "blocks/probe.hpp"
+#include "blocks/sources.hpp"
+#include "obs/ledger.hpp"
+
+namespace ecsim::sweep {
+namespace {
+
+using namespace ecsim::blocks;
+using Factory = sim::BatchedSim::ModelFactory;
+
+Factory chains_factory(std::size_t n) {
+  return [n] { return std::make_unique<sim::Model>(examples::make_chains(n)); };
+}
+
+/// Jittered event times plus continuous state: lanes diverge, integration
+/// boundaries stop being shared, and the batched engine must spill — the
+/// invariance claims have to survive that too.
+Factory jitter_stateful_factory() {
+  return [] {
+    auto m = std::make_unique<sim::Model>();
+    auto& clk = m->add<Clock>("clk", 0.01);
+    auto& d = m->add<EventDelay>("d", uniform_duration(0.001, 0.004));
+    auto& cnt = m->add<EventCounter>("cnt");
+    auto& sine = m->add<Sine>("sine", 1.0, 5.0);
+    auto& integ = m->add<Integrator>("integ", 0.0);
+    auto& probe = m->add<Probe>("probe", 1, 0.02);
+    m->connect_event(clk, 0, d, 0);
+    m->connect_event(d, 0, cnt, 0);
+    m->connect(sine, 0, integ, 0);
+    m->connect(integ, 0, probe, 0);
+    (void)cnt;
+    return m;
+  };
+}
+
+TEST(SimMonteCarlo, DigestsInvariantAcrossWidthsAndThreads) {
+  const Factory factory = chains_factory(3);
+  SimMonteCarloSpec spec;
+  spec.trials = 10;
+  spec.sim.end_time = 0.05;
+  spec.batch_width = 1;  // scalar reference
+  par::BatchOptions serial;
+  serial.threads = 1;
+  serial.seed = 42;
+  const SimMonteCarloResult ref = run_sim_monte_carlo(factory, spec, serial);
+  ASSERT_EQ(ref.digests.size(), 10u);
+  EXPECT_EQ(ref.batch_width, 1u);
+  EXPECT_EQ(ref.evictions, 0u);
+  EXPECT_GT(ref.events, 0u);
+  EXPECT_GT(ref.trials_per_s, 0.0);
+  EXPECT_EQ(ref.ir_hash.substr(0, 2), "0x");
+
+  for (const std::size_t width : {2u, 4u, 8u}) {
+    for (const std::size_t threads : {1u, 2u}) {
+      SimMonteCarloSpec s = spec;
+      s.batch_width = width;
+      par::BatchOptions batch;
+      batch.threads = threads;
+      batch.seed = 42;
+      const SimMonteCarloResult got = run_sim_monte_carlo(factory, s, batch);
+      EXPECT_EQ(got.batch_width, width);
+      EXPECT_EQ(got.digests, ref.digests)
+          << "width " << width << " threads " << threads;
+      EXPECT_EQ(got.events, ref.events);
+      EXPECT_EQ(got.ir_hash, ref.ir_hash);
+    }
+  }
+}
+
+TEST(SimMonteCarlo, SpillingDiagramStaysInvariantAndCountsEvictions) {
+  const Factory factory = jitter_stateful_factory();
+  SimMonteCarloSpec spec;
+  spec.trials = 8;
+  spec.sim.end_time = 0.3;
+  spec.batch_width = 1;
+  const SimMonteCarloResult ref = run_sim_monte_carlo(factory, spec, {});
+  SimMonteCarloSpec wide = spec;
+  wide.batch_width = 4;
+  const SimMonteCarloResult got = run_sim_monte_carlo(factory, wide, {});
+  EXPECT_GT(got.evictions, 0u);  // jittered stateful lanes must spill
+  EXPECT_EQ(got.digests, ref.digests);
+  EXPECT_EQ(got.events, ref.events);
+}
+
+TEST(SimMonteCarlo, LabelledRunStampsTrialsPerSLedgerRecord) {
+  obs::Ledger& g = obs::Ledger::global();
+  const std::size_t before = g.size();
+  SimMonteCarloSpec spec;
+  spec.trials = 4;
+  spec.sim.end_time = 0.02;
+  spec.batch_width = 4;
+  spec.model = "sim-mc-ledger-test";
+  const SimMonteCarloResult r =
+      run_sim_monte_carlo(chains_factory(2), spec, {});
+  ASSERT_GT(g.size(), before);
+  const obs::LedgerRecord rec = g.records().back();
+  EXPECT_EQ(rec.schema_version, obs::kLedgerSchemaVersion);
+  EXPECT_EQ(rec.model, "sim-mc-ledger-test");
+  EXPECT_EQ(rec.backend_used, "simd");
+  EXPECT_EQ(rec.ir_hash, r.ir_hash);
+  EXPECT_GT(rec.trials_per_s, 0.0);
+  EXPECT_DOUBLE_EQ(rec.events_per_s, 0.0);  // not a single-run record
+  EXPECT_EQ(rec.events, r.events);
+
+  // Unlabelled runs stay off the ledger (hot in-loop sweeps).
+  const std::size_t after = g.size();
+  SimMonteCarloSpec quiet = spec;
+  quiet.model.clear();
+  run_sim_monte_carlo(chains_factory(2), quiet, {});
+  EXPECT_EQ(g.size(), after);
+}
+
+}  // namespace
+}  // namespace ecsim::sweep

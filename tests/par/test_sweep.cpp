@@ -6,6 +6,7 @@
 
 #include "aaa/adequation.hpp"
 #include "aaa/codegen.hpp"
+#include "par/fault_sweep.hpp"
 #include "par/monte_carlo.hpp"
 #include "translate/cosim.hpp"
 
@@ -176,6 +177,45 @@ TEST(Sweep, CellMetricsCountEveryCell) {
   EXPECT_TRUE(bit_identical(cells, SweepRunner(par::BatchOptions{}).run(grid)));
 }
 
+TEST(MonteCarlo, BatchWidthNeverChangesTheStatistics) {
+  // batch_width only sets how many trials ride one BatchRunner task; seeds
+  // are drawn per trial, so every width reproduces the width-1 statistics
+  // bit for bit (and the pre-PR-8 one-trial-per-task behavior).
+  const translate::LoopSpec loop = servo_loop(0.01, 0.1);
+  translate::DistributedSpec dist;
+  dist.bind_ctrl = "P1";
+  const aaa::AlgorithmGraph alg = translate::make_loop_algorithm(loop, dist);
+  const aaa::Schedule sched = aaa::adequate(alg, dist.arch);
+  const aaa::GeneratedCode code =
+      aaa::generate_executives(alg, dist.arch, sched);
+  MonteCarloSpec spec;
+  spec.trials = 13;
+  spec.iterations = 8;
+  spec.batch_width = 1;
+  par::BatchOptions batch;
+  batch.seed = 7;
+  const MonteCarloResult ref =
+      run_monte_carlo(alg, dist.arch, sched, code, spec, batch);
+  EXPECT_EQ(ref.batch_width, 1u);
+  EXPECT_GT(ref.trials_per_s, 0.0);
+  for (const std::size_t width : {3u, 8u, 32u}) {  // 32 > trials: one task
+    MonteCarloSpec s = spec;
+    s.batch_width = width;
+    const MonteCarloResult got =
+        run_monte_carlo(alg, dist.arch, sched, code, s, batch);
+    EXPECT_EQ(got.batch_width, width);
+    ASSERT_EQ(got.io_ops.size(), ref.io_ops.size());
+    for (std::size_t k = 0; k < ref.io_ops.size(); ++k) {
+      EXPECT_EQ(ref.io_ops[k].mean_latency.mean,
+                got.io_ops[k].mean_latency.mean);
+      EXPECT_EQ(ref.io_ops[k].max_latency.max, got.io_ops[k].max_latency.max);
+      EXPECT_EQ(ref.io_ops[k].jitter.p95, got.io_ops[k].jitter.p95);
+    }
+    EXPECT_EQ(ref.makespan.mean, got.makespan.mean);
+    EXPECT_EQ(ref.deadlocks, got.deadlocks);
+  }
+}
+
 TEST(MonteCarlo, DifferentSeedsDifferentDistributions) {
   const translate::LoopSpec loop = servo_loop(0.01, 0.1);
   translate::DistributedSpec dist;
@@ -193,6 +233,34 @@ TEST(MonteCarlo, DifferentSeedsDifferentDistributions) {
   const auto ra = run_monte_carlo(alg, dist.arch, sched, code, spec, a);
   const auto rb = run_monte_carlo(alg, dist.arch, sched, code, spec, b);
   EXPECT_NE(ra.io_ops[1].mean_latency.mean, rb.io_ops[1].mean_latency.mean);
+}
+
+TEST(FaultMonteCarlo, BatchWidthNeverChangesTheCells) {
+  // Trial t's fault seed stays base_seed + t at every width, so the cell
+  // list — and everything summarized from it — is width-invariant.
+  FaultMonteCarloSpec spec;
+  spec.loop = servo_loop(0.01, 0.1);
+  spec.dist.bind_ctrl = "P1";
+  spec.loss_rate = 0.3;
+  spec.trials = 4;
+  spec.base_seed = 11;
+  spec.batch_width = 1;
+  const FaultMonteCarloResult ref = run_fault_monte_carlo(spec, {});
+  EXPECT_EQ(ref.batch_width, 1u);
+  EXPECT_GT(ref.trials_per_s, 0.0);
+  ASSERT_EQ(ref.cells.size(), 4u);
+  spec.batch_width = 4;
+  const FaultMonteCarloResult got = run_fault_monte_carlo(spec, {});
+  EXPECT_EQ(got.batch_width, 4u);
+  ASSERT_EQ(got.cells.size(), ref.cells.size());
+  for (std::size_t i = 0; i < ref.cells.size(); ++i) {
+    EXPECT_EQ(ref.cells[i].fault_seed, got.cells[i].fault_seed);
+    EXPECT_EQ(ref.cells[i].iae, got.cells[i].iae);
+    EXPECT_EQ(ref.cells[i].cost, got.cells[i].cost);
+    EXPECT_EQ(ref.cells[i].messages_lost, got.cells[i].messages_lost);
+  }
+  EXPECT_EQ(ref.cost.mean, got.cost.mean);
+  EXPECT_EQ(ref.unstable_trials, got.unstable_trials);
 }
 
 }  // namespace

@@ -1,0 +1,158 @@
+// Property: EVERY lane of the batched SIMD Monte Carlo engine produces a
+// trace bit-identical to a scalar Simulator run with the same model, seed
+// and options — on random hybrid diagrams (continuous feedback, jittered
+// delays, noise, multirate probes), with and without fault-plan gates, at
+// several batch widths, under both integrators. This is the hard guard the
+// lockstep/mask/spill machinery must never violate (DESIGN.md §3.8).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "blocks/discrete.hpp"
+#include "blocks/event_blocks.hpp"
+#include "blocks/probe.hpp"
+#include "blocks/sources.hpp"
+#include "fault/comm_gate.hpp"
+#include "random_graphs.hpp"
+#include "sim/simulator.hpp"
+#include "simd/batched_sim.hpp"
+
+namespace ecsim::sim {
+namespace {
+
+using Factory = BatchedSim::ModelFactory;
+
+/// Deterministic factory: each call replays the same random diagram, which
+/// is exactly the "structurally identical trials" shape Monte Carlo runs.
+Factory random_model_factory(std::uint64_t model_seed) {
+  return [model_seed] {
+    math::Rng model_rng(model_seed);
+    return std::make_unique<Model>(ecsim::testing::random_block_model(model_rng));
+  };
+}
+
+/// Same diagram with a FaultPlan-style comm gate spliced in: a clocked
+/// EventFault whose loss/delay decisions replay fault::comm_gate_decide —
+/// pure in (plan seed, iteration), identical across lanes, on top of the
+/// lane-divergent randomness of the base diagram.
+Factory faulted_model_factory(std::uint64_t model_seed,
+                              std::uint64_t plan_seed) {
+  return [model_seed, plan_seed] {
+    namespace bl = ecsim::blocks;
+    math::Rng model_rng(model_seed);
+    auto m = std::make_unique<Model>(
+        ecsim::testing::random_block_model(model_rng));
+    fault::CommGate gate;
+    gate.seed = plan_seed;
+    gate.period = 0.03;
+    gate.comm_index = 1;
+    gate.transfer_duration = 0.001;
+    fault::CommGateEntry loss;
+    loss.fault = 0;
+    loss.kind = fault::CommGateEntry::Kind::kLoss;
+    loss.probability = 0.3;
+    gate.entries.push_back(loss);
+    fault::CommGateEntry delay;
+    delay.fault = 1;
+    delay.kind = fault::CommGateEntry::Kind::kDelay;
+    delay.probability = 0.25;
+    delay.delay = 0.004;
+    gate.entries.push_back(delay);
+
+    auto& clk = m->add<bl::Clock>("fault_clk", 0.03);
+    auto& gate_blk = m->add<bl::EventFault>("fault_gate", gate);
+    auto& cnt = m->add<bl::EventCounter>("fault_cnt");
+    auto& probe = m->add<bl::Probe>("fault_probe", 1, 0.05);
+    m->connect_event(clk, 0, gate_blk, gate_blk.event_in());
+    m->connect_event(gate_blk, gate_blk.event_out(), cnt, 0);
+    m->connect(cnt, 0, probe, 0);
+    return m;
+  };
+}
+
+void ExpectEveryLaneMatchesScalar(const Factory& factory,
+                                  const SimOptions& base, std::size_t width,
+                                  std::uint64_t seed_base) {
+  std::vector<std::uint64_t> seeds(width);
+  for (std::size_t l = 0; l < width; ++l) seeds[l] = seed_base + 1000 * l + 7;
+  BatchedSim bs(factory, BatchedOptions{base, width});
+  bs.run(seeds);
+  for (std::size_t l = 0; l < width; ++l) {
+    std::unique_ptr<Model> m = factory();
+    SimOptions so = base;
+    so.seed = seeds[l];
+    Simulator ref(*m, so);
+    ref.run();
+    EXPECT_TRUE(bs.trace(l) == ref.trace())
+        << "lane " << l << " of width " << width << " diverged from scalar";
+    EXPECT_EQ(bs.events_dispatched(l), ref.events_dispatched());
+  }
+}
+
+TEST(SimdLaneProperty, RandomHybridDiagramsEveryLaneBitIdentical) {
+  SimOptions base;
+  base.end_time = 0.5;
+  for (std::uint64_t model_seed = 1; model_seed <= 6; ++model_seed) {
+    for (std::size_t width : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+      ExpectEveryLaneMatchesScalar(random_model_factory(model_seed), base,
+                                   width, model_seed * 100);
+    }
+  }
+}
+
+TEST(SimdLaneProperty, RandomHybridDiagramsRkf45EveryLaneBitIdentical) {
+  SimOptions base;
+  base.end_time = 0.4;
+  base.integrator.kind = IntegratorKind::kRkf45;
+  for (std::uint64_t model_seed : {7u, 8u}) {
+    ExpectEveryLaneMatchesScalar(random_model_factory(model_seed), base,
+                                 /*width=*/4, model_seed * 100);
+  }
+}
+
+TEST(SimdLaneProperty, FaultGatedDiagramsEveryLaneBitIdentical) {
+  SimOptions base;
+  base.end_time = 0.5;
+  for (std::uint64_t model_seed : {3u, 9u, 12u}) {
+    ExpectEveryLaneMatchesScalar(
+        faulted_model_factory(model_seed, /*plan_seed=*/model_seed * 31 + 5),
+        base, /*width=*/4, model_seed * 100 + 13);
+  }
+}
+
+TEST(SimdLaneProperty, TraceDigestsInvariantAcrossBatchWidths) {
+  // A trial's digest must depend only on its seed, never on which batch
+  // width (or which lane slot) it rode in.
+  SimOptions base;
+  base.end_time = 0.5;
+  const Factory factory = random_model_factory(4);
+  const std::vector<std::uint64_t> seeds{11, 22, 33, 44, 55, 66, 77, 88};
+
+  std::vector<std::uint64_t> want;
+  for (std::uint64_t s : seeds) {
+    std::unique_ptr<Model> m = factory();
+    SimOptions so = base;
+    so.seed = s;
+    Simulator ref(*m, so);
+    ref.run();
+    want.push_back(trace_digest(ref.trace()));
+  }
+
+  for (std::size_t width : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                            std::size_t{8}}) {
+    BatchedSim bs(factory, BatchedOptions{base, width});
+    for (std::size_t start = 0; start < seeds.size(); start += width) {
+      const std::size_t n = std::min(width, seeds.size() - start);
+      bs.run(std::span<const std::uint64_t>(seeds.data() + start, n));
+      for (std::size_t l = 0; l < n; ++l) {
+        EXPECT_EQ(trace_digest(bs.trace(l)), want[start + l])
+            << "width " << width << " trial " << start + l;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ecsim::sim

@@ -1,0 +1,237 @@
+#include "simd/batched_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "blocks/continuous.hpp"
+#include "blocks/discrete.hpp"
+#include "blocks/event_blocks.hpp"
+#include "blocks/examples.hpp"
+#include "blocks/probe.hpp"
+#include "blocks/sources.hpp"
+#include "simd/pack.hpp"
+
+namespace ecsim::sim {
+namespace {
+
+using namespace ecsim::blocks;
+
+using Factory = BatchedSim::ModelFactory;
+
+/// The engine's contract: every lane's trace (and event count) bit-identical
+/// to a scalar Simulator run of the same model, seed and options.
+void ExpectLanesMatchScalar(const Factory& factory, const SimOptions& base,
+                            std::size_t width,
+                            const std::vector<std::uint64_t>& seeds) {
+  BatchedSim bs(factory, BatchedOptions{base, width});
+  bs.run(seeds);
+  for (std::size_t l = 0; l < seeds.size(); ++l) {
+    std::unique_ptr<Model> m = factory();
+    SimOptions so = base;
+    so.seed = seeds[l];
+    Simulator ref(*m, so);
+    ref.run();
+    EXPECT_TRUE(bs.trace(l) == ref.trace()) << "lane " << l;
+    EXPECT_EQ(bs.events_dispatched(l), ref.events_dispatched())
+        << "lane " << l;
+  }
+}
+
+Factory chains_factory(std::size_t n) {
+  return [n] { return std::make_unique<Model>(examples::make_chains(n)); };
+}
+
+Factory servo_factory() {
+  return [] { return std::make_unique<Model>(examples::make_servo()); };
+}
+
+/// Stateless diagram whose event times depend on per-lane RNG draws: a
+/// clock driving a jittered EventDelay into a counter, probed periodically.
+/// Lanes diverge immediately but masks absorb it — no continuous state, so
+/// nothing forces an eviction.
+Factory jitter_factory() {
+  return [] {
+    auto m = std::make_unique<Model>();
+    auto& clk = m->add<Clock>("clk", 0.01);
+    auto& d = m->add<EventDelay>("d", uniform_duration(0.001, 0.004));
+    auto& cnt = m->add<EventCounter>("cnt");
+    auto& probe = m->add<Probe>("probe", 1, 0.02);
+    m->connect_event(clk, 0, d, 0);
+    m->connect_event(d, 0, cnt, 0);
+    m->connect(cnt, 0, probe, 0);
+    return m;
+  };
+}
+
+/// Jittered events PLUS continuous state: per-lane event schedules diverge,
+/// so integration boundaries stop being shared and lanes must spill to the
+/// scalar path (which must still reproduce the scalar trace exactly).
+Factory jitter_stateful_factory() {
+  return [] {
+    auto m = std::make_unique<Model>();
+    auto& clk = m->add<Clock>("clk", 0.01);
+    auto& d = m->add<EventDelay>("d", uniform_duration(0.001, 0.004));
+    auto& cnt = m->add<EventCounter>("cnt");
+    auto& sine = m->add<Sine>("sine", 1.0, 5.0);
+    auto& integ = m->add<Integrator>("integ", 0.0);
+    auto& probe = m->add<Probe>("probe", 1, 0.02);
+    m->connect_event(clk, 0, d, 0);
+    m->connect_event(d, 0, cnt, 0);
+    m->connect(sine, 0, integ, 0);
+    m->connect(integ, 0, probe, 0);
+    return m;
+  };
+}
+
+/// A constant-duration delay fed by BOTH the clock (full-mask activations:
+/// the driver arms its shared lockstep execution) and a jittered branch
+/// (per-lane activation times: partial masks). The partial-mask activation
+/// of an armed lockstep block is the eviction cliff — the driver must keep
+/// the larger lane subset and spill the rest, bit-identically.
+Factory lockstep_cliff_factory() {
+  return [] {
+    auto m = std::make_unique<Model>();
+    auto& clk = m->add<Clock>("clk", 0.01);
+    auto& jit = m->add<EventDelay>("jit", uniform_duration(0.001, 0.004));
+    auto& fix = m->add<EventDelay>("fix", 0.0005);
+    auto& cnt = m->add<EventCounter>("cnt");
+    m->connect_event(clk, 0, fix, 0);
+    m->connect_event(clk, 0, jit, 0);
+    m->connect_event(jit, 0, fix, 0);
+    m->connect_event(fix, 0, cnt, 0);
+    return m;
+  };
+}
+
+TEST(BatchedSimTest, StatelessChainsAllLanesBitIdentical) {
+  ExpectLanesMatchScalar(chains_factory(4), SimOptions{.end_time = 0.05},
+                         /*width=*/4, {1, 2, 3, 4});
+}
+
+TEST(BatchedSimTest, PartialBatchRunsFewerLanesThanWidth) {
+  ExpectLanesMatchScalar(chains_factory(3), SimOptions{.end_time = 0.05},
+                         /*width=*/8, {7, 11, 13});
+}
+
+TEST(BatchedSimTest, StatefulServoRk4LockstepBitIdentical) {
+  ExpectLanesMatchScalar(servo_factory(), SimOptions{.end_time = 0.2},
+                         /*width=*/4, {10, 20, 30, 40});
+}
+
+TEST(BatchedSimTest, StatefulServoRkf45PerLaneBitIdentical) {
+  SimOptions base{.end_time = 0.2};
+  base.integrator.kind = IntegratorKind::kRkf45;
+  ExpectLanesMatchScalar(servo_factory(), base, /*width=*/4, {10, 20, 30, 40});
+}
+
+TEST(BatchedSimTest, FullRefreshModeBitIdentical) {
+  SimOptions base{.end_time = 0.1};
+  base.full_refresh = true;
+  ExpectLanesMatchScalar(servo_factory(), base, /*width=*/2, {5, 6});
+}
+
+TEST(BatchedSimTest, DivergentStatelessLanesMaskWithoutEviction) {
+  const Factory f = jitter_factory();
+  BatchedSim bs(f, BatchedOptions{SimOptions{.end_time = 0.5}, 4});
+  bs.run(std::vector<std::uint64_t>{1, 2, 3, 4});
+  EXPECT_EQ(bs.evictions(), 0u);
+  ExpectLanesMatchScalar(f, SimOptions{.end_time = 0.5}, 4, {1, 2, 3, 4});
+}
+
+TEST(BatchedSimTest, DivergentStatefulLanesSpillAndStayBitIdentical) {
+  const Factory f = jitter_stateful_factory();
+  BatchedSim bs(f, BatchedOptions{SimOptions{.end_time = 0.5}, 4});
+  bs.run(std::vector<std::uint64_t>{1, 2, 3, 4});
+  // Jittered delays give each lane its own event times; with continuous
+  // state in the diagram that must force scalar spills.
+  EXPECT_GT(bs.evictions(), 0u);
+  ExpectLanesMatchScalar(f, SimOptions{.end_time = 0.5}, 4, {1, 2, 3, 4});
+}
+
+TEST(BatchedSimTest, LockstepCliffEvictsAndStaysBitIdentical) {
+  const Factory f = lockstep_cliff_factory();
+  BatchedSim bs(f, BatchedOptions{SimOptions{.end_time = 0.05}, 4});
+  bs.run(std::vector<std::uint64_t>{1, 2, 3, 4});
+  EXPECT_GT(bs.evictions(), 0u);
+  ExpectLanesMatchScalar(f, SimOptions{.end_time = 0.05}, 4, {1, 2, 3, 4});
+}
+
+TEST(BatchedSimTest, ParameterVaryingFactoryStaysPerLaneBitIdentical) {
+  // A stateful factory may legally vary block parameters call to call (the
+  // structural check pins shapes only). The uniform single-execution path
+  // must detect the parameter mismatch via describe() and leave the block
+  // per-lane; masks absorb the divergence without evictions.
+  std::size_t calls = 0;
+  const Factory f = [&calls] {
+    auto m = std::make_unique<Model>();
+    auto& clk = m->add<Clock>("clk", 0.01);
+    auto& d = m->add<EventDelay>("d", calls++ % 2 == 0 ? 0.001 : 0.002);
+    auto& cnt = m->add<EventCounter>("cnt");
+    m->connect_event(clk, 0, d, 0);
+    m->connect_event(d, 0, cnt, 0);
+    return m;
+  };
+  BatchedSim bs(f, BatchedOptions{SimOptions{.end_time = 0.05}, 2});
+  bs.run(std::vector<std::uint64_t>{1, 2});
+  EXPECT_EQ(bs.evictions(), 0u);
+  // The factory's parameter cycle has period 2, so continuing to call it
+  // reproduces each lane's exact model for the scalar reference runs.
+  for (std::size_t l = 0; l < 2; ++l) {
+    std::unique_ptr<Model> m = f();
+    SimOptions so{.end_time = 0.05};
+    so.seed = l + 1;
+    Simulator ref(*m, so);
+    ref.run();
+    EXPECT_TRUE(bs.trace(l) == ref.trace()) << "lane " << l;
+    EXPECT_EQ(bs.events_dispatched(l), ref.events_dispatched()) << "lane " << l;
+  }
+}
+
+TEST(BatchedSimTest, SameSeedLanesProduceIdenticalTraces) {
+  BatchedSim bs(chains_factory(2), BatchedOptions{SimOptions{.end_time = 0.05}, 4});
+  bs.run(std::vector<std::uint64_t>{42, 42, 42, 42});
+  for (std::size_t l = 1; l < 4; ++l) {
+    EXPECT_TRUE(bs.trace(l) == bs.trace(0));
+  }
+}
+
+TEST(BatchedSimTest, RunIsRepeatable) {
+  BatchedSim bs(jitter_factory(), BatchedOptions{SimOptions{.end_time = 0.2}, 4});
+  bs.run(std::vector<std::uint64_t>{1, 2, 3, 4});
+  const std::uint64_t d0 = trace_digest(bs.trace(0));
+  const std::uint64_t d3 = trace_digest(bs.trace(3));
+  bs.run(std::vector<std::uint64_t>{1, 2, 3, 4});
+  EXPECT_EQ(trace_digest(bs.trace(0)), d0);
+  EXPECT_EQ(trace_digest(bs.trace(3)), d3);
+}
+
+TEST(BatchedSimTest, DefaultWidthIsPreferredBatchWidth) {
+  BatchedSim bs(chains_factory(1), BatchedOptions{SimOptions{.end_time = 0.01}});
+  EXPECT_EQ(bs.width(), simd::preferred_batch_width());
+}
+
+TEST(BatchedSimTest, RejectsBadWidthAndSeedCounts) {
+  EXPECT_THROW(BatchedSim(chains_factory(1),
+                          BatchedOptions{SimOptions{}, 65}),
+               std::invalid_argument);
+  BatchedSim bs(chains_factory(1), BatchedOptions{SimOptions{.end_time = 0.01}, 2});
+  EXPECT_THROW(bs.run(std::vector<std::uint64_t>{}), std::invalid_argument);
+  EXPECT_THROW(bs.run(std::vector<std::uint64_t>{1, 2, 3}),
+               std::invalid_argument);
+  EXPECT_THROW(bs.trace(1), std::out_of_range);
+}
+
+TEST(BatchedSimTest, RejectsStructurallyDivergentFactory) {
+  int calls = 0;
+  const Factory f = [&calls] {
+    return std::make_unique<Model>(examples::make_chains(calls++ == 0 ? 2 : 3));
+  };
+  EXPECT_THROW(BatchedSim(f, BatchedOptions{SimOptions{}, 2}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecsim::sim

@@ -1,0 +1,113 @@
+#include "simd/pack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "mathlib/rng.hpp"
+
+namespace ecsim::simd {
+namespace {
+
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+std::vector<double> random_doubles(std::size_t n, std::uint64_t seed) {
+  math::Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) {
+    // Mixed magnitudes, signs, and a few exact zeros: the bit-equality
+    // claims must hold across the whole double range the integrator sees.
+    const double m = rng.uniform(-1.0, 1.0);
+    const int e = static_cast<int>(rng.uniform_int(-40, 40));
+    x = rng.bernoulli(0.05) ? 0.0 : std::ldexp(m, e);
+  }
+  return v;
+}
+
+TEST(PackTest, IsaNameMatchesConfiguration) {
+#if defined(ECSIM_SIMD_ISA_AVX2)
+  EXPECT_STREQ(isa_name(), "avx2");
+#elif defined(ECSIM_SIMD_ISA_SSE2)
+  EXPECT_STREQ(isa_name(), "sse2");
+#else
+  EXPECT_STREQ(isa_name(), "scalar");
+#endif
+  EXPECT_GE(preferred_batch_width(), std::size_t{1});
+  EXPECT_LE(preferred_batch_width(), std::size_t{64});
+}
+
+TEST(PackTest, NativePackOpsAreElementwiseBitIdentical) {
+  constexpr std::size_t W = kNativeWidth;
+  using P = pack<W>;
+  const std::vector<double> a = random_doubles(W, 11);
+  const std::vector<double> b = random_doubles(W, 22);
+  double out[W];
+
+  (P::load(a.data()) + P::load(b.data())).store(out);
+  for (std::size_t i = 0; i < W; ++i) EXPECT_TRUE(same_bits(out[i], a[i] + b[i]));
+  (P::load(a.data()) - P::load(b.data())).store(out);
+  for (std::size_t i = 0; i < W; ++i) EXPECT_TRUE(same_bits(out[i], a[i] - b[i]));
+  (P::load(a.data()) * P::load(b.data())).store(out);
+  for (std::size_t i = 0; i < W; ++i) EXPECT_TRUE(same_bits(out[i], a[i] * b[i]));
+  (P::load(a.data()) / P::load(b.data())).store(out);
+  for (std::size_t i = 0; i < W; ++i) EXPECT_TRUE(same_bits(out[i], a[i] / b[i]));
+  P::broadcast(3.25).store(out);
+  for (std::size_t i = 0; i < W; ++i) EXPECT_TRUE(same_bits(out[i], 3.25));
+}
+
+TEST(PackTest, WidePortablePackMatchesScalar) {
+  using P = pack<8>;
+  const std::vector<double> a = random_doubles(8, 7);
+  const std::vector<double> b = random_doubles(8, 8);
+  double out[8];
+  ((P::load(a.data()) * P::load(b.data())) + P::broadcast(0.5)).store(out);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(same_bits(out[i], a[i] * b[i] + 0.5));
+  }
+}
+
+TEST(PackTest, AxpyStageMatchesRk4StageLoopBitwise) {
+  // Odd lengths exercise the scalar tail after the packed body.
+  for (std::size_t n : {std::size_t{1}, std::size_t{3}, std::size_t{4},
+                        std::size_t{7}, std::size_t{16}, std::size_t{33}}) {
+    const std::vector<double> x = random_doubles(n, 100 + n);
+    const std::vector<double> k = random_doubles(n, 200 + n);
+    const double h = 0.00125;
+    const double a = 0.5 * h;
+    std::vector<double> got(n), want(n);
+    axpy_stage(got.data(), x.data(), a, k.data(), n);
+    // Reference: the exact loop body of integrator.cpp's rk4_step.
+    for (std::size_t i = 0; i < n; ++i) want[i] = x[i] + 0.5 * h * k[i];
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(same_bits(got[i], want[i])) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(PackTest, Rk4CombineMatchesScalarLoopBitwise) {
+  for (std::size_t n : {std::size_t{1}, std::size_t{5}, std::size_t{8},
+                        std::size_t{13}, std::size_t{64}}) {
+    std::vector<double> x = random_doubles(n, 1 + n);
+    std::vector<double> want = x;
+    const std::vector<double> k1 = random_doubles(n, 2 + n);
+    const std::vector<double> k2 = random_doubles(n, 3 + n);
+    const std::vector<double> k3 = random_doubles(n, 4 + n);
+    const std::vector<double> k4 = random_doubles(n, 5 + n);
+    const double h = 7.8125e-3;
+    rk4_combine(x.data(), h / 6.0, k1.data(), k2.data(), k3.data(), k4.data(),
+                n);
+    for (std::size_t i = 0; i < n; ++i) {
+      want[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(same_bits(x[i], want[i])) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ecsim::simd

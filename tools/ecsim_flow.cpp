@@ -112,10 +112,10 @@ int usage() {
                "       ecsim_flow sweep <timing|arch> [--threads=N] "
                "[--csv-out=FILE] [--backend=interp|native]\n"
                "       ecsim_flow montecarlo <spec-file> [--threads=N] "
-               "[--trials=N] [--iterations=N] [--seed=N]\n"
+               "[--trials=N] [--iterations=N] [--seed=N] [--batch=W]\n"
                "       ecsim_flow fault <sweep|montecarlo> [--threads=N] "
                "[--csv-out=FILE] [--loss=RATE] [--trials=N] [--seed=N] "
-               "[--backend=interp|native]\n"
+               "[--batch=W] [--backend=interp|native]\n"
                "       ecsim_flow ir <dump|hash> [--example=servo|chains200]\n"
                "       ecsim_flow ledger <show|diff> [--ledger=FILE] "
                "[--bench=FILE] [--scenario=NAME] [--threshold=PCT]\n");
@@ -392,7 +392,7 @@ int cmd_sweep(const std::string& kind, std::size_t threads,
 
 int cmd_fault(const std::string& kind, std::size_t threads,
               const std::string& csv_out, double loss, std::size_t trials,
-              std::uint64_t seed, backend::Kind bk) {
+              std::uint64_t seed, std::size_t batch_width, backend::Kind bk) {
   obs::MetricsRegistry reg;
   par::BatchOptions batch;
   batch.threads = threads;
@@ -437,9 +437,12 @@ int cmd_fault(const std::string& kind, std::size_t threads,
     spec.loss_rate = loss;
     spec.trials = trials;
     spec.base_seed = seed;
+    spec.batch_width = batch_width;  // 0 = auto (SIMD-preferred width)
     const sweep::FaultMonteCarloResult result =
         sweep::run_fault_monte_carlo(spec, batch);
     std::printf("%s", sweep::to_string(result).c_str());
+    std::printf("batch width %zu, 0 evictions, %.4g trials/s (%.3g s)\n",
+                result.batch_width, result.trials_per_s, result.wall_s);
     print_sweep_telemetry(reg, bk);
     if (!csv_out.empty()) {
       if (!write_file(csv_out, sweep::to_csv(result.cells))) {
@@ -454,12 +457,14 @@ int cmd_fault(const std::string& kind, std::size_t threads,
 }
 
 int cmd_montecarlo(const Flow& f, std::size_t threads, std::size_t trials,
-                   std::size_t iterations, std::uint64_t seed) {
+                   std::size_t iterations, std::uint64_t seed,
+                   std::size_t batch_width) {
   const aaa::GeneratedCode code =
       aaa::generate_executives(f.spec.algorithm, f.spec.architecture, f.sched);
   sweep::MonteCarloSpec spec;
   spec.trials = trials;
   spec.iterations = iterations;
+  spec.batch_width = batch_width;  // 0 = auto (SIMD-preferred width)
   par::BatchOptions batch;
   batch.threads = threads;
   batch.seed = seed;
@@ -468,6 +473,10 @@ int cmd_montecarlo(const Flow& f, std::size_t threads, std::size_t trials,
   const sweep::MonteCarloResult result = sweep::run_monte_carlo(
       f.spec.algorithm, f.spec.architecture, f.sched, code, spec, batch);
   std::printf("%s", sweep::to_string(result).c_str());
+  // VM trials execute on the scalar executive, so no lane is ever evicted;
+  // the count is printed for parity with the simulator-level batched MC.
+  std::printf("batch width %zu, 0 evictions, %.4g trials/s (%.3g s)\n",
+              result.batch_width, result.trials_per_s, result.wall_s);
   return result.deadlocks == 0 ? 0 : 1;
 }
 
@@ -484,6 +493,7 @@ int main(int argc, char** argv) {
   double threshold_pct = 10.0;
   backend::Kind bk = backend::Kind::kInterp;
   std::size_t threads = 0, trials = 200, iterations = 50;
+  std::size_t batch_width = 0;  // trials per task; 0 = auto (SIMD width)
   std::uint64_t seed = 1;
   double loss = 0.1;
   for (int i = 3; i < argc; ++i) {
@@ -498,6 +508,8 @@ int main(int argc, char** argv) {
       threads = std::stoul(arg.substr(10));
     } else if (arg.rfind("--trials=", 0) == 0) {
       trials = std::stoul(arg.substr(9));
+    } else if (arg.rfind("--batch=", 0) == 0) {
+      batch_width = std::stoul(arg.substr(8));
     } else if (arg.rfind("--iterations=", 0) == 0) {
       iterations = std::stoul(arg.substr(13));
     } else if (arg.rfind("--seed=", 0) == 0) {
@@ -556,7 +568,7 @@ int main(int argc, char** argv) {
       // A full co-simulation per trial: default to 32 trials, not the VM
       // Monte Carlo's 200, unless the user asked explicitly.
       return cmd_fault(spec_path, threads, csv_out, loss,
-                       trials == 200 ? 32 : trials, seed, bk);
+                       trials == 200 ? 32 : trials, seed, batch_width, bk);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "ecsim_flow: %s\n", e.what());
       return 1;
@@ -592,7 +604,8 @@ int main(int argc, char** argv) {
                             .c_str());
       rc = 0;
     } else if (command == "montecarlo") {
-      rc = cmd_montecarlo(flow, threads, trials, iterations, seed);
+      rc = cmd_montecarlo(flow, threads, trials, iterations, seed,
+                          batch_width);
     } else {
       return usage();
     }
