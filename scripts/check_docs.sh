@@ -79,7 +79,10 @@ done
 # --- 4. contract flags ----------------------------------------------------
 # Flags that are part of the documented CLI contract: each must be present
 # in the usage text AND shown on an ecsim_flow command line in the docs.
-CONTRACT_FLAGS=(--batch --trials --threads)
+# --socket/--connect are the two halves of the sweep-service contract
+# (serve side / client side) — documenting one without the other, or
+# dropping either from the CLI, fails here.
+CONTRACT_FLAGS=(--batch --trials --threads --socket --connect)
 for flag in "${CONTRACT_FLAGS[@]}"; do
   if ! grep -qF -- "$flag" <<<"$usage_text"; then
     echo "FAIL: contract flag '${flag}' missing from ecsim_flow usage text"

@@ -183,6 +183,11 @@ std::string to_json_line(const LedgerRecord& r) {
   field_num(out, "events_per_s", r.events_per_s);
   out += ", ";
   field_num(out, "trials_per_s", r.trials_per_s);
+  if (r.served_from_cache >= 0) {
+    out += ", ";
+    field_u64(out, "served_from_cache",
+              static_cast<std::uint64_t>(r.served_from_cache));
+  }
   out += ", \"metrics\": ";
   out += r.metrics_json.empty() ? "{}" : r.metrics_json;
   out += "}";
@@ -212,6 +217,9 @@ bool parse_json_line(const std::string& line, LedgerRecord& out) {
   get_u64(line, "events", r.events);
   get_number(line, "events_per_s", r.events_per_s);
   get_number(line, "trials_per_s", r.trials_per_s);  // absent in v1 -> 0
+  if (get_number(line, "served_from_cache", v)) {    // absent pre-v3 -> -1
+    r.served_from_cache = v != 0.0 ? 1 : 0;
+  }
   if (!get_object(line, "metrics", r.metrics_json)) r.metrics_json = "{}";
   out = std::move(r);
   return true;
@@ -271,6 +279,20 @@ std::vector<LedgerRecord> read_ledger_file(const std::string& path) {
     if (parse_json_line(line, r)) out.push_back(std::move(r));
   }
   return out;
+}
+
+CacheSummary summarize_cache(const std::vector<LedgerRecord>& records) {
+  CacheSummary s;
+  for (const LedgerRecord& r : records) {
+    if (r.served_from_cache < 0) {
+      ++s.untagged;
+    } else if (r.served_from_cache > 0) {
+      ++s.served;
+    } else {
+      ++s.computed;
+    }
+  }
+  return s;
 }
 
 LedgerDiff diff_latest_against_bench(const std::vector<LedgerRecord>& records,

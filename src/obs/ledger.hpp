@@ -32,7 +32,12 @@ namespace ecsim::obs {
 ///
 /// v2 (PR 8): adds `trials_per_s` — Monte Carlo throughput for batched
 /// trial runs. v1 lines parse fine (the field defaults to 0).
-inline constexpr int kLedgerSchemaVersion = 2;
+///
+/// v3 (PR 9): adds `served_from_cache` — whether a sweep-service request was
+/// answered entirely out of the daemon's result cache. The field is
+/// tri-state and only WRITTEN when it applies (daemon-stamped records);
+/// v1/v2 lines and non-service v3 lines parse with it absent (-1).
+inline constexpr int kLedgerSchemaVersion = 3;
 inline constexpr int kLedgerOldestReadableVersion = 1;
 
 struct LedgerRecord {
@@ -57,6 +62,11 @@ struct LedgerRecord {
   /// Monte Carlo throughput (completed trials per second) for batched trial
   /// runs; 0 for single runs. Schema v2.
   double trials_per_s = 0.0;
+  /// Schema v3, sweep-service records only: 1 when every work unit of the
+  /// request came out of the daemon's result cache, 0 when at least one was
+  /// computed. -1 = not applicable (non-service run / older schema); the
+  /// JSON field is omitted in that case.
+  int served_from_cache = -1;
   /// Single-line JSON snapshot of the attached sim MetricsRegistry
   /// ("{}" when none was attached).
   std::string metrics_json = "{}";
@@ -101,6 +111,25 @@ class Ledger {
 
 /// Read every parseable record of a ledger JSONL file (missing file → empty).
 std::vector<LedgerRecord> read_ledger_file(const std::string& path);
+
+/// Aggregate of the served_from_cache column over a record set — the
+/// `ecsim_flow ledger show --cache` summary. Records where the field is
+/// absent (v1/v2 lines, non-service runs) count as `untagged` and stay out
+/// of the hit-rate denominator.
+struct CacheSummary {
+  std::size_t served = 0;    // served_from_cache == 1
+  std::size_t computed = 0;  // served_from_cache == 0
+  std::size_t untagged = 0;  // field absent (-1)
+  /// served / (served + computed); 0 when no tagged records exist.
+  double hit_rate() const {
+    const std::size_t tagged = served + computed;
+    return tagged == 0 ? 0.0
+                       : static_cast<double>(served) /
+                             static_cast<double>(tagged);
+  }
+};
+
+CacheSummary summarize_cache(const std::vector<LedgerRecord>& records);
 
 /// Outcome of comparing the latest comparable ledger record against a
 /// committed benchmark figure.

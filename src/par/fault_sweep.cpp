@@ -21,11 +21,9 @@ FaultCell evaluate_cell(const translate::LoopSpec& loop,
                         double delay_probability, const std::string& medium,
                         std::uint64_t fault_seed) {
   translate::DistributedSpec dist = base;
-  fault::FaultPlan plan;
-  plan.seed = fault_seed;
-  if (loss_rate > 0.0) plan.message_loss(medium, loss_rate);
-  if (delay > 0.0) plan.message_delay(medium, delay_probability, delay);
-  dist.god.fault_plan = plan;  // empty at (0,0): bit-identical to fault-free
+  // empty at (0,0): bit-identical to fault-free
+  dist.god.fault_plan =
+      fault_cell_plan(medium, loss_rate, delay, delay_probability, fault_seed);
 
   const translate::CosimOutcome out =
       translate::run_distributed_loop(loop, dist);
@@ -45,6 +43,16 @@ FaultCell evaluate_cell(const translate::LoopSpec& loop,
 }
 
 }  // namespace
+
+fault::FaultPlan fault_cell_plan(const std::string& medium, double loss_rate,
+                                 double delay, double delay_probability,
+                                 std::uint64_t seed) {
+  fault::FaultPlan plan;
+  plan.seed = seed;
+  if (loss_rate > 0.0) plan.message_loss(medium, loss_rate);
+  if (delay > 0.0) plan.message_delay(medium, delay_probability, delay);
+  return plan;
+}
 
 std::vector<FaultCell> run_fault_sweep(const FaultGrid& grid,
                                        const par::BatchOptions& batch) {
@@ -103,19 +111,30 @@ FaultMonteCarloResult run_fault_monte_carlo(const FaultMonteCarloSpec& spec,
         }
         return outs;
       });
-  result.wall_s =
+  const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  result.trials_per_s =
-      result.wall_s > 0.0
-          ? static_cast<double>(spec.trials) / result.wall_s
-          : 0.0;
-  result.cells.reserve(spec.trials);
+  std::vector<FaultCell> cells;
+  cells.reserve(spec.trials);
   for (const std::vector<FaultCell>& shard : shards) {
-    for (const FaultCell& c : shard) result.cells.push_back(c);
+    for (const FaultCell& c : shard) cells.push_back(c);
   }
+  const std::size_t batch_width = result.batch_width;
+  result = summarize_fault_trials(std::move(cells), spec.loss_rate);
+  result.batch_width = batch_width;
+  result.wall_s = wall_s;
+  result.trials_per_s =
+      wall_s > 0.0 ? static_cast<double>(spec.trials) / wall_s : 0.0;
+  return result;
+}
+
+FaultMonteCarloResult summarize_fault_trials(std::vector<FaultCell> cells,
+                                             double loss_rate) {
+  FaultMonteCarloResult result;
+  result.trials = cells.size();
+  result.loss_rate = loss_rate;
   std::vector<double> cost, iae, lost;
-  for (const FaultCell& c : result.cells) {
+  for (const FaultCell& c : cells) {
     lost.push_back(static_cast<double>(c.messages_lost));
     if (!c.stable) {
       ++result.unstable_trials;
@@ -127,6 +146,7 @@ FaultMonteCarloResult run_fault_monte_carlo(const FaultMonteCarloSpec& spec,
   result.cost = math::summarize(cost);
   result.iae = math::summarize(iae);
   result.messages_lost = math::summarize(lost);
+  result.cells = std::move(cells);
   return result;
 }
 

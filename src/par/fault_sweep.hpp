@@ -59,6 +59,15 @@ struct FaultGrid {
 std::vector<FaultCell> run_fault_sweep(const FaultGrid& grid,
                                        const par::BatchOptions& batch = {});
 
+/// The per-cell fault plan every consumer arms: loss `loss_rate` and a
+/// `delay_probability`-gated extra `delay` on `medium`, seeded with `seed`.
+/// Exposed so the sweep service (src/svc) can compute fault::hash of the
+/// exact plan a cached cell ran under — drift between this builder and the
+/// sweep would silently split the cache key space, never corrupt results.
+fault::FaultPlan fault_cell_plan(const std::string& medium, double loss_rate,
+                                 double delay, double delay_probability,
+                                 std::uint64_t seed);
+
 /// Monte Carlo dropout study: `trials` runs at one loss rate, trial t using
 /// fault seed base_seed + t — the distribution of control cost under
 /// message loss, not just one draw.
@@ -90,6 +99,13 @@ struct FaultMonteCarloResult {
 
 FaultMonteCarloResult run_fault_monte_carlo(
     const FaultMonteCarloSpec& spec, const par::BatchOptions& batch = {});
+
+/// Reduce per-trial cells (trial order) into the distribution result —
+/// summaries over stable trials, loss accounting over all. Shared by
+/// run_fault_monte_carlo and the sweep-service client, which reassembles
+/// the same statistics from daemon-served cells. Timing fields stay 0.
+FaultMonteCarloResult summarize_fault_trials(std::vector<FaultCell> cells,
+                                             double loss_rate);
 
 /// Machine-readable dump, one row per cell, header included.
 std::string to_csv(const std::vector<FaultCell>& cells);

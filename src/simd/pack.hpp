@@ -151,10 +151,15 @@ inline constexpr std::size_t kNativeWidth = 4;
 
 /// Default batch width for the lockstep Monte Carlo engine ("auto" in the
 /// CLI). Wider than one register on purpose: the win comes from amortising
-/// the event-queue/dispatch machinery across lanes, and 8 lanes keep two
-/// AVX2 registers in flight per stage without blowing the L1 footprint of
-/// per-lane arenas.
-constexpr std::size_t preferred_batch_width() { return 8; }
+/// the event-queue/dispatch machinery across lanes — two registers in
+/// flight per stage is the sweet spot. Hard-capped at 8 regardless of ISA:
+/// BENCH_p8 showed throughput collapsing at W >= 16 when the per-lane
+/// CompiledModel arenas outgrow L2, so "auto" must never follow a wider
+/// vector unit past that cliff (pinned by tests/simd/test_pack.cpp).
+constexpr std::size_t preferred_batch_width() {
+  constexpr std::size_t two_registers = kNativeWidth * 2;
+  return two_registers < 8 ? two_registers : 8;
+}
 
 // ---- stage kernels ----------------------------------------------------------
 // dst[i] = x[i] + a * k[i] — the RK4 stage-advance shape. Operand grouping

@@ -1,0 +1,99 @@
+#include "svc/cache_key.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "fault/fault_plan.hpp"
+#include "par/fault_sweep.hpp"
+
+namespace ecsim::svc {
+
+std::string ResultKey::canonical() const {
+  char buf[64];
+  std::string out = "k1|";
+  out += model_hash;
+  out += '|';
+  out += backend;
+  out += '|';
+  out += std::to_string(seed);
+  std::snprintf(buf, sizeof buf, "|0x%016llx|",
+                static_cast<unsigned long long>(fault_hash));
+  out += buf;
+  out += params;
+  return out;
+}
+
+ResultKey unit_key(const Request& req, const std::string& model_hash,
+                   std::size_t unit) {
+  if (unit >= req.units()) {
+    throw std::out_of_range("unit_key: unit beyond request");
+  }
+  ResultKey key;
+  key.model_hash = model_hash;
+  key.backend = req.backend;
+  key.seed = req.seed;
+  std::string p = "v=";
+  p += to_string(req.verb);
+  p += ";ts=";
+  p += hexfloat(req.ts);
+  p += ";te=";
+  p += hexfloat(req.t_end);
+  const auto cell_coords = [&](const char* row_name, const char* col_name) {
+    const std::size_t cols = req.cols.size();
+    p += ';';
+    p += row_name;
+    p += '=';
+    p += hexfloat(req.rows[unit / cols]);
+    p += ';';
+    p += col_name;
+    p += '=';
+    p += hexfloat(req.cols[unit % cols]);
+  };
+  switch (req.verb) {
+    case Verb::kSweepTiming:
+      cell_coords("la", "j");
+      break;
+    case Verb::kSweepArch:
+      cell_coords("bw", "ws");
+      break;
+    case Verb::kFaultSweep: {
+      cell_coords("loss", "delay");
+      const std::size_t cols = req.cols.size();
+      key.fault_hash = fault::hash(sweep::fault_cell_plan(
+          /*medium=*/"", req.rows[unit / cols], req.cols[unit % cols],
+          /*delay_probability=*/1.0, req.seed));
+      break;
+    }
+    case Verb::kFaultMc: {
+      // The trial's EFFECTIVE seed keys the unit: trial t of base seed b is
+      // the same simulation as trial 0 of base seed b+t, so overlapping
+      // Monte Carlo ranges share cache entries instead of recomputing.
+      key.seed = req.seed + static_cast<std::uint64_t>(unit);
+      key.fault_hash = fault::hash(sweep::fault_cell_plan(
+          /*medium=*/"", req.loss, /*delay=*/0.0, /*delay_probability=*/1.0,
+          key.seed));
+      p += ";loss=";
+      p += hexfloat(req.loss);
+      break;
+    }
+    case Verb::kVmMc:
+      p += ";trials=";
+      p += std::to_string(req.trials);
+      p += ";iters=";
+      p += std::to_string(req.iterations);
+      break;
+    default:
+      throw std::invalid_argument("unit_key: verb has no work units");
+  }
+  key.params = std::move(p);
+  return key;
+}
+
+std::string spec_content_hash(const std::string& spec_text) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "spec:0x%016llx",
+                static_cast<unsigned long long>(fnv1a(spec_text)));
+  return buf;
+}
+
+}  // namespace ecsim::svc

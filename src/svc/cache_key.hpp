@@ -1,0 +1,46 @@
+// Canonical result-cache keys (DESIGN.md §3.9). A daemon-served work unit is
+// memoizable because its outcome is a pure function of
+//   (model IR hash, backend, seed, fault::hash, request parameters)
+// — the bit-identical determinism contracts of PRs 3/5/8. The key is the
+// canonical rendering of exactly that tuple; doubles render as hexfloats
+// ("%a", exact for every finite value), so a key survives any number of
+// request serialize/parse round-trips unchanged (property-tested in
+// tests/svc/test_cache_key.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "svc/protocol.hpp"
+
+namespace ecsim::svc {
+
+struct ResultKey {
+  std::string model_hash;  // ir::hash_hex of the loop model / spec text hash
+  std::string backend;     // "interp" | "native"
+  std::uint64_t seed = 0;  // the unit's EFFECTIVE seed (fault_mc: base+trial)
+  std::uint64_t fault_hash = 0;  // fault::hash of the unit's armed plan
+  std::string params;            // verb + canonical per-unit parameters
+
+  /// One-line canonical form — the literal cache key. Fields are joined with
+  /// '|'; none of the components can contain it (hashes are hex, backend is
+  /// an enum name, params use ';'/'=').
+  std::string canonical() const;
+
+  bool operator==(const ResultKey& o) const {
+    return model_hash == o.model_hash && backend == o.backend &&
+           seed == o.seed && fault_hash == o.fault_hash && params == o.params;
+  }
+};
+
+/// Key of work unit `unit` of `req` (row-major cell index for sweeps, trial
+/// index for fault Monte Carlo, 0 for VM Monte Carlo). `model_hash` is the
+/// loop-IR hash / spec-content hash the server resolved for the request.
+/// Pure: both the daemon and the property tests call it.
+ResultKey unit_key(const Request& req, const std::string& model_hash,
+                   std::size_t unit);
+
+/// Content hash of an uploaded VM Monte Carlo spec text: "spec:0x…".
+std::string spec_content_hash(const std::string& spec_text);
+
+}  // namespace ecsim::svc

@@ -1,0 +1,72 @@
+#include "svc/result_cache.hpp"
+
+namespace ecsim::svc {
+
+namespace {
+std::size_t entry_bytes(const std::string& key, const std::string& payload) {
+  return key.size() + payload.size();
+}
+}  // namespace
+
+ResultCache::ResultCache(std::size_t capacity_bytes,
+                         obs::MetricsRegistry* metrics)
+    : capacity_(capacity_bytes) {
+  if (metrics != nullptr) {
+    hit_ctr_ = &metrics->counter("svc.cache.hits");
+    miss_ctr_ = &metrics->counter("svc.cache.misses");
+    evict_ctr_ = &metrics->counter("svc.cache.evictions");
+    bytes_gauge_ = &metrics->gauge("svc.cache.bytes");
+  }
+}
+
+bool ResultCache::get(const std::string& key, std::string& payload) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    if (miss_ctr_ != nullptr) miss_ctr_->add();
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  payload = it->second->payload;
+  ++hits_;
+  if (hit_ctr_ != nullptr) hit_ctr_->add();
+  return true;
+}
+
+void ResultCache::put(const std::string& key, const std::string& payload) {
+  const std::size_t incoming = entry_bytes(key, payload);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Determinism makes a same-key overwrite byte-identical in practice, but
+    // honor it anyway: refresh recency and the byte accounting.
+    bytes_ -= entry_bytes(it->second->key, it->second->payload);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->payload = payload;
+    bytes_ += incoming;
+  } else {
+    if (incoming > capacity_) {
+      if (bytes_gauge_ != nullptr) {
+        bytes_gauge_->set(static_cast<double>(bytes_));
+      }
+      return;  // would evict everything and still not fit
+    }
+    evict_to_fit(incoming);
+    lru_.push_front(Entry{key, payload});
+    index_.emplace(key, lru_.begin());
+    bytes_ += incoming;
+  }
+  if (bytes_gauge_ != nullptr) bytes_gauge_->set(static_cast<double>(bytes_));
+}
+
+void ResultCache::evict_to_fit(std::size_t incoming_bytes) {
+  while (!lru_.empty() && bytes_ + incoming_bytes > capacity_) {
+    const Entry& victim = lru_.back();
+    bytes_ -= entry_bytes(victim.key, victim.payload);
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+    if (evict_ctr_ != nullptr) evict_ctr_->add();
+  }
+}
+
+}  // namespace ecsim::svc

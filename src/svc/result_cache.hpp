@@ -1,0 +1,63 @@
+// Bounded LRU result cache of the sweep service (DESIGN.md §3.9): canonical
+// unit key -> bit-exact encoded result payload. Soundness rests on the
+// determinism contracts of PRs 3/5/8 — a key's payload is THE result, not a
+// sample of it — so a hit is byte-identical to a recompute and serving from
+// cache cannot change any answer, only its latency.
+//
+// The byte budget covers keys + payloads; insertion evicts least-recently-
+// used entries until the new entry fits. Hit/miss/eviction counters are
+// mirrored into an obs::MetricsRegistry when one is attached
+// (svc.cache.hits / svc.cache.misses / svc.cache.evictions, plus the
+// svc.cache.bytes gauge) so `ecsim_flow serve` telemetry rides the standard
+// metrics pipeline.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "obs/metrics.hpp"
+
+namespace ecsim::svc {
+
+class ResultCache {
+ public:
+  explicit ResultCache(std::size_t capacity_bytes,
+                       obs::MetricsRegistry* metrics = nullptr);
+
+  /// True + copies the payload on a hit (the entry becomes most recent).
+  bool get(const std::string& key, std::string& payload);
+
+  /// Insert/overwrite. An entry larger than the whole budget is simply not
+  /// retained (it still counted as a miss on the failed get).
+  void put(const std::string& key, const std::string& payload);
+
+  std::size_t size() const { return index_.size(); }
+  std::size_t bytes() const { return bytes_; }
+  std::size_t capacity_bytes() const { return capacity_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string payload;
+  };
+  using Lru = std::list<Entry>;
+
+  void evict_to_fit(std::size_t incoming_bytes);
+
+  std::size_t capacity_;
+  std::size_t bytes_ = 0;
+  Lru lru_;  // front = most recently used
+  std::unordered_map<std::string, Lru::iterator> index_;
+  std::uint64_t hits_ = 0, misses_ = 0, evictions_ = 0;
+  obs::Counter* hit_ctr_ = nullptr;
+  obs::Counter* miss_ctr_ = nullptr;
+  obs::Counter* evict_ctr_ = nullptr;
+  obs::Gauge* bytes_gauge_ = nullptr;
+};
+
+}  // namespace ecsim::svc

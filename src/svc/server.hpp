@@ -1,0 +1,49 @@
+// The sweep-service daemon (DESIGN.md §3.9): `ecsim_flow serve` binds a
+// unix-domain socket, forks N worker processes and answers framed requests
+// (svc/protocol.hpp) with memoized, bit-exact sweep/Monte-Carlo results.
+//
+// Master process: accepts one client connection at a time, decomposes each
+// request into work units, probes the LRU result cache (svc/result_cache.hpp)
+// and shards only the misses across the workers over per-worker socketpairs.
+// Replies merge in unit order, so a daemon-served grid is byte-identical to
+// the serial in-process reference — the determinism contracts of PRs 3/5/8
+// make every unit a pure function of the cache key. A worker that dies
+// mid-request (EOF/EPIPE on its pipe) is detected, its units are re-dispatched
+// ONCE to a surviving worker, and a replacement is forked before the next
+// request; a second failure fails the request rather than looping.
+//
+// Workers: blocking frame loop on the inherited socketpair. They ignore
+// SIGINT/SIGTERM and exit when the master closes the pipe, so a SIGTERM to
+// the master drains cleanly: stop accepting, close worker pipes, reap
+// children, unlink the socket, exit 0.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "svc/protocol.hpp"
+#include "svc/warm_cache.hpp"
+
+namespace ecsim::svc {
+
+struct ServeOptions {
+  std::string socket_path;
+  std::size_t workers = 1;     // forked worker processes
+  std::size_t cache_mb = 64;   // result-cache byte budget
+  std::string ledger_path;     // "" = obs::Ledger::global() destination
+  bool verbose = false;        // per-request stderr log lines
+};
+
+/// Run the daemon until SIGTERM/SIGINT. Returns the process exit code
+/// (0 on a clean drain). Not re-entrant: installs signal handlers.
+int run_server(const ServeOptions& opts);
+
+/// Compute one work unit of `req` in-process and return its encoded payload
+/// (the exact bytes the result cache stores). Shared by the workers, the
+/// fallback path and the tests — there is exactly one evaluation routine, so
+/// cached, daemon-computed and in-process results cannot diverge.
+std::string evaluate_unit(const Request& req, std::size_t unit,
+                          WarmCache& warm);
+
+}  // namespace ecsim::svc

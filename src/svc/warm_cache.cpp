@@ -1,0 +1,65 @@
+#include "svc/warm_cache.hpp"
+
+#include <stdexcept>
+
+#include "aaa/adequation.hpp"
+#include "ir/ir.hpp"
+#include "par/sweep.hpp"
+#include "svc/cache_key.hpp"
+#include "svc/protocol.hpp"
+
+namespace ecsim::svc {
+
+WarmCache::WarmCache(obs::MetricsRegistry* metrics) {
+  if (metrics != nullptr) {
+    hit_ctr_ = &metrics->counter("svc.warm.hits");
+    miss_ctr_ = &metrics->counter("svc.warm.misses");
+  }
+}
+
+const WarmLoop& WarmCache::loop(double ts, double t_end, std::uint64_t seed) {
+  std::string key = hexfloat(ts);
+  key += '|';
+  key += hexfloat(t_end);
+  key += '|';
+  key += std::to_string(seed);
+  const auto it = loops_.find(key);
+  if (it != loops_.end()) {
+    ++hits_;
+    if (hit_ctr_ != nullptr) hit_ctr_->add();
+    return it->second;
+  }
+  ++misses_;
+  if (miss_ctr_ != nullptr) miss_ctr_->add();
+  WarmLoop entry;
+  entry.loop = sweep::servo_loop(ts, t_end);
+  entry.loop.seed = seed;
+  entry.ir_hash = ir::hash_hex(translate::loop_ir(entry.loop));
+  return loops_.emplace(std::move(key), std::move(entry)).first->second;
+}
+
+const WarmSpec& WarmCache::spec(const std::string& spec_text) {
+  std::string key = spec_content_hash(spec_text);
+  const auto it = specs_.find(key);
+  if (it != specs_.end()) {
+    ++hits_;
+    if (hit_ctr_ != nullptr) hit_ctr_->add();
+    return it->second;
+  }
+  ++misses_;
+  if (miss_ctr_ != nullptr) miss_ctr_->add();
+  WarmSpec entry;
+  entry.spec = io::parse_spec(spec_text);
+  if (!entry.spec.has_algorithm || !entry.spec.has_architecture) {
+    throw std::runtime_error(
+        "svc: spec needs [algorithm] and [architecture] sections");
+  }
+  entry.sched = aaa::adequate(entry.spec.algorithm, entry.spec.architecture);
+  entry.sched.validate(entry.spec.algorithm, entry.spec.architecture);
+  entry.code = aaa::generate_executives(entry.spec.algorithm,
+                                        entry.spec.architecture, entry.sched);
+  entry.content_hash = key;
+  return specs_.emplace(std::move(key), std::move(entry)).first->second;
+}
+
+}  // namespace ecsim::svc

@@ -1,0 +1,65 @@
+// Warm model registry of the sweep service (DESIGN.md §3.9): the expensive
+// per-request setup — building the servo LoopSpec and hashing its Model IR,
+// or parsing an uploaded spec, running the adequation and generating the
+// executives — is done once per distinct model and kept hot for the daemon's
+// lifetime. The native-backend module cache (PR 6) already persists compiled
+// .so modules on disk keyed by IR hash and memoizes dlopen handles
+// per-process, so long-lived workers stay warm at that layer for free; this
+// registry adds the layers above it. Warm entries are identity-keyed
+// (parameters / content hash), never capacity-bounded: a daemon serves a
+// handful of distinct models but millions of units of them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "aaa/codegen.hpp"
+#include "io/spec.hpp"
+#include "obs/metrics.hpp"
+#include "translate/cosim.hpp"
+
+namespace ecsim::svc {
+
+/// The assembled servo loop of one (ts, t_end, seed) triple and the
+/// canonical IR hash of its ideal-clocked model. `loop.backend` is left at
+/// the default — callers stamp the request's backend on a copy, which does
+/// not change the model IR.
+struct WarmLoop {
+  translate::LoopSpec loop;
+  std::string ir_hash;  // ir::hash_hex(translate::loop_ir(loop))
+};
+
+/// One uploaded VM Monte Carlo spec taken through parse -> adequation ->
+/// codegen, keyed by its content hash ("spec:0x…").
+struct WarmSpec {
+  io::ParsedSpec spec;
+  aaa::Schedule sched{0, 0};
+  aaa::GeneratedCode code;
+  std::string content_hash;
+};
+
+class WarmCache {
+ public:
+  explicit WarmCache(obs::MetricsRegistry* metrics = nullptr);
+
+  /// Find-or-build; the returned reference is stable for the cache's life
+  /// (node-based map). Throws what loop assembly throws on first build.
+  const WarmLoop& loop(double ts, double t_end, std::uint64_t seed);
+
+  /// Find-or-build from spec text. Throws io::SpecParseError /
+  /// std::runtime_error on malformed or incomplete specs (first build only).
+  const WarmSpec& spec(const std::string& spec_text);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  std::map<std::string, WarmLoop> loops_;
+  std::map<std::string, WarmSpec> specs_;
+  std::uint64_t hits_ = 0, misses_ = 0;
+  obs::Counter* hit_ctr_ = nullptr;
+  obs::Counter* miss_ctr_ = nullptr;
+};
+
+}  // namespace ecsim::svc

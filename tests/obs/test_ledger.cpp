@@ -37,9 +37,21 @@ LedgerRecord sample_record() {
   return r;
 }
 
-/// A schema-v1 line as PR-7 builds wrote it: no trials_per_s field.
-std::string v1_json_line(const LedgerRecord& r) {
+/// A schema-v2 line as PR-8 builds wrote it: trials_per_s present,
+/// served_from_cache not yet invented (to_json_line already omits it for
+/// non-service records, so only the version number differs).
+std::string v2_json_line(const LedgerRecord& r) {
   std::string line = to_json_line(r);
+  const auto pos = line.find("\"schema_version\": 3");
+  EXPECT_NE(pos, std::string::npos);
+  line.replace(pos, std::string("\"schema_version\": 3").size(),
+               "\"schema_version\": 2");
+  return line;
+}
+
+/// A schema-v1 line as PR-7 builds wrote it: no trials_per_s field either.
+std::string v1_json_line(const LedgerRecord& r) {
+  std::string line = v2_json_line(r);
   const auto pos = line.find("\"schema_version\": 2");
   EXPECT_NE(pos, std::string::npos);
   line.replace(pos, std::string("\"schema_version\": 2").size(),
@@ -56,7 +68,9 @@ TEST(LedgerRecord, JsonLineRoundTripIsExact) {
   const std::string line = to_json_line(r);
   // One object per line: the serialized form must never embed a newline.
   EXPECT_EQ(line.find('\n'), std::string::npos);
-  EXPECT_NE(line.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(line.find("\"schema_version\": 3"), std::string::npos);
+  // Not a service record: the tri-state field stays out of the JSON.
+  EXPECT_EQ(line.find("served_from_cache"), std::string::npos);
 
   LedgerRecord back;
   ASSERT_TRUE(parse_json_line(line, back));
@@ -73,7 +87,21 @@ TEST(LedgerRecord, JsonLineRoundTripIsExact) {
   EXPECT_EQ(back.events, r.events);
   EXPECT_DOUBLE_EQ(back.events_per_s, r.events_per_s);
   EXPECT_DOUBLE_EQ(back.trials_per_s, r.trials_per_s);
+  EXPECT_EQ(back.served_from_cache, -1);
   EXPECT_EQ(back.metrics_json, r.metrics_json);
+}
+
+TEST(LedgerRecord, ServedFromCacheTriStateRoundTrips) {
+  for (int v : {0, 1}) {
+    LedgerRecord r = sample_record();
+    r.served_from_cache = v;
+    const std::string line = to_json_line(r);
+    EXPECT_NE(line.find("\"served_from_cache\": " + std::to_string(v)),
+              std::string::npos);
+    LedgerRecord back;
+    ASSERT_TRUE(parse_json_line(line, back));
+    EXPECT_EQ(back.served_from_cache, v);
+  }
 }
 
 TEST(LedgerRecord, V1LinesStillParseWithZeroTrialsPerS) {
@@ -87,29 +115,63 @@ TEST(LedgerRecord, V1LinesStillParseWithZeroTrialsPerS) {
   EXPECT_DOUBLE_EQ(back.trials_per_s, 0.0);  // field is schema v2
 }
 
-TEST(Ledger, MixedV1V2FileRoundTrips) {
-  // Ledgers are append-only: a PR-7 file continued by this build holds both
-  // schema versions, and every line must read back.
+TEST(Ledger, MixedV1V2V3FileRoundTrips) {
+  // Ledgers are append-only: a PR-7 file continued through PR-8 and this
+  // build holds all three schema versions, and every line must read back —
+  // with the v3-only served_from_cache field absent (-1) on the old lines.
   const std::string path = ::testing::TempDir() + "ecsim_mixed_ledger.jsonl";
   std::remove(path.c_str());
   {
     std::ofstream out(path);
     LedgerRecord v1 = sample_record();
-    v1.model = "old-run";
+    v1.model = "pr7-run";
     out << v1_json_line(v1) << '\n';
     LedgerRecord v2 = sample_record();
-    v2.model = "new-run";
-    out << to_json_line(v2) << '\n';
+    v2.model = "pr8-run";
+    out << v2_json_line(v2) << '\n';
+    LedgerRecord v3 = sample_record();
+    v3.model = "svc-run";
+    v3.served_from_cache = 1;
+    out << to_json_line(v3) << '\n';
   }
   const std::vector<LedgerRecord> got = read_ledger_file(path);
-  ASSERT_EQ(got.size(), 2u);
+  ASSERT_EQ(got.size(), 3u);
   EXPECT_EQ(got[0].schema_version, 1);
-  EXPECT_EQ(got[0].model, "old-run");
+  EXPECT_EQ(got[0].model, "pr7-run");
   EXPECT_DOUBLE_EQ(got[0].trials_per_s, 0.0);
+  EXPECT_EQ(got[0].served_from_cache, -1);
   EXPECT_EQ(got[1].schema_version, 2);
-  EXPECT_EQ(got[1].model, "new-run");
   EXPECT_DOUBLE_EQ(got[1].trials_per_s, sample_record().trials_per_s);
+  EXPECT_EQ(got[1].served_from_cache, -1);
+  EXPECT_EQ(got[2].schema_version, 3);
+  EXPECT_EQ(got[2].model, "svc-run");
+  EXPECT_EQ(got[2].served_from_cache, 1);
+
+  // The `ledger show --cache` aggregation over the same mixed file: only
+  // tagged records enter the hit-rate denominator.
+  const CacheSummary summary = summarize_cache(got);
+  EXPECT_EQ(summary.served, 1u);
+  EXPECT_EQ(summary.computed, 0u);
+  EXPECT_EQ(summary.untagged, 2u);
+  EXPECT_DOUBLE_EQ(summary.hit_rate(), 1.0);
   std::remove(path.c_str());
+}
+
+TEST(Ledger, SummarizeCacheAggregatesAndGuardsEmptyDenominator) {
+  std::vector<LedgerRecord> records;
+  const CacheSummary none = summarize_cache(records);
+  EXPECT_DOUBLE_EQ(none.hit_rate(), 0.0);  // no tagged records: rate is 0
+
+  for (int v : {1, 1, 1, 0, -1}) {
+    LedgerRecord r = sample_record();
+    r.served_from_cache = v;
+    records.push_back(r);
+  }
+  const CacheSummary s = summarize_cache(records);
+  EXPECT_EQ(s.served, 3u);
+  EXPECT_EQ(s.computed, 1u);
+  EXPECT_EQ(s.untagged, 1u);
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.75);
 }
 
 TEST(LedgerRecord, EscapedStringsRoundTrip) {
@@ -129,9 +191,9 @@ TEST(LedgerRecord, ParseRejectsGarbageAndUnknownSchema) {
   EXPECT_FALSE(parse_json_line("not json at all", out));
   // A future schema is skipped, not misparsed.
   std::string future = to_json_line(sample_record());
-  const auto pos = future.find("\"schema_version\": 2");
+  const auto pos = future.find("\"schema_version\": 3");
   ASSERT_NE(pos, std::string::npos);
-  future.replace(pos, std::string("\"schema_version\": 2").size(),
+  future.replace(pos, std::string("\"schema_version\": 3").size(),
                  "\"schema_version\": 99");
   EXPECT_FALSE(parse_json_line(future, out));
 }

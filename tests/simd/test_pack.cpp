@@ -40,6 +40,19 @@ TEST(PackTest, IsaNameMatchesConfiguration) {
   EXPECT_LE(preferred_batch_width(), std::size_t{64});
 }
 
+TEST(PackTest, PreferredBatchWidthIsCappedAtEight) {
+  // "auto" must track the vector unit (two registers in flight) but never
+  // follow a wider ISA past W=8: BENCH_p8 measured the lockstep engine's
+  // throughput collapsing at W >= 16 once the per-lane CompiledModel arenas
+  // outgrow L2. A future AVX-512 port (kNativeWidth == 8) must keep auto at
+  // 8, not 16 — this pin is the regression tripwire.
+  EXPECT_GE(preferred_batch_width(), kNativeWidth);
+  EXPECT_LE(preferred_batch_width(), std::size_t{8});
+  EXPECT_EQ(preferred_batch_width(),
+            kNativeWidth * 2 < std::size_t{8} ? kNativeWidth * 2
+                                              : std::size_t{8});
+}
+
 TEST(PackTest, NativePackOpsAreElementwiseBitIdentical) {
   constexpr std::size_t W = kNativeWidth;
   using P = pack<W>;

@@ -1,0 +1,104 @@
+#include "svc/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ecsim::svc {
+namespace {
+
+std::size_t entry_bytes(const std::string& key, const std::string& payload) {
+  return key.size() + payload.size();
+}
+
+TEST(ResultCacheTest, MissThenHitWithCounters) {
+  ResultCache cache(1 << 20);
+  std::string out;
+  EXPECT_FALSE(cache.get("k", out));
+  cache.put("k", "payload");
+  ASSERT_TRUE(cache.get("k", out));
+  EXPECT_EQ(out, "payload");
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.bytes(), entry_bytes("k", "payload"));
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsedFirst) {
+  // Three 40-byte entries fit; the fourth forces exactly one eviction, and
+  // it must take the least recently USED entry (a GET refreshes recency),
+  // not the least recently inserted.
+  const std::string pad(38, 'x');
+  ResultCache cache(3 * 40);
+  cache.put("a.", pad);
+  cache.put("b.", pad);
+  cache.put("c.", pad);
+  std::string out;
+  ASSERT_TRUE(cache.get("a.", out));  // refresh a: LRU order is now b, c, a
+  cache.put("d.", pad);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_FALSE(cache.get("b.", out)) << "b was LRU and must be the victim";
+  EXPECT_TRUE(cache.get("a.", out));
+  EXPECT_TRUE(cache.get("c.", out));
+  EXPECT_TRUE(cache.get("d.", out));
+}
+
+TEST(ResultCacheTest, EvictsAsManyAsNeededToFit) {
+  const std::string pad(18, 'y');
+  ResultCache cache(3 * 20);
+  cache.put("a.", pad);
+  cache.put("b.", pad);
+  cache.put("c.", pad);
+  cache.put("E.", std::string(38, 'z'));  // 40 bytes: needs two victims
+  EXPECT_EQ(cache.evictions(), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+  std::string out;
+  EXPECT_FALSE(cache.get("a.", out));
+  EXPECT_FALSE(cache.get("b.", out));
+  EXPECT_TRUE(cache.get("c.", out));
+  EXPECT_TRUE(cache.get("E.", out));
+  EXPECT_LE(cache.bytes(), cache.capacity_bytes());
+}
+
+TEST(ResultCacheTest, OverwriteReplacesPayloadWithoutGrowth) {
+  ResultCache cache(1 << 20);
+  cache.put("k", "old");
+  cache.put("k", "newer-payload");
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.bytes(), entry_bytes("k", "newer-payload"));
+  std::string out;
+  ASSERT_TRUE(cache.get("k", out));
+  EXPECT_EQ(out, "newer-payload");
+}
+
+TEST(ResultCacheTest, OversizedEntryIsNotRetainedAndEvictsNothing) {
+  ResultCache cache(64);
+  cache.put("small", "fits");
+  cache.put("huge", std::string(200, 'h'));
+  std::string out;
+  EXPECT_FALSE(cache.get("huge", out));
+  EXPECT_TRUE(cache.get("small", out)) << "oversized put must not purge";
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCacheTest, MirrorsCountersIntoMetricsRegistry) {
+  obs::MetricsRegistry metrics;
+  ResultCache cache(2 * 24, &metrics);
+  std::string out;
+  cache.get("miss", out);
+  cache.put("a.", std::string(22, 'p'));
+  cache.get("a.", out);
+  cache.put("b.", std::string(22, 'p'));
+  cache.put("c.", std::string(22, 'p'));  // evicts a
+  EXPECT_EQ(metrics.counter("svc.cache.hits").value(), cache.hits());
+  EXPECT_EQ(metrics.counter("svc.cache.misses").value(), cache.misses());
+  EXPECT_EQ(metrics.counter("svc.cache.evictions").value(), cache.evictions());
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(metrics.gauge("svc.cache.bytes").value(),
+            static_cast<double>(cache.bytes()));
+}
+
+}  // namespace
+}  // namespace ecsim::svc

@@ -98,6 +98,8 @@
 #include "par/fault_sweep.hpp"
 #include "par/monte_carlo.hpp"
 #include "par/sweep.hpp"
+#include "svc/client.hpp"
+#include "svc/server.hpp"
 #include "translate/schedule_export.hpp"
 
 using namespace ecsim;
@@ -110,15 +112,20 @@ int usage() {
                "dot-alg|dot-arch|dot-gantt> <spec-file>\n"
                "                  [--trace-out=FILE] [--metrics-out=FILE]\n"
                "       ecsim_flow sweep <timing|arch> [--threads=N] "
-               "[--csv-out=FILE] [--backend=interp|native]\n"
+               "[--csv-out=FILE] [--backend=interp|native] "
+               "[--connect=SOCKET]\n"
                "       ecsim_flow montecarlo <spec-file> [--threads=N] "
-               "[--trials=N] [--iterations=N] [--seed=N] [--batch=W]\n"
+               "[--trials=N] [--iterations=N] [--seed=N] [--batch=W] "
+               "[--connect=SOCKET]\n"
                "       ecsim_flow fault <sweep|montecarlo> [--threads=N] "
                "[--csv-out=FILE] [--loss=RATE] [--trials=N] [--seed=N] "
-               "[--batch=W] [--backend=interp|native]\n"
+               "[--batch=W] [--backend=interp|native] [--connect=SOCKET]\n"
+               "       ecsim_flow serve --socket=PATH [--workers=N] "
+               "[--cache-mb=M] [--ledger=FILE] [--verbose]\n"
                "       ecsim_flow ir <dump|hash> [--example=servo|chains200]\n"
                "       ecsim_flow ledger <show|diff> [--ledger=FILE] "
-               "[--bench=FILE] [--scenario=NAME] [--threshold=PCT]\n");
+               "[--bench=FILE] [--scenario=NAME] [--threshold=PCT] "
+               "[--cache]\n");
   return 2;
 }
 
@@ -267,7 +274,7 @@ int cmd_ir(const std::string& sub, const std::string& example) {
 /// --ledger=FILE, falling back to $ECSIM_LEDGER.
 int cmd_ledger(const std::string& sub, std::string ledger_path,
                const std::string& bench_path, const std::string& scenario,
-               double threshold_pct) {
+               double threshold_pct, bool show_cache) {
   if (ledger_path.empty()) {
     const char* env = std::getenv("ECSIM_LEDGER");
     if (env != nullptr) ledger_path = env;
@@ -281,8 +288,9 @@ int cmd_ledger(const std::string& sub, std::string ledger_path,
   const std::vector<obs::LedgerRecord> records =
       obs::read_ledger_file(ledger_path);
   if (sub == "show") {
-    std::printf("%-16s %-18s %-7s %-22s %8s %12s %14s\n", "model", "ir_hash",
-                "backend", "fallback", "threads", "events", "events/s");
+    std::printf("%-16s %-18s %-7s %-22s %8s %12s %14s%s\n", "model",
+                "ir_hash", "backend", "fallback", "threads", "events",
+                "events/s", show_cache ? "  cache" : "");
     for (const obs::LedgerRecord& r : records) {
       const std::string backend = r.backend_used == r.backend_requested
                                       ? r.backend_used
@@ -291,11 +299,24 @@ int cmd_ledger(const std::string& sub, std::string ledger_path,
       std::string fallback = r.fallback_reason.substr(
           0, r.fallback_reason.find(':'));
       if (fallback.empty()) fallback = "-";
-      std::printf("%-16s %-18s %-7s %-22s %8u %12llu %14.6g\n",
+      std::printf("%-16s %-18s %-7s %-22s %8u %12llu %14.6g",
                   (r.model.empty() ? "-" : r.model).c_str(),
                   (r.ir_hash.empty() ? "-" : r.ir_hash).c_str(),
                   backend.c_str(), fallback.c_str(), r.threads,
                   static_cast<unsigned long long>(r.events), r.events_per_s);
+      if (show_cache) {
+        // Schema v3 column; pre-v3 lines and non-service runs are untagged.
+        std::printf("  %s", r.served_from_cache < 0
+                                ? "-"
+                                : (r.served_from_cache > 0 ? "hit" : "miss"));
+      }
+      std::printf("\n");
+    }
+    if (show_cache) {
+      const obs::CacheSummary s = obs::summarize_cache(records);
+      std::printf("cache: %zu served / %zu computed (hit rate %.1f%%), "
+                  "%zu untagged\n",
+                  s.served, s.computed, 100.0 * s.hit_rate(), s.untagged);
     }
     std::printf("%zu record(s) in %s\n", records.size(), ledger_path.c_str());
     return 0;
@@ -344,42 +365,85 @@ void print_sweep_telemetry(obs::MetricsRegistry& reg, backend::Kind bk) {
   }
 }
 
+/// Report how a --connect request resolved; a fallback prints the recorded
+/// reason so scripted runs can tell daemon-served from in-process results.
+void print_daemon_meta(const svc::ResponseMeta& meta) {
+  std::printf("daemon: %zu/%zu units from cache%s, model %s%s\n",
+              meta.cache_hits, meta.cache_units,
+              meta.served_from_cache ? " (fully served)" : "",
+              meta.model_hash.c_str(),
+              meta.redispatches > 0 ? " [worker re-dispatch]" : "");
+}
+
 int cmd_sweep(const std::string& kind, std::size_t threads,
-              const std::string& csv_out, backend::Kind bk) {
+              const std::string& csv_out, backend::Kind bk,
+              const std::string& connect) {
+  const bool timing = kind == "timing";
+  if (!timing && kind != "arch") return usage();
+  // The CLI's canonical grids — the daemon caches cells of exactly these
+  // coordinates, so repeat invocations are fully served from cache.
+  const std::vector<double> rows =
+      timing ? std::vector<double>{0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 0.95}
+             : std::vector<double>{1e5, 1e4, 4e3, 2e3, 1e3};
+  const std::vector<double> cols =
+      timing ? std::vector<double>{0.0, 0.1, 0.2, 0.3, 0.5}
+             : std::vector<double>{0.5, 1.0, 2.0, 4.0};
   obs::MetricsRegistry reg;
   par::BatchOptions batch;
   batch.threads = threads;
   batch.metrics = &reg;
   const sweep::SweepRunner runner(batch);
   std::vector<sweep::SweepCell> cells;
-  std::string map;
-  if (kind == "timing") {
-    sweep::TimingGrid grid;
-    grid.loop = sweep::servo_loop();
-    grid.loop.backend = bk;
-    grid.latency_fracs = {0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 0.95};
-    grid.jitter_fracs = {0.0, 0.1, 0.2, 0.3, 0.5};
-    cells = runner.run(grid);
-    map = sweep::heatmap(cells, grid.latency_fracs, grid.jitter_fracs,
-                         "La/Ts", "jitter/Ts", &sweep::SweepCell::cost,
-                         "control cost (time-averaged quadratic)");
-  } else if (kind == "arch") {
-    sweep::ArchitectureGrid grid;
-    grid.loop = sweep::servo_loop();
-    grid.loop.backend = bk;
-    grid.bus_bandwidths = {1e5, 1e4, 4e3, 2e3, 1e3};
-    grid.wcet_scales = {0.5, 1.0, 2.0, 4.0};
-    grid.dist.bind_ctrl = "P1";  // controller across the bus
-    cells = runner.run(grid);
-    map = sweep::heatmap(cells, grid.bus_bandwidths, grid.wcet_scales,
-                         "bus bw", "WCET scale", &sweep::SweepCell::cost,
-                         "control cost (time-averaged quadratic)");
-  } else {
-    return usage();
+  bool remote = false;
+  svc::ResponseMeta meta;
+  if (!connect.empty()) {
+    svc::Client client;
+    svc::Request req;
+    req.verb = timing ? svc::Verb::kSweepTiming : svc::Verb::kSweepArch;
+    req.backend = std::string(backend::to_string(bk));
+    req.rows = rows;
+    req.cols = cols;
+    remote = client.connect(connect) &&
+             svc::remote_sweep(client, req, cells, meta);
+    if (!remote) {
+      std::fprintf(stderr, "svc: falling back in-process: %s\n",
+                   client.last_error().c_str());
+    }
   }
-  std::printf("%zu cells on %zu worker(s)\n%s", cells.size(),
-              runner.threads(), map.c_str());
-  print_sweep_telemetry(reg, bk);
+  if (!remote) {
+    if (timing) {
+      sweep::TimingGrid grid;
+      grid.loop = sweep::servo_loop();
+      grid.loop.backend = bk;
+      grid.latency_fracs = rows;
+      grid.jitter_fracs = cols;
+      cells = runner.run(grid);
+    } else {
+      sweep::ArchitectureGrid grid;
+      grid.loop = sweep::servo_loop();
+      grid.loop.backend = bk;
+      grid.bus_bandwidths = rows;
+      grid.wcet_scales = cols;
+      grid.dist.bind_ctrl = "P1";  // controller across the bus
+      cells = runner.run(grid);
+    }
+  }
+  const std::string map =
+      timing ? sweep::heatmap(cells, rows, cols, "La/Ts", "jitter/Ts",
+                              &sweep::SweepCell::cost,
+                              "control cost (time-averaged quadratic)")
+             : sweep::heatmap(cells, rows, cols, "bus bw", "WCET scale",
+                              &sweep::SweepCell::cost,
+                              "control cost (time-averaged quadratic)");
+  if (remote) {
+    std::printf("%zu cells via daemon %s\n%s", cells.size(), connect.c_str(),
+                map.c_str());
+    print_daemon_meta(meta);
+  } else {
+    std::printf("%zu cells on %zu worker(s)\n%s", cells.size(),
+                runner.threads(), map.c_str());
+    print_sweep_telemetry(reg, bk);
+  }
   if (!csv_out.empty()) {
     if (!write_file(csv_out, sweep::to_csv(cells))) {
       std::fprintf(stderr, "ecsim_flow: cannot write %s\n", csv_out.c_str());
@@ -392,23 +456,45 @@ int cmd_sweep(const std::string& kind, std::size_t threads,
 
 int cmd_fault(const std::string& kind, std::size_t threads,
               const std::string& csv_out, double loss, std::size_t trials,
-              std::uint64_t seed, std::size_t batch_width, backend::Kind bk) {
+              std::uint64_t seed, std::size_t batch_width, backend::Kind bk,
+              const std::string& connect) {
   obs::MetricsRegistry reg;
   par::BatchOptions batch;
   batch.threads = threads;
   batch.metrics = &reg;
   if (kind == "sweep") {
-    sweep::FaultGrid grid;
-    grid.loop = sweep::servo_loop();
-    grid.loop.backend = bk;
-    grid.dist.bind_ctrl = "P1";  // controller across the bus: real traffic
-    grid.loss_rates = {0.0, 0.05, 0.1, 0.2, 0.4};
-    grid.delays = {0.0, 0.001, 0.002, 0.004};
-    grid.fault_seed = seed;
-    const std::vector<sweep::FaultCell> cells =
-        sweep::run_fault_sweep(grid, batch);
+    const std::vector<double> loss_rates = {0.0, 0.05, 0.1, 0.2, 0.4};
+    const std::vector<double> delays = {0.0, 0.001, 0.002, 0.004};
+    std::vector<sweep::FaultCell> cells;
+    bool remote = false;
+    svc::ResponseMeta meta;
+    if (!connect.empty()) {
+      svc::Client client;
+      svc::Request req;
+      req.verb = svc::Verb::kFaultSweep;
+      req.backend = std::string(backend::to_string(bk));
+      req.rows = loss_rates;
+      req.cols = delays;
+      req.seed = seed;
+      remote = client.connect(connect) &&
+               svc::remote_fault_sweep(client, req, cells, meta);
+      if (!remote) {
+        std::fprintf(stderr, "svc: falling back in-process: %s\n",
+                     client.last_error().c_str());
+      }
+    }
+    if (!remote) {
+      sweep::FaultGrid grid;
+      grid.loop = sweep::servo_loop();
+      grid.loop.backend = bk;
+      grid.dist.bind_ctrl = "P1";  // controller across the bus: real traffic
+      grid.loss_rates = loss_rates;
+      grid.delays = delays;
+      grid.fault_seed = seed;
+      cells = sweep::run_fault_sweep(grid, batch);
+    }
     const std::string map = sweep::heatmap(
-        cells, grid.loss_rates, grid.delays, "loss rate", "delay (s)",
+        cells, loss_rates, delays, "loss rate", "delay (s)",
         &sweep::FaultCell::cost, "control cost under message faults");
     std::size_t lost = 0, deferred = 0;
     for (const sweep::FaultCell& c : cells) {
@@ -419,7 +505,11 @@ int cmd_fault(const std::string& kind, std::size_t threads,
                 "across the grid\n",
                 cells.size(), static_cast<unsigned long long>(seed),
                 map.c_str(), lost, deferred);
-    print_sweep_telemetry(reg, bk);
+    if (remote) {
+      print_daemon_meta(meta);
+    } else {
+      print_sweep_telemetry(reg, bk);
+    }
     if (!csv_out.empty()) {
       if (!write_file(csv_out, sweep::to_csv(cells))) {
         std::fprintf(stderr, "ecsim_flow: cannot write %s\n", csv_out.c_str());
@@ -430,20 +520,43 @@ int cmd_fault(const std::string& kind, std::size_t threads,
     return 0;
   }
   if (kind == "montecarlo") {
-    sweep::FaultMonteCarloSpec spec;
-    spec.loop = sweep::servo_loop();
-    spec.loop.backend = bk;
-    spec.dist.bind_ctrl = "P1";
-    spec.loss_rate = loss;
-    spec.trials = trials;
-    spec.base_seed = seed;
-    spec.batch_width = batch_width;  // 0 = auto (SIMD-preferred width)
-    const sweep::FaultMonteCarloResult result =
-        sweep::run_fault_monte_carlo(spec, batch);
+    sweep::FaultMonteCarloResult result;
+    bool remote = false;
+    svc::ResponseMeta meta;
+    if (!connect.empty()) {
+      svc::Client client;
+      svc::Request req;
+      req.verb = svc::Verb::kFaultMc;
+      req.backend = std::string(backend::to_string(bk));
+      req.loss = loss;
+      req.trials = trials;
+      req.seed = seed;
+      remote = client.connect(connect) &&
+               svc::remote_fault_mc(client, req, result, meta);
+      if (!remote) {
+        std::fprintf(stderr, "svc: falling back in-process: %s\n",
+                     client.last_error().c_str());
+      }
+    }
+    if (!remote) {
+      sweep::FaultMonteCarloSpec spec;
+      spec.loop = sweep::servo_loop();
+      spec.loop.backend = bk;
+      spec.dist.bind_ctrl = "P1";
+      spec.loss_rate = loss;
+      spec.trials = trials;
+      spec.base_seed = seed;
+      spec.batch_width = batch_width;  // 0 = auto (SIMD-preferred width)
+      result = sweep::run_fault_monte_carlo(spec, batch);
+    }
     std::printf("%s", sweep::to_string(result).c_str());
-    std::printf("batch width %zu, 0 evictions, %.4g trials/s (%.3g s)\n",
-                result.batch_width, result.trials_per_s, result.wall_s);
-    print_sweep_telemetry(reg, bk);
+    if (remote) {
+      print_daemon_meta(meta);
+    } else {
+      std::printf("batch width %zu, 0 evictions, %.4g trials/s (%.3g s)\n",
+                  result.batch_width, result.trials_per_s, result.wall_s);
+      print_sweep_telemetry(reg, bk);
+    }
     if (!csv_out.empty()) {
       if (!write_file(csv_out, sweep::to_csv(result.cells))) {
         std::fprintf(stderr, "ecsim_flow: cannot write %s\n", csv_out.c_str());
@@ -454,6 +567,36 @@ int cmd_fault(const std::string& kind, std::size_t threads,
     return 0;
   }
   return usage();
+}
+
+/// VM Monte Carlo through the daemon. Returns the exit code, or -1 when the
+/// daemon could not serve (the caller falls back to the in-process Flow
+/// path, which re-reads and re-adequates the spec itself).
+int try_remote_montecarlo(const std::string& spec_path,
+                          const std::string& connect, std::size_t trials,
+                          std::size_t iterations, std::uint64_t seed) {
+  std::ifstream in(spec_path);
+  if (!in) return -1;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  svc::Client client;
+  svc::Request req;
+  req.verb = svc::Verb::kVmMc;
+  req.trials = trials;
+  req.iterations = iterations;
+  req.seed = seed;
+  req.spec_text = ss.str();
+  sweep::MonteCarloResult result;
+  svc::ResponseMeta meta;
+  if (!client.connect(connect) ||
+      !svc::remote_vm_mc(client, req, result, meta)) {
+    std::fprintf(stderr, "svc: falling back in-process: %s\n",
+                 client.last_error().c_str());
+    return -1;
+  }
+  std::printf("%s", sweep::to_string(result).c_str());
+  print_daemon_meta(meta);
+  return result.deadlocks == 0 ? 0 : 1;
 }
 
 int cmd_montecarlo(const Flow& f, std::size_t threads, std::size_t trials,
@@ -486,10 +629,36 @@ int main(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string command = argv[1];
   const std::string spec_path = argv[2];
-  std::string trace_out, metrics_out, csv_out;
+  if (command == "serve") {
+    svc::ServeOptions sopts;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--socket=", 0) == 0) {
+        sopts.socket_path = arg.substr(9);
+      } else if (arg.rfind("--workers=", 0) == 0) {
+        sopts.workers = std::stoul(arg.substr(10));
+      } else if (arg.rfind("--cache-mb=", 0) == 0) {
+        sopts.cache_mb = std::stoul(arg.substr(11));
+      } else if (arg.rfind("--ledger=", 0) == 0) {
+        sopts.ledger_path = arg.substr(9);
+      } else if (arg == "--verbose") {
+        sopts.verbose = true;
+      } else {
+        return usage();
+      }
+    }
+    try {
+      return svc::run_server(sopts);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ecsim_flow serve: %s\n", e.what());
+      return 1;
+    }
+  }
+  std::string trace_out, metrics_out, csv_out, connect;
   std::string example = "servo";
   std::string ledger_file, bench_file = "BENCH_p6.json";
   std::string scenario = "chains_200";
+  bool show_cache = false;
   double threshold_pct = 10.0;
   backend::Kind bk = backend::Kind::kInterp;
   std::size_t threads = 0, trials = 200, iterations = 50;
@@ -526,6 +695,10 @@ int main(int argc, char** argv) {
       scenario = arg.substr(11);
     } else if (arg.rfind("--threshold=", 0) == 0) {
       threshold_pct = std::stod(arg.substr(12));
+    } else if (arg.rfind("--connect=", 0) == 0) {
+      connect = arg.substr(10);
+    } else if (arg == "--cache") {
+      show_cache = true;
     } else if (arg.rfind("--backend=", 0) == 0) {
       try {
         bk = backend::parse_kind(arg.substr(10));
@@ -549,7 +722,7 @@ int main(int argc, char** argv) {
   if (command == "ledger") {
     try {
       return cmd_ledger(spec_path, ledger_file, bench_file, scenario,
-                        threshold_pct);
+                        threshold_pct, show_cache);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "ecsim_flow: %s\n", e.what());
       return 1;
@@ -557,7 +730,7 @@ int main(int argc, char** argv) {
   }
   if (command == "sweep") {
     try {
-      return cmd_sweep(spec_path, threads, csv_out, bk);
+      return cmd_sweep(spec_path, threads, csv_out, bk, connect);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "ecsim_flow: %s\n", e.what());
       return 1;
@@ -568,11 +741,18 @@ int main(int argc, char** argv) {
       // A full co-simulation per trial: default to 32 trials, not the VM
       // Monte Carlo's 200, unless the user asked explicitly.
       return cmd_fault(spec_path, threads, csv_out, loss,
-                       trials == 200 ? 32 : trials, seed, batch_width, bk);
+                       trials == 200 ? 32 : trials, seed, batch_width, bk,
+                       connect);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "ecsim_flow: %s\n", e.what());
       return 1;
     }
+  }
+
+  if (command == "montecarlo" && !connect.empty()) {
+    const int rc =
+        try_remote_montecarlo(spec_path, connect, trials, iterations, seed);
+    if (rc >= 0) return rc;
   }
 
   obs::Tracer tracer;
