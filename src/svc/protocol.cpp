@@ -200,7 +200,11 @@ bool Fields::parse(const std::string& text, Fields& out) {
     if (end != len_str.c_str() + len_str.size() || len_str.empty()) {
       return false;
     }
-    if (nl + 1 + len + 1 > text.size()) return false;
+    // Subtraction form: `len` is attacker-controlled, so `nl + 1 + len + 1`
+    // can wrap. `nl < text.size()` here, so `avail` cannot underflow; the
+    // value needs `len` bytes plus its trailing '\n'.
+    const std::size_t avail = text.size() - nl - 1;
+    if (len >= avail) return false;
     if (text[nl + 1 + len] != '\n') return false;
     f.kv_.emplace_back(key, text.substr(nl + 1, len));
     at = nl + 1 + len + 1;
@@ -402,13 +406,20 @@ bool decode_blob_list(const std::string& text,
   };
   unsigned long long count = 0;
   if (!read_count(count)) return false;
-  blobs.reserve(count);
+  // Every entry costs at least 3 bytes ("0\n" + '\n'), so a count beyond
+  // the remaining bytes is corrupt; bounding before reserve() keeps a
+  // hostile count from throwing length_error or allocating gigabytes.
+  if (count > text.size() - at) return false;
+  blobs.reserve(static_cast<std::size_t>(count));
   for (unsigned long long i = 0; i < count; ++i) {
     unsigned long long len = 0;
     if (!read_count(len)) return false;
-    if (at + len + 1 > text.size() || text[at + len] != '\n') return false;
+    // Subtraction form avoids wrap-around on a hostile u64 length; the
+    // payload needs `len` bytes plus its trailing '\n', and `at <= size`.
+    if (len >= text.size() - at) return false;
+    if (text[at + len] != '\n') return false;
     blobs.push_back(text.substr(at, len));
-    at += len + 1;
+    at += static_cast<std::size_t>(len) + 1;
   }
   return at == text.size();
 }
@@ -568,6 +579,10 @@ bool decode_mc(const std::string& s, sweep::MonteCarloResult& r) {
   if (!take_summary(toks, i, out.makespan)) return false;
   if (i >= toks.size() || !tok_u64(toks[i++], u)) return false;
   const std::size_t num_ops = static_cast<std::size_t>(u);
+  // Each op consumes at least one token, so an op count beyond the
+  // remaining tokens is corrupt; check before reserve() so a hostile
+  // count cannot throw or allocate unboundedly.
+  if (num_ops > toks.size() - i) return false;
   out.io_ops.reserve(num_ops);
   for (std::size_t k = 0; k < num_ops; ++k) {
     sweep::MonteCarloOpStats op;

@@ -40,9 +40,20 @@ void ResultCache::put(const std::string& key, const std::string& payload) {
     // Determinism makes a same-key overwrite byte-identical in practice, but
     // honor it anyway: refresh recency and the byte accounting.
     bytes_ -= entry_bytes(it->second->key, it->second->payload);
-    lru_.splice(lru_.begin(), lru_, it->second);
-    it->second->payload = payload;
-    bytes_ += incoming;
+    if (incoming > capacity_) {
+      // Can never fit, even alone: drop the entry rather than retain a
+      // payload that would pin the cache over budget.
+      lru_.erase(it->second);
+      index_.erase(it);
+    } else {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      it->second->payload = payload;
+      bytes_ += incoming;
+      // An enlarged overwrite can push the cache over budget; evict from
+      // the LRU tail. The refreshed entry sits at the front and fits on its
+      // own, so it is never its own victim.
+      evict_to_fit(0);
+    }
   } else {
     if (incoming > capacity_) {
       if (bytes_gauge_ != nullptr) {

@@ -279,6 +279,26 @@ bool dispatch_units(ServerCtx& ctx, const Fields& req_fields,
     retire_worker(ctx, lane.worker);
     spawn_worker(ctx, lane.worker);  // replacement for subsequent requests
   };
+  // Failing the request while other lanes still have in-flight frames would
+  // leave stale replies in their pipes, to be misread as answers for the
+  // NEXT request's units. Consume every outstanding reply first; a worker
+  // that cannot be drained is retired and replaced, which empties its pipe
+  // the hard way.
+  const auto drain_all = [&]() {
+    for (Lane& lane : lanes) {
+      if (lane.failed) continue;
+      while (lane.received < lane.sent) {
+        std::string payload, unit_err;
+        if (!read_reply(ctx.workers[lane.worker], payload, unit_err)) {
+          lane.failed = true;
+          retire_worker(ctx, lane.worker);
+          spawn_worker(ctx, lane.worker);
+          break;
+        }
+        ++lane.received;
+      }
+    }
+  };
 
   for (Lane& lane : lanes) {
     if (!pump_lane(lane)) fail_lane(lane);
@@ -295,6 +315,8 @@ bool dispatch_units(ServerCtx& ctx, const Fields& req_fields,
       }
       if (!unit_err.empty()) {
         err = unit_err;
+        ++lane.received;  // the errored reply itself is consumed
+        drain_all();
         return false;
       }
       payloads[lane.queue[lane.received]] = std::move(payload);
@@ -323,6 +345,10 @@ bool dispatch_units(ServerCtx& ctx, const Fields& req_fields,
     std::string payload, unit_err;
     if (!write_frame(target->fd, unit_frame(req_fields, unit)) ||
         !read_reply(*target, payload, unit_err)) {
+      const std::size_t idx =
+          static_cast<std::size_t>(target - ctx.workers.data());
+      retire_worker(ctx, idx);
+      spawn_worker(ctx, idx);
       err = "re-dispatched unit failed twice";
       return false;
     }

@@ -23,11 +23,10 @@ const WarmLoop& WarmCache::loop(double ts, double t_end, std::uint64_t seed) {
   key += hexfloat(t_end);
   key += '|';
   key += std::to_string(seed);
-  const auto it = loops_.find(key);
-  if (it != loops_.end()) {
+  if (const WarmLoop* hit = loops_.find(key)) {
     ++hits_;
     if (hit_ctr_ != nullptr) hit_ctr_->add();
-    return it->second;
+    return *hit;
   }
   ++misses_;
   if (miss_ctr_ != nullptr) miss_ctr_->add();
@@ -35,16 +34,15 @@ const WarmLoop& WarmCache::loop(double ts, double t_end, std::uint64_t seed) {
   entry.loop = sweep::servo_loop(ts, t_end);
   entry.loop.seed = seed;
   entry.ir_hash = ir::hash_hex(translate::loop_ir(entry.loop));
-  return loops_.emplace(std::move(key), std::move(entry)).first->second;
+  return loops_.insert(std::move(key), std::move(entry));
 }
 
 const WarmSpec& WarmCache::spec(const std::string& spec_text) {
   std::string key = spec_content_hash(spec_text);
-  const auto it = specs_.find(key);
-  if (it != specs_.end()) {
+  if (const WarmSpec* hit = specs_.find(key)) {
     ++hits_;
     if (hit_ctr_ != nullptr) hit_ctr_->add();
-    return it->second;
+    return *hit;
   }
   ++misses_;
   if (miss_ctr_ != nullptr) miss_ctr_->add();
@@ -59,7 +57,7 @@ const WarmSpec& WarmCache::spec(const std::string& spec_text) {
   entry.code = aaa::generate_executives(entry.spec.algorithm,
                                         entry.spec.architecture, entry.sched);
   entry.content_hash = key;
-  return specs_.emplace(std::move(key), std::move(entry)).first->second;
+  return specs_.insert(std::move(key), std::move(entry));
 }
 
 }  // namespace ecsim::svc

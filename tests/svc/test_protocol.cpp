@@ -112,6 +112,20 @@ TEST(ProtocolFields, ParseRejectsTruncation) {
   }
 }
 
+TEST(ProtocolFields, ParseRejectsHostileLengths) {
+  // A u64 length near ULLONG_MAX wraps `nl + 1 + len + 1`: before the
+  // subtraction-form bound this was an out-of-bounds read, and with
+  // len == ULLONG_MAX the cursor wrapped into a non-terminating loop.
+  Fields g;
+  EXPECT_FALSE(Fields::parse("k 18446744073709551615\nv\n", g));
+  EXPECT_FALSE(Fields::parse("k 18446744073709551614\nv\n", g));
+  EXPECT_FALSE(Fields::parse("k 18446744073709551613\nv\n", g));
+  // Off-by-one probing: length one past the actual payload.
+  EXPECT_FALSE(Fields::parse("k 2\nv\n", g));
+  // Length line as the last bytes of the frame (avail == 0).
+  EXPECT_FALSE(Fields::parse("k 0\n", g));
+}
+
 TEST(ProtocolCodec, SweepCellBitExactRoundTrip) {
   const std::vector<double> xs = awkward_doubles(11 * 50, 42);
   for (std::size_t t = 0; t < 50; ++t) {
@@ -202,6 +216,30 @@ TEST(ProtocolCodec, BlobListRoundTrip) {
   ASSERT_TRUE(decode_blob_list(encode_blob_list(blobs), got));
   EXPECT_EQ(got, blobs);
   EXPECT_FALSE(decode_blob_list("2\n1\na\n", got));  // count overruns data
+}
+
+TEST(ProtocolCodec, BlobListRejectsHostileCountsAndLengths) {
+  // A corrupted reply must fail the decode, not throw from reserve() or
+  // read out of bounds via a wrapping `at + len + 1`.
+  std::vector<std::string> got;
+  EXPECT_FALSE(decode_blob_list("18446744073709551615\n", got));
+  EXPECT_FALSE(decode_blob_list("1000000000000\n", got));
+  EXPECT_FALSE(decode_blob_list("1\n18446744073709551615\nx\n", got));
+  EXPECT_FALSE(decode_blob_list("1\n18446744073709551614\nx\n", got));
+  EXPECT_FALSE(decode_blob_list("1\n2\nx\n", got));  // len one past payload
+}
+
+TEST(ProtocolCodec, MonteCarloRejectsHostileOpCount) {
+  // Valid header (trials, deadlocks, makespan summary) followed by an op
+  // count far beyond the remaining tokens: must fail before reserve().
+  std::string s = "M 1 0 1";
+  for (int i = 0; i < 6; ++i) {
+    s += ' ';
+    s += bits_of(0.0);
+  }
+  s += " 18446744073709551615";
+  sweep::MonteCarloResult r;
+  EXPECT_FALSE(decode_mc(s, r));
 }
 
 TEST(ProtocolRequest, RoundTripsEveryWorkVerb) {

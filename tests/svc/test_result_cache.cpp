@@ -73,6 +73,34 @@ TEST(ResultCacheTest, OverwriteReplacesPayloadWithoutGrowth) {
   EXPECT_EQ(out, "newer-payload");
 }
 
+TEST(ResultCacheTest, EnlargedOverwriteEvictsToStayUnderBudget) {
+  // Overwriting with a larger payload must evict from the LRU tail, not
+  // leave the cache sitting over budget until the next fresh insert.
+  const std::string pad(38, 'x');
+  ResultCache cache(3 * 40);
+  cache.put("a.", pad);
+  cache.put("b.", pad);
+  cache.put("c.", pad);
+  cache.put("c.", pad + std::string(40, 'y'));  // entry grows by 40 bytes
+  EXPECT_LE(cache.bytes(), cache.capacity_bytes());
+  EXPECT_EQ(cache.evictions(), 1u);
+  std::string out;
+  EXPECT_FALSE(cache.get("a.", out)) << "LRU tail must be the victim";
+  EXPECT_TRUE(cache.get("b.", out));
+  ASSERT_TRUE(cache.get("c.", out));
+  EXPECT_EQ(out.size(), 78u);
+}
+
+TEST(ResultCacheTest, OverwriteLargerThanCapacityDropsTheEntry) {
+  ResultCache cache(64);
+  cache.put("k", "small");
+  cache.put("k", std::string(100, 'z'));  // can never fit, even alone
+  std::string out;
+  EXPECT_FALSE(cache.get("k", out));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
 TEST(ResultCacheTest, OversizedEntryIsNotRetainedAndEvictsNothing) {
   ResultCache cache(64);
   cache.put("small", "fits");

@@ -284,6 +284,43 @@ TEST(ServiceE2E, CrashedWorkerIsSurvivedWithOneRedispatch) {
   EXPECT_EQ(server.stop(), 0);
 }
 
+TEST(ServiceE2E, UnitErrorDoesNotLeakStaleRepliesIntoNextRequest) {
+  ServerHandle server;
+  server.start(/*workers=*/2);
+  Client client;
+  ASSERT_TRUE(client.connect(server.socket_path));
+
+  // Every unit of this request throws in the worker (negative latency
+  // fraction makes run_latency_loop reject la < ls), but the request itself
+  // validates fine, so all 12 units are dispatched across both lanes. The
+  // master sees the first error reply while both lanes still hold in-flight
+  // replies; without the drain those stale frames were consumed by the NEXT
+  // request and matched to the wrong units.
+  Request bad = small_timing_request();
+  bad.rows = {-1.0, -1.0, -1.0};
+  bad.cols = {0.0, 0.1, 0.2, 0.3};
+  std::vector<sweep::SweepCell> cells;
+  ResponseMeta bmeta;
+  EXPECT_FALSE(remote_sweep(client, bad, cells, bmeta));
+  EXPECT_FALSE(client.last_error().empty());
+
+  // The follow-up request must compute clean, bit-identical results on the
+  // same connection and the same (drained) workers.
+  const Request good = small_timing_request();
+  const std::vector<sweep::SweepCell> want = reference_cells(good);
+  std::vector<sweep::SweepCell> got;
+  ResponseMeta meta;
+  ASSERT_TRUE(remote_sweep(client, good, got, meta)) << client.last_error();
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_TRUE(same_bits(got[i].cost, want[i].cost)) << "cell " << i;
+    EXPECT_TRUE(same_bits(got[i].iae, want[i].iae)) << "cell " << i;
+    EXPECT_TRUE(same_bits(got[i].act_jitter, want[i].act_jitter))
+        << "cell " << i;
+  }
+  EXPECT_EQ(server.stop(), 0);
+}
+
 TEST(ServiceE2E, SigtermDrainUnlinksSocketAndExitsZero) {
   ServerHandle server;
   server.start(/*workers=*/2);

@@ -1,0 +1,58 @@
+// WarmCache bound tests (REVIEW fix): the registry is keyed by
+// client-supplied (ts, t_end, seed), so a long-lived daemon must not grow
+// without limit — entries are LRU-capped at kMaxWarmEntries per kind.
+#include "svc/warm_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecsim::svc {
+namespace {
+
+TEST(WarmCacheTest, LoopEntriesAreBoundedWithLruEviction) {
+  WarmCache warm;
+  for (std::uint64_t seed = 0; seed < kMaxWarmEntries + 8; ++seed) {
+    warm.loop(0.001, 0.01, seed);
+  }
+  EXPECT_EQ(warm.loop_entries(), kMaxWarmEntries);
+  EXPECT_EQ(warm.misses(), kMaxWarmEntries + 8);
+
+  // The oldest seeds were evicted and rebuild as misses...
+  const std::uint64_t misses_before = warm.misses();
+  warm.loop(0.001, 0.01, 0);
+  EXPECT_EQ(warm.misses(), misses_before + 1);
+  // ...while the most recent seed is still warm.
+  const std::uint64_t hits_before = warm.hits();
+  warm.loop(0.001, 0.01, kMaxWarmEntries + 7);
+  EXPECT_EQ(warm.hits(), hits_before + 1);
+}
+
+TEST(WarmCacheTest, HitRefreshesRecency) {
+  WarmCache warm;
+  for (std::uint64_t seed = 0; seed < kMaxWarmEntries; ++seed) {
+    warm.loop(0.001, 0.01, seed);
+  }
+  warm.loop(0.001, 0.01, 0);       // refresh the oldest entry
+  warm.loop(0.001, 0.01, 999999);  // at cap: evicts seed 1, not seed 0
+  EXPECT_EQ(warm.loop_entries(), kMaxWarmEntries);
+
+  const std::uint64_t hits_before = warm.hits();
+  warm.loop(0.001, 0.01, 0);
+  EXPECT_EQ(warm.hits(), hits_before + 1) << "refreshed entry was evicted";
+  const std::uint64_t misses_before = warm.misses();
+  warm.loop(0.001, 0.01, 1);
+  EXPECT_EQ(warm.misses(), misses_before + 1) << "LRU entry survived the cap";
+}
+
+TEST(WarmCacheTest, RebuiltEntryIsUsableAfterEviction) {
+  // An evicted-and-rebuilt entry must carry the same IR hash as the
+  // original build: eviction changes residency, never identity.
+  WarmCache warm;
+  const std::string first_hash = warm.loop(0.001, 0.01, 42).ir_hash;
+  for (std::uint64_t seed = 100; seed < 100 + kMaxWarmEntries; ++seed) {
+    warm.loop(0.001, 0.01, seed);  // flushes seed 42 out
+  }
+  EXPECT_EQ(warm.loop(0.001, 0.01, 42).ir_hash, first_hash);
+}
+
+}  // namespace
+}  // namespace ecsim::svc
