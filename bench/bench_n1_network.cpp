@@ -1,0 +1,168 @@
+// EXP-N1: the stability-vs-bus-load frontier of the networked DC-servo loop
+// (docs/networks.md). The canonical grid of sweep::network_servo_grid() —
+// background-load rows × {CAN, TDMA} scenario columns, each cell measuring
+// the actuation-latency distribution the arbitrated bus delivers and
+// retuning the LQR against it — is computed serially, then three claims are
+// asserted, not just printed:
+//   (1) monotone degradation — down each scenario column, the measured mean
+//       actuation latency never decreases and the delay-aware stability
+//       margin never increases as background load rises;
+//   (2) determinism — the whole grid is bit-identical at 1 and 4 threads
+//       (the property that makes the sweep-service cache sound for the
+//       sweep_network verb);
+//   (3) wire fidelity — every cell survives the svc codec round-trip
+//       bit-exactly (encode_cell/decode_cell is what daemon-served grids
+//       travel through).
+// The measured frontier goes to BENCH_n1.json.
+#include "bench_common.hpp"
+#include "par/network_sweep.hpp"
+#include "svc/protocol.hpp"
+
+using namespace ecsim;
+
+namespace {
+
+bool cells_identical(const std::vector<sweep::NetworkCell>& a,
+                     const std::vector<sweep::NetworkCell>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].bus_load != b[i].bus_load || a[i].scenario != b[i].scenario ||
+        a[i].act_latency_mean != b[i].act_latency_mean ||
+        a[i].act_jitter != b[i].act_jitter ||
+        a[i].nominal_iae != b[i].nominal_iae ||
+        a[i].nominal_cost != b[i].nominal_cost ||
+        a[i].retuned_iae != b[i].retuned_iae ||
+        a[i].retuned_cost != b[i].retuned_cost ||
+        a[i].stability_margin != b[i].stability_margin ||
+        a[i].schedulable != b[i].schedulable || a[i].stable != b[i].stable) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int experiment() {
+  bench::banner("EXP-N1", "docs/networks.md",
+                "Networked-control stability frontier: CAN/TDMA arbitrated "
+                "bus under rising background load, delay-aware LQR retune "
+                "per cell, monotone degradation, thread-count determinism, "
+                "svc codec round-trip fidelity.");
+  const sweep::NetworkGrid grid = sweep::network_servo_grid();
+  std::vector<double> scenario_cols;
+  for (const sweep::NetworkScenario s : grid.scenarios) {
+    scenario_cols.push_back(sweep::scenario_code(s));
+  }
+
+  par::BatchOptions serial;
+  serial.threads = 1;
+  const std::vector<sweep::NetworkCell> cells =
+      sweep::run_network_sweep(grid, serial);
+  std::printf("columns: 0 = can, 1 = tdma\n%s\n",
+              sweep::heatmap(cells, grid.bus_loads, scenario_cols, "bus load",
+                             "scenario",
+                             &sweep::NetworkCell::stability_margin,
+                             "delay-aware stability margin")
+                  .c_str());
+  std::printf("%s\n",
+              sweep::heatmap(cells, grid.bus_loads, scenario_cols, "bus load",
+                             "scenario",
+                             &sweep::NetworkCell::act_latency_mean,
+                             "measured mean actuation latency (s)")
+                  .c_str());
+
+  // Claim (1): monotone degradation down each scenario column. Slot
+  // quantization can hold a TDMA column flat across one load step, so the
+  // assertion is non-strict (<= / >= within a 1e-9 tolerance).
+  bool monotone = true;
+  const std::size_t cols = scenario_cols.size();
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t r = 1; r < grid.bus_loads.size(); ++r) {
+      const sweep::NetworkCell& prev = cells[(r - 1) * cols + c];
+      const sweep::NetworkCell& cur = cells[r * cols + c];
+      if (!prev.schedulable || !cur.schedulable) continue;
+      if (cur.act_latency_mean < prev.act_latency_mean - 1e-9 ||
+          cur.stability_margin > prev.stability_margin + 1e-9) {
+        monotone = false;
+        std::printf("** NON-MONOTONE (%s) at load %.3g -> %.3g **\n",
+                    sweep::to_string(grid.scenarios[c]), prev.bus_load,
+                    cur.bus_load);
+      }
+    }
+  }
+  std::printf("latency up / margin down as load rises:  %s\n",
+              monotone ? "yes" : "NO");
+
+  // Claim (2): thread-count determinism of the whole grid.
+  par::BatchOptions four;
+  four.threads = 4;
+  const bool deterministic =
+      cells_identical(cells, sweep::run_network_sweep(grid, four));
+  std::printf("grid bit-identical at 1 and 4 threads:   %s\n",
+              deterministic ? "yes" : "NO");
+
+  // Claim (3): svc codec round-trip fidelity per cell.
+  bool codec_exact = true;
+  for (const sweep::NetworkCell& c : cells) {
+    sweep::NetworkCell back;
+    if (!svc::decode_cell(svc::encode_cell(c), back) ||
+        !cells_identical({c}, {back})) {
+      codec_exact = false;
+    }
+  }
+  std::printf("svc codec round-trip bit-exact:          %s\n\n",
+              codec_exact ? "yes" : "NO");
+
+  bench::JsonReport report("EXP-N1");
+  report.model_ir_hash("servo_loop",
+                       ir::hash_hex(translate::loop_ir(grid.loop)));
+  report.begin_array("network_frontier");
+  for (const sweep::NetworkCell& c : cells) {
+    report.begin_object();
+    report.field("bus_load", c.bus_load);
+    report.field("scenario", std::string(sweep::to_string(
+                                 sweep::scenario_of_code(c.scenario))));
+    report.field("act_latency_mean", c.act_latency_mean);
+    report.field("act_jitter", c.act_jitter);
+    report.field("nominal_iae", c.nominal_iae);
+    report.field("retuned_iae", c.retuned_iae);
+    report.field("stability_margin", c.stability_margin);
+    report.field("schedulable", std::string(c.schedulable ? "true" : "false"));
+    report.field("stable", std::string(c.stable ? "true" : "false"));
+    report.end_object();
+  }
+  report.end_array();
+  report.begin_array("checks");
+  report.begin_object();
+  report.field("monotone_degradation",
+               std::string(monotone ? "true" : "false"));
+  report.field("thread_deterministic",
+               std::string(deterministic ? "true" : "false"));
+  report.field("codec_round_trip", std::string(codec_exact ? "true" : "false"));
+  report.end_object();
+  report.end_array();
+  report.write("BENCH_n1.json");
+
+  return monotone && deterministic && codec_exact ? 0 : 1;
+}
+
+void BM_NetworkCell(benchmark::State& state) {
+  sweep::NetworkGrid grid = sweep::network_servo_grid(0.01, 0.2);
+  grid.bus_loads = {0.4};
+  grid.scenarios = {state.range(0) == 0 ? sweep::NetworkScenario::kCan
+                                        : sweep::NetworkScenario::kTdma};
+  par::BatchOptions serial;
+  serial.threads = 1;
+  for (auto _ : state) {
+    auto cells = sweep::run_network_sweep(grid, serial);
+    benchmark::DoNotOptimize(cells);
+  }
+}
+BENCHMARK(BM_NetworkCell)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rc = experiment();
+  if (rc != 0) return rc;
+  return bench::run_benchmarks(argc, argv);
+}

@@ -8,14 +8,18 @@
 #      docs is still a member of the corresponding struct;
 #   4. contract flags (--batch, ...) exist in BOTH the usage text and at
 #      least one documented ecsim_flow command line — dropping either side
-#      fails, so flag docs cannot silently rot.
+#      fails, so flag docs cannot silently rot;
+#   5. the network-medium vocabulary documented in docs/networks.md (spec
+#      directives, Arbitration enum values, sweep scenario names) still
+#      exists in the spec parser / architecture-graph / sweep headers.
 # Usage: scripts/check_docs.sh [path/to/ecsim_flow]
 # Falls back to parsing tools/ecsim_flow.cpp when the binary isn't built.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FLOW_BIN="${1:-build/tools/ecsim_flow}"
-DOCS=(README.md docs/architecture.md docs/tutorial.md docs/benchmarks.md)
+DOCS=(README.md docs/architecture.md docs/tutorial.md docs/benchmarks.md
+      docs/networks.md)
 fail=0
 
 if [[ -x "$FLOW_BIN" ]]; then
@@ -94,8 +98,38 @@ for flag in "${CONTRACT_FLAGS[@]}"; do
   fi
 done
 
+# --- 5. network-medium vocabulary -----------------------------------------
+# docs/networks.md documents the spec directives and the arbitration model
+# by name; if the parser or the architecture graph renames them, the
+# cookbook must not keep teaching the old words. Each directive below is
+# both promised by the cookbook and matched against the parser's literal
+# token test (`t[0] == "can"` etc. in src/io/spec.cpp).
+NETWORK_DIRECTIVES=(can tdma load prio)
+for word in "${NETWORK_DIRECTIVES[@]}"; do
+  if ! grep -qE "^\| ?\`${word} |\`${word}\`|${word} [A-Z]" docs/networks.md; then
+    echo "FAIL: network directive '${word}' no longer documented in docs/networks.md"
+    fail=1
+  fi
+  if ! grep -qE "== \"${word}\"|\"${word}\"" src/io/spec.cpp; then
+    echo "FAIL: documented spec directive '${word}' not handled by src/io/spec.cpp"
+    fail=1
+  fi
+done
+for enum_name in kImmediate kTdma kCanPriority; do
+  if ! grep -qE "(^|[^a-zA-Z_])${enum_name}([^a-zA-Z_]|$)" src/aaa/architecture_graph.hpp; then
+    echo "FAIL: Arbitration::${enum_name} missing from src/aaa/architecture_graph.hpp"
+    fail=1
+  fi
+done
+for scenario in can tdma; do
+  if ! grep -qE "\"${scenario}\"|k$(tr '[:lower:]' '[:upper:]' <<<"${scenario:0:1}")${scenario:1}" src/par/network_sweep.hpp; then
+    echo "FAIL: sweep scenario '${scenario}' missing from src/par/network_sweep.hpp"
+    fail=1
+  fi
+done
+
 if [[ $fail -ne 0 ]]; then
   echo "check_docs: FAILED"
   exit 1
 fi
-echo "check_docs: OK (subcommands, flags, contract flags and option members all exist)"
+echo "check_docs: OK (subcommands, flags, contract flags, option members and network vocabulary all exist)"

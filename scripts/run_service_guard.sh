@@ -8,8 +8,12 @@
 #      served request into the ledger with its cache disposition, and drain
 #      to exit code 0 on SIGTERM;
 #   3. hold the EXP-P9 perf guard (warm p50 >= 5x cold p50, 60% hit rate,
-#      sharded grids byte-identical at 1|2|4 workers) via `ctest -C bench`
-#      — BENCH_p9.json lands in the build dir;
+#      sharded grids byte-identical at 1|2|4 workers) and the EXP-N1
+#      networked-control guard (monotone stability-margin degradation as bus
+#      load rises, 1-vs-4-thread grid bit-equality, svc codec round-trip)
+#      via `ctest -C bench` — BENCH_p9.json and BENCH_n1.json land in the
+#      build dir, and the daemon-served `sweep network` grid must be
+#      byte-identical to the in-process one;
 #   4. pass the svc suites again under ASan+UBSan (fork/socket lifecycle,
 #      frame codecs and the LRU splice paths are pointer-heavy).
 #
@@ -26,7 +30,7 @@ svc_suites='^(ProtocolFraming|ProtocolFields|ProtocolCodec|ProtocolRequest|Proto
 # 1. Release build: svc + ledger suites.
 cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" -j "${JOBS}" \
-  --target test_svc test_obs ecsim_flow bench_p9_service
+  --target test_svc test_obs ecsim_flow bench_p9_service bench_n1_network
 ctest --test-dir "${build_dir}" --output-on-failure -R "${svc_suites}"
 
 # 2. Daemon smoke through the CLI.
@@ -45,18 +49,29 @@ for _ in $(seq 1 100); do
 done
 [[ -S "${sock}" ]] || { echo "FAIL: daemon socket never appeared"; exit 1; }
 
-# 100 mixed requests: timing sweeps, fault sweeps and fault Monte Carlos
-# with a handful of distinct seeds, so most requests repeat an earlier key
-# and the ledger accumulates both computed and cache-served records.
+# 100 mixed requests: timing sweeps, network sweeps, fault sweeps and fault
+# Monte Carlos with a handful of distinct seeds, so most requests repeat an
+# earlier key and the ledger accumulates both computed and cache-served
+# records.
 for i in $(seq 1 100); do
-  case $((i % 3)) in
+  case $((i % 4)) in
     0) "${flow}" sweep timing --connect="${sock}" >/dev/null ;;
-    1) "${flow}" fault sweep --connect="${sock}" --seed=$((i % 4 + 1)) \
+    1) "${flow}" sweep network --connect="${sock}" >/dev/null ;;
+    2) "${flow}" fault sweep --connect="${sock}" --seed=$((i % 4 + 1)) \
          >/dev/null ;;
-    2) "${flow}" fault montecarlo --connect="${sock}" --trials=8 \
+    3) "${flow}" fault montecarlo --connect="${sock}" --trials=8 \
          --seed=$((i % 4 + 1)) >/dev/null ;;
   esac
 done
+
+# EXP-N1 daemon fidelity: the daemon-served network grid must be
+# byte-identical to the in-process serial one.
+"${flow}" sweep network --threads=1 --csv-out="${build_dir}/n1_local.csv" \
+  >/dev/null
+"${flow}" sweep network --connect="${sock}" \
+  --csv-out="${build_dir}/n1_daemon.csv" >/dev/null
+cmp "${build_dir}/n1_local.csv" "${build_dir}/n1_daemon.csv" ||
+  { echo "FAIL: daemon-served network grid differs from in-process"; exit 1; }
 
 records=$(wc -l < "${ledger}")
 if [[ "${records}" -lt 100 ]]; then
@@ -84,9 +99,10 @@ if [[ -e "${sock}" ]]; then
 fi
 echo "smoke: OK (${records} ledger records, clean drain)"
 
-# 3. EXP-P9 perf guard (writes BENCH_p9.json into the build dir).
-ctest --test-dir "${build_dir}" -C bench -R bench_p9_service_guard \
-  --output-on-failure
+# 3. EXP-P9 perf guard and EXP-N1 networked-control guard (write
+# BENCH_p9.json / BENCH_n1.json into the build dir).
+ctest --test-dir "${build_dir}" -C bench \
+  -R '(bench_p9_service_guard|bench_n1_network_guard)' --output-on-failure
 
 # 4. svc suites under ASan+UBSan.
 cmake -S "${repo_root}" -B "${asan_dir}" -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -69,13 +69,19 @@ OpId AlgorithmGraph::add_simple(std::string name, OpKind kind, Time wcet,
   return add_operation(std::move(op));
 }
 
-void AlgorithmGraph::add_dependency(OpId from, OpId to, double size) {
+void AlgorithmGraph::add_dependency(OpId from, OpId to, double size,
+                                    std::size_t priority) {
   if (from >= ops_.size() || to >= ops_.size()) {
     throw std::out_of_range("add_dependency: op id out of range");
   }
   if (from == to) throw std::invalid_argument("add_dependency: self-loop");
   if (size < 0.0) throw std::invalid_argument("add_dependency: negative size");
-  deps_.push_back(DataDep{from, to, size});
+  deps_.push_back(DataDep{from, to, size, priority});
+}
+
+std::size_t AlgorithmGraph::dep_priority(std::size_t dep_index) const {
+  const DataDep& d = deps_.at(dep_index);
+  return d.priority != kNone ? d.priority : dep_index;
 }
 
 std::vector<OpId> AlgorithmGraph::predecessors(OpId id) const {

@@ -60,6 +60,13 @@ struct DataDep {
   OpId from = 0;
   OpId to = 0;
   double size = 1.0;
+  /// Message priority for arbitrated media: lower value = higher priority
+  /// (CAN identifier order). Under kCanPriority it decides contended
+  /// arbitration; under owner-slot TDMA it selects the owner slot
+  /// (priority % slots). kNone = "unset": consumers fall back to the
+  /// dependency's index in the graph, so declaration order is the default
+  /// priority order and existing graphs keep their behavior.
+  std::size_t priority = kNone;
 };
 
 class AlgorithmGraph {
@@ -71,7 +78,11 @@ class AlgorithmGraph {
   /// Convenience: uniform WCET on a single default processor type "cpu".
   OpId add_simple(std::string name, OpKind kind, Time wcet,
                   std::optional<std::string> bound_processor = std::nullopt);
-  void add_dependency(OpId from, OpId to, double size = 1.0);
+  void add_dependency(OpId from, OpId to, double size = 1.0,
+                      std::size_t priority = kNone);
+  /// Effective message priority of dependency `dep_index`: the explicit
+  /// DataDep::priority when set, else the dependency index itself.
+  std::size_t dep_priority(std::size_t dep_index) const;
 
   std::size_t num_operations() const { return ops_.size(); }
   const Operation& op(OpId id) const { return ops_.at(id); }

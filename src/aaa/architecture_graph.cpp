@@ -14,11 +14,47 @@ Time Medium::earliest_start(Time ready) const {
   return std::max(0.0, k) * tdma_slot;
 }
 
-void ArchitectureGraph::set_tdma(MediumId m, Time slot) {
+Time Medium::earliest_start(Time ready, std::size_t priority) const {
+  if (arbitration != Arbitration::kTdma || tdma_slot <= 0.0 ||
+      tdma_slots <= 1) {
+    return earliest_start(ready);
+  }
+  // Owner slot s = priority % n starts at t = k*n*slot + s*slot. Next such
+  // instant at or after `ready` (same boundary tolerance as above).
+  const double round = static_cast<double>(tdma_slots) * tdma_slot;
+  const double offset =
+      static_cast<double>(priority % tdma_slots) * tdma_slot;
+  const double k = std::ceil((ready - offset) / round - 1e-9);
+  return std::max(0.0, k) * round + offset;
+}
+
+void ArchitectureGraph::set_tdma(MediumId m, Time slot, std::size_t slots) {
   if (m >= media_.size()) throw std::out_of_range("set_tdma: bad medium");
   if (slot <= 0.0) throw std::invalid_argument("set_tdma: slot must be > 0");
+  if (slots == 0) throw std::invalid_argument("set_tdma: slots must be >= 1");
   media_[m].arbitration = Arbitration::kTdma;
   media_[m].tdma_slot = slot;
+  media_[m].tdma_slots = slots;
+}
+
+void ArchitectureGraph::set_can(MediumId m, Time blocking) {
+  if (m >= media_.size()) throw std::out_of_range("set_can: bad medium");
+  if (blocking < 0.0) {
+    throw std::invalid_argument("set_can: negative blocking time");
+  }
+  media_[m].arbitration = Arbitration::kCanPriority;
+  media_[m].can_blocking = blocking;
+}
+
+void ArchitectureGraph::set_background_load(MediumId m, double load) {
+  if (m >= media_.size()) {
+    throw std::out_of_range("set_background_load: bad medium");
+  }
+  if (load < 0.0 || load >= 1.0) {
+    throw std::invalid_argument(
+        "set_background_load: load must be in [0, 1)");
+  }
+  media_[m].background_load = load;
 }
 
 ProcId ArchitectureGraph::add_processor(std::string name, std::string type) {

@@ -117,9 +117,14 @@ void EventSelect::describe(ir::BlockIr& out) const {
   out.opaque = true;  // the condition mapping is an arbitrary closure
 }
 
-TdmaGate::TdmaGate(std::string name, Time slot)
-    : Block(std::move(name)), slot_(slot) {
+TdmaGate::TdmaGate(std::string name, Time slot, std::size_t slots,
+                   std::size_t owner)
+    : Block(std::move(name)),
+      slot_(slot),
+      slots_(slots),
+      owner_(slots > 0 ? owner % slots : 0) {
   if (slot <= 0.0) throw std::invalid_argument("TdmaGate: slot must be > 0");
+  if (slots == 0) throw std::invalid_argument("TdmaGate: slots must be >= 1");
   add_event_input();
   add_event_output();
 }
@@ -127,15 +132,27 @@ TdmaGate::TdmaGate(std::string name, Time slot)
 void TdmaGate::on_event(Context& ctx, std::size_t) {
   const Time now = ctx.time();
   // Same boundary formula as aaa::Medium::earliest_start so the schedule,
-  // the executive VM and the co-simulation agree to rounding error.
-  const double k = std::ceil(now / slot_ - 1e-9);
-  const Time boundary = std::max(0.0, k) * slot_;
+  // the executive VM and the co-simulation agree to rounding error. With
+  // slots_ == 1 round == slot_ and offset == 0: the classic any-boundary
+  // grid.
+  const Time round = static_cast<Time>(slots_) * slot_;
+  const Time offset = static_cast<Time>(owner_) * slot_;
+  const double k = std::ceil((now - offset) / round - 1e-9);
+  const Time boundary = std::max(0.0, k) * round + offset;
   ctx.emit(0, std::max(0.0, boundary - now));
 }
 
 void TdmaGate::describe(ir::BlockIr& out) const {
   out.kind = "TdmaGate";
   out.attrs.push_back(ir::Attr::of_real("slot", slot_));
+  // Omitted at the single-slot default so pre-owner-slot IRs (and their
+  // structural hashes) stay byte-identical.
+  if (slots_ > 1) {
+    out.attrs.push_back(
+        ir::Attr::of_int("slots", static_cast<long long>(slots_)));
+    out.attrs.push_back(
+        ir::Attr::of_int("owner", static_cast<long long>(owner_)));
+  }
 }
 
 EventMerge::EventMerge(std::string name, std::size_t n_inputs)

@@ -92,9 +92,12 @@ class EventSelect : public Block {
 /// Delays each incoming event to the next boundary of a fixed time grid
 /// (t = k * slot for integer k): models TDMA bus arbitration in the graph
 /// of delays. An event exactly on a boundary passes through unchanged.
+/// With `slots` > 1 the grid is this message's *owner slot* of a FlexRay
+/// style round: t = k * slots * slot + owner * slot.
 class TdmaGate : public Block {
  public:
-  TdmaGate(std::string name, Time slot);
+  TdmaGate(std::string name, Time slot, std::size_t slots = 1,
+           std::size_t owner = 0);
 
   void on_event(Context& ctx, std::size_t event_in) override;
   void describe(ir::BlockIr& out) const override;
@@ -108,6 +111,8 @@ class TdmaGate : public Block {
 
  private:
   Time slot_;
+  std::size_t slots_ = 1;  // owner slots per round (1 = any boundary)
+  std::size_t owner_ = 0;  // this message's slot within the round
 };
 
 /// N event inputs, one event output: forwards every incoming event.

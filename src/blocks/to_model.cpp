@@ -210,7 +210,17 @@ std::unique_ptr<sim::Block> make_block(const ir::BlockIr& b) {
     return std::make_unique<EventDelay>(b.name, duration_from_attrs(b));
   }
   if (k == "TdmaGate") {
-    return std::make_unique<TdmaGate>(b.name, real_of(b, "slot"));
+    // slots/owner are omitted from the IR at the single-slot default.
+    const std::size_t slots =
+        b.find("slots") != nullptr
+            ? static_cast<std::size_t>(int_of(b, "slots"))
+            : 1;
+    const std::size_t owner =
+        b.find("owner") != nullptr
+            ? static_cast<std::size_t>(int_of(b, "owner"))
+            : 0;
+    return std::make_unique<TdmaGate>(b.name, real_of(b, "slot"), slots,
+                                      owner);
   }
   if (k == "EventMerge") {
     return std::make_unique<EventMerge>(b.name, b.n_event_in);

@@ -310,32 +310,23 @@ VmResult run_executives(const AlgorithmGraph& alg,
     }
   }
 
-  auto advance_medium = [&](std::size_t mi) -> bool {
+  // Occupy medium `mi` with comm `ci`, whose send signal is known at time
+  // `signal`: resolves the start instant under the medium's arbitration
+  // (owner-slot-aware for TDMA; under CAN every frame first waits out the
+  // worst-case non-preemptive blocking of unmodeled background traffic, the
+  // same charge the adequation timeline carries, so the WCET run reproduces
+  // the static schedule), applies fault effects, and records the transfer.
+  // Shared by the static-order path and the CAN arbitration path.
+  auto transmit = [&](std::size_t mi, std::size_t ci, Time signal) {
     Cursor& cur = medium_cur[mi];
-    const ir::CommunicatorIr& prog = sir.communicators[mi];
-    if (cur.done(prog.comms.size(), iters)) return false;
-    const std::size_t ci = prog.comms[cur.pc];
-    auto sent = channels[ci].sent(cur.iter);
-    if (prev_hop[ci] != kNone) {
-      sent = channels[prev_hop[ci]].delivered(cur.iter);
-      if (!sent) {
-        // A hop whose predecessor frame was lost never carries anything:
-        // propagate the loss downstream without occupying this medium.
-        const auto prev_lost = channels[prev_hop[ci]].lost(cur.iter);
-        if (!prev_lost) return false;
-        channels[ci].mark_lost(cur.iter, *prev_lost);
-        if (++cur.pc == prog.comms.size()) {
-          cur.pc = 0;
-          ++cur.iter;
-        }
-        return true;
-      }
-    }
-    if (!sent) return false;  // waiting for the sender's signal
     const aaa::ScheduledComm& sc = sched.comms()[ci];
     const DataDep& dep = alg.dependencies()[sc.dep_index];
-    const aaa::Medium& medium = arch.medium(prog.medium);
-    const Time start = medium.earliest_start(std::max(cur.t, *sent));
+    const aaa::Medium& medium = arch.medium(sir.communicators[mi].medium);
+    if (medium.arbitration == aaa::Arbitration::kCanPriority) {
+      signal += medium.can_blocking;
+    }
+    const Time start = medium.earliest_start(
+        std::max(cur.t, signal), alg.dep_priority(sc.dep_index));
     Time end = start + medium.transfer_time(dep.size);
     fault::ArmedFaultPlan::CommEffect eff;
     if (faulting) eff = armed.comm_effect(ci, cur.iter);
@@ -389,6 +380,186 @@ VmResult run_executives(const AlgorithmGraph& alg,
     }
     if (c_comms != nullptr) c_comms->add();
     cur.t = end;
+  };
+
+  // CAN priority arbitration replaces the static program-order cursor with
+  // dynamic per-iteration selection. Precomputed cross-references let the
+  // arbitration reason about senders that have not signalled yet.
+  const bool any_can = [&] {
+    for (const ir::CommunicatorIr& c : sir.communicators) {
+      if (arch.medium(c.medium).arbitration ==
+          aaa::Arbitration::kCanPriority) {
+        return true;
+      }
+    }
+    return false;
+  }();
+  // Processor program that owns each comm's kSend (hop-0 comms only).
+  std::vector<std::size_t> send_proc;
+  // (communicator index, slot within its comm list) of every comm.
+  std::vector<std::pair<std::size_t, std::size_t>> comm_slot;
+  // Per CAN medium: which slots already transferred in the current
+  // iteration, and how many remain.
+  std::vector<std::vector<std::uint8_t>> can_done(sir.communicators.size());
+  std::vector<std::size_t> can_left(sir.communicators.size(), 0);
+  if (any_can) {
+    send_proc.assign(sched.comms().size(), kNone);
+    for (std::size_t pi = 0; pi < sir.executives.size(); ++pi) {
+      for (const ir::InstrIr& ins : sir.executives[pi].instrs) {
+        if (ins.kind == ir::InstrIr::Kind::kSend) send_proc[ins.comm] = pi;
+      }
+    }
+    comm_slot.assign(sched.comms().size(), {kNone, kNone});
+    for (std::size_t mi = 0; mi < sir.communicators.size(); ++mi) {
+      const auto& comms = sir.communicators[mi].comms;
+      for (std::size_t k = 0; k < comms.size(); ++k) {
+        comm_slot[comms[k]] = {mi, k};
+      }
+      if (arch.medium(sir.communicators[mi].medium).arbitration ==
+          aaa::Arbitration::kCanPriority) {
+        can_done[mi].assign(comms.size(), 0);
+        can_left[mi] = comms.size();
+      }
+    }
+  }
+  constexpr Time kArbEps = 1e-12;
+
+  // One arbitration round on CAN medium `mi`: among the pending frames whose
+  // send signal is known, the earliest-ready one wins the bus, ties resolved
+  // by message priority then comm index (CAN identifier order). The commit
+  // is deferred while a frame with an unknown signal could still become
+  // ready no later than the chosen start — unless its sender provably cannot
+  // contest (it is blocked on a reception that is itself pending on this
+  // medium, so its send follows a delivery we have not made yet). `force`
+  // (used only at global quiescence, when no signal can appear without the
+  // bus moving) commits the winner regardless. Both paths are driven by the
+  // same fixed sweep order, so arbitration outcomes are pure functions of
+  // (model, seed, scenario).
+  auto advance_can = [&](std::size_t mi, bool force) -> bool {
+    Cursor& cur = medium_cur[mi];
+    const ir::CommunicatorIr& prog = sir.communicators[mi];
+    if (cur.done(prog.comms.size(), iters)) return false;
+    auto finish_slot = [&](std::size_t k) {
+      can_done[mi][k] = 1;
+      cur.pc = prog.comms.size() - --can_left[mi];
+      if (can_left[mi] == 0) {
+        std::fill(can_done[mi].begin(), can_done[mi].end(), 0);
+        can_left[mi] = prog.comms.size();
+        cur.pc = 0;
+        ++cur.iter;
+      }
+    };
+    // Lost predecessor hops propagate without occupying the bus.
+    for (std::size_t k = 0; k < prog.comms.size(); ++k) {
+      if (can_done[mi][k] != 0) continue;
+      const std::size_t ci = prog.comms[k];
+      if (prev_hop[ci] == kNone) continue;
+      if (channels[prev_hop[ci]].delivered(cur.iter)) continue;
+      const auto prev_lost = channels[prev_hop[ci]].lost(cur.iter);
+      if (!prev_lost) continue;
+      channels[ci].mark_lost(cur.iter, *prev_lost);
+      finish_slot(k);
+      return true;
+    }
+    // Arbitration among the frames whose signal is known. Ranking uses the
+    // same effective start transmit() will resolve — including the
+    // worst-case background-blocking charge, a constant shift that never
+    // reorders candidates.
+    const Time blocking =
+        arch.medium(prog.medium).arbitration == aaa::Arbitration::kCanPriority
+            ? arch.medium(prog.medium).can_blocking
+            : 0.0;
+    std::size_t best = kNone;
+    std::size_t best_slot = kNone;
+    std::size_t best_prio = 0;
+    Time best_start = 0.0;
+    Time best_signal = 0.0;
+    for (std::size_t k = 0; k < prog.comms.size(); ++k) {
+      if (can_done[mi][k] != 0) continue;
+      const std::size_t ci = prog.comms[k];
+      const auto signal = prev_hop[ci] == kNone
+                              ? channels[ci].sent(cur.iter)
+                              : channels[prev_hop[ci]].delivered(cur.iter);
+      if (!signal) continue;
+      const Time start = std::max(cur.t, *signal + blocking);
+      const std::size_t prio = alg.dep_priority(sched.comms()[ci].dep_index);
+      if (best == kNone || start < best_start - kArbEps ||
+          (start <= best_start + kArbEps &&
+           (prio < best_prio || (prio == best_prio && ci < best)))) {
+        best = ci;
+        best_slot = k;
+        best_prio = prio;
+        best_start = start;
+        best_signal = *signal;
+      }
+    }
+    if (best == kNone) return false;
+    if (!force) {
+      for (std::size_t k = 0; k < prog.comms.size(); ++k) {
+        if (can_done[mi][k] != 0) continue;
+        const std::size_t ci = prog.comms[k];
+        if (ci == best) continue;
+        const auto signal = prev_hop[ci] == kNone
+                                ? channels[ci].sent(cur.iter)
+                                : channels[prev_hop[ci]].delivered(cur.iter);
+        if (signal) continue;  // known candidate: it lost the arbitration
+        Time bound;
+        if (prev_hop[ci] != kNone) {
+          // Predecessor hop pending on this very medium delivers only after
+          // a commit we have not made — it cannot contest.
+          const std::size_t pmi = comm_slot[prev_hop[ci]].first;
+          if (pmi == mi) continue;
+          bound = medium_cur[pmi].t;
+        } else {
+          const std::size_t pi = send_proc[ci];
+          if (pi == kNone) continue;
+          const Cursor& sender = proc_cur[pi];
+          if (sender.done(sir.executives[pi].instrs.size(), iters)) continue;
+          const ir::InstrIr& ins = sir.executives[pi].instrs[sender.pc];
+          if (ins.kind == ir::InstrIr::Kind::kRecv &&
+              comm_slot[ins.comm].first == mi && sender.iter == cur.iter &&
+              can_done[mi][comm_slot[ins.comm].second] == 0 &&
+              !channels[ins.comm].delivered(sender.iter) &&
+              !channels[ins.comm].lost(sender.iter)) {
+            continue;  // blocked on a frame this bus has yet to deliver
+          }
+          bound = sender.t;
+        }
+        if (bound <= best_start + kArbEps) return false;  // could contest
+      }
+    }
+    transmit(mi, best, best_signal);
+    finish_slot(best_slot);
+    return true;
+  };
+
+  auto advance_medium = [&](std::size_t mi) -> bool {
+    Cursor& cur = medium_cur[mi];
+    const ir::CommunicatorIr& prog = sir.communicators[mi];
+    if (arch.medium(prog.medium).arbitration ==
+        aaa::Arbitration::kCanPriority) {
+      return advance_can(mi, /*force=*/false);
+    }
+    if (cur.done(prog.comms.size(), iters)) return false;
+    const std::size_t ci = prog.comms[cur.pc];
+    auto sent = channels[ci].sent(cur.iter);
+    if (prev_hop[ci] != kNone) {
+      sent = channels[prev_hop[ci]].delivered(cur.iter);
+      if (!sent) {
+        // A hop whose predecessor frame was lost never carries anything:
+        // propagate the loss downstream without occupying this medium.
+        const auto prev_lost = channels[prev_hop[ci]].lost(cur.iter);
+        if (!prev_lost) return false;
+        channels[ci].mark_lost(cur.iter, *prev_lost);
+        if (++cur.pc == prog.comms.size()) {
+          cur.pc = 0;
+          ++cur.iter;
+        }
+        return true;
+      }
+    }
+    if (!sent) return false;  // waiting for the sender's signal
+    transmit(mi, ci, *sent);
     if (++cur.pc == prog.comms.size()) {
       cur.pc = 0;
       ++cur.iter;
@@ -405,6 +576,19 @@ VmResult run_executives(const AlgorithmGraph& alg,
     }
     for (std::size_t mi = 0; mi < code.communicators.size(); ++mi) {
       while (advance_medium(mi)) progress = true;
+    }
+    if (!progress && any_can) {
+      // Global quiescence: every send signal that can appear without the
+      // bus moving has appeared, so a deferred arbitration decision is now
+      // final — force the winner on the first stalled CAN medium.
+      for (std::size_t mi = 0; mi < code.communicators.size(); ++mi) {
+        if (arch.medium(sir.communicators[mi].medium).arbitration ==
+                aaa::Arbitration::kCanPriority &&
+            advance_can(mi, /*force=*/true)) {
+          progress = true;
+          break;
+        }
+      }
     }
   }
 

@@ -78,6 +78,17 @@ std::string to_dot(const aaa::ArchitectureGraph& arch) {
     std::string label = med.name + "\\nbw=" + std::to_string(med.bandwidth);
     if (med.arbitration == aaa::Arbitration::kTdma) {
       label += " tdma=" + std::to_string(med.tdma_slot);
+      if (med.tdma_slots > 1) {
+        label += "x" + std::to_string(med.tdma_slots);
+      }
+    } else if (med.arbitration == aaa::Arbitration::kCanPriority) {
+      label += " can";
+      if (med.can_blocking > 0.0) {
+        label += " block=" + std::to_string(med.can_blocking);
+      }
+    }
+    if (med.background_load > 0.0) {
+      label += " load=" + std::to_string(med.background_load);
     }
     os << "  m" << m << " [shape=ellipse, style=filled, fillcolor=lightgray, "
        << "label=" << quoted(label) << "];\n";

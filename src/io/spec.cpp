@@ -1,6 +1,7 @@
 #include "io/spec.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -59,6 +60,7 @@ struct RawOp {
 struct RawDep {
   std::string from, to;
   double size = 1.0;
+  std::size_t priority = aaa::kNone;  // kNone = declaration-order default
 };
 
 }  // namespace
@@ -81,6 +83,10 @@ ParsedSpec parse_spec(const std::string& text) {
     double bandwidth = 0.0, latency = 0.0;
     std::vector<std::string> procs;
     double tdma_slot = 0.0;
+    std::size_t tdma_slots = 1;
+    bool can = false;
+    double can_blocking = 0.0;
+    double background_load = 0.0;
   };
   std::vector<RawProc> procs;
   std::vector<RawBus> buses;
@@ -143,11 +149,25 @@ ParsedSpec parse_spec(const std::string& text) {
           throw SpecParseError(line_no, "trailing tokens after op");
         }
         ops.push_back(std::move(op));
-      } else if (t[0] == "dep" && (t.size() == 3 || t.size() == 4)) {
+      } else if (t[0] == "dep" &&
+                 (t.size() == 3 || t.size() == 4 || t.size() == 6)) {
         RawDep d;
         d.from = t[1];
         d.to = t[2];
-        if (t.size() == 4) d.size = parse_number(t[3], line_no, "dep size");
+        if (t.size() >= 4) d.size = parse_number(t[3], line_no, "dep size");
+        if (t.size() == 6) {
+          if (t[4] != "prio") {
+            throw SpecParseError(line_no,
+                                 "expected 'prio', got '" + t[4] + "'");
+          }
+          const double p = parse_number(t[5], line_no, "dep priority");
+          if (p < 0.0 || p != std::floor(p)) {
+            throw SpecParseError(line_no,
+                                 "dep priority must be a non-negative "
+                                 "integer");
+          }
+          d.priority = static_cast<std::size_t>(p);
+        }
         deps.push_back(std::move(d));
       } else if (t[0] == "rate" && t.size() == 3) {
         const double r = parse_number(t[2], line_no, "rate divisor");
@@ -181,16 +201,50 @@ ParsedSpec parse_spec(const std::string& text) {
         bus.latency = parse_number(t[3], line_no, "bus latency");
         bus.procs.assign(t.begin() + 4, t.end());
         buses.push_back(std::move(bus));
-      } else if (t[0] == "tdma" && t.size() == 3) {
+      } else if (t[0] == "tdma" && (t.size() == 3 || t.size() == 4)) {
         bool found = false;
         for (RawBus& bus : buses) {
           if (bus.name == t[1]) {
             bus.tdma_slot = parse_number(t[2], line_no, "tdma slot");
+            if (t.size() == 4) {
+              const double n = parse_number(t[3], line_no, "tdma slot count");
+              if (n < 1.0 || n != std::floor(n)) {
+                throw SpecParseError(line_no,
+                                     "tdma slot count must be a positive "
+                                     "integer");
+              }
+              bus.tdma_slots = static_cast<std::size_t>(n);
+            }
             found = true;
           }
         }
         if (!found) {
           throw SpecParseError(line_no, "tdma for unknown bus '" + t[1] + "'");
+        }
+      } else if (t[0] == "can" && (t.size() == 2 || t.size() == 3)) {
+        bool found = false;
+        for (RawBus& bus : buses) {
+          if (bus.name == t[1]) {
+            bus.can = true;
+            if (t.size() == 3) {
+              bus.can_blocking = parse_number(t[2], line_no, "can blocking");
+            }
+            found = true;
+          }
+        }
+        if (!found) {
+          throw SpecParseError(line_no, "can for unknown bus '" + t[1] + "'");
+        }
+      } else if (t[0] == "load" && t.size() == 3) {
+        bool found = false;
+        for (RawBus& bus : buses) {
+          if (bus.name == t[1]) {
+            bus.background_load = parse_number(t[2], line_no, "bus load");
+            found = true;
+          }
+        }
+        if (!found) {
+          throw SpecParseError(line_no, "load for unknown bus '" + t[1] + "'");
         }
       } else {
         throw SpecParseError(line_no, "unknown architecture directive '" +
@@ -225,6 +279,10 @@ ParsedSpec parse_spec(const std::string& text) {
         throw SpecParseError(0, "dep references unknown op '" + name + "'");
       };
       for (const RawDep& d : deps) {
+        if (d.priority != aaa::kNone) {
+          throw SpecParseError(0, "dep priorities are not supported together "
+                                  "with rate directives");
+        }
         spec.add_dep(index_of(d.from), index_of(d.to), d.size);
       }
       result.algorithm = aaa::expand_hyperperiod(spec);
@@ -243,7 +301,8 @@ ParsedSpec parse_spec(const std::string& text) {
         alg.add_operation(std::move(out));
       }
       for (const RawDep& d : deps) {
-        alg.add_dependency(alg.find(d.from), alg.find(d.to), d.size);
+        alg.add_dependency(alg.find(d.from), alg.find(d.to), d.size,
+                           d.priority);
       }
       result.algorithm = std::move(alg);
     }
@@ -259,7 +318,17 @@ ParsedSpec parse_spec(const std::string& text) {
       for (const std::string& p : bus.procs) {
         arch.attach(arch.find_processor(p), m);
       }
-      if (bus.tdma_slot > 0.0) arch.set_tdma(m, bus.tdma_slot);
+      if (bus.can && bus.tdma_slot > 0.0) {
+        throw SpecParseError(0, "bus '" + bus.name +
+                                    "' cannot be both tdma and can");
+      }
+      if (bus.tdma_slot > 0.0) {
+        arch.set_tdma(m, bus.tdma_slot, bus.tdma_slots);
+      }
+      if (bus.can) arch.set_can(m, bus.can_blocking);
+      if (bus.background_load != 0.0) {
+        arch.set_background_load(m, bus.background_load);
+      }
     }
     result.architecture = std::move(arch);
     result.has_architecture = true;

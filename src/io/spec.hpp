@@ -9,7 +9,7 @@
 //   op  mode  compute  branch fast 1e-4 branch slow 3e-3
 //   op  act   actuator 2e-4 @P0
 //   dep sense ctrl 8                 # producer consumer [size]
-//   dep ctrl  act  8
+//   dep ctrl  act  8 prio 1          # optional message priority (lower wins)
 //   rate ctrl 4                      # multirate: runs every 4th period
 //
 //   [architecture]
@@ -18,6 +18,9 @@
 //   proc  P1 cpu
 //   bus   can 4e4 1e-4 P0 P1         # name bandwidth latency procs...
 //   tdma  can 1e-3                   # optional slot grid
+//   tdma  can 1e-3 4                 # ... or 4 owner slots per round
+//   can   can 2e-3                   # CAN arbitration, worst-case blocking
+//   load  can 0.4                    # background-traffic load in [0, 1)
 //
 // Rate lines turn the algorithm into a MultirateSpec expanded over the
 // hyperperiod (see aaa/multirate.hpp); without them the graph is used as-is.

@@ -1,0 +1,97 @@
+// Networked-control scenario sweeps (EXP-N1): the stability-vs-bus-load
+// frontier of a distributed loop over realistic network media. Each cell
+// builds a CAN- or TDMA-arbitrated bus architecture at one background-load
+// level, runs the full AAA flow (adequation -> graph of delays ->
+// co-simulation) to *measure* the actuation-latency distribution, then
+// retunes the LQR against the measured delay (Schouten et al.: tune against
+// the measured distribution, not the nominal one) and re-runs with the
+// delay-aware controller. Cells run on a par::BatchRunner with
+// serial-identical results: every quantity inside a cell is a pure function
+// of (model, seed, scenario), so the grid is bit-identical for any thread
+// count — the property the sweep service's result cache relies on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mathlib/matrix.hpp"
+#include "par/batch_runner.hpp"
+#include "translate/cosim.hpp"
+
+namespace ecsim::sweep {
+
+/// Network scenario kind: the column axis of the EXP-N1 grid.
+enum class NetworkScenario {
+  kCan,   // CAN-style ID-based priority arbitration, non-preemptive frames
+  kTdma,  // TDMA/FlexRay owner slots on a fixed round
+};
+
+/// Stable scenario code used in CSV output and cache keys (0 = can,
+/// 1 = tdma).
+double scenario_code(NetworkScenario s);
+/// Inverse of scenario_code; throws std::invalid_argument on a bad code.
+NetworkScenario scenario_of_code(double code);
+const char* to_string(NetworkScenario s);
+/// Parse "can" / "tdma"; throws std::invalid_argument otherwise.
+NetworkScenario parse_scenario(const std::string& name);
+
+/// One evaluated network point. `stable` reflects the *retuned* loop (the
+/// frontier reports what a delay-aware design achieves); `schedulable` is
+/// false when the adequation no longer fits the period at this load —
+/// outside the feasible region entirely.
+struct NetworkCell {
+  double bus_load = 0.0;  // row axis: background-traffic load in [0, 1)
+  double scenario = 0.0;  // column axis: scenario_code(...)
+  double act_latency_mean = 0.0;  // measured La mean on the nominal run
+  double act_jitter = 0.0;        // measured La peak-to-peak
+  double nominal_iae = 0.0;       // nominally-tuned controller
+  double nominal_cost = 0.0;
+  double retuned_iae = 0.0;  // delay-aware controller, same network
+  double retuned_cost = 0.0;
+  /// 1 - spectral radius of the delay-augmented closed loop the retune
+  /// designed (positive = stable design, shrinking as bus load grows).
+  double stability_margin = 0.0;
+  bool schedulable = true;
+  bool stable = true;
+};
+
+/// Bus-load × scenario grid. The same architecture shape is rebuilt per
+/// cell: `processors` CPUs on one bus of `bus_bandwidth`/`bus_latency`,
+/// arbitrated per the column's scenario, with the row's background load.
+struct NetworkGrid {
+  translate::LoopSpec loop;         // nominal design; controller retuned
+  translate::DistributedSpec dist;  // base; arch replaced per cell
+  std::vector<double> bus_loads;    // rows: background load in [0, 1)
+  std::vector<NetworkScenario> scenarios;  // columns
+  std::size_t processors = 2;
+  double bus_bandwidth = 1e5;
+  double bus_latency = 0.0;
+  /// CAN scenario: worst-case non-preemptive blocking (s).
+  double can_blocking = 5e-4;
+  /// TDMA scenario: slot period (s) and owner slots per round.
+  double tdma_slot = 5e-4;
+  std::size_t tdma_slots = 2;
+  /// Delay-aware LQR redesign inputs: continuous design plant (SISO output
+  /// for the reference gain) and weights on the physical state.
+  control::StateSpace design_plant;
+  math::Matrix q;
+  math::Matrix r;
+};
+
+/// Row-major over bus_loads × scenarios, bit-identical for any thread
+/// count. A cell whose schedule no longer fits the period is returned with
+/// schedulable = stable = false instead of throwing.
+std::vector<NetworkCell> run_network_sweep(const NetworkGrid& grid,
+                                           const par::BatchOptions& batch = {});
+
+/// Machine-readable dump, one row per cell, header included.
+std::string to_csv(const std::vector<NetworkCell>& cells);
+
+/// The canonical EXP-N1 grid: the Cervin DC-servo loop of servo_loop()
+/// distributed over 2 processors (controller bound to P1, so every message
+/// crosses the bus), swept over 5 background-load levels × {can, tdma}.
+/// Shared verbatim by the CLI verb, the sweep service and bench_n1 so their
+/// cells hit the same cache keys.
+NetworkGrid network_servo_grid(double ts = 0.01, double t_end = 1.0);
+
+}  // namespace ecsim::sweep

@@ -56,6 +56,9 @@ ResultKey unit_key(const Request& req, const std::string& model_hash,
     case Verb::kSweepArch:
       cell_coords("bw", "ws");
       break;
+    case Verb::kSweepNetwork:
+      cell_coords("load", "scen");
+      break;
     case Verb::kFaultSweep: {
       cell_coords("loss", "delay");
       const std::size_t cols = req.cols.size();

@@ -112,6 +112,20 @@ bool remote_fault_sweep(Client& client, const Request& req,
   return true;
 }
 
+bool remote_network_sweep(Client& client, const Request& req,
+                          std::vector<sweep::NetworkCell>& cells,
+                          ResponseMeta& meta) {
+  std::vector<std::string> blobs;
+  std::string err;
+  if (!unit_payloads(client, req, meta, blobs, err)) return false;
+  std::vector<sweep::NetworkCell> out(blobs.size());
+  for (std::size_t i = 0; i < blobs.size(); ++i) {
+    if (!decode_cell(blobs[i], out[i])) return false;
+  }
+  cells = std::move(out);
+  return true;
+}
+
 bool remote_fault_mc(Client& client, const Request& req,
                      sweep::FaultMonteCarloResult& result,
                      ResponseMeta& meta) {

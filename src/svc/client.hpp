@@ -53,6 +53,10 @@ bool remote_fault_sweep(Client& client, const Request& req,
                         std::vector<sweep::FaultCell>& cells,
                         ResponseMeta& meta);
 
+bool remote_network_sweep(Client& client, const Request& req,
+                          std::vector<sweep::NetworkCell>& cells,
+                          ResponseMeta& meta);
+
 /// Fault Monte Carlo: per-trial cells come back in trial order and reduce
 /// through sweep::summarize_fault_trials — the same reduction the in-process
 /// run uses, so the statistics match bit-for-bit. Timing fields stay 0.

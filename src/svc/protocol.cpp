@@ -219,6 +219,7 @@ const char* to_string(Verb v) {
   switch (v) {
     case Verb::kSweepTiming: return "sweep_timing";
     case Verb::kSweepArch: return "sweep_arch";
+    case Verb::kSweepNetwork: return "sweep_network";
     case Verb::kFaultSweep: return "fault_sweep";
     case Verb::kFaultMc: return "fault_mc";
     case Verb::kVmMc: return "vm_mc";
@@ -230,9 +231,9 @@ const char* to_string(Verb v) {
 }
 
 bool parse_verb(const std::string& s, Verb& out) {
-  for (Verb v : {Verb::kSweepTiming, Verb::kSweepArch, Verb::kFaultSweep,
-                 Verb::kFaultMc, Verb::kVmMc, Verb::kPing, Verb::kStats,
-                 Verb::kKillWorker}) {
+  for (Verb v : {Verb::kSweepTiming, Verb::kSweepArch, Verb::kSweepNetwork,
+                 Verb::kFaultSweep, Verb::kFaultMc, Verb::kVmMc, Verb::kPing,
+                 Verb::kStats, Verb::kKillWorker}) {
     if (s == to_string(v)) {
       out = v;
       return true;
@@ -253,6 +254,7 @@ Fields Request::to_fields() const {
   switch (verb) {
     case Verb::kSweepTiming:
     case Verb::kSweepArch:
+    case Verb::kSweepNetwork:
     case Verb::kFaultSweep:
       f.set_list("rows", rows);
       f.set_list("cols", cols);
@@ -296,11 +298,20 @@ bool Request::from_fields(const Fields& f, Request& out, std::string& err) {
   switch (r.verb) {
     case Verb::kSweepTiming:
     case Verb::kSweepArch:
+    case Verb::kSweepNetwork:
     case Verb::kFaultSweep:
       if (!f.get_list("rows", r.rows) || !f.get_list("cols", r.cols) ||
           r.rows.empty() || r.cols.empty()) {
         err = "sweep request needs non-empty rows and cols";
         return false;
+      }
+      if (r.verb == Verb::kSweepNetwork) {
+        for (const double c : r.cols) {
+          if (c != 0.0 && c != 1.0) {
+            err = "sweep_network cols must be scenario codes (0=can 1=tdma)";
+            return false;
+          }
+        }
       }
       break;
     case Verb::kFaultMc:
@@ -338,6 +349,7 @@ std::size_t Request::units() const {
   switch (verb) {
     case Verb::kSweepTiming:
     case Verb::kSweepArch:
+    case Verb::kSweepNetwork:
     case Verb::kFaultSweep:
       return rows.size() * cols.size();
     case Verb::kFaultMc:
@@ -535,6 +547,37 @@ bool decode_cell(const std::string& s, sweep::FaultCell& c) {
   out.messages_lost = static_cast<std::size_t>(u);
   if (!tok_u64(toks[10], u)) return false;
   out.messages_deferred = static_cast<std::size_t>(u);
+  out.stable = toks[11] == "1";
+  c = out;
+  return true;
+}
+
+std::string encode_cell(const sweep::NetworkCell& c) {
+  std::string out = "N";
+  for (double v : {c.bus_load, c.scenario, c.act_latency_mean, c.act_jitter,
+                   c.nominal_iae, c.nominal_cost, c.retuned_iae,
+                   c.retuned_cost, c.stability_margin}) {
+    out += ' ';
+    out += bits_of(v);
+  }
+  out += c.schedulable ? " 1" : " 0";
+  out += c.stable ? " 1" : " 0";
+  return out;
+}
+
+bool decode_cell(const std::string& s, sweep::NetworkCell& c) {
+  const std::vector<std::string> toks = split(s);
+  if (toks.size() != 12 || toks[0] != "N") return false;
+  sweep::NetworkCell out;
+  double* fields[] = {&out.bus_load,      &out.scenario,
+                      &out.act_latency_mean, &out.act_jitter,
+                      &out.nominal_iae,   &out.nominal_cost,
+                      &out.retuned_iae,   &out.retuned_cost,
+                      &out.stability_margin};
+  for (std::size_t i = 0; i < 9; ++i) {
+    if (!double_of(toks[i + 1], *fields[i])) return false;
+  }
+  out.schedulable = toks[10] == "1";
   out.stable = toks[11] == "1";
   c = out;
   return true;

@@ -21,6 +21,7 @@
 
 #include "par/fault_sweep.hpp"
 #include "par/monte_carlo.hpp"
+#include "par/network_sweep.hpp"
 #include "par/sweep.hpp"
 
 namespace ecsim::svc {
@@ -81,6 +82,7 @@ std::uint64_t fnv1a(const std::string& bytes);
 enum class Verb {
   kSweepTiming,   ///< latency×jitter grid cells on the DC-servo loop
   kSweepArch,     ///< bus-bandwidth×WCET grid cells
+  kSweepNetwork,  ///< bus-load×scenario (CAN/TDMA) grid cells, EXP-N1
   kFaultSweep,    ///< loss×delay grid cells (deterministic fault plans)
   kFaultMc,       ///< Monte Carlo dropout trials (one unit per trial)
   kVmMc,          ///< executive-VM Monte Carlo over an uploaded spec text
@@ -142,6 +144,8 @@ std::string encode_cell(const sweep::SweepCell& c);
 bool decode_cell(const std::string& s, sweep::SweepCell& c);
 std::string encode_cell(const sweep::FaultCell& c);
 bool decode_cell(const std::string& s, sweep::FaultCell& c);
+std::string encode_cell(const sweep::NetworkCell& c);
+bool decode_cell(const std::string& s, sweep::NetworkCell& c);
 
 /// VM Monte Carlo statistics. Wall-clock fields (wall_s, trials_per_s,
 /// batch_width) are NOT encoded — a cached result is the statistics, not

@@ -69,6 +69,18 @@ std::string evaluate_unit(const Request& req, std::size_t unit,
       grid.wcet_scales = {req.cols[unit % req.cols.size()]};
       return encode_cell(sweep::SweepRunner(batch).run(grid)[0]);
     }
+    case Verb::kSweepNetwork: {
+      // The canonical EXP-N1 grid shape (network_servo_grid) restricted to
+      // this unit's (bus load, scenario) coordinate; the warm loop replaces
+      // the grid's own so the IR hash and seed match the request.
+      sweep::NetworkGrid grid = sweep::network_servo_grid(req.ts, req.t_end);
+      grid.loop = warm.loop(req.ts, req.t_end, req.seed).loop;
+      grid.loop.backend = bk;
+      grid.bus_loads = {req.rows[unit / req.cols.size()]};
+      grid.scenarios = {
+          sweep::scenario_of_code(req.cols[unit % req.cols.size()])};
+      return encode_cell(sweep::run_network_sweep(grid, batch)[0]);
+    }
     case Verb::kFaultSweep: {
       sweep::FaultGrid grid;
       // CLI convention: --seed seeds the FAULT stream; the loop keeps its

@@ -141,12 +141,28 @@ GraphOfDelays build_event_chain(sim::Model& model,
   for (std::size_t ci = 0; ci < sched.comms().size(); ++ci) {
     const aaa::ScheduledComm& sc = sched.comms()[ci];
     const aaa::DataDep& dep = alg.dependencies()[sc.dep_index];
-    const aaa::Time dur = arch.medium(sc.hop.medium).transfer_time(dep.size);
+    const aaa::Medium& hop_medium = arch.medium(sc.hop.medium);
+    const aaa::Time dur = hop_medium.transfer_time(dep.size);
     const std::string comm_name = alg.op(dep.from).name + ">" +
                                   alg.op(dep.to).name + "#" +
                                   std::to_string(sc.hop_index);
-    auto& ed =
-        model.add<blocks::EventDelay>(opts.prefix + "comm/" + comm_name, dur);
+    // Under CAN priority arbitration the frame may additionally wait behind
+    // one non-preemptible lower-priority (or background) frame for up to
+    // can_blocking: WCET replay (bcet_fraction >= 1) charges the full
+    // blocking — matching the adequation's arbitration-aware WCET exactly —
+    // while jitter studies draw the access delay uniformly from the busy
+    // window [dur, dur + blocking]. Occupancy is faithful either way: the
+    // blocking IS another frame holding the bus.
+    blocks::DurationSpec comm_spec = blocks::constant_duration(dur);
+    if (hop_medium.arbitration == aaa::Arbitration::kCanPriority &&
+        hop_medium.can_blocking > 0.0) {
+      comm_spec = opts.bcet_fraction >= 1.0
+                      ? blocks::constant_duration(dur + hop_medium.can_blocking)
+                      : blocks::uniform_duration(
+                            dur, dur + hop_medium.can_blocking);
+    }
+    auto& ed = model.add<blocks::EventDelay>(opts.prefix + "comm/" + comm_name,
+                                             comm_spec);
     comm_delay[ci] = &ed;
     comm_arrival[ci] = {&ed, ed.event_out()};
     if (armed != nullptr) {
@@ -271,7 +287,8 @@ GraphOfDelays build_event_chain(sim::Model& model,
       std::size_t transfer_entry_in = ed->event_in();
       if (medium.arbitration == aaa::Arbitration::kTdma) {
         auto& gate = model.add<blocks::TdmaGate>(
-            opts.prefix + "tdma/comm" + std::to_string(ci), medium.tdma_slot);
+            opts.prefix + "tdma/comm" + std::to_string(ci), medium.tdma_slot,
+            medium.tdma_slots, alg.dep_priority(sc.dep_index));
         model.connect_event(gate, gate.event_out(), *ed, ed->event_in());
         transfer_entry = &gate;
         transfer_entry_in = gate.event_in();

@@ -117,6 +117,72 @@ TEST(Spec, RejectsMalformedInput) {
       SpecParseError);  // conditional + multirate unsupported
 }
 
+TEST(Spec, NetworkMediumDirectives) {
+  const ParsedSpec spec = parse_spec(R"(
+[algorithm]
+period 0.02
+op s sensor 1e-4 @P0
+op c compute 5e-4 @P1
+op a actuator 1e-4 @P0
+dep s c 8 prio 3
+dep c a 8
+
+[architecture]
+proc P0
+proc P1
+bus can0 1e5 1e-5 P0 P1
+can can0 2e-3
+load can0 0.4
+)");
+  const aaa::Medium& m = spec.architecture.medium(0);
+  EXPECT_EQ(m.arbitration, aaa::Arbitration::kCanPriority);
+  EXPECT_DOUBLE_EQ(m.can_blocking, 2e-3);
+  EXPECT_DOUBLE_EQ(m.background_load, 0.4);
+  EXPECT_DOUBLE_EQ(m.effective_bandwidth(), 1e5 * 0.6);
+  // Explicit priority on dep 0; dep 1 falls back to its index.
+  EXPECT_EQ(spec.algorithm.dependencies()[0].priority, 3u);
+  EXPECT_EQ(spec.algorithm.dep_priority(0), 3u);
+  EXPECT_EQ(spec.algorithm.dep_priority(1), 1u);
+}
+
+TEST(Spec, TdmaOwnerSlotDirective) {
+  const ParsedSpec spec = parse_spec(R"(
+[architecture]
+proc P0
+proc P1
+bus ttp 5e4 1e-4 P0 P1
+tdma ttp 1e-3 4
+)");
+  const aaa::Medium& m = spec.architecture.medium(0);
+  EXPECT_EQ(m.arbitration, aaa::Arbitration::kTdma);
+  EXPECT_DOUBLE_EQ(m.tdma_slot, 1e-3);
+  EXPECT_EQ(m.tdma_slots, 4u);
+}
+
+TEST(Spec, RejectsBadNetworkDirectives) {
+  const std::string arch_head =
+      "[architecture]\nproc P0\nproc P1\nbus b 1e5 0 P0 P1\n";
+  // CAN and TDMA on the same bus are mutually exclusive.
+  EXPECT_THROW(parse_spec(arch_head + "can b 1e-3\ntdma b 1e-3\n"),
+               SpecParseError);
+  // Directives must name a declared bus.
+  EXPECT_THROW(parse_spec(arch_head + "can nobus\n"), SpecParseError);
+  EXPECT_THROW(parse_spec(arch_head + "load nobus 0.5\n"), SpecParseError);
+  // Load outside [0, 1) is rejected (by set_background_load).
+  EXPECT_THROW(parse_spec(arch_head + "load b 1.0\n"), std::invalid_argument);
+  // Priorities must be non-negative integers.
+  EXPECT_THROW(parse_spec("[algorithm]\nop x sensor 1e-4\nop y compute 1e-4\n"
+                          "dep x y 8 prio 1.5\n"),
+               SpecParseError);
+  EXPECT_THROW(parse_spec("[algorithm]\nop x sensor 1e-4\nop y compute 1e-4\n"
+                          "dep x y 8 prio -1\n"),
+               SpecParseError);
+  // Explicit priorities are incompatible with the multirate expansion.
+  EXPECT_THROW(parse_spec("[algorithm]\nperiod 0.002\nop s sensor 1e-4\n"
+                          "op o compute 9e-4\ndep s o 8 prio 0\nrate o 4\n"),
+               SpecParseError);
+}
+
 TEST(Spec, LoadSpecMissingFileThrows) {
   EXPECT_THROW(load_spec("/nonexistent/file.spec"), std::runtime_error);
 }

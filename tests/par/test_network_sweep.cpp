@@ -1,0 +1,119 @@
+#include "par/network_sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ecsim::sweep {
+namespace {
+
+NetworkGrid small_network_grid() {
+  NetworkGrid grid = network_servo_grid(0.01, 0.12);  // short unit-test horizon
+  grid.bus_loads = {0.0, 0.5};
+  grid.scenarios = {NetworkScenario::kCan, NetworkScenario::kTdma};
+  return grid;
+}
+
+bool bit_identical(const std::vector<NetworkCell>& a,
+                   const std::vector<NetworkCell>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const NetworkCell& x = a[i];
+    const NetworkCell& y = b[i];
+    if (x.bus_load != y.bus_load || x.scenario != y.scenario ||
+        x.act_latency_mean != y.act_latency_mean ||
+        x.act_jitter != y.act_jitter || x.nominal_iae != y.nominal_iae ||
+        x.nominal_cost != y.nominal_cost || x.retuned_iae != y.retuned_iae ||
+        x.retuned_cost != y.retuned_cost ||
+        x.stability_margin != y.stability_margin ||
+        x.schedulable != y.schedulable || x.stable != y.stable) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(NetworkSweep, ScenarioNamesAndCodesRoundTrip) {
+  EXPECT_EQ(parse_scenario("can"), NetworkScenario::kCan);
+  EXPECT_EQ(parse_scenario("tdma"), NetworkScenario::kTdma);
+  EXPECT_STREQ(to_string(NetworkScenario::kCan), "can");
+  EXPECT_STREQ(to_string(NetworkScenario::kTdma), "tdma");
+  EXPECT_DOUBLE_EQ(scenario_code(NetworkScenario::kCan), 0.0);
+  EXPECT_DOUBLE_EQ(scenario_code(NetworkScenario::kTdma), 1.0);
+  for (const NetworkScenario s :
+       {NetworkScenario::kCan, NetworkScenario::kTdma}) {
+    EXPECT_EQ(scenario_of_code(scenario_code(s)), s);
+    EXPECT_EQ(parse_scenario(to_string(s)), s);
+  }
+  EXPECT_THROW(parse_scenario("flexray"), std::invalid_argument);
+  EXPECT_THROW(scenario_of_code(2.0), std::invalid_argument);
+}
+
+TEST(NetworkSweep, GridRowMajorAndPopulated) {
+  const NetworkGrid grid = small_network_grid();
+  par::BatchOptions batch;
+  batch.threads = 1;
+  const std::vector<NetworkCell> cells = run_network_sweep(grid, batch);
+  ASSERT_EQ(cells.size(), 4u);  // 2 loads x {can, tdma}, row-major
+  EXPECT_DOUBLE_EQ(cells[0].bus_load, 0.0);
+  EXPECT_DOUBLE_EQ(cells[0].scenario, 0.0);
+  EXPECT_DOUBLE_EQ(cells[1].scenario, 1.0);
+  EXPECT_DOUBLE_EQ(cells[2].bus_load, 0.5);
+  for (const NetworkCell& c : cells) {
+    EXPECT_TRUE(c.schedulable);
+    EXPECT_TRUE(c.stable);
+    EXPECT_GT(c.act_latency_mean, 0.0);
+    EXPECT_GT(c.nominal_iae, 0.0);
+    EXPECT_GT(c.retuned_iae, 0.0);
+    // The delay-aware retune's closed loop must come out stable.
+    EXPECT_GT(c.stability_margin, 0.0);
+    EXPECT_LE(c.stability_margin, 1.0);
+  }
+  // Background contention can only lengthen the measured actuation latency.
+  EXPECT_GE(cells[2].act_latency_mean, cells[0].act_latency_mean);  // can
+  EXPECT_GE(cells[3].act_latency_mean, cells[1].act_latency_mean);  // tdma
+}
+
+TEST(NetworkSweep, BitIdenticalAcrossThreadCounts) {
+  const NetworkGrid grid = small_network_grid();
+  std::vector<NetworkCell> reference;
+  for (const std::size_t threads : {1u, 2u, 5u}) {
+    par::BatchOptions batch;
+    batch.threads = threads;
+    const std::vector<NetworkCell> cells = run_network_sweep(grid, batch);
+    if (threads == 1u) {
+      reference = cells;
+    } else {
+      EXPECT_TRUE(bit_identical(reference, cells))
+          << "threads=" << threads << " diverged from serial";
+    }
+  }
+}
+
+TEST(NetworkSweep, InfeasibleCellReportsUnschedulable) {
+  NetworkGrid grid = small_network_grid();
+  grid.bus_loads = {0.0};
+  grid.scenarios = {NetworkScenario::kCan};
+  grid.bus_bandwidth = 10.0;  // one transfer takes ~0.8 s >> the 0.01 s period
+  const std::vector<NetworkCell> cells = run_network_sweep(grid, {});
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_FALSE(cells[0].schedulable);
+  EXPECT_FALSE(cells[0].stable);
+}
+
+TEST(NetworkSweep, CsvRendersEveryCell) {
+  const NetworkGrid grid = small_network_grid();
+  par::BatchOptions batch;
+  batch.threads = 2;
+  const std::vector<NetworkCell> cells = run_network_sweep(grid, batch);
+  const std::string csv = to_csv(cells);
+  EXPECT_NE(csv.find("bus_load,scenario,act_latency_mean"), std::string::npos);
+  EXPECT_NE(csv.find("stability_margin,schedulable,stable"),
+            std::string::npos);
+  EXPECT_EQ(
+      static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n')),
+      cells.size() + 1);
+}
+
+}  // namespace
+}  // namespace ecsim::sweep

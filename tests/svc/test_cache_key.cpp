@@ -194,5 +194,28 @@ TEST(CacheKeyProperty, KeySeparatesBackendModelAndVerb) {
   EXPECT_THROW(unit_key(r, "0xaaaa", 1), std::out_of_range);
 }
 
+TEST(CacheKeyProperty, SweepNetworkUnitsKeyOnLoadAndScenario) {
+  Request r;
+  r.verb = Verb::kSweepNetwork;
+  r.rows = {0.0, 0.4};   // background loads
+  r.cols = {0.0, 1.0};   // scenario codes
+  const std::string hash = "0x00c0ffee00c0ffee";
+  std::set<std::string> keys;
+  for (std::size_t u = 0; u < r.units(); ++u) {
+    const std::string k = unit_key(r, hash, u).canonical();
+    keys.insert(k);
+    // The verb's coordinate labels are part of the canonical form, so
+    // sweep_network cells can never alias another verb's cells.
+    EXPECT_NE(k.find("load"), std::string::npos) << k;
+    EXPECT_NE(k.find("scen"), std::string::npos) << k;
+  }
+  EXPECT_EQ(keys.size(), 4u);
+
+  Request timing = r;  // identical coordinates under a different verb
+  timing.verb = Verb::kSweepTiming;
+  EXPECT_NE(unit_key(timing, hash, 0).canonical(),
+            unit_key(r, hash, 0).canonical());
+}
+
 }  // namespace
 }  // namespace ecsim::svc

@@ -173,6 +173,59 @@ TEST(ProtocolCodec, FaultCellBitExactRoundTrip) {
   EXPECT_FALSE(d.stable);
 }
 
+TEST(ProtocolCodec, NetworkCellBitExactRoundTrip) {
+  const std::vector<double> xs = awkward_doubles(9 * 20, 23);
+  for (std::size_t t = 0; t < 20; ++t) {
+    sweep::NetworkCell c;
+    double* fields[] = {&c.bus_load,    &c.scenario,     &c.act_latency_mean,
+                        &c.act_jitter,  &c.nominal_iae,  &c.nominal_cost,
+                        &c.retuned_iae, &c.retuned_cost, &c.stability_margin};
+    for (std::size_t i = 0; i < 9; ++i) *fields[i] = xs[t * 9 + i];
+    c.schedulable = (t % 2) == 0;
+    c.stable = (t % 3) == 0;
+    sweep::NetworkCell d;
+    ASSERT_TRUE(decode_cell(encode_cell(c), d));
+    double* back[] = {&d.bus_load,    &d.scenario,     &d.act_latency_mean,
+                      &d.act_jitter,  &d.nominal_iae,  &d.nominal_cost,
+                      &d.retuned_iae, &d.retuned_cost, &d.stability_margin};
+    for (std::size_t i = 0; i < 9; ++i) {
+      EXPECT_TRUE(same_bits(*back[i], xs[t * 9 + i]));
+    }
+    EXPECT_EQ(d.schedulable, c.schedulable);
+    EXPECT_EQ(d.stable, c.stable);
+  }
+  // Tag letters keep the cell kinds apart on the wire.
+  sweep::NetworkCell n;
+  sweep::SweepCell s;
+  EXPECT_FALSE(decode_cell(encode_cell(s), n));
+  EXPECT_FALSE(decode_cell(encode_cell(n), s));
+}
+
+TEST(ProtocolRequest, SweepNetworkRoundTripAndScenarioValidation) {
+  Request r;
+  r.verb = Verb::kSweepNetwork;
+  r.ts = 0.01;
+  r.t_end = 1.0;
+  r.seed = 1;
+  r.rows = {0.0, 0.4, 0.8};
+  r.cols = {0.0, 1.0};  // scenario codes: can, tdma
+  Request d;
+  std::string err;
+  ASSERT_TRUE(Request::from_fields(r.to_fields(), d, err)) << err;
+  EXPECT_EQ(d.verb, Verb::kSweepNetwork);
+  EXPECT_EQ(d.rows, r.rows);
+  EXPECT_EQ(d.cols, r.cols);
+  EXPECT_EQ(d.units(), 6u);
+  Verb v;
+  EXPECT_TRUE(parse_verb("sweep_network", v));
+  EXPECT_EQ(v, Verb::kSweepNetwork);
+  EXPECT_EQ(std::string(to_string(Verb::kSweepNetwork)), "sweep_network");
+  // Columns must be valid scenario codes.
+  r.cols = {0.0, 2.0};
+  EXPECT_FALSE(Request::from_fields(r.to_fields(), d, err));
+  EXPECT_NE(err.find("scenario"), std::string::npos) << err;
+}
+
 TEST(ProtocolCodec, MonteCarloResultRoundTrip) {
   sweep::MonteCarloResult r;
   r.trials = 200;

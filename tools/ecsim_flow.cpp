@@ -14,6 +14,13 @@
 //                                   the work-stealing pool; prints a
 //                                   control-cost heatmap. Results are
 //                                   bit-identical for any --threads.
+//   ecsim_flow sweep network        bus-load × scenario (CAN | TDMA) grid:
+//                                   each cell measures the actuation-latency
+//                                   distribution the arbitrated bus delivers,
+//                                   retunes the LQR against it and reports
+//                                   the stability margin of the delay-aware
+//                                   design (EXP-N1). Bit-identical for any
+//                                   --threads and via --connect.
 //   ecsim_flow montecarlo spec.txt  Monte Carlo execution-time trials of the
 //                                   spec's schedule on the executive VM:
 //                                   per-operation latency/jitter
@@ -97,6 +104,7 @@
 #include "obs/tracer.hpp"
 #include "par/fault_sweep.hpp"
 #include "par/monte_carlo.hpp"
+#include "par/network_sweep.hpp"
 #include "par/sweep.hpp"
 #include "svc/client.hpp"
 #include "svc/server.hpp"
@@ -111,7 +119,7 @@ int usage() {
                "usage: ecsim_flow <schedule|codegen|simulate|validate|"
                "dot-alg|dot-arch|dot-gantt> <spec-file>\n"
                "                  [--trace-out=FILE] [--metrics-out=FILE]\n"
-               "       ecsim_flow sweep <timing|arch> [--threads=N] "
+               "       ecsim_flow sweep <timing|arch|network> [--threads=N] "
                "[--csv-out=FILE] [--backend=interp|native] "
                "[--connect=SOCKET]\n"
                "       ecsim_flow montecarlo <spec-file> [--threads=N] "
@@ -375,9 +383,80 @@ void print_daemon_meta(const svc::ResponseMeta& meta) {
               meta.redispatches > 0 ? " [worker re-dispatch]" : "");
 }
 
+/// `sweep network`: the EXP-N1 stability-vs-bus-load frontier — CAN and TDMA
+/// scenario columns over background-load rows, each cell retuning the LQR
+/// against the latency distribution the simulated bus actually delivered.
+int cmd_sweep_network(std::size_t threads, const std::string& csv_out,
+                      backend::Kind bk, const std::string& connect) {
+  const sweep::NetworkGrid grid = sweep::network_servo_grid();
+  const std::vector<double>& rows = grid.bus_loads;
+  std::vector<double> cols;
+  for (const sweep::NetworkScenario s : grid.scenarios) {
+    cols.push_back(sweep::scenario_code(s));
+  }
+  obs::MetricsRegistry reg;
+  par::BatchOptions batch;
+  batch.threads = threads;
+  batch.metrics = &reg;
+  std::vector<sweep::NetworkCell> cells;
+  bool remote = false;
+  svc::ResponseMeta meta;
+  if (!connect.empty()) {
+    svc::Client client;
+    svc::Request req;
+    req.verb = svc::Verb::kSweepNetwork;
+    req.backend = std::string(backend::to_string(bk));
+    req.rows = rows;
+    req.cols = cols;
+    remote = client.connect(connect) &&
+             svc::remote_network_sweep(client, req, cells, meta);
+    if (!remote) {
+      std::fprintf(stderr, "svc: falling back in-process: %s\n",
+                   client.last_error().c_str());
+    }
+  }
+  if (!remote) {
+    sweep::NetworkGrid run = grid;
+    run.loop.backend = bk;
+    cells = sweep::run_network_sweep(run, batch);
+  }
+  const std::string margin_map = sweep::heatmap(
+      cells, rows, cols, "bus load", "scenario",
+      &sweep::NetworkCell::stability_margin,
+      "delay-aware stability margin (1 - spectral radius)");
+  const std::string iae_map = sweep::heatmap(
+      cells, rows, cols, "bus load", "scenario",
+      &sweep::NetworkCell::retuned_iae, "retuned IAE");
+  if (remote) {
+    std::printf("%zu cells via daemon %s\n", cells.size(), connect.c_str());
+  } else {
+    std::printf("%zu cells on %zu worker(s)\n", cells.size(),
+                par::BatchRunner(batch).threads());
+  }
+  std::printf("columns: 0 = can (priority arbitration), 1 = tdma (owner "
+              "slots)\n%s%s",
+              margin_map.c_str(), iae_map.c_str());
+  if (remote) {
+    print_daemon_meta(meta);
+  } else {
+    print_sweep_telemetry(reg, bk);
+  }
+  if (!csv_out.empty()) {
+    if (!write_file(csv_out, sweep::to_csv(cells))) {
+      std::fprintf(stderr, "ecsim_flow: cannot write %s\n", csv_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "csv: %s\n", csv_out.c_str());
+  }
+  return 0;
+}
+
 int cmd_sweep(const std::string& kind, std::size_t threads,
               const std::string& csv_out, backend::Kind bk,
               const std::string& connect) {
+  if (kind == "network") {
+    return cmd_sweep_network(threads, csv_out, bk, connect);
+  }
   const bool timing = kind == "timing";
   if (!timing && kind != "arch") return usage();
   // The CLI's canonical grids — the daemon caches cells of exactly these
